@@ -1,0 +1,194 @@
+// Ablation — recovery-point placement: the Sec. 3.2 heuristics (a point
+// after extraction / after the costly operator) versus exhaustive search
+// over placements, evaluated by the cost model and validated by measured
+// runs.
+//
+// Question: how much does the heuristic placement give up against the
+// best placement found by exhaustively enumerating 1- and 2-point
+// configurations, under the expected-cost-with-failures objective?
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <map>
+
+#include "bench_util.h"
+#include "core/cost_model.h"
+#include "core/sales_workflow.h"
+
+namespace qox {
+namespace {
+
+SalesScenario* Scenario() {
+  static SalesScenario* const scenario = [] {
+    std::filesystem::create_directories("/tmp/qox_bench_ablrp_data");
+    SalesScenarioConfig config;
+    config.s1_rows = 40000;
+    config.s2_rows = 1000;
+    config.s3_rows = 1000;
+    // Remote-source regime (Fig. 6): re-extraction is expensive, which is
+    // when recovery points pay for themselves.
+    config.data_dir = "/tmp/qox_bench_ablrp_data";
+    config.source_bandwidth_bytes_per_s = 8.0 * 1024 * 1024;
+    return SalesScenario::Create(config).TakeValue().release();
+  }();
+  return scenario;
+}
+
+RecoveryPointStorePtr RpStore() {
+  static const RecoveryPointStorePtr store =
+      RecoveryPointStore::Open("/tmp/qox_bench_ablrp").value();
+  return store;
+}
+
+/// Expected cost objective: time without failures plus failure-probability
+/// weighted rework (one expected failure per run at rate lambda).
+double ExpectedCost(const CostModel& model, const PhysicalDesign& design,
+                    double rows, double failure_rate_per_s) {
+  const PhaseEstimate phases = model.EstimatePhases(design, rows);
+  const double p_fail = 1.0 - CostModel::AttemptSuccessProbability(
+                                  phases.total_s, failure_rate_per_s);
+  return phases.total_s +
+         p_fail * model.EstimateRecoverability(design, phases);
+}
+
+struct Row_ {
+  std::string placement;
+  double predicted_s = 0.0;
+  int64_t measured_micros = 0;
+};
+std::map<int, Row_>& Rows() {
+  static auto* const rows = new std::map<int, Row_>();
+  return *rows;
+}
+
+std::vector<std::vector<size_t>> Placements() {
+  // All 0-, 1- and 2-point placements over the 8 cuts of the bottom flow.
+  std::vector<std::vector<size_t>> out = {{}};
+  for (size_t a = 0; a <= 7; ++a) {
+    out.push_back({a});
+    for (size_t b = a + 1; b <= 7; ++b) out.push_back({a, b});
+  }
+  return out;
+}
+
+std::string PlacementName(const std::vector<size_t>& cuts) {
+  if (cuts.empty()) return "{}";
+  std::string out = "{";
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(cuts[i]);
+  }
+  return out + "}";
+}
+
+void BM_AblRpPlacement(benchmark::State& state) {
+  SalesScenario* scenario = Scenario();
+  const double rows = 40000;
+  const double lambda = 3.0;  // failure-prone window: rework dominates
+
+  // Calibrate the model from a probe run.
+  static const CostModel* const model = [&] {
+    (void)scenario->ResetWarehouse();
+    const Result<RunMetrics> probe = Executor::Run(
+        scenario->bottom_flow().ToFlowSpec(), ExecutionConfig{});
+    CostModelParams params;
+    if (probe.ok()) {
+      params = CostModel::Calibrate(CostModelParams{}, probe.value(),
+                                    scenario->bottom_flow(), rows);
+    }
+    return new CostModel(params);
+  }();
+
+  for (auto _ : state) {
+    // Exhaustive search under the model.
+    std::vector<size_t> best_placement;
+    double best_cost = 1e18;
+    for (const std::vector<size_t>& cuts : Placements()) {
+      PhysicalDesign design;
+      design.flow = scenario->bottom_flow();
+      design.recovery_points = cuts;
+      const double cost = ExpectedCost(*model, design, rows, lambda);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_placement = cuts;
+      }
+    }
+    // The Sec. 3.2 heuristic: after extraction + after the costliest op.
+    std::vector<size_t> heuristic = {0};
+    {
+      const std::vector<LogicalOp>& ops = scenario->bottom_flow().ops();
+      double volume = rows;
+      size_t costliest = 0;
+      double top = -1;
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].cost_per_row * volume > top) {
+          top = ops[i].cost_per_row * volume;
+          costliest = i;
+        }
+        volume *= ops[i].selectivity;
+      }
+      heuristic.push_back(costliest + 1);
+    }
+    const std::vector<std::pair<std::string, std::vector<size_t>>> cases = {
+        {"none", {}},
+        {"heuristic " + PlacementName(heuristic), heuristic},
+        {"exhaustive-best " + PlacementName(best_placement), best_placement},
+        {"worst-style {all}", {0, 1, 2, 3, 4, 5, 6, 7}},
+    };
+    int row_idx = 0;
+    for (const auto& [name, cuts] : cases) {
+      PhysicalDesign design;
+      design.flow = scenario->bottom_flow();
+      design.recovery_points = cuts;
+      Row_ row;
+      row.placement = name;
+      row.predicted_s = ExpectedCost(*model, design, rows, lambda);
+      // Measured validation (no failures: pure overhead view).
+      if (!scenario->ResetWarehouse().ok()) {
+        state.SkipWithError("reset failed");
+        return;
+      }
+      ExecutionConfig exec;
+      exec.num_threads = 1;
+      exec.recovery_points = cuts;
+      exec.rp_store = cuts.empty() ? nullptr : RpStore();
+      const Result<RunMetrics> metrics =
+          Executor::Run(scenario->bottom_flow().ToFlowSpec(), exec);
+      if (!metrics.ok()) {
+        state.SkipWithError(metrics.status().ToString().c_str());
+        return;
+      }
+      row.measured_micros = metrics.value().total_micros;
+      Rows()[row_idx++] = row;
+    }
+    state.SetIterationTime(1e-3);
+  }
+}
+
+BENCHMARK(BM_AblRpPlacement)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintFigure() {
+  bench::Table table({"placement", "predicted_expected_cost_s",
+                      "measured_no_failure_ms"});
+  for (const auto& [idx, row] : Rows()) {
+    table.AddRow({row.placement, bench::Seconds(row.predicted_s, 4),
+                  bench::Ms(row.measured_micros)});
+  }
+  table.Print(
+      "Ablation: recovery-point placement — Sec. 3.2 heuristic vs "
+      "exhaustive search (cost model, failure rate 3/s, remote sources)");
+}
+
+}  // namespace
+}  // namespace qox
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  qox::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Shared benchmark scaffolding.
+//
+// HARDWARE SUBSTITUTION (see DESIGN.md §2): the paper's experiments ran on
+// multi-CPU servers; this reproduction executes every configuration FOR
+// REAL on a single worker thread (clean, interference-free CPU timings for
+// every phase, partition, and instance), then computes the wall-clock time
+// the same run would take on an N-CPU machine by list-scheduling the
+// measured task durations onto N virtual processors. Extraction and merge
+// remain sequential (single source channel / single merge point), exactly
+// as in the engines the paper measured.
+
+#ifndef QOX_BENCH_BENCH_UTIL_H_
+#define QOX_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/run_metrics.h"
+
+namespace qox {
+namespace bench {
+
+/// Greedy list scheduling of task durations onto `n_cpus` identical
+/// virtual processors; returns the makespan. `release[i]` (optional) is
+/// the earliest start of task i.
+inline int64_t Makespan(const std::vector<int64_t>& tasks, size_t n_cpus,
+                        const std::vector<int64_t>* release = nullptr) {
+  if (tasks.empty()) return 0;
+  n_cpus = std::max<size_t>(1, n_cpus);
+  std::vector<int64_t> cpu_free(n_cpus, 0);
+  int64_t makespan = 0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    auto it = std::min_element(cpu_free.begin(), cpu_free.end());
+    const int64_t ready = release != nullptr ? (*release)[i] : 0;
+    const int64_t start = std::max(*it, ready);
+    *it = start + tasks[i];
+    makespan = std::max(makespan, *it);
+  }
+  return makespan;
+}
+
+/// The transform time a measured run would take on `n_cpus`: sequential
+/// transform work as measured, each parallel unit replaced by the makespan
+/// of its partition durations, merges sequential.
+inline int64_t SimulatedTransformMicros(const RunMetrics& m, size_t n_cpus) {
+  int64_t parallel_measured = 0;
+  int64_t parallel_sim = 0;
+  for (const ParallelUnitStats& unit : m.parallel_units) {
+    for (const int64_t t : unit.partition_micros) parallel_measured += t;
+    parallel_measured += unit.merge_micros;
+    // Partition work splits into a truly parallel share and a share that
+    // serializes across partitions through shared state (e.g. the Δ's
+    // snapshot critical section): the former is scheduled onto the CPUs,
+    // the latter is a global critical path.
+    std::vector<int64_t> parallel_parts = unit.partition_micros;
+    int64_t serialized = 0;
+    for (size_t p = 0; p < parallel_parts.size(); ++p) {
+      const int64_t s = p < unit.serialized_micros.size()
+                            ? unit.serialized_micros[p]
+                            : 0;
+      serialized += s;
+      parallel_parts[p] = std::max<int64_t>(0, parallel_parts[p] - s);
+    }
+    parallel_sim += Makespan(parallel_parts, n_cpus) + serialized;
+    parallel_sim += unit.merge_micros;  // merging back is sequential
+  }
+  const int64_t sequential =
+      std::max<int64_t>(0, m.transform_micros - parallel_measured);
+  return sequential + parallel_sim;
+}
+
+/// Full simulated wall time of a measured run on `n_cpus`.
+inline int64_t SimulatedWallMicros(const RunMetrics& m, size_t n_cpus) {
+  return m.extract_micros + SimulatedTransformMicros(m, n_cpus) +
+         m.rp_write_micros + m.rp_read_micros + m.load_micros;
+}
+
+/// Memory/cache-interference coefficient of the virtual machine: each
+/// additional co-running instance slows every instance's CPU work by this
+/// fraction (bandwidth and last-level-cache sharing). A simulation
+/// parameter like the source-channel bandwidth; documented in DESIGN.md.
+inline constexpr double kNmrInterferencePerInstance = 0.06;
+
+/// n-modular redundancy on the virtual machine: k copies of the measured
+/// base run race. Extraction serializes through the shared source channel
+/// (instance i's data is available at (i+1) * extract); transform work is
+/// CPU, inflated by the interference of k co-running instances, and
+/// schedules onto the n_cpus; the flow completes when the majority of
+/// instances agree, then loads once.
+inline int64_t SimulatedNmrMicros(const RunMetrics& base, size_t k,
+                                  size_t n_cpus) {
+  const int64_t extract = base.extract_micros;
+  // Per-instance CPU work: each redundant instance is single-threaded and
+  // contends with its k-1 siblings for memory bandwidth.
+  const double interference =
+      1.0 + kNmrInterferencePerInstance * static_cast<double>(k - 1);
+  const int64_t work = static_cast<int64_t>(
+      static_cast<double>(SimulatedTransformMicros(base, 1)) * interference);
+  std::vector<int64_t> tasks(k, work);
+  std::vector<int64_t> release(k);
+  for (size_t i = 0; i < k; ++i) {
+    release[i] = static_cast<int64_t>(i + 1) * extract;
+  }
+  // Completion time of each instance under greedy scheduling; majority.
+  std::vector<int64_t> cpu_free(std::max<size_t>(1, n_cpus), 0);
+  std::vector<int64_t> completion(k);
+  for (size_t i = 0; i < k; ++i) {
+    auto it = std::min_element(cpu_free.begin(), cpu_free.end());
+    const int64_t start = std::max(*it, release[i]);
+    *it = start + tasks[i];
+    completion[i] = *it;
+  }
+  std::sort(completion.begin(), completion.end());
+  const size_t majority = k / 2;  // 0-based index of the (k/2+1)-th finisher
+  return completion[majority] + base.load_micros;
+}
+
+/// Fixed-width plain-text table, printed to stdout (the benches regenerate
+/// the paper's figures as tables; EXPERIMENTS.md captures them).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(const std::string& title) const {
+    std::cout << "\n=== " << title << " ===\n";
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::cout << (c == 0 ? "" : "  ");
+        std::cout.width(static_cast<std::streamsize>(widths[c]));
+        std::cout << std::left << row[c];
+      }
+      std::cout << "\n";
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+    std::cout.flush();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Ms(int64_t micros, int decimals = 1) {
+  std::ostringstream oss;
+  oss.precision(decimals);
+  oss << std::fixed << static_cast<double>(micros) / 1000.0;
+  return oss.str();
+}
+
+inline std::string Seconds(double s, int decimals = 2) {
+  std::ostringstream oss;
+  oss.precision(decimals);
+  oss << std::fixed << s;
+  return oss.str();
+}
+
+}  // namespace bench
+}  // namespace qox
+
+#endif  // QOX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,144 @@
+// Figure 5 — "Cost imposed by the use of recovery points":
+// total execution time of the (unparallelized) Fig. 3 bottom flow without
+// recovery points, with the best RP configuration (one point after
+// extraction), and with the worst (a point at every cut), varying the
+// number of processors.
+//
+// Paper findings this bench reproduces:
+//   * recovery points significantly increase total cost (real file I/O),
+//   * the worst placement costs far more than the best,
+//   * simply assigning more processors to an unparallelized flow barely
+//     changes anything.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <map>
+
+#include "bench_util.h"
+#include "core/sales_workflow.h"
+
+namespace qox {
+namespace {
+
+SalesScenario* Scenario() {
+  static SalesScenario* const scenario = [] {
+    const std::string dir = "/tmp/qox_bench_fig5";
+    std::filesystem::create_directories(dir);
+    SalesScenarioConfig config;
+    config.s1_rows = 60000;
+    config.s2_rows = 2000;
+    config.s3_rows = 2000;
+    config.data_dir = dir;
+    return SalesScenario::Create(config).TakeValue().release();
+  }();
+  return scenario;
+}
+
+RecoveryPointStorePtr RpStore() {
+  static const RecoveryPointStorePtr store =
+      RecoveryPointStore::Open("/tmp/qox_bench_fig5_rp").value();
+  return store;
+}
+
+const char* kConfigNames[] = {"w/o RP", "w/ RP (b)", "w/ RP (w)"};
+
+ExecutionConfig MakeConfig(int config_idx) {
+  ExecutionConfig config;
+  config.num_threads = 1;
+  switch (config_idx) {
+    case 0:
+      break;
+    case 1:  // best: one recovery point right after extraction
+      config.recovery_points = {0};
+      config.rp_store = RpStore();
+      break;
+    case 2:  // worst: a recovery point at every cut
+      config.recovery_points = {0, 1, 2, 3, 4, 5, 6, 7};
+      config.rp_store = RpStore();
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+struct Cell {
+  int64_t total_micros = 0;
+  int64_t rp_micros = 0;
+  size_t rp_bytes = 0;
+};
+std::map<std::pair<int, int>, Cell>& Cells() {
+  static auto* const cells = new std::map<std::pair<int, int>, Cell>();
+  return *cells;
+}
+
+const RunMetrics& MeasuredRun(int config_idx) {
+  static auto* const cache = new std::map<int, RunMetrics>();
+  const auto it = cache->find(config_idx);
+  if (it != cache->end()) return it->second;
+  SalesScenario* scenario = Scenario();
+  RunMetrics best;
+  bool have = false;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    if (!scenario->ResetWarehouse().ok()) break;
+    Result<RunMetrics> metrics = Executor::Run(
+        scenario->bottom_flow().ToFlowSpec(), MakeConfig(config_idx));
+    if (!metrics.ok()) {
+      std::cerr << "fig5 run failed: " << metrics.status() << "\n";
+      break;
+    }
+    const int64_t t = metrics.value().transform_micros +
+                      metrics.value().rp_write_micros;
+    if (!have || t < best.transform_micros + best.rp_write_micros) {
+      best = std::move(metrics).TakeValue();
+      have = true;
+    }
+  }
+  return (*cache)[config_idx] = best;
+}
+
+void BM_Fig5(benchmark::State& state) {
+  const int config_idx = static_cast<int>(state.range(0));
+  const int cpus = static_cast<int>(state.range(1));
+  const RunMetrics& m = MeasuredRun(config_idx);
+  Cell cell;
+  for (auto _ : state) {
+    cell.total_micros =
+        bench::SimulatedWallMicros(m, static_cast<size_t>(cpus));
+    cell.rp_micros = m.rp_write_micros;
+    cell.rp_bytes = m.rp_bytes_written;
+    state.SetIterationTime(static_cast<double>(cell.total_micros) / 1e6);
+  }
+  Cells()[{config_idx, cpus}] = cell;
+  state.SetLabel(kConfigNames[config_idx]);
+}
+
+BENCHMARK(BM_Fig5)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 3, 4, 5, 6, 7, 8}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintFigure() {
+  bench::Table table(
+      {"config", "cpus", "total_ms", "rp_write_ms", "rp_bytes"});
+  for (const auto& [key, cell] : Cells()) {
+    table.AddRow({kConfigNames[key.first], std::to_string(key.second),
+                  bench::Ms(cell.total_micros), bench::Ms(cell.rp_micros),
+                  std::to_string(cell.rp_bytes)});
+  }
+  table.Print(
+      "Figure 5: Cost imposed by the use of recovery points (single flow, "
+      "1..8 processors)");
+}
+
+}  // namespace
+}  // namespace qox
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  qox::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Figure 7 — "Use of recovery points vs NMR":
+// the additional cost that recovery points and n-modular redundancy each
+// impose on the normal execution of the flow.
+//
+// Paper findings this bench reproduces:
+//   * redundancy guarantees better performance than recovery points,
+//   * NMR overhead grows with the redundancy degree (the paper reports
+//     ~14% for TMR up to ~58% for 5-modular redundancy),
+//   * recovery points cost the most (real durable I/O on the data path).
+//
+// NMR wall times come from the virtual 8-CPU machine (see bench_util.h):
+// k instances race, the shared source channel serializes their
+// extractions, and the flow completes on majority agreement. A genuinely
+// executed TMR run (engine voting path) is included as a validation row.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <map>
+
+#include "bench_util.h"
+#include "core/sales_workflow.h"
+
+namespace qox {
+namespace {
+
+constexpr size_t kCpus = 8;
+
+SalesScenario* Scenario() {
+  static SalesScenario* const scenario = [] {
+    const std::string dir = "/tmp/qox_bench_fig7";
+    std::filesystem::create_directories(dir);
+    SalesScenarioConfig config;
+    config.s1_rows = 60000;
+    config.s2_rows = 2000;
+    config.s3_rows = 2000;
+    config.data_dir = dir;
+    return SalesScenario::Create(config).TakeValue().release();
+  }();
+  return scenario;
+}
+
+RecoveryPointStorePtr RpStore() {
+  static const RecoveryPointStorePtr store =
+      RecoveryPointStore::Open("/tmp/qox_bench_fig7_rp").value();
+  return store;
+}
+
+/// Clean base run (no RP, no redundancy), best of 3.
+const RunMetrics& BaseRun() {
+  static auto* const cache = new RunMetrics([] {
+    SalesScenario* scenario = Scenario();
+    RunMetrics best;
+    bool have = false;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      if (!scenario->ResetWarehouse().ok()) break;
+      ExecutionConfig exec;
+      exec.num_threads = 1;
+      Result<RunMetrics> metrics =
+          Executor::Run(scenario->bottom_flow().ToFlowSpec(), exec);
+      if (!metrics.ok()) {
+        std::cerr << "fig7 base run failed: " << metrics.status() << "\n";
+        break;
+      }
+      if (!have ||
+          metrics.value().transform_micros < best.transform_micros) {
+        best = std::move(metrics).TakeValue();
+        have = true;
+      }
+    }
+    return best;
+  }());
+  return *cache;
+}
+
+/// Measured run with the guideline recovery points (after extraction,
+/// after the Δ, after the costly function op).
+const RunMetrics& RpRun() {
+  static auto* const cache = new RunMetrics([] {
+    SalesScenario* scenario = Scenario();
+    RunMetrics best;
+    bool have = false;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      if (!scenario->ResetWarehouse().ok()) break;
+      ExecutionConfig exec;
+      exec.num_threads = 1;
+      exec.recovery_points = {0, 1, 5};
+      exec.rp_store = RpStore();
+      Result<RunMetrics> metrics =
+          Executor::Run(scenario->bottom_flow().ToFlowSpec(), exec);
+      if (!metrics.ok()) {
+        std::cerr << "fig7 rp run failed: " << metrics.status() << "\n";
+        break;
+      }
+      const int64_t t = metrics.value().transform_micros +
+                        metrics.value().rp_write_micros;
+      if (!have || t < best.transform_micros + best.rp_write_micros) {
+        best = std::move(metrics).TakeValue();
+        have = true;
+      }
+    }
+    return best;
+  }());
+  return *cache;
+}
+
+struct Cell {
+  std::string name;
+  int64_t total_micros = 0;
+  double overhead_pct = 0.0;
+};
+std::map<int, Cell>& Cells() {
+  static auto* const cells = new std::map<int, Cell>();
+  return *cells;
+}
+
+// Rows: 0 = normal, 1 = w/ RP, 2..4 = NMR 3..5. (The engine's real voting
+// path is exercised by tests/engine_redundancy_test.cc; a wall-time row
+// from this 1-core host would only measure host serialization.)
+void BM_Fig7(benchmark::State& state) {
+  const int row = static_cast<int>(state.range(0));
+  const RunMetrics& base = BaseRun();
+  const int64_t base_micros = bench::SimulatedWallMicros(base, kCpus);
+  Cell cell;
+  for (auto _ : state) {
+    switch (row) {
+      case 0:
+        cell.name = "normal";
+        cell.total_micros = base_micros;
+        break;
+      case 1:
+        cell.name = "w/ RP";
+        cell.total_micros = bench::SimulatedWallMicros(RpRun(), kCpus);
+        break;
+      case 2:
+      case 3:
+      case 4: {
+        const size_t k = static_cast<size_t>(row) + 1;  // 3, 4, 5
+        cell.name = (k == 3 ? "TMR" : std::to_string(k) + "MR");
+        cell.total_micros = bench::SimulatedNmrMicros(base, k, kCpus);
+        break;
+      }
+      default:
+        break;
+    }
+    cell.overhead_pct = 100.0 *
+                        (static_cast<double>(cell.total_micros) /
+                             static_cast<double>(base_micros) -
+                         1.0);
+    state.SetIterationTime(static_cast<double>(cell.total_micros) / 1e6);
+  }
+  Cells()[row] = cell;
+  state.SetLabel(cell.name);
+}
+
+BENCHMARK(BM_Fig7)
+    ->DenseRange(0, 4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintFigure() {
+  bench::Table table({"config", "total_ms", "overhead_vs_normal"});
+  for (const auto& [row, cell] : Cells()) {
+    table.AddRow({cell.name, bench::Ms(cell.total_micros),
+                  bench::Seconds(cell.overhead_pct, 1) + "%"});
+  }
+  table.Print(
+      "Figure 7: Additional cost of recovery points vs n-modular "
+      "redundancy (8 CPUs)");
+}
+
+}  // namespace
+}  // namespace qox
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  qox::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Figure 8 — "Freshness of data vs frequency of ETL execution":
+// mean source-event-to-warehouse latency of a day's data volume when the
+// day is processed in 1..96 loads, under five design configurations:
+// 2 parallel flows without recovery (w/o RP, 2PF), triple modular
+// redundancy (TMR), few recovery points (RP+), many recovery points
+// (RP++), and the plain single flow (w/o RP, 1F).
+//
+// Paper findings this bench reproduces:
+//   * more frequent, smaller loads improve freshness for every config,
+//   * configurations separate by their per-batch overhead: at high load
+//     frequency the parallel flow is freshest, recovery-point-heavy
+//     configurations are stalest, and TMR sits in between,
+//   * freshness = load period / 2 + per-batch execution time.
+//
+// Window scaling: the paper's premise is that "the uninterrupted ETL
+// execution nearly fits in the available time window". The operational
+// window here is therefore set to 4x the measured full-volume execution
+// time of the plain flow, so the frequency sweep covers the same regime
+// (at the highest frequencies the per-batch overhead, not the waiting
+// period, dominates freshness — which is where the configurations
+// separate).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "core/sales_workflow.h"
+
+namespace qox {
+namespace {
+
+constexpr size_t kDailyRows = 48000;
+constexpr size_t kCpus = 4;
+
+SalesScenario* Scenario() {
+  static SalesScenario* const scenario = [] {
+    SalesScenarioConfig config;
+    config.s1_rows = 16;  // replaced per cell with the batch under test
+    config.s2_rows = 500;
+    config.s3_rows = 500;
+    return SalesScenario::Create(config).TakeValue().release();
+  }();
+  return scenario;
+}
+
+RecoveryPointStorePtr RpStore() {
+  static const RecoveryPointStorePtr store =
+      RecoveryPointStore::Open("/tmp/qox_bench_fig8_rp").value();
+  return store;
+}
+
+const char* kConfigNames[] = {"w/o RP, 2PF", "TMR", "RP+", "RP++",
+                              "w/o RP, 1F"};
+const size_t kLoadsPerDay[] = {1, 2, 4, 8, 16, 32, 64, 96};
+
+/// Operational window (seconds): 4x the measured full-volume execution of
+/// the plain flow (see the header comment).
+double WindowSeconds();
+
+ExecutionConfig MakeConfig(int config_idx) {
+  ExecutionConfig config;
+  config.num_threads = 1;
+  switch (config_idx) {
+    case 0:  // 2 parallel flows, no recovery
+      config.parallel.partitions = 2;
+      config.parallel.range_begin = 1;
+      break;
+    case 1:  // TMR: measured as 1F, simulated as 3 racing instances
+      break;
+    case 2:  // RP+: one recovery point after extraction
+      config.recovery_points = {0};
+      config.rp_store = RpStore();
+      break;
+    case 3:  // RP++: recovery points at extraction, Δ, function, pre-load
+      config.recovery_points = {0, 1, 5, 7};
+      config.rp_store = RpStore();
+      break;
+    case 4:  // plain single flow
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+struct Cell {
+  double freshness_s = 0.0;
+  double exec_s = 0.0;
+};
+std::map<std::pair<int, int>, Cell>& Cells() {
+  static auto* const cells = new std::map<std::pair<int, int>, Cell>();
+  return *cells;
+}
+
+void BM_Fig8(benchmark::State& state) {
+  const int config_idx = static_cast<int>(state.range(0));
+  const int loads_idx = static_cast<int>(state.range(1));
+  const size_t loads = kLoadsPerDay[loads_idx];
+  const size_t batch_rows = kDailyRows / loads;
+  SalesScenario* scenario = Scenario();
+  Cell cell;
+  for (auto _ : state) {
+    int64_t best_exec = 0;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      // Stage exactly one batch of the day's data in S1.
+      if (!scenario->ResetWarehouse().ok() ||
+          !scenario->s1()->Truncate().ok() ||
+          !scenario->AppendS1Batch(batch_rows).ok()) {
+        state.SkipWithError("staging failed");
+        return;
+      }
+      const Result<RunMetrics> metrics = Executor::Run(
+          scenario->bottom_flow().ToFlowSpec(), MakeConfig(config_idx));
+      if (!metrics.ok()) {
+        state.SkipWithError(metrics.status().ToString().c_str());
+        return;
+      }
+      const int64_t exec_micros =
+          config_idx == 1
+              ? bench::SimulatedNmrMicros(metrics.value(), 3, kCpus)
+              : bench::SimulatedWallMicros(metrics.value(), kCpus);
+      if (repeat == 0 || exec_micros < best_exec) best_exec = exec_micros;
+    }
+    cell.exec_s = static_cast<double>(best_exec) / 1e6;
+    const double period_s = WindowSeconds() / static_cast<double>(loads);
+    cell.freshness_s = period_s / 2.0 + cell.exec_s;
+    state.SetIterationTime(cell.exec_s);
+  }
+  Cells()[{config_idx, loads_idx}] = cell;
+  state.counters["freshness_s"] = cell.freshness_s;
+  state.SetLabel(std::string(kConfigNames[config_idx]) + " @" +
+                 std::to_string(loads) + "/day");
+}
+
+BENCHMARK(BM_Fig8)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2, 3, 4, 5, 6, 7}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+double WindowSeconds() {
+  static const double window = [] {
+    SalesScenario* scenario = Scenario();
+    double best = 1.0;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      if (!scenario->ResetWarehouse().ok() ||
+          !scenario->s1()->Truncate().ok() ||
+          !scenario->AppendS1Batch(kDailyRows).ok()) {
+        break;
+      }
+      ExecutionConfig exec;
+      exec.num_threads = 1;
+      const Result<RunMetrics> metrics =
+          Executor::Run(scenario->bottom_flow().ToFlowSpec(), exec);
+      if (!metrics.ok()) break;
+      const double t = static_cast<double>(bench::SimulatedWallMicros(
+                           metrics.value(), kCpus)) /
+                       1e6;
+      if (repeat == 0 || t < best) best = t;
+    }
+    return 4.0 * best;
+  }();
+  return window;
+}
+
+void PrintFigure() {
+  bench::Table table(
+      {"config", "loads/window", "batch_rows", "exec_s", "freshness_s"});
+  for (const auto& [key, cell] : Cells()) {
+    const size_t loads = kLoadsPerDay[key.second];
+    table.AddRow({kConfigNames[key.first], std::to_string(loads),
+                  std::to_string(kDailyRows / loads),
+                  bench::Seconds(cell.exec_s, 3),
+                  bench::Seconds(cell.freshness_s, 3)});
+  }
+  table.Print(
+      "Figure 8: Freshness of data vs frequency of ETL execution "
+      "(window = " +
+      bench::Seconds(WindowSeconds(), 2) +
+      "s; latency = period/2 + batch execution)");
+}
+
+}  // namespace
+}  // namespace qox
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  qox::PrintFigure();
+  return 0;
+}

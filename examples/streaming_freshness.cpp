@@ -1,0 +1,57 @@
+// Streaming freshness: the Fig. 3 top flow under near-real-time operation.
+//
+// The clickstream source S3 delivers events in time order; the warehouse
+// is loaded in micro-batches via RunMicroBatches (core/micro_batch.h).
+// One simulated day of clicks is processed at several batching
+// granularities, demonstrating the Sec. 3.4 tradeoff: more frequent,
+// smaller loads keep the CUSTOMER table fresher, at the price of more
+// executions — with a freshness SLA attainment check per configuration.
+//
+// Run: ./build/examples/streaming_freshness
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/micro_batch.h"
+#include "core/sales_workflow.h"
+
+using namespace qox;  // example code; library code never does this
+
+int main() {
+  SalesScenarioConfig config;
+  config.s1_rows = 1000;
+  config.s2_rows = 500;
+  config.s3_rows = 30000;  // one simulated day of clicks
+  std::unique_ptr<SalesScenario> scenario =
+      SalesScenario::Create(config).TakeValue();
+
+  const double sla_s = 30.0 * 60;  // freshness SLA: 30 minutes
+  std::cout << "simulated day: " << config.s3_rows
+            << " click events; freshness SLA: " << sla_s / 60 << " min\n\n";
+  std::printf("%12s %14s %14s %12s %8s\n", "batches/day", "avg_freshness",
+              "p95_freshness", "total_exec", "SLA");
+
+  for (const size_t num_windows : {4, 16, 64, 256}) {
+    if (!scenario->ResetWarehouse().ok()) return 1;
+    MicroBatchConfig batch_config;
+    batch_config.num_windows = num_windows;
+    batch_config.freshness_sla_s = sla_s;
+    const Result<FreshnessStats> stats =
+        RunMicroBatches(scenario->top_flow(), batch_config);
+    if (!stats.ok()) {
+      std::cerr << "micro-batch run failed: " << stats.status() << "\n";
+      return 1;
+    }
+    std::printf("%12zu %13.1fs %13.1fs %11.2fs %7.1f%%\n", num_windows,
+                stats.value().avg_freshness_s,
+                stats.value().p95_freshness_s, stats.value().total_exec_s,
+                stats.value().sla_attainment * 100.0);
+  }
+
+  std::cout << "\nCUSTOMER table rows after the last configuration: "
+            << scenario->dw3()->NumRows().value() << "\n";
+  std::cout << "Anonymous clicks were rejected by Flt_anon; surrogate keys "
+               "are shared\nwith the sales flow, so V1 joins remain valid "
+               "across micro-batches.\n";
+  return 0;
+}

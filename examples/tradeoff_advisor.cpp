@@ -1,0 +1,130 @@
+// Tradeoff advisor: the consulting loop the paper proposes, as a tool.
+//
+// Given an engagement objective, the advisor:
+//   1. captures the conceptual flow and expands it to a logical design,
+//   2. calibrates the cost model from a probe run,
+//   3. searches the physical design space under the objective,
+//   4. explains the winner with soft-goal labels (Fig. 2) and the Pareto
+//      front, and
+//   5. executes the winning design to verify the prediction.
+//
+// Run: ./build/examples/tradeoff_advisor [performance|reliability|
+//                                         freshness|maintainability]
+
+#include <cstring>
+#include <iostream>
+
+#include "core/optimizer.h"
+#include "core/plan_io.h"
+#include "core/qox_report.h"
+#include "core/translate.h"
+
+using namespace qox;  // example code; library code never does this
+
+int main(int argc, char** argv) {
+  const std::string profile = argc > 1 ? argv[1] : "reliability";
+  QoxObjective objective;
+  if (profile == "performance") {
+    objective = QoxObjective::PerformanceFirst(5.0);
+  } else if (profile == "reliability") {
+    objective = QoxObjective::ReliabilityFirst(0.99);
+  } else if (profile == "freshness") {
+    objective = QoxObjective::FreshnessFirst(120.0);
+  } else if (profile == "maintainability") {
+    objective = QoxObjective::MaintainabilityAware(5.0);
+  } else {
+    std::cerr << "unknown profile '" << profile << "'\n";
+    return 1;
+  }
+  std::cout << "engagement objective (" << profile
+            << "): " << objective.ToString() << "\n\n";
+
+  // 1. Environment + conceptual model.
+  SalesScenarioConfig scenario_config;
+  scenario_config.s1_rows = 20000;
+  scenario_config.s2_rows = 2000;
+  scenario_config.s3_rows = 2000;
+  std::unique_ptr<SalesScenario> scenario =
+      SalesScenario::Create(scenario_config).TakeValue();
+  const ConceptualFlow conceptual = SalesBottomConceptual();
+  std::cout << "conceptual flow '" << conceptual.id << "' with "
+            << conceptual.operators.size() << " business operations\n";
+
+  const Result<LogicalFlow> logical_or =
+      TranslateToLogical(conceptual, *scenario);
+  if (!logical_or.ok()) {
+    std::cerr << "translation failed: " << logical_or.status() << "\n";
+    return 1;
+  }
+  const LogicalFlow& logical = logical_or.value();
+  std::cout << "logical flow: " << logical.Describe() << "\n\n";
+
+  // 2. Calibrate from a probe run.
+  const Result<RunMetrics> probe =
+      Executor::Run(scenario->bottom_flow().ToFlowSpec(), ExecutionConfig{});
+  if (!probe.ok()) {
+    std::cerr << "probe failed: " << probe.status() << "\n";
+    return 1;
+  }
+  (void)scenario->ResetWarehouse();
+  const CostModel model(CostModel::Calibrate(
+      CostModelParams{}, probe.value(), scenario->bottom_flow(), 20000));
+
+  // 3. Optimize.
+  WorkloadParams workload;
+  workload.rows_per_run = 20000;
+  workload.failure_rate_per_s = 0.5;
+  workload.time_window_s = 30.0;
+  OptimizerOptions options;
+  options.threads = 4;
+  options.loads_per_day_choices = {24, 96, 288};
+  const QoxOptimizer optimizer(model, options);
+  const Result<OptimizationResult> result =
+      optimizer.Optimize(logical, objective, workload);
+  if (!result.ok()) {
+    std::cerr << "optimization failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "optimizer: " << result.value().Summary() << "\n\n";
+
+  // 4. Explain: soft-goal labels of the winner, then the Pareto front.
+  std::cout << "soft-goal labels (Fig. 2) of the winning design:\n";
+  for (const auto& [goal, label] : result.value().softgoal_labels) {
+    std::cout << "  " << goal << ": " << GoalLabelName(label) << "\n";
+  }
+  std::cout << "\nPareto front over the preferred metrics:\n";
+  for (const DesignCandidate& candidate : result.value().pareto_front) {
+    std::cout << "  " << candidate.design.ConfigTag() << " @"
+              << candidate.design.loads_per_day
+              << "/d  score=" << candidate.evaluation.score << "  "
+              << candidate.predicted.ToString() << "\n";
+  }
+
+  // 5. Execute the winner and compare predicted vs measured QoX.
+  PhysicalDesign best = result.value().best.design;
+  auto rp_store = RecoveryPointStore::Open("/tmp/qox_advisor_rp").value();
+  const ExecutionConfig exec = best.ToExecutionConfig(
+      best.recovery_points.empty() ? nullptr : rp_store, nullptr);
+  const Result<RunMetrics> run = Executor::Run(best.flow.ToFlowSpec(), exec);
+  if (!run.ok()) {
+    std::cerr << "execution failed: " << run.status() << "\n";
+    return 1;
+  }
+  MeasurementContext context;
+  context.time_window_s = workload.time_window_s;
+  context.loads_per_day = best.loads_per_day;
+  const Result<QoxVector> measured =
+      MeasureQox(run.value(), best, context, model);
+  if (!measured.ok()) return 1;
+  std::cout << "\npredicted vs measured for the winning design\n"
+            << "(prediction assumes the planned " << best.threads
+            << "-CPU budget; the measurement ran on this host as-is, so "
+               "expect a gap\n when the host has fewer cores):\n"
+            << RenderComparison(ComparePredictionToMeasurement(
+                   result.value().best.predicted, measured.value()));
+
+  // 6. Hand-off artifact: the design as engine-agnostic XML metadata (the
+  // paper's export/import boundary).
+  std::cout << "\ndesign metadata (XML):\n" << ExportDesignXml(best);
+  return 0;
+}

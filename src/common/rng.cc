@@ -1,0 +1,52 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qox {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.9999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) zipf_cdf_[i] /= sum;
+  }
+  const double u = NextDouble();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<size_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace qox

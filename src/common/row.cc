@@ -1,0 +1,80 @@
+#include "common/row.h"
+
+#include <sstream>
+
+namespace qox {
+
+int Row::Compare(const Row& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() < other.values_.size()) return -1;
+  if (values_.size() > other.values_.size()) return 1;
+  return 0;
+}
+
+namespace {
+// Boost-style hash combiner.
+size_t CombineHash(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
+size_t Row::Hash() const {
+  size_t seed = values_.size();
+  for (const Value& v : values_) seed = CombineHash(seed, v.Hash());
+  return seed;
+}
+
+size_t Row::HashColumns(const std::vector<size_t>& columns) const {
+  size_t seed = columns.size();
+  for (const size_t c : columns) seed = CombineHash(seed, values_[c].Hash());
+  return seed;
+}
+
+size_t Row::ByteSize() const {
+  size_t total = 0;
+  for (const Value& v : values_) total += v.ByteSize();
+  return total;
+}
+
+std::string Row::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << values_[i];
+  }
+  oss << ")";
+  return oss.str();
+}
+
+Status RowBatch::Validate() const {
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    if (row.num_values() != schema_.num_fields()) {
+      return Status::Invalid("row " + std::to_string(r) + " has " +
+                             std::to_string(row.num_values()) +
+                             " values; schema expects " +
+                             std::to_string(schema_.num_fields()));
+    }
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      if (!schema_.field(c).nullable && row.value(c).is_null()) {
+        return Status::Invalid("row " + std::to_string(r) +
+                               " has NULL in non-nullable column '" +
+                               schema_.field(c).name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t RowBatch::ByteSize() const {
+  size_t total = 0;
+  for (const Row& r : rows_) total += r.ByteSize();
+  return total;
+}
+
+}  // namespace qox

@@ -1,0 +1,96 @@
+// Row and RowBatch: the unit of data flowing between ETL operators.
+//
+// The engine is vectorized at batch granularity: operators exchange
+// RowBatches (a shared schema plus a vector of rows) rather than single
+// rows, which keeps per-row virtual-call overhead out of the hot path and
+// mirrors the batch/pipeline model of the ETL engines the paper measured.
+
+#ifndef QOX_COMMON_ROW_H_
+#define QOX_COMMON_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace qox {
+
+/// One tuple: a vector of Values positionally aligned with a Schema.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t num_values() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+  void Set(size_t i, Value v) { values_[i] = std::move(v); }
+
+  /// Lexicographic comparison over all cells (Value total order).
+  int Compare(const Row& other) const;
+  bool operator==(const Row& other) const { return Compare(other) == 0; }
+  bool operator<(const Row& other) const { return Compare(other) < 0; }
+
+  /// Combined hash of all cells.
+  size_t Hash() const;
+
+  /// Hash of a subset of columns (key columns for lookup/group/partition).
+  size_t HashColumns(const std::vector<size_t>& columns) const;
+
+  /// Approximate in-memory footprint (sum of cell sizes).
+  size_t ByteSize() const;
+
+  /// "(v1, v2, ...)" for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct RowHash {
+  size_t operator()(const Row& r) const { return r.Hash(); }
+};
+
+/// A batch of rows sharing one schema.
+class RowBatch {
+ public:
+  RowBatch() = default;
+  explicit RowBatch(Schema schema) : schema_(std::move(schema)) {}
+  RowBatch(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& row(size_t i) { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& rows() { return rows_; }
+
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// Validates that every row has exactly one value per schema column and
+  /// that non-nullable columns carry no NULLs.
+  Status Validate() const;
+
+  /// Total approximate byte size of all rows (cost model / RP sizing).
+  size_t ByteSize() const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// The engine's default number of rows per batch.
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+}  // namespace qox
+
+#endif  // QOX_COMMON_ROW_H_

@@ -1,0 +1,73 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+namespace qox {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "' in schema [" +
+                            ToString() + "]");
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+Result<Schema> Schema::AddField(const Field& field) const {
+  if (HasField(field.name)) {
+    return Status::AlreadyExists("column '" + field.name + "' already exists");
+  }
+  std::vector<Field> fields = fields_;
+  fields.push_back(field);
+  return Schema(std::move(fields));
+}
+
+Result<Schema> Schema::RemoveField(const std::string& name) const {
+  QOX_ASSIGN_OR_RETURN(const size_t idx, FieldIndex(name));
+  std::vector<Field> fields = fields_;
+  fields.erase(fields.begin() + static_cast<ptrdiff_t>(idx));
+  return Schema(std::move(fields));
+}
+
+Result<Schema> Schema::RenameField(const std::string& from,
+                                   const std::string& to) const {
+  QOX_ASSIGN_OR_RETURN(const size_t idx, FieldIndex(from));
+  if (HasField(to) && to != from) {
+    return Status::AlreadyExists("column '" + to + "' already exists");
+  }
+  std::vector<Field> fields = fields_;
+  fields[idx].name = to;
+  return Schema(std::move(fields));
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const std::string& name : names) {
+    QOX_ASSIGN_OR_RETURN(const size_t idx, FieldIndex(name));
+    fields.push_back(fields_[idx]);
+  }
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << fields_[i].name << ":" << DataTypeName(fields_[i].type);
+    if (!fields_[i].nullable) oss << "!";
+  }
+  return oss.str();
+}
+
+}  // namespace qox

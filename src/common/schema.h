@@ -1,0 +1,75 @@
+// Schema: ordered, named, typed columns of a row stream or data store.
+
+#ifndef QOX_COMMON_SCHEMA_H_
+#define QOX_COMMON_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace qox {
+
+/// One column: a name and a declared type. `nullable` documents whether the
+/// column may carry NULLs (the Flt_NN operator of the paper's Fig. 3 filters
+/// rows whose non-nullable columns are NULL).
+struct Field {
+  std::string name;
+  DataType type = DataType::kString;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// An ordered collection of fields with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+  Schema(std::initializer_list<Field> fields)
+      : Schema(std::vector<Field>(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with the given name, or error when absent.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True when a column with this name exists.
+  bool HasField(const std::string& name) const;
+
+  /// Returns a schema extended with one more column appended at the end.
+  /// Error if the name already exists.
+  Result<Schema> AddField(const Field& field) const;
+
+  /// Returns a schema with the named column removed.
+  Result<Schema> RemoveField(const std::string& name) const;
+
+  /// Returns a schema with the named column renamed.
+  Result<Schema> RenameField(const std::string& from,
+                             const std::string& to) const;
+
+  /// Returns a schema keeping only the named columns, in the given order.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// "name:type, name:type, ..." — used in plan dumps and error messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_COMMON_SCHEMA_H_

@@ -1,0 +1,110 @@
+// Value: the dynamically-typed cell of a Row.
+//
+// ETL flows move rows whose columns hold one of a small set of primitive
+// types (or NULL). Value is a tagged union over those types with total
+// ordering, hashing, and string formatting, so operators (filters, sorts,
+// lookups, group-bys) can be written generically.
+
+#ifndef QOX_COMMON_VALUE_H_
+#define QOX_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace qox {
+
+/// The primitive column types supported by the engine.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  /// Microseconds since the UNIX epoch. Stored as int64 but kept a distinct
+  /// type so freshness computations and formatting can recognize event times.
+  kTimestamp,
+};
+
+/// Canonical lowercase name of a data type ("int64", "timestamp", ...).
+const char* DataTypeName(DataType type);
+
+/// A single dynamically-typed cell value.
+///
+/// Values are small, copyable, and totally ordered. NULL sorts before every
+/// non-NULL value; values of different types order by type tag (this gives a
+/// deterministic total order for sort/group operators even on heterogeneous
+/// data, mirroring what real ETL engines do).
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Timestamp(int64_t micros) {
+    Value val{Repr(micros)};
+    val.is_timestamp_ = true;
+    return val;
+  }
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+
+  /// Typed accessors. Preconditions: the value holds the requested type.
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int64_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+  int64_t timestamp_micros() const { return std::get<int64_t>(repr_); }
+
+  /// Numeric view: int64/double/bool/timestamp as double. Error for others.
+  Result<double> AsDouble() const;
+
+  /// Total order over all values (NULL first, then by type tag, then value).
+  /// Returns <0, 0, >0 like strcmp.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash compatible with operator== (used by lookup/group operators).
+  size_t Hash() const;
+
+  /// Human/CSV representation. NULL renders as the empty string.
+  std::string ToString() const;
+
+  /// Parses a CSV cell back into a Value of the requested type. The empty
+  /// string parses as NULL for every type.
+  static Result<Value> Parse(const std::string& text, DataType type);
+
+  /// Approximate in-memory footprint in bytes (used by the cost model to
+  /// size recovery-point I/O).
+  size_t ByteSize() const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+  bool is_timestamp_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace qox
+
+#endif  // QOX_COMMON_VALUE_H_

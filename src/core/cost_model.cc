@@ -1,0 +1,339 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "graph/graph_metrics.h"
+
+namespace qox {
+
+std::string PhaseEstimate::ToString() const {
+  std::ostringstream oss;
+  oss << "total=" << total_s << "s extract=" << extract_s
+      << "s transform=" << transform_s << "s load=" << load_s
+      << "s rp=" << rp_s << "s merge=" << merge_s << "s";
+  return oss.str();
+}
+
+namespace {
+
+/// Rows entering each op (index i) and leaving the chain, from
+/// selectivities. result[i] = rows entering op i; result[n] = output rows.
+std::vector<double> RowsAtCuts(const std::vector<LogicalOp>& ops,
+                               double input_rows) {
+  std::vector<double> rows;
+  rows.reserve(ops.size() + 1);
+  rows.push_back(input_rows);
+  for (const LogicalOp& op : ops) {
+    rows.push_back(rows.back() * op.selectivity);
+  }
+  return rows;
+}
+
+double EffectiveSpeedup(const PhysicalDesign& design,
+                        const CostModelParams& params) {
+  const double ways = static_cast<double>(
+      std::min(design.parallel.partitions, std::max<size_t>(1, design.threads)));
+  if (ways <= 1.0) return 1.0;
+  return std::max(1.0, ways * params.parallel_efficiency);
+}
+
+}  // namespace
+
+PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
+                                        double input_rows) const {
+  const std::vector<LogicalOp>& ops = design.flow.ops();
+  const std::vector<double> rows = RowsAtCuts(ops, input_rows);
+  PhaseEstimate est;
+  est.extract_s = input_rows * params_.extract_ns_per_row / 1e9;
+
+  const bool parallel = design.parallel.partitions > 1;
+  const size_t rb = parallel ? design.parallel.range_begin : 0;
+  const size_t re =
+      parallel ? std::min(design.parallel.range_end, ops.size()) : 0;
+  const double speedup = EffectiveSpeedup(design, params_);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    double op_s = ops[i].cost_per_row * rows[i] *
+                  params_.transform_ns_per_unit / 1e9;
+    if (parallel && i >= rb && i < re) op_s /= speedup;
+    est.transform_s += op_s;
+  }
+  if (parallel && rb < re) {
+    est.merge_s = (rows[rb] * params_.split_ns_per_row +
+                   rows[re] * params_.merge_ns_per_row) /
+                  1e9;
+  }
+  for (const size_t cut : design.recovery_points) {
+    if (cut > ops.size()) continue;
+    est.rp_s += rows[cut] * params_.bytes_per_row * params_.rp_ns_per_byte /
+                    1e9 +
+                params_.rp_fixed_us / 1e6;
+  }
+  est.load_s = rows.back() * params_.load_ns_per_row / 1e9;
+  // Optional quality features add per-row work on the loaded volume.
+  if (design.provenance_columns) {
+    est.transform_s += rows.back() * 0.4 * params_.transform_ns_per_unit / 1e9;
+  }
+  if (design.audit_rejects) {
+    est.transform_s +=
+        (rows.front() - rows.back()) * 0.5 * params_.transform_ns_per_unit /
+        1e9;
+  }
+  double body = est.extract_s + est.transform_s + est.merge_s + est.rp_s;
+  if (design.redundancy > 1) {
+    body *= 1.0 + params_.redundancy_contention *
+                      static_cast<double>(design.redundancy - 1);
+  }
+  est.total_s = body + est.load_s;
+  return est;
+}
+
+double CostModel::AttemptSuccessProbability(double exec_s,
+                                            double failure_rate_per_s) {
+  if (failure_rate_per_s <= 0.0) return 1.0;
+  return std::exp(-failure_rate_per_s * std::max(0.0, exec_s));
+}
+
+double CostModel::EstimateRecoverability(const PhysicalDesign& design,
+                                         const PhaseEstimate& phases) const {
+  // Build the timeline of durable points. Time 0 (restart from scratch) is
+  // always durable; each recovery-point cut adds one at the moment its
+  // rows are written.
+  const std::vector<LogicalOp>& ops = design.flow.ops();
+  const std::vector<double> rows = RowsAtCuts(ops, 1.0);  // relative volumes
+  // Per-op absolute durations consistent with EstimatePhases' shares.
+  double unit_sum = 0.0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    unit_sum += ops[i].cost_per_row * rows[i];
+  }
+  // The RP write happens AT the cut, so its time belongs to the segment
+  // before the durable point, not to the post-last-RP tail.
+  const auto has_rp_at = [&](size_t cut) {
+    return std::find(design.recovery_points.begin(),
+                     design.recovery_points.end(),
+                     cut) != design.recovery_points.end();
+  };
+  // Spread the total rp_s over the cuts proportionally to their volume.
+  double rp_volume_sum = 0.0;
+  for (const size_t cut : design.recovery_points) {
+    if (cut < rows.size()) rp_volume_sum += rows[cut] + 1e-9;
+  }
+  const auto rp_share_s = [&](size_t cut) {
+    if (rp_volume_sum <= 0) return 0.0;
+    return phases.rp_s * (rows[cut] + 1e-9) / rp_volume_sum;
+  };
+
+  std::vector<double> durable{0.0};
+  double t = phases.extract_s;
+  if (has_rp_at(0)) {
+    t += rp_share_s(0);
+    durable.push_back(t);
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const double share =
+        unit_sum > 0 ? ops[i].cost_per_row * rows[i] / unit_sum : 0.0;
+    t += share * (phases.transform_s + phases.merge_s);
+    if (has_rp_at(i + 1)) {
+      t += rp_share_s(i + 1);
+      durable.push_back(t);
+    }
+  }
+  const double total = std::max(phases.total_s, t);
+  durable.push_back(total);  // sentinel end
+  // E[rework | failure] with failure time uniform over [0, total):
+  // sum of len^2 / (2 * total) over inter-durable segments, plus the fixed
+  // resume cost whenever the restart point is a real RP (not scratch).
+  double expected = 0.0;
+  for (size_t i = 0; i + 1 < durable.size(); ++i) {
+    const double len = durable[i + 1] - durable[i];
+    if (len <= 0) continue;
+    expected += len * len / (2.0 * total);
+    if (i > 0) {
+      expected += (len / total) * params_.rp_resume_fixed_s;
+    }
+  }
+  return expected;
+}
+
+double CostModel::EstimateReliability(const PhysicalDesign& design,
+                                      const PhaseEstimate& phases,
+                                      const WorkloadParams& workload) const {
+  const double p_fail =
+      1.0 - AttemptSuccessProbability(phases.total_s,
+                                      workload.failure_rate_per_s);
+  if (design.redundancy > 1) {
+    // Majority vote among k independent instances.
+    const size_t k = design.redundancy;
+    const size_t majority = k / 2 + 1;
+    double success = 0.0;
+    for (size_t j = majority; j <= k; ++j) {
+      // C(k, j)
+      double comb = 1.0;
+      for (size_t x = 0; x < j; ++x) {
+        comb *= static_cast<double>(k - x) / static_cast<double>(x + 1);
+      }
+      success += comb * std::pow(1.0 - p_fail, static_cast<double>(j)) *
+                 std::pow(p_fail, static_cast<double>(k - j));
+    }
+    return std::min(1.0, success);
+  }
+  // Retries within the time window: a retry costs the expected rework —
+  // cheap with recovery points, a full rerun without — so designs whose
+  // retries are cheap fit more of them into the window ("to leave time
+  // for potential recovery", Sec. 2.2).
+  const double rework = std::max(1e-6, EstimateRecoverability(design, phases));
+  const double slack = std::max(0.0, workload.time_window_s - phases.total_s);
+  const double retries_allowed =
+      std::min(16.0, std::floor(slack / rework));
+  return 1.0 - std::pow(p_fail, 1.0 + std::max(0.0, retries_allowed));
+}
+
+double CostModel::EstimateFreshness(const PhysicalDesign& design,
+                                    const WorkloadParams& workload) const {
+  const double loads =
+      std::max<double>(1.0, static_cast<double>(design.loads_per_day));
+  const double daily_rows = workload.rows_per_run * workload.loads_per_day > 0
+                                ? workload.rows_per_run * workload.loads_per_day
+                                : workload.rows_per_run;
+  const double batch_rows = daily_rows / loads;
+  const double period_s = 86400.0 / loads;
+  const PhaseEstimate batch = EstimatePhases(design, batch_rows);
+  return period_s / 2.0 + batch.total_s;
+}
+
+Result<double> CostModel::EstimateMaintainability(
+    const PhysicalDesign& design) const {
+  QOX_ASSIGN_OR_RETURN(const FlowGraph graph, design.flow.ToGraph());
+  QOX_ASSIGN_OR_RETURN(const MaintainabilityMetrics metrics,
+                       ComputeMaintainability(graph));
+  double score = metrics.score;
+  // Physical plumbing the maintainer must understand: partition/merge
+  // wiring, redundant instances, recovery-point handling.
+  if (design.parallel.partitions > 1) {
+    score *= std::pow(0.95, std::log2(static_cast<double>(
+                                design.parallel.partitions)));
+  }
+  if (design.redundancy > 1) {
+    score *= std::pow(0.96, static_cast<double>(design.redundancy - 1));
+  }
+  score *= std::pow(0.99, static_cast<double>(design.recovery_points.size()));
+  return score;
+}
+
+Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
+                                     const WorkloadParams& workload) const {
+  QoxVector v;
+  const PhaseEstimate phases = EstimatePhases(design, workload.rows_per_run);
+  v.Set(QoxMetric::kPerformance, phases.total_s);
+  v.Set(QoxMetric::kRecoverability, EstimateRecoverability(design, phases));
+  const double reliability = EstimateReliability(design, phases, workload);
+  v.Set(QoxMetric::kReliability, reliability);
+  v.Set(QoxMetric::kFreshness, EstimateFreshness(design, workload));
+  QOX_ASSIGN_OR_RETURN(const double maintainability,
+                       EstimateMaintainability(design));
+  v.Set(QoxMetric::kMaintainability, maintainability);
+
+  // Scalability: retention of per-row efficiency at 10x volume.
+  const PhaseEstimate at_10x =
+      EstimatePhases(design, workload.rows_per_run * 10.0);
+  const double scalability =
+      at_10x.total_s > 0
+          ? std::min(1.0, phases.total_s * 10.0 / at_10x.total_s)
+          : 1.0;
+  v.Set(QoxMetric::kScalability, scalability);
+
+  // Availability: share of the time window not consumed by execution and
+  // expected failure rework.
+  const double p_fail = 1.0 - AttemptSuccessProbability(
+                                  phases.total_s, workload.failure_rate_per_s);
+  const double busy =
+      phases.total_s + p_fail * EstimateRecoverability(design, phases);
+  v.Set(QoxMetric::kAvailability,
+        std::max(0.0, std::min(1.0, 1.0 - busy /
+                                         std::max(1e-9,
+                                                  workload.time_window_s))));
+
+  // Cost: machine-seconds across threads and redundant instances, plus
+  // recovery-point storage (relative units).
+  const double machine_seconds = phases.total_s *
+                                 static_cast<double>(design.threads) *
+                                 static_cast<double>(design.redundancy);
+  double rp_rows = 0.0;
+  {
+    double rows = workload.rows_per_run;
+    std::vector<double> at_cut{rows};
+    for (const LogicalOp& op : design.flow.ops()) {
+      rows *= op.selectivity;
+      at_cut.push_back(rows);
+    }
+    for (const size_t cut : design.recovery_points) {
+      if (cut < at_cut.size()) rp_rows += at_cut[cut];
+    }
+  }
+  const double storage_cost = rp_rows * params_.bytes_per_row / 1e8;
+  v.Set(QoxMetric::kCost, machine_seconds + storage_cost);
+
+  // Robustness: structural — presence of data-quality handling.
+  size_t quality_ops = 0;
+  for (const LogicalOp& op : design.flow.ops()) {
+    if (op.kind == "filter" || op.kind == "lookup") ++quality_ops;
+  }
+  v.Set(QoxMetric::kRobustness,
+        0.3 + 0.7 * std::min<double>(1.0,
+                                     static_cast<double>(quality_ops) / 2.0));
+
+  v.Set(QoxMetric::kTraceability, design.provenance_columns ? 0.9 : 0.2);
+  v.Set(QoxMetric::kAuditability,
+        (design.audit_rejects ? 0.8 : 0.3) +
+            (design.recovery_points.empty() ? 0.0 : 0.1));
+  // Consistency: the engine guarantees exactly-once replay from RPs; the
+  // residual risk is an unrecovered failure mid-run.
+  v.Set(QoxMetric::kConsistency, std::min(1.0, 0.5 + 0.5 * reliability));
+  v.Set(QoxMetric::kFlexibility, std::sqrt(std::max(0.0, maintainability)));
+  return v;
+}
+
+CostModelParams CostModel::Calibrate(const CostModelParams& base,
+                                     const RunMetrics& measured,
+                                     const LogicalFlow& flow,
+                                     double input_rows) {
+  CostModelParams params = base;
+  if (measured.rows_extracted > 0 && measured.extract_micros > 0) {
+    params.extract_ns_per_row =
+        static_cast<double>(measured.extract_micros) * 1000.0 /
+        static_cast<double>(measured.rows_extracted);
+  }
+  // Transform rate: measured transform time over the chain's abstract work
+  // (cost_per_row * rows_in summed over ops, using measured per-op rows
+  // when available).
+  double work_units = 0.0;
+  for (const LogicalOp& op : flow.ops()) {
+    double rows_in = 0.0;
+    for (const OpStats& stats : measured.op_stats) {
+      if (stats.name == op.name) {
+        rows_in = static_cast<double>(stats.rows_in);
+        break;
+      }
+    }
+    if (rows_in == 0.0) rows_in = input_rows;  // fallback
+    work_units += op.cost_per_row * rows_in;
+  }
+  if (work_units > 0 && measured.transform_micros > 0) {
+    params.transform_ns_per_unit =
+        static_cast<double>(measured.transform_micros) * 1000.0 / work_units;
+  }
+  if (measured.rows_loaded > 0 && measured.load_micros > 0) {
+    params.load_ns_per_row = static_cast<double>(measured.load_micros) *
+                             1000.0 /
+                             static_cast<double>(measured.rows_loaded);
+  }
+  if (measured.rp_bytes_written > 0 && measured.rp_write_micros > 0) {
+    params.rp_ns_per_byte = static_cast<double>(measured.rp_write_micros) *
+                            1000.0 /
+                            static_cast<double>(measured.rp_bytes_written);
+  }
+  return params;
+}
+
+}  // namespace qox

@@ -1,0 +1,143 @@
+// Analytic QoX cost model: predicts every QoX metric for a physical design
+// without executing it.
+//
+// This is the automation the paper calls for: "These metrics, in effect,
+// prune the search space of all possible designs, much like cost-estimates
+// are used to bound the search space in cost-based query optimization"
+// (Sec. 2.1). The model is ORDINAL by intent — its job is to rank designs
+// the way measured runs rank them (who wins, where crossovers fall), not
+// to predict absolute times; bench/abl_cost_model measures the fidelity.
+//
+// Laws implemented (constants in CostModelParams, calibratable from a
+// measured run):
+//   extraction      rows * extract_ns (sequential: source scan + decode)
+//   transformation  sum over ops of cost_per_row * rows_in * unit_ns,
+//                   volume shrinking by selectivity; ops inside the
+//                   parallel range divide by an Amdahl-style effective
+//                   speedup min(partitions, threads) * efficiency, plus
+//                   split and ordered-merge overhead at range borders
+//                   ("the cost of merging back ... is not cheap")
+//   recovery points per cut: rows_at_cut * bytes_per_row * rp write rate,
+//                   plus a fixed per-point latency (Fig. 5)
+//   redundancy      wall time factor 1 + contention * (k - 1) from
+//                   resource sharing (Fig. 7's 14%..58% NMR overheads)
+//   reliability     per-attempt failure probability 1 - exp(-lambda * T);
+//                   retries (recovery) or NMR majority voting lift it
+//   recoverability  expected rework after a failure given RP placement:
+//                   failure uniform over the run, rework = time since the
+//                   last durable cut (Fig. 6)
+//   freshness       load period / 2 + per-batch execution time (Fig. 8)
+//   maintainability graph metrics of the logical flow (ref [16])
+//   cost            machine-seconds (threads x time x redundancy) plus
+//                   recovery-point storage
+//
+// Every law is exercised against measured engine runs in the tests and
+// ablation benches.
+
+#ifndef QOX_CORE_COST_MODEL_H_
+#define QOX_CORE_COST_MODEL_H_
+
+#include <string>
+
+#include "core/design.h"
+#include "core/metrics.h"
+#include "engine/run_metrics.h"
+
+namespace qox {
+
+/// Calibration constants. Defaults are sane for the in-repo engine on a
+/// current x86 box; Calibrate() fits the main rates from a measured run.
+struct CostModelParams {
+  double extract_ns_per_row = 2200.0;
+  double transform_ns_per_unit = 160.0;  ///< per cost_per_row unit per row
+  double load_ns_per_row = 700.0;
+  double rp_ns_per_byte = 18.0;
+  double rp_fixed_us = 400.0;
+  double bytes_per_row = 70.0;
+  double split_ns_per_row = 60.0;
+  double merge_ns_per_row = 300.0;     ///< ordered merge of branches
+  double parallel_efficiency = 0.80;   ///< fraction of ideal speedup
+  double redundancy_contention = 0.12; ///< overhead per extra instance
+  double rp_resume_fixed_s = 0.01;     ///< fixed resume cost from an RP
+};
+
+/// Workload context a prediction is made for.
+struct WorkloadParams {
+  double rows_per_run = 100000;
+  double loads_per_day = 24;
+  /// System failure rate, failures per second of execution (1 / MTBF).
+  double failure_rate_per_s = 0.0;
+  /// The ETL time window, seconds (availability denominator).
+  double time_window_s = 3600.0;
+};
+
+/// Per-phase time prediction, seconds.
+struct PhaseEstimate {
+  double extract_s = 0.0;
+  double transform_s = 0.0;
+  double load_s = 0.0;
+  double rp_s = 0.0;
+  double merge_s = 0.0;
+  double total_s = 0.0;
+
+  std::string ToString() const;
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostModelParams params) : params_(params) {}
+
+  const CostModelParams& params() const { return params_; }
+
+  /// Fits extract/transform/load/rp rates from one measured run of `flow`
+  /// (no parallelism, no redundancy recommended for clean rates). Returns
+  /// calibrated params; constants not identifiable from the run keep their
+  /// previous value.
+  static CostModelParams Calibrate(const CostModelParams& base,
+                                   const RunMetrics& measured,
+                                   const LogicalFlow& flow,
+                                   double input_rows);
+
+  /// Phase-by-phase time prediction for one run of the design over
+  /// `input_rows` rows (no failures).
+  PhaseEstimate EstimatePhases(const PhysicalDesign& design,
+                               double input_rows) const;
+
+  /// Probability one attempt of duration `exec_s` completes without a
+  /// system failure at the given rate.
+  static double AttemptSuccessProbability(double exec_s,
+                                          double failure_rate_per_s);
+
+  /// Probability the design's run completes: retries-from-RP for
+  /// non-redundant designs, majority vote for NMR.
+  double EstimateReliability(const PhysicalDesign& design,
+                             const PhaseEstimate& phases,
+                             const WorkloadParams& workload) const;
+
+  /// Expected rework time after one failure (the recoverability metric):
+  /// failure position uniform over the run; rework = time back to the
+  /// last durable cut plus resume overhead.
+  double EstimateRecoverability(const PhysicalDesign& design,
+                                const PhaseEstimate& phases) const;
+
+  /// Mean event-to-warehouse latency at the design's load schedule:
+  /// period / 2 + execution time of one batch (day volume / loads).
+  double EstimateFreshness(const PhysicalDesign& design,
+                           const WorkloadParams& workload) const;
+
+  /// Maintainability score of the logical flow, penalized by physical
+  /// complexity (partitioned/redundant plumbing).
+  Result<double> EstimateMaintainability(const PhysicalDesign& design) const;
+
+  /// Full QoX vector for the design under the workload.
+  Result<QoxVector> Predict(const PhysicalDesign& design,
+                            const WorkloadParams& workload) const;
+
+ private:
+  CostModelParams params_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_CORE_COST_MODEL_H_

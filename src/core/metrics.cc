@@ -1,0 +1,127 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace qox {
+
+const std::vector<QoxMetric>& AllQoxMetrics() {
+  static const std::vector<QoxMetric>* const kAll =
+      new std::vector<QoxMetric>{
+          QoxMetric::kPerformance,    QoxMetric::kRecoverability,
+          QoxMetric::kReliability,    QoxMetric::kFreshness,
+          QoxMetric::kMaintainability, QoxMetric::kScalability,
+          QoxMetric::kAvailability,   QoxMetric::kCost,
+          QoxMetric::kRobustness,     QoxMetric::kTraceability,
+          QoxMetric::kAuditability,   QoxMetric::kConsistency,
+          QoxMetric::kFlexibility,
+      };
+  return *kAll;
+}
+
+const char* QoxMetricName(QoxMetric metric) {
+  switch (metric) {
+    case QoxMetric::kPerformance:
+      return "performance";
+    case QoxMetric::kRecoverability:
+      return "recoverability";
+    case QoxMetric::kReliability:
+      return "reliability";
+    case QoxMetric::kFreshness:
+      return "freshness";
+    case QoxMetric::kMaintainability:
+      return "maintainability";
+    case QoxMetric::kScalability:
+      return "scalability";
+    case QoxMetric::kAvailability:
+      return "availability";
+    case QoxMetric::kCost:
+      return "cost";
+    case QoxMetric::kRobustness:
+      return "robustness";
+    case QoxMetric::kTraceability:
+      return "traceability";
+    case QoxMetric::kAuditability:
+      return "auditability";
+    case QoxMetric::kConsistency:
+      return "consistency";
+    case QoxMetric::kFlexibility:
+      return "flexibility";
+  }
+  return "unknown";
+}
+
+Result<QoxMetric> ParseQoxMetric(const std::string& name) {
+  for (const QoxMetric metric : AllQoxMetrics()) {
+    if (name == QoxMetricName(metric)) return metric;
+  }
+  return Status::NotFound("unknown QoX metric '" + name + "'");
+}
+
+const char* QoxMetricUnit(QoxMetric metric) {
+  switch (metric) {
+    case QoxMetric::kPerformance:
+    case QoxMetric::kRecoverability:
+    case QoxMetric::kFreshness:
+      return "s";
+    case QoxMetric::kReliability:
+    case QoxMetric::kAvailability:
+    case QoxMetric::kConsistency:
+      return "probability";
+    case QoxMetric::kCost:
+      return "units";
+    default:
+      return "score";
+  }
+}
+
+bool HigherIsBetter(QoxMetric metric) {
+  switch (metric) {
+    case QoxMetric::kPerformance:
+    case QoxMetric::kRecoverability:
+    case QoxMetric::kFreshness:
+    case QoxMetric::kCost:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool IsDesignStructural(QoxMetric metric) {
+  switch (metric) {
+    case QoxMetric::kMaintainability:
+    case QoxMetric::kFlexibility:
+    case QoxMetric::kRobustness:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<double> QoxVector::Get(QoxMetric metric) const {
+  const auto it = values_.find(metric);
+  if (it == values_.end()) {
+    return Status::NotFound(std::string("metric '") + QoxMetricName(metric) +
+                            "' not present");
+  }
+  return it->second;
+}
+
+double QoxVector::GetOr(QoxMetric metric, double fallback) const {
+  const auto it = values_.find(metric);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string QoxVector::ToString() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [metric, value] : values_) {
+    if (!first) oss << " ";
+    first = false;
+    oss << QoxMetricName(metric) << "=" << value;
+    const std::string unit = QoxMetricUnit(metric);
+    if (unit == "s") oss << "s";
+  }
+  return oss.str();
+}
+
+}  // namespace qox

@@ -1,0 +1,108 @@
+// The QoX metric suite (Sec. 2.2 of the paper).
+//
+// The suite names the qualities an ETL engagement must deliver. Metrics
+// split into two classes (Sec. 2.3): qualitative soft-goals ("the ETL
+// process should be reliable") and quantitative functional parameters
+// (execution time, MTBF, latency of updates, ...). This module defines the
+// metric identifiers, their canonical quantitative encodings and units,
+// and QoxVector — a point in metric space describing one design or one
+// measured run. Soft-goal modelling lives in softgoal.h; prediction in
+// cost_model.h; measurement in qox_report.h.
+
+#ifndef QOX_CORE_METRICS_H_
+#define QOX_CORE_METRICS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qox {
+
+/// The QoX metrics discussed by the paper. Each has a canonical
+/// quantitative encoding, noted below with its improvement direction.
+enum class QoxMetric {
+  /// Elapsed execution time of the flow, seconds (lower is better).
+  kPerformance,
+  /// Expected time to restore after an interruption, seconds (lower).
+  kRecoverability,
+  /// Probability the flow completes a run without unrecovered failure,
+  /// in [0, 1] (higher).
+  kReliability,
+  /// Mean source-event-to-warehouse latency, seconds (lower).
+  kFreshness,
+  /// Composite graph-based maintainability score in [0, 1] (higher).
+  kMaintainability,
+  /// Throughput retention when volume scales 10x: T(V)/ (10 * T(V/10)
+  /// inverted into [0,1] (higher = closer to linear scaling).
+  kScalability,
+  /// Fraction of the time window the pipeline can accept work, [0,1]
+  /// (higher).
+  kAvailability,
+  /// Monetary cost proxy: machine-seconds + storage, abstract units
+  /// (lower).
+  kCost,
+  /// Ability to absorb input-quality anomalies without aborting, [0,1]
+  /// (higher).
+  kRobustness,
+  /// Fraction of loaded rows carrying provenance annotations, [0,1]
+  /// (higher).
+  kTraceability,
+  /// Fraction of rejected/changed rows that are logged for audit, [0,1]
+  /// (higher).
+  kAuditability,
+  /// Probability warehouse state equals a serial no-failure run, [0,1]
+  /// (higher).
+  kConsistency,
+  /// Ease of accommodating requirement change; design-level score [0,1]
+  /// (higher).
+  kFlexibility,
+};
+
+/// All metrics, in a stable order (iteration, reports).
+const std::vector<QoxMetric>& AllQoxMetrics();
+
+/// Canonical lowercase name ("performance", "freshness", ...).
+const char* QoxMetricName(QoxMetric metric);
+
+/// Parses a metric name. Error for unknown names.
+Result<QoxMetric> ParseQoxMetric(const std::string& name);
+
+/// Unit string of the canonical encoding ("s", "probability", "score", ...).
+const char* QoxMetricUnit(QoxMetric metric);
+
+/// True when larger values are better for this metric's encoding.
+bool HigherIsBetter(QoxMetric metric);
+
+/// True for metrics the paper calls hard to quantify (maintainability,
+/// flexibility, robustness); these are scores derived from design
+/// structure rather than run measurements.
+bool IsDesignStructural(QoxMetric metric);
+
+/// A point in QoX space: metric -> value in the canonical encoding.
+class QoxVector {
+ public:
+  QoxVector() = default;
+
+  void Set(QoxMetric metric, double value) { values_[metric] = value; }
+  bool Has(QoxMetric metric) const {
+    return values_.find(metric) != values_.end();
+  }
+  Result<double> Get(QoxMetric metric) const;
+  double GetOr(QoxMetric metric, double fallback) const;
+
+  const std::map<QoxMetric, double>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+
+  /// "performance=1.23s freshness=45s ..." for reports.
+  std::string ToString() const;
+
+ private:
+  std::map<QoxMetric, double> values_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_CORE_METRICS_H_

@@ -1,0 +1,98 @@
+// QoX-driven design-space optimizer.
+//
+// This is the tool the paper's conclusion announces ("creating tools to
+// automate the optimization ... is a topic we are working on"): given a
+// logical flow, an engagement objective (constraints + weighted
+// preferences over QoX metrics), and workload parameters, the optimizer
+// searches the physical design space:
+//
+//   * operator orderings (algebraic rewrites of Sec. 3.1),
+//   * recovery-point placements (Sec. 3.2's heuristics: after extraction,
+//     after costly operators, before load — plus subsets thereof),
+//   * parallelization (degree, whole-flow vs pipelineable segment),
+//   * n-modular redundancy degree (Sec. 3.3),
+//   * load frequency (Sec. 3.4's freshness lever),
+//
+// scoring every candidate with the analytic cost model and the soft-goal
+// graph. Returns the best feasible design, the Pareto front over the
+// objective's preferred metrics, and soft-goal labels explaining the
+// qualitative tradeoffs of the winner.
+
+#ifndef QOX_CORE_OPTIMIZER_H_
+#define QOX_CORE_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/requirements.h"
+#include "core/softgoal.h"
+
+namespace qox {
+
+struct OptimizerOptions {
+  std::vector<size_t> partition_choices = {1, 2, 4, 8};
+  std::vector<size_t> redundancy_choices = {1, 3, 5};
+  std::vector<size_t> loads_per_day_choices = {};  ///< empty: keep baseline
+  /// Explore alternative operator orderings via greedy reorder.
+  bool explore_orderings = true;
+  /// Explore recovery-point placements (subsets of heuristic candidates).
+  bool explore_recovery_points = true;
+  size_t max_recovery_points = 2;
+  /// CPU budget every candidate is planned for.
+  size_t threads = 4;
+  /// Baseline load schedule.
+  size_t loads_per_day = 24;
+  /// Prune candidates whose soft-goal label for a constrained metric's
+  /// goal is denied (qualitative pruning before the cost model runs).
+  bool softgoal_pruning = true;
+};
+
+struct DesignCandidate {
+  PhysicalDesign design;
+  QoxVector predicted;
+  ObjectiveEvaluation evaluation;
+};
+
+struct OptimizationResult {
+  DesignCandidate best;
+  /// Non-dominated candidates over the objective's preferred metrics.
+  std::vector<DesignCandidate> pareto_front;
+  size_t designs_explored = 0;
+  size_t designs_pruned_by_softgoals = 0;
+  /// Soft-goal labels of the winning design (Fig. 2 explanation).
+  std::map<std::string, GoalLabel> softgoal_labels;
+
+  std::string Summary() const;
+};
+
+class QoxOptimizer {
+ public:
+  QoxOptimizer(CostModel cost_model, OptimizerOptions options)
+      : cost_model_(std::move(cost_model)), options_(std::move(options)) {}
+
+  /// Searches the design space for `flow` under `objective`. Error only on
+  /// malformed flows; an infeasible space still returns the best-scoring
+  /// (least-violating) design with evaluation.feasible == false.
+  Result<OptimizationResult> Optimize(const LogicalFlow& flow,
+                                      const QoxObjective& objective,
+                                      const WorkloadParams& workload) const;
+
+  /// Labels the Fig. 2 soft-goal leaves for a design (adopted -> satisfied,
+  /// rejected -> denied) and propagates. Public for reporting/tests.
+  static Result<std::map<std::string, GoalLabel>> SoftGoalLabels(
+      const PhysicalDesign& design);
+
+ private:
+  /// Candidate recovery-point cut sets for a flow (heuristic positions).
+  std::vector<std::vector<size_t>> RecoveryPointChoices(
+      const LogicalFlow& flow) const;
+
+  CostModel cost_model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_CORE_OPTIMIZER_H_

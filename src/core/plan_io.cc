@@ -1,0 +1,420 @@
+#include "core/plan_io.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace qox {
+
+bool OpSpec::operator==(const OpSpec& other) const {
+  return name == other.name && kind == other.kind &&
+         blocking == other.blocking &&
+         cost_per_row == other.cost_per_row &&
+         selectivity == other.selectivity && reads == other.reads &&
+         creates == other.creates && drops == other.drops;
+}
+
+bool DesignSpec::operator==(const DesignSpec& other) const {
+  return flow_id == other.flow_id && source == other.source &&
+         target == other.target && ops == other.ops &&
+         threads == other.threads && partitions == other.partitions &&
+         partition_scheme == other.partition_scheme &&
+         hash_column == other.hash_column &&
+         range_begin == other.range_begin && range_end == other.range_end &&
+         recovery_points == other.recovery_points &&
+         redundancy == other.redundancy &&
+         loads_per_day == other.loads_per_day &&
+         provenance_columns == other.provenance_columns &&
+         audit_rejects == other.audit_rejects;
+}
+
+DesignSpec SpecOf(const PhysicalDesign& design) {
+  DesignSpec spec;
+  spec.flow_id = design.flow.id();
+  spec.source =
+      design.flow.source() != nullptr ? design.flow.source()->name() : "";
+  spec.target =
+      design.flow.target() != nullptr ? design.flow.target()->name() : "";
+  for (const LogicalOp& op : design.flow.ops()) {
+    OpSpec op_spec;
+    op_spec.name = op.name;
+    op_spec.kind = op.kind;
+    op_spec.blocking = op.blocking;
+    op_spec.cost_per_row = op.cost_per_row;
+    op_spec.selectivity = op.selectivity;
+    op_spec.reads = op.reads;
+    op_spec.creates = op.creates;
+    op_spec.drops = op.drops;
+    spec.ops.push_back(std::move(op_spec));
+  }
+  spec.threads = design.threads;
+  spec.partitions = design.parallel.partitions;
+  spec.partition_scheme =
+      design.parallel.scheme == PartitionScheme::kHash ? "hash"
+                                                       : "round_robin";
+  spec.hash_column = design.parallel.hash_column;
+  spec.range_begin = design.parallel.range_begin;
+  spec.range_end = design.parallel.range_end;
+  spec.recovery_points = design.recovery_points;
+  spec.redundancy = design.redundancy;
+  spec.loads_per_day = design.loads_per_day;
+  spec.provenance_columns = design.provenance_columns;
+  spec.audit_rejects = design.audit_rejects;
+  return spec;
+}
+
+namespace {
+
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> XmlUnescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '&') {
+      out += text[i];
+      continue;
+    }
+    const size_t end = text.find(';', i);
+    if (end == std::string::npos) {
+      return Status::Invalid("unterminated XML entity");
+    }
+    const std::string entity = text.substr(i + 1, end - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else return Status::Invalid("unknown XML entity '&" + entity + ";'");
+    i = end;
+  }
+  return out;
+}
+
+std::string ColumnList(const std::vector<std::string>& columns) {
+  return Join(columns, ",");
+}
+
+std::vector<std::string> ParseColumnList(const std::string& text) {
+  if (text.empty()) return {};
+  return Split(text, ',');
+}
+
+// ---------------------------------------------------------------------------
+// A minimal XML reader sufficient for the documents this module emits:
+// elements with attributes, nesting, self-closing tags; no text nodes,
+// comments or processing instructions beyond the leading declaration.
+// ---------------------------------------------------------------------------
+
+struct XmlNode {
+  std::string tag;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlNode> children;
+
+  const XmlNode* FirstChild(const std::string& name) const {
+    for (const XmlNode& child : children) {
+      if (child.tag == name) return &child;
+    }
+    return nullptr;
+  }
+};
+
+class XmlParser {
+ public:
+  explicit XmlParser(const std::string& text) : text_(text) {}
+
+  Result<XmlNode> Parse() {
+    SkipWhitespaceAndDeclarations();
+    QOX_ASSIGN_OR_RETURN(XmlNode root, ParseElement());
+    SkipWhitespaceAndDeclarations();
+    if (pos_ != text_.size()) {
+      return Status::Invalid("trailing content after the root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespaceAndDeclarations() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_.compare(pos_, 2, "<?") == 0) {
+        const size_t end = text_.find("?>", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 2;
+      } else if (text_.compare(pos_, 4, "<!--") == 0) {
+        const size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<XmlNode> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::Invalid("expected '<' at position " +
+                             std::to_string(pos_));
+    }
+    ++pos_;
+    XmlNode node;
+    QOX_ASSIGN_OR_RETURN(node.tag, ParseName());
+    while (true) {
+      SkipSpaces();
+      if (pos_ >= text_.size()) {
+        return Status::Invalid("unterminated element <" + node.tag + ">");
+      }
+      if (text_[pos_] == '/') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') {
+          return Status::Invalid("malformed self-closing tag");
+        }
+        pos_ += 2;
+        return node;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      QOX_ASSIGN_OR_RETURN(const auto attribute, ParseAttribute());
+      node.attributes[attribute.first] = attribute.second;
+    }
+    // Children until the closing tag.
+    while (true) {
+      SkipWhitespaceAndDeclarations();
+      if (text_.compare(pos_, 2, "</") == 0) {
+        pos_ += 2;
+        QOX_ASSIGN_OR_RETURN(const std::string closing, ParseName());
+        SkipSpaces();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Status::Invalid("malformed closing tag </" + closing + ">");
+        }
+        ++pos_;
+        if (closing != node.tag) {
+          return Status::Invalid("mismatched closing tag </" + closing +
+                                 "> for <" + node.tag + ">");
+        }
+        return node;
+      }
+      QOX_ASSIGN_OR_RETURN(XmlNode child, ParseElement());
+      node.children.push_back(std::move(child));
+    }
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::Invalid("expected an XML name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::pair<std::string, std::string>> ParseAttribute() {
+    QOX_ASSIGN_OR_RETURN(const std::string name, ParseName());
+    SkipSpaces();
+    if (pos_ >= text_.size() || text_[pos_] != '=') {
+      return Status::Invalid("attribute '" + name + "' missing '='");
+    }
+    ++pos_;
+    SkipSpaces();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::Invalid("attribute '" + name + "' missing quote");
+    }
+    ++pos_;
+    const size_t end = text_.find('"', pos_);
+    if (end == std::string::npos) {
+      return Status::Invalid("unterminated attribute value for '" + name +
+                             "'");
+    }
+    QOX_ASSIGN_OR_RETURN(const std::string value,
+                         XmlUnescape(text_.substr(pos_, end - pos_)));
+    pos_ = end + 1;
+    return std::make_pair(name, value);
+  }
+
+  void SkipSpaces() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<std::string> RequiredAttribute(const XmlNode& node,
+                                      const std::string& name) {
+  const auto it = node.attributes.find(name);
+  if (it == node.attributes.end()) {
+    return Status::Invalid("<" + node.tag + "> missing attribute '" + name +
+                           "'");
+  }
+  return it->second;
+}
+
+std::string AttributeOr(const XmlNode& node, const std::string& name,
+                        const std::string& fallback) {
+  const auto it = node.attributes.find(name);
+  return it == node.attributes.end() ? fallback : it->second;
+}
+
+Result<size_t> ParseSize(const std::string& text) {
+  QOX_ASSIGN_OR_RETURN(const Value v, Value::Parse(text, DataType::kInt64));
+  if (v.is_null() || v.int64_value() < 0) {
+    return Status::Invalid("expected a non-negative integer, got '" + text +
+                           "'");
+  }
+  return static_cast<size_t>(v.int64_value());
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  QOX_ASSIGN_OR_RETURN(const Value v, Value::Parse(text, DataType::kDouble));
+  if (v.is_null()) return Status::Invalid("expected a number");
+  return v.double_value();
+}
+
+}  // namespace
+
+std::string ExportDesignXml(const DesignSpec& spec) {
+  std::ostringstream oss;
+  oss << "<?xml version=\"1.0\"?>\n";
+  oss << "<physical_design threads=\"" << spec.threads << "\" redundancy=\""
+      << spec.redundancy << "\" loads_per_day=\"" << spec.loads_per_day
+      << "\" provenance_columns=\"" << (spec.provenance_columns ? 1 : 0)
+      << "\" audit_rejects=\"" << (spec.audit_rejects ? 1 : 0) << "\">\n";
+  oss << "  <flow id=\"" << XmlEscape(spec.flow_id) << "\" source=\""
+      << XmlEscape(spec.source) << "\" target=\"" << XmlEscape(spec.target)
+      << "\">\n";
+  for (const OpSpec& op : spec.ops) {
+    oss << "    <operator name=\"" << XmlEscape(op.name) << "\" kind=\""
+        << XmlEscape(op.kind) << "\" blocking=\"" << (op.blocking ? 1 : 0)
+        << "\" cost_per_row=\"" << op.cost_per_row << "\" selectivity=\""
+        << op.selectivity << "\" reads=\"" << XmlEscape(ColumnList(op.reads))
+        << "\" creates=\"" << XmlEscape(ColumnList(op.creates))
+        << "\" drops=\"" << XmlEscape(ColumnList(op.drops)) << "\"/>\n";
+  }
+  oss << "  </flow>\n";
+  oss << "  <parallel partitions=\"" << spec.partitions << "\" scheme=\""
+      << spec.partition_scheme << "\" hash_column=\""
+      << XmlEscape(spec.hash_column) << "\" range_begin=\""
+      << spec.range_begin << "\" range_end=\""
+      << (spec.range_end == static_cast<size_t>(-1)
+              ? std::string("max")
+              : std::to_string(spec.range_end))
+      << "\"/>\n";
+  oss << "  <recovery_points>\n";
+  for (const size_t cut : spec.recovery_points) {
+    oss << "    <cut position=\"" << cut << "\"/>\n";
+  }
+  oss << "  </recovery_points>\n";
+  oss << "</physical_design>\n";
+  return oss.str();
+}
+
+std::string ExportDesignXml(const PhysicalDesign& design) {
+  return ExportDesignXml(SpecOf(design));
+}
+
+Result<DesignSpec> ParseDesignXml(const std::string& xml) {
+  XmlParser parser(xml);
+  QOX_ASSIGN_OR_RETURN(const XmlNode root, parser.Parse());
+  if (root.tag != "physical_design") {
+    return Status::Invalid("root element must be <physical_design>, got <" +
+                           root.tag + ">");
+  }
+  DesignSpec spec;
+  QOX_ASSIGN_OR_RETURN(spec.threads,
+                       ParseSize(AttributeOr(root, "threads", "1")));
+  QOX_ASSIGN_OR_RETURN(spec.redundancy,
+                       ParseSize(AttributeOr(root, "redundancy", "1")));
+  QOX_ASSIGN_OR_RETURN(spec.loads_per_day,
+                       ParseSize(AttributeOr(root, "loads_per_day", "24")));
+  spec.provenance_columns =
+      AttributeOr(root, "provenance_columns", "0") == "1";
+  spec.audit_rejects = AttributeOr(root, "audit_rejects", "0") == "1";
+
+  const XmlNode* flow = root.FirstChild("flow");
+  if (flow == nullptr) return Status::Invalid("missing <flow> element");
+  QOX_ASSIGN_OR_RETURN(spec.flow_id, RequiredAttribute(*flow, "id"));
+  spec.source = AttributeOr(*flow, "source", "");
+  spec.target = AttributeOr(*flow, "target", "");
+  for (const XmlNode& child : flow->children) {
+    if (child.tag != "operator") continue;
+    OpSpec op;
+    QOX_ASSIGN_OR_RETURN(op.name, RequiredAttribute(child, "name"));
+    QOX_ASSIGN_OR_RETURN(op.kind, RequiredAttribute(child, "kind"));
+    op.blocking = AttributeOr(child, "blocking", "0") == "1";
+    QOX_ASSIGN_OR_RETURN(
+        op.cost_per_row,
+        ParseDouble(AttributeOr(child, "cost_per_row", "1")));
+    QOX_ASSIGN_OR_RETURN(op.selectivity,
+                         ParseDouble(AttributeOr(child, "selectivity", "1")));
+    op.reads = ParseColumnList(AttributeOr(child, "reads", ""));
+    op.creates = ParseColumnList(AttributeOr(child, "creates", ""));
+    op.drops = ParseColumnList(AttributeOr(child, "drops", ""));
+    spec.ops.push_back(std::move(op));
+  }
+
+  if (const XmlNode* parallel = root.FirstChild("parallel")) {
+    QOX_ASSIGN_OR_RETURN(spec.partitions,
+                         ParseSize(AttributeOr(*parallel, "partitions", "1")));
+    spec.partition_scheme =
+        AttributeOr(*parallel, "scheme", "round_robin");
+    if (spec.partition_scheme != "round_robin" &&
+        spec.partition_scheme != "hash") {
+      return Status::Invalid("unknown partition scheme '" +
+                             spec.partition_scheme + "'");
+    }
+    spec.hash_column = AttributeOr(*parallel, "hash_column", "");
+    QOX_ASSIGN_OR_RETURN(
+        spec.range_begin,
+        ParseSize(AttributeOr(*parallel, "range_begin", "0")));
+    const std::string range_end = AttributeOr(*parallel, "range_end", "max");
+    if (range_end == "max") {
+      spec.range_end = static_cast<size_t>(-1);
+    } else {
+      QOX_ASSIGN_OR_RETURN(spec.range_end, ParseSize(range_end));
+    }
+  }
+  if (const XmlNode* rps = root.FirstChild("recovery_points")) {
+    for (const XmlNode& child : rps->children) {
+      if (child.tag != "cut") continue;
+      QOX_ASSIGN_OR_RETURN(const std::string position,
+                           RequiredAttribute(child, "position"));
+      QOX_ASSIGN_OR_RETURN(const size_t cut, ParseSize(position));
+      spec.recovery_points.push_back(cut);
+    }
+  }
+  return spec;
+}
+
+}  // namespace qox

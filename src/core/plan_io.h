@@ -1,0 +1,73 @@
+// Design metadata interchange (XML).
+//
+// The paper positions QoX tooling as engine-agnostic: "It can work on top
+// of any ETL engine that provides export and import capabilities (e.g.,
+// the metadata of an ETL workflow can be exported as or imported from an
+// XML file)." This module implements that boundary: a PhysicalDesign's
+// structure and physical choices serialize to XML, and XML parses back
+// into a DesignSpec — the structural description a consultant (or another
+// tool) exchanges. Re-binding a spec to executable stores/operators is
+// deliberately out of scope for import (operators need live stores and
+// registries); SpecOf() lets callers verify a design matches a spec.
+
+#ifndef QOX_CORE_PLAN_IO_H_
+#define QOX_CORE_PLAN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/design.h"
+
+namespace qox {
+
+/// Structural description of one operator (no factory).
+struct OpSpec {
+  std::string name;
+  std::string kind;
+  bool blocking = false;
+  double cost_per_row = 1.0;
+  double selectivity = 1.0;
+  std::vector<std::string> reads;
+  std::vector<std::string> creates;
+  std::vector<std::string> drops;
+
+  bool operator==(const OpSpec& other) const;
+};
+
+/// Structural description of a physical design: everything XML carries.
+struct DesignSpec {
+  std::string flow_id;
+  std::string source;
+  std::string target;
+  std::vector<OpSpec> ops;
+
+  size_t threads = 1;
+  size_t partitions = 1;
+  std::string partition_scheme = "round_robin";  ///< or "hash"
+  std::string hash_column;
+  size_t range_begin = 0;
+  size_t range_end = static_cast<size_t>(-1);
+  std::vector<size_t> recovery_points;
+  size_t redundancy = 1;
+  size_t loads_per_day = 24;
+  bool provenance_columns = false;
+  bool audit_rejects = false;
+
+  bool operator==(const DesignSpec& other) const;
+};
+
+/// Extracts the structural spec of a design (for export / comparison).
+DesignSpec SpecOf(const PhysicalDesign& design);
+
+/// Serializes a design spec as a self-contained XML document.
+std::string ExportDesignXml(const DesignSpec& spec);
+std::string ExportDesignXml(const PhysicalDesign& design);
+
+/// Parses a document produced by ExportDesignXml (or a compatible tool).
+/// Unknown elements are ignored; malformed XML or missing required
+/// attributes error.
+Result<DesignSpec> ParseDesignXml(const std::string& xml);
+
+}  // namespace qox
+
+#endif  // QOX_CORE_PLAN_IO_H_

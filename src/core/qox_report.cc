@@ -1,0 +1,71 @@
+#include "core/qox_report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace qox {
+
+Result<QoxVector> MeasureQox(const RunMetrics& metrics,
+                             const PhysicalDesign& design,
+                             const MeasurementContext& context,
+                             const CostModel& cost_model) {
+  QoxVector v;
+  const double total_s = static_cast<double>(metrics.total_micros) / 1e6;
+  v.Set(QoxMetric::kPerformance, total_s);
+  if (metrics.failures_injected > 0) {
+    v.Set(QoxMetric::kRecoverability,
+          static_cast<double>(metrics.lost_work_micros) / 1e6 /
+              static_cast<double>(metrics.failures_injected));
+  }
+  v.Set(QoxMetric::kReliability,
+        1.0 / static_cast<double>(std::max<size_t>(1, metrics.attempts)));
+  const double period_s =
+      86400.0 / static_cast<double>(std::max<size_t>(1, context.loads_per_day));
+  v.Set(QoxMetric::kFreshness, period_s / 2.0 + total_s);
+  v.Set(QoxMetric::kAvailability,
+        std::max(0.0, 1.0 - total_s / std::max(1e-9, context.time_window_s)));
+  v.Set(QoxMetric::kCost,
+        total_s * static_cast<double>(metrics.threads) *
+            static_cast<double>(metrics.redundancy));
+  v.Set(QoxMetric::kConsistency, 1.0);
+  // Structural metrics are design properties; reuse the model's treatment
+  // so prediction and measurement agree by construction on them.
+  QOX_ASSIGN_OR_RETURN(const double maintainability,
+                       cost_model.EstimateMaintainability(design));
+  v.Set(QoxMetric::kMaintainability, maintainability);
+  v.Set(QoxMetric::kFlexibility, std::sqrt(std::max(0.0, maintainability)));
+  return v;
+}
+
+std::vector<ComparisonRow> ComparePredictionToMeasurement(
+    const QoxVector& predicted, const QoxVector& measured) {
+  std::vector<ComparisonRow> rows;
+  for (const QoxMetric metric : AllQoxMetrics()) {
+    if (!predicted.Has(metric) || !measured.Has(metric)) continue;
+    ComparisonRow row;
+    row.metric = metric;
+    row.predicted = predicted.Get(metric).value();
+    row.measured = measured.Get(metric).value();
+    row.relative_error = std::fabs(row.predicted - row.measured) /
+                         std::max(std::fabs(row.measured), 1e-9);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string RenderComparison(const std::vector<ComparisonRow>& rows) {
+  std::ostringstream oss;
+  oss << std::left << std::setw(18) << "metric" << std::right << std::setw(14)
+      << "predicted" << std::setw(14) << "measured" << std::setw(12)
+      << "rel_err" << "\n";
+  for (const ComparisonRow& row : rows) {
+    oss << std::left << std::setw(18) << QoxMetricName(row.metric)
+        << std::right << std::fixed << std::setprecision(4) << std::setw(14)
+        << row.predicted << std::setw(14) << row.measured << std::setw(11)
+        << std::setprecision(1) << row.relative_error * 100.0 << "%\n";
+  }
+  return oss.str();
+}
+
+}  // namespace qox

@@ -1,0 +1,62 @@
+// Measuring QoX from executed runs and comparing against predictions.
+//
+// The cost model predicts; the engine measures. This module binds a
+// RunMetrics (what actually happened) to the QoX metric suite and renders
+// prediction-vs-measurement reports — the evidence trail EXPERIMENTS.md is
+// built from, and the calibration loop's feedback signal.
+
+#ifndef QOX_CORE_QOX_REPORT_H_
+#define QOX_CORE_QOX_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/design.h"
+#include "core/metrics.h"
+#include "engine/run_metrics.h"
+
+namespace qox {
+
+struct MeasurementContext {
+  double time_window_s = 3600.0;
+  /// Load schedule in effect when the run executed (freshness denominator).
+  size_t loads_per_day = 24;
+};
+
+/// Derives measured QoX values from an executed run:
+///   performance      total wall time (s)
+///   recoverability   observed rework per failure (lost work / failures);
+///                    absent when the run saw no failures
+///   reliability      observed per-attempt success frequency (1 / attempts)
+///   freshness        load period / 2 + measured execution time
+///   availability     1 - total / window
+///   cost             machine-seconds (threads x redundancy x time)
+///   consistency      1.0 when the run completed (engine enforces
+///                    exactly-once replay), else absent
+/// Structural metrics (maintainability, robustness, flexibility,
+/// traceability, auditability) come from the design, identical to the
+/// cost model's treatment.
+Result<QoxVector> MeasureQox(const RunMetrics& metrics,
+                             const PhysicalDesign& design,
+                             const MeasurementContext& context,
+                             const CostModel& cost_model);
+
+struct ComparisonRow {
+  QoxMetric metric = QoxMetric::kPerformance;
+  double predicted = 0.0;
+  double measured = 0.0;
+  /// |predicted - measured| / max(|measured|, eps)
+  double relative_error = 0.0;
+};
+
+/// Rows for every metric present in both vectors.
+std::vector<ComparisonRow> ComparePredictionToMeasurement(
+    const QoxVector& predicted, const QoxVector& measured);
+
+/// Fixed-width text table of a comparison.
+std::string RenderComparison(const std::vector<ComparisonRow>& rows);
+
+}  // namespace qox
+
+#endif  // QOX_CORE_QOX_REPORT_H_

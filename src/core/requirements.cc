@@ -1,0 +1,117 @@
+#include "core/requirements.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace qox {
+
+std::string QoxConstraint::ToString() const {
+  std::ostringstream oss;
+  oss << QoxMetricName(metric) << (kind == Kind::kAtMost ? " <= " : " >= ")
+      << bound << " " << QoxMetricUnit(metric);
+  return oss.str();
+}
+
+std::string ObjectiveEvaluation::ToString() const {
+  std::ostringstream oss;
+  oss << (feasible ? "feasible" : "INFEASIBLE") << " score=" << score;
+  for (const QoxConstraint& c : violated) {
+    oss << " [violated: " << c.ToString() << "]";
+  }
+  return oss.str();
+}
+
+QoxObjective& QoxObjective::AddConstraint(QoxConstraint constraint) {
+  constraints_.push_back(std::move(constraint));
+  return *this;
+}
+
+QoxObjective& QoxObjective::Prefer(QoxMetric metric, double weight,
+                                   double reference) {
+  preferences_.push_back({metric, weight, reference});
+  return *this;
+}
+
+ObjectiveEvaluation QoxObjective::Evaluate(const QoxVector& v) const {
+  ObjectiveEvaluation eval;
+  for (const QoxConstraint& c : constraints_) {
+    if (!v.Has(c.metric) || !c.Satisfied(v.Get(c.metric).value())) {
+      eval.feasible = false;
+      eval.violated.push_back(c);
+    }
+  }
+  double weight_sum = 0.0;
+  double score_sum = 0.0;
+  for (const QoxPreference& p : preferences_) {
+    weight_sum += p.weight;
+    if (!v.Has(p.metric)) continue;
+    const double value = v.Get(p.metric).value();
+    // Normalize to (0, 1): value == reference scores 0.5; improvement
+    // approaches 1, degradation approaches 0, smoothly (logistic in the
+    // log-ratio so scale is relative, not absolute).
+    const double ref = std::max(1e-12, p.reference);
+    const double x = std::max(1e-12, value);
+    double ratio = std::log(x / ref);
+    if (HigherIsBetter(p.metric)) ratio = -ratio;
+    const double component = 1.0 / (1.0 + std::exp(ratio));
+    score_sum += p.weight * component;
+  }
+  eval.score = weight_sum > 0 ? score_sum / weight_sum : 0.0;
+  return eval;
+}
+
+std::string QoxObjective::ToString() const {
+  std::ostringstream oss;
+  oss << "objective{";
+  for (const QoxConstraint& c : constraints_) {
+    oss << " " << c.ToString() << ";";
+  }
+  for (const QoxPreference& p : preferences_) {
+    oss << " prefer " << QoxMetricName(p.metric) << " w=" << p.weight
+        << " ref=" << p.reference << ";";
+  }
+  oss << " }";
+  return oss.str();
+}
+
+QoxObjective QoxObjective::PerformanceFirst(double time_window_s) {
+  QoxObjective obj;
+  obj.AddConstraint(
+      QoxConstraint::AtMost(QoxMetric::kPerformance, time_window_s));
+  obj.Prefer(QoxMetric::kPerformance, 3.0, time_window_s / 2);
+  obj.Prefer(QoxMetric::kCost, 1.0, 100.0);
+  return obj;
+}
+
+QoxObjective QoxObjective::FreshnessFirst(double max_latency_s) {
+  QoxObjective obj;
+  obj.AddConstraint(QoxConstraint::AtMost(QoxMetric::kFreshness,
+                                          max_latency_s));
+  obj.AddConstraint(QoxConstraint::AtLeast(QoxMetric::kReliability, 0.9));
+  obj.Prefer(QoxMetric::kFreshness, 3.0, max_latency_s / 2);
+  obj.Prefer(QoxMetric::kReliability, 1.5, 0.95);
+  obj.Prefer(QoxMetric::kPerformance, 1.0, max_latency_s);
+  return obj;
+}
+
+QoxObjective QoxObjective::ReliabilityFirst(double min_reliability) {
+  QoxObjective obj;
+  obj.AddConstraint(
+      QoxConstraint::AtLeast(QoxMetric::kReliability, min_reliability));
+  obj.Prefer(QoxMetric::kReliability, 3.0, min_reliability);
+  obj.Prefer(QoxMetric::kRecoverability, 2.0, 10.0);
+  obj.Prefer(QoxMetric::kPerformance, 1.0, 60.0);
+  return obj;
+}
+
+QoxObjective QoxObjective::MaintainabilityAware(double time_window_s) {
+  QoxObjective obj;
+  obj.AddConstraint(
+      QoxConstraint::AtMost(QoxMetric::kPerformance, time_window_s));
+  obj.Prefer(QoxMetric::kMaintainability, 2.0, 0.5);
+  obj.Prefer(QoxMetric::kPerformance, 1.0, time_window_s / 2);
+  obj.Prefer(QoxMetric::kFlexibility, 1.0, 0.5);
+  return obj;
+}
+
+}  // namespace qox

@@ -1,0 +1,102 @@
+// Business-requirement specifications over QoX metrics.
+//
+// The paper's engagements begin by gathering "service level objectives
+// like overall cost, latency between operational event and warehouse load,
+// provenance needs" (Sec. 1) which become concrete bounds at lower design
+// levels: "the mean time between failures should be greater than x time
+// units" (Sec. 2.3). A QoxObjective captures such an engagement spec:
+// hard constraints (SLAs) plus soft weighted preferences, and scores any
+// QoxVector against it. The optimizer searches for the design with the
+// best objective score among those meeting every constraint.
+
+#ifndef QOX_CORE_REQUIREMENTS_H_
+#define QOX_CORE_REQUIREMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace qox {
+
+/// A hard SLA bound on one metric, in that metric's canonical encoding.
+struct QoxConstraint {
+  enum class Kind { kAtMost, kAtLeast };
+  QoxMetric metric = QoxMetric::kPerformance;
+  Kind kind = Kind::kAtMost;
+  double bound = 0.0;
+
+  static QoxConstraint AtMost(QoxMetric metric, double bound) {
+    return {metric, Kind::kAtMost, bound};
+  }
+  static QoxConstraint AtLeast(QoxMetric metric, double bound) {
+    return {metric, Kind::kAtLeast, bound};
+  }
+
+  bool Satisfied(double value) const {
+    return kind == Kind::kAtMost ? value <= bound : value >= bound;
+  }
+
+  std::string ToString() const;
+};
+
+/// A soft preference: weight > 0 says "improve this metric"; relative
+/// weights trade metrics off against each other. `reference` sets the
+/// scale at which one unit of the metric matters (for normalization): a
+/// value equal to `reference` scores 0.5 on this component.
+struct QoxPreference {
+  QoxMetric metric = QoxMetric::kPerformance;
+  double weight = 1.0;
+  double reference = 1.0;
+};
+
+/// Outcome of evaluating one design/run against an objective.
+struct ObjectiveEvaluation {
+  bool feasible = true;
+  std::vector<QoxConstraint> violated;
+  /// Weighted normalized score in [0, 1]; higher is better. Defined even
+  /// when infeasible (useful for ranking infeasible candidates).
+  double score = 0.0;
+
+  std::string ToString() const;
+};
+
+class QoxObjective {
+ public:
+  QoxObjective() = default;
+
+  QoxObjective& AddConstraint(QoxConstraint constraint);
+  QoxObjective& Prefer(QoxMetric metric, double weight, double reference);
+
+  const std::vector<QoxConstraint>& constraints() const {
+    return constraints_;
+  }
+  const std::vector<QoxPreference>& preferences() const {
+    return preferences_;
+  }
+
+  /// Scores `v`. Metrics absent from `v` fail their constraints and score 0
+  /// on their preference component (the design did not demonstrate them).
+  ObjectiveEvaluation Evaluate(const QoxVector& v) const;
+
+  std::string ToString() const;
+
+  // -- Canned engagement profiles used by examples and benches ------------
+
+  /// Performance above all: minimize execution time.
+  static QoxObjective PerformanceFirst(double time_window_s);
+  /// The near-real-time profile: freshness dominates, reliability floor.
+  static QoxObjective FreshnessFirst(double max_latency_s);
+  /// Fault-tolerant overnight batch: reliability and recoverability.
+  static QoxObjective ReliabilityFirst(double min_reliability);
+  /// Long-lived engagement: maintainability weighted with performance.
+  static QoxObjective MaintainabilityAware(double time_window_s);
+
+ private:
+  std::vector<QoxConstraint> constraints_;
+  std::vector<QoxPreference> preferences_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_CORE_REQUIREMENTS_H_

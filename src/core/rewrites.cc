@@ -1,0 +1,116 @@
+#include "core/rewrites.h"
+
+#include <algorithm>
+
+namespace qox {
+
+namespace {
+
+bool ClassesMaySwap(OpClass a, OpClass b) {
+  // Multiset operators (delta, group) are barriers; everything else
+  // (per-row, order-only) commutes semantically.
+  return a != OpClass::kMultiset && b != OpClass::kMultiset;
+}
+
+LogicalFlow WithSwapped(const LogicalFlow& flow, size_t i) {
+  std::vector<LogicalOp> ops = flow.ops();
+  std::swap(ops[i], ops[i + 1]);
+  LogicalFlow out(flow.id(), flow.source(), std::move(ops), flow.target());
+  out.set_post_success(flow.post_success());
+  return out;
+}
+
+}  // namespace
+
+bool CanSwapAdjacent(const LogicalFlow& flow, size_t i) {
+  if (i + 1 >= flow.num_ops()) return false;
+  const LogicalOp& a = flow.ops()[i];
+  const LogicalOp& b = flow.ops()[i + 1];
+  if (!ClassesMaySwap(a.op_class, b.op_class)) return false;
+  // Column dependency: b cannot move above a when it reads what a creates,
+  // and a cannot run after b when b drops/renames away what a reads. The
+  // rebind below is authoritative for both, but check cheaply first.
+  for (const std::string& read : b.reads) {
+    if (std::find(a.creates.begin(), a.creates.end(), read) !=
+        a.creates.end()) {
+      return false;
+    }
+  }
+  for (const std::string& read : a.reads) {
+    if (std::find(b.drops.begin(), b.drops.end(), read) != b.drops.end()) {
+      return false;
+    }
+  }
+  const LogicalFlow candidate = WithSwapped(flow, i);
+  // Rebind without the target-schema check: reordering per-row ops can
+  // permute column positions mid-chain; the final schema must still match,
+  // so bind the full chain and compare the final schema to the original.
+  const Result<std::vector<Schema>> original = flow.BindSchemas();
+  if (!original.ok()) return false;
+  const Result<std::vector<Schema>> bound = BindLogicalChain(
+      candidate.source()->schema(), candidate.ops());
+  if (!bound.ok()) return false;
+  return bound.value().back() == original.value().back();
+}
+
+Result<LogicalFlow> SwapAdjacent(const LogicalFlow& flow, size_t i) {
+  if (i + 1 >= flow.num_ops()) {
+    return Status::OutOfRange("swap index " + std::to_string(i) +
+                              " out of range");
+  }
+  if (!CanSwapAdjacent(flow, i)) {
+    return Status::FailedPrecondition(
+        "ops '" + flow.ops()[i].name + "' and '" + flow.ops()[i + 1].name +
+        "' cannot legally swap");
+  }
+  return WithSwapped(flow, i);
+}
+
+std::vector<LogicalFlow> Neighbors(const LogicalFlow& flow) {
+  std::vector<LogicalFlow> out;
+  for (size_t i = 0; i + 1 < flow.num_ops(); ++i) {
+    if (CanSwapAdjacent(flow, i)) out.push_back(WithSwapped(flow, i));
+  }
+  return out;
+}
+
+double EstimateChainWork(const std::vector<LogicalOp>& ops,
+                         double input_rows) {
+  double rows = input_rows;
+  double work = 0.0;
+  for (const LogicalOp& op : ops) {
+    work += op.cost_per_row * rows;
+    rows *= op.selectivity;
+  }
+  return work;
+}
+
+Result<ReorderResult> GreedyReorder(const LogicalFlow& flow,
+                                    double input_rows) {
+  QOX_RETURN_IF_ERROR(flow.BindSchemas().status());
+  ReorderResult result;
+  result.flow = flow;
+  result.work_before = EstimateChainWork(flow.ops(), input_rows);
+  bool changed = true;
+  // Bounded passes: each pass can only reduce estimated work, and the
+  // number of beneficial swaps is bounded by n^2.
+  size_t guard = flow.num_ops() * flow.num_ops() + 1;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (size_t i = 0; i + 1 < result.flow.num_ops(); ++i) {
+      if (!CanSwapAdjacent(result.flow, i)) continue;
+      const LogicalFlow candidate = WithSwapped(result.flow, i);
+      const double before = EstimateChainWork(result.flow.ops(), input_rows);
+      const double after = EstimateChainWork(candidate.ops(), input_rows);
+      if (after + 1e-9 < before) {
+        result.flow = candidate;
+        ++result.swaps_applied;
+        changed = true;
+      }
+    }
+  }
+  result.work_after = EstimateChainWork(result.flow.ops(), input_rows);
+  return result;
+}
+
+}  // namespace qox

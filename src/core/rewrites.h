@@ -1,0 +1,62 @@
+// Algebraic rewrites over logical flows (Sec. 3.1 of the paper).
+//
+// "the rule that the most restrictive operations should be placed at the
+// start of the flow applies here as well ... an effective technique is to
+// gather pipelining and blocking operations separately from each other ...
+// one must ensure the applicability and correctness of such modifications."
+//
+// Legality is two-layered:
+//  1. SEMANTIC: per-row operators commute with each other and with
+//     order-only operators (sort); multiset operators (delta, group) are
+//     barriers. This guarantees the output multiset is unchanged.
+//  2. SCHEMA: after a candidate swap the chain must still bind — an
+//     operator cannot move above the operator that creates a column it
+//     reads. Rebinding is the authoritative check.
+//
+// Tests verify the semantic guarantee empirically: every legal rewrite of
+// a flow produces the same output multiset on randomized data.
+
+#ifndef QOX_CORE_REWRITES_H_
+#define QOX_CORE_REWRITES_H_
+
+#include <vector>
+
+#include "core/design.h"
+
+namespace qox {
+
+/// True when ops i and i+1 of the flow may swap (semantic + schema checks).
+bool CanSwapAdjacent(const LogicalFlow& flow, size_t i);
+
+/// Swaps ops i and i+1; error when illegal.
+Result<LogicalFlow> SwapAdjacent(const LogicalFlow& flow, size_t i);
+
+/// All flows reachable by one legal adjacent swap (the optimizer's search
+/// neighborhood).
+std::vector<LogicalFlow> Neighbors(const LogicalFlow& flow);
+
+/// Estimated transformation work of the chain in abstract units:
+/// sum over ops of cost_per_row * rows_in, where rows_in shrinks by each
+/// upstream operator's selectivity. This is the local objective driving
+/// ordering rewrites ("move restrictive ops early").
+double EstimateChainWork(const std::vector<LogicalOp>& ops,
+                         double input_rows);
+
+/// Greedy ordering optimization: bubble-sorts the chain with legal,
+/// work-reducing adjacent swaps until a fixed point. This implements both
+/// paper heuristics at once — restrictive (selective, cheap) operators
+/// drift to the front and blocking operators drift together/late whenever
+/// doing so reduces estimated work. Returns the optimized flow and the
+/// number of swaps applied.
+struct ReorderResult {
+  LogicalFlow flow;
+  size_t swaps_applied = 0;
+  double work_before = 0.0;
+  double work_after = 0.0;
+};
+Result<ReorderResult> GreedyReorder(const LogicalFlow& flow,
+                                    double input_rows);
+
+}  // namespace qox
+
+#endif  // QOX_CORE_REWRITES_H_

@@ -1,0 +1,82 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/clock.h"
+
+namespace qox {
+
+std::string SchedulePlan::ToString() const {
+  std::ostringstream oss;
+  oss << (feasible ? "feasible" : "INFEASIBLE") << " makespan=" << makespan_s
+      << "s:";
+  for (const ScheduledSlot& slot : slots) {
+    oss << " [" << slot.id << " " << slot.start_s << "-"
+        << slot.expected_end_s << "s dl=" << slot.deadline_s
+        << "s slack=" << slot.slack_s << "s]";
+  }
+  return oss.str();
+}
+
+SchedulePlan PlanSchedule(const std::vector<FlowJob>& jobs) {
+  // Earliest deadline first; ties broken by id for determinism.
+  std::vector<const FlowJob*> order;
+  order.reserve(jobs.size());
+  for (const FlowJob& job : jobs) order.push_back(&job);
+  std::sort(order.begin(), order.end(),
+            [](const FlowJob* a, const FlowJob* b) {
+              if (a->deadline_s != b->deadline_s) {
+                return a->deadline_s < b->deadline_s;
+              }
+              return a->id < b->id;
+            });
+  SchedulePlan plan;
+  double t = 0.0;
+  for (const FlowJob* job : order) {
+    ScheduledSlot slot;
+    slot.id = job->id;
+    slot.start_s = t;
+    t += job->estimated_duration_s;
+    slot.expected_end_s = t;
+    slot.deadline_s = job->deadline_s;
+    slot.slack_s = job->deadline_s - t;
+    if (slot.slack_s < 0) plan.feasible = false;
+    plan.slots.push_back(std::move(slot));
+  }
+  plan.makespan_s = t;
+  return plan;
+}
+
+Result<ScheduleOutcome> ExecuteSchedule(const std::vector<FlowJob>& jobs) {
+  const SchedulePlan plan = PlanSchedule(jobs);
+  ScheduleOutcome outcome;
+  const StopWatch window_timer;
+  for (const ScheduledSlot& slot : plan.slots) {
+    const FlowJob* job = nullptr;
+    for (const FlowJob& candidate : jobs) {
+      if (candidate.id == slot.id) {
+        job = &candidate;
+        break;
+      }
+    }
+    if (job == nullptr) {
+      return Status::Internal("planned slot '" + slot.id +
+                              "' has no matching job");
+    }
+    ExecutedSlot executed;
+    executed.id = slot.id;
+    executed.deadline_s = slot.deadline_s;
+    executed.started_s = window_timer.ElapsedSeconds();
+    QOX_ASSIGN_OR_RETURN(executed.metrics,
+                         Executor::Run(job->flow.ToFlowSpec(), job->exec));
+    executed.finished_s = window_timer.ElapsedSeconds();
+    executed.deadline_met = executed.finished_s <= executed.deadline_s;
+    if (executed.deadline_met) ++outcome.deadlines_met;
+    outcome.slots.push_back(std::move(executed));
+  }
+  outcome.total_s = window_timer.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace qox

@@ -1,0 +1,82 @@
+// Flow scheduling: ordering multiple flows within an ETL time window.
+//
+// Sec. 2.2 (freshness): "scheduling of both the data flow and execution
+// order of transformations becomes crucial", and Sec. 3.4 restructures
+// Fig. 3 into independent flows precisely so each can run on its own
+// schedule. This module plans the execution order of a set of flows that
+// share one window: each flow has an estimated duration and a deadline
+// (its freshness commitment); the planner orders them by earliest
+// deadline (EDF — optimal for single-machine feasibility), reports
+// per-flow slack and overall feasibility, and ExecuteSchedule() runs the
+// plan for real and checks which deadlines were actually met.
+
+#ifndef QOX_CORE_SCHEDULE_H_
+#define QOX_CORE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/design.h"
+
+namespace qox {
+
+/// One flow to place in the window.
+struct FlowJob {
+  std::string id;
+  /// Deadline relative to the window start, seconds (the moment this
+  /// flow's data must be in the warehouse).
+  double deadline_s = 0.0;
+  /// Planner's estimated duration, seconds (e.g. from the cost model).
+  double estimated_duration_s = 0.0;
+  /// The executable flow (optional for pure planning).
+  LogicalFlow flow;
+  /// Execution configuration for ExecuteSchedule.
+  ExecutionConfig exec;
+};
+
+/// One planned slot.
+struct ScheduledSlot {
+  std::string id;
+  double start_s = 0.0;
+  double expected_end_s = 0.0;
+  double deadline_s = 0.0;
+  /// deadline - expected_end (negative = predicted miss).
+  double slack_s = 0.0;
+};
+
+struct SchedulePlan {
+  std::vector<ScheduledSlot> slots;  ///< in execution order
+  bool feasible = true;              ///< every slot has non-negative slack
+  double makespan_s = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Plans the jobs by earliest deadline first. Jobs run back to back from
+/// time 0 (single execution lane, as in the paper's nightly window).
+SchedulePlan PlanSchedule(const std::vector<FlowJob>& jobs);
+
+/// Outcome of actually running one slot.
+struct ExecutedSlot {
+  std::string id;
+  double started_s = 0.0;
+  double finished_s = 0.0;
+  double deadline_s = 0.0;
+  bool deadline_met = false;
+  RunMetrics metrics;
+};
+
+struct ScheduleOutcome {
+  std::vector<ExecutedSlot> slots;
+  size_t deadlines_met = 0;
+  double total_s = 0.0;
+};
+
+/// Executes the planned order for real (sequentially), timing each flow
+/// and checking its deadline against the actual clock. Jobs must carry
+/// executable flows.
+Result<ScheduleOutcome> ExecuteSchedule(const std::vector<FlowJob>& jobs);
+
+}  // namespace qox
+
+#endif  // QOX_CORE_SCHEDULE_H_

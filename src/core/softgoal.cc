@@ -1,0 +1,328 @@
+#include "core/softgoal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+namespace qox {
+
+const char* ContributionSymbol(Contribution c) {
+  switch (c) {
+    case Contribution::kMake:
+      return "++";
+    case Contribution::kHelp:
+      return "+";
+    case Contribution::kHurt:
+      return "-";
+    case Contribution::kBreak:
+      return "--";
+  }
+  return "?";
+}
+
+const char* GoalLabelName(GoalLabel label) {
+  switch (label) {
+    case GoalLabel::kDenied:
+      return "denied";
+    case GoalLabel::kWeaklyDenied:
+      return "weakly_denied";
+    case GoalLabel::kUndetermined:
+      return "undetermined";
+    case GoalLabel::kWeaklySatisfied:
+      return "weakly_satisfied";
+    case GoalLabel::kSatisfied:
+      return "satisfied";
+  }
+  return "?";
+}
+
+std::string SoftGoalGraph::GoalId(const std::string& type,
+                                  const std::string& topic) {
+  return topic.empty() ? type : type + "[" + topic + "]";
+}
+
+Status SoftGoalGraph::AddNode(SoftGoalNode node) {
+  if (node.id.empty()) return Status::Invalid("goal id must be non-empty");
+  if (HasNode(node.id)) {
+    return Status::AlreadyExists("goal '" + node.id + "' already exists");
+  }
+  index_.emplace(node.id, nodes_.size());
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status SoftGoalGraph::AddSoftGoal(const std::string& type,
+                                  const std::string& topic) {
+  SoftGoalNode node;
+  node.id = GoalId(type, topic);
+  node.kind = GoalKind::kSoftGoal;
+  node.type = type;
+  node.topic = topic;
+  return AddNode(std::move(node));
+}
+
+Status SoftGoalGraph::AddOperationalization(std::string id) {
+  SoftGoalNode node;
+  node.id = std::move(id);
+  node.kind = GoalKind::kOperationalization;
+  node.type = node.id;
+  return AddNode(std::move(node));
+}
+
+Status SoftGoalGraph::AddMeasure(std::string id) {
+  SoftGoalNode node;
+  node.id = std::move(id);
+  node.kind = GoalKind::kMeasure;
+  node.type = node.id;
+  return AddNode(std::move(node));
+}
+
+Status SoftGoalGraph::AddContribution(const std::string& from,
+                                      const std::string& to, Contribution c) {
+  if (!HasNode(from)) return Status::NotFound("no goal '" + from + "'");
+  if (!HasNode(to)) return Status::NotFound("no goal '" + to + "'");
+  links_.push_back({from, to, c});
+  return Status::OK();
+}
+
+Status SoftGoalGraph::AddDecomposition(const std::string& parent,
+                                       std::vector<std::string> children,
+                                       Decomposition::Kind kind) {
+  if (!HasNode(parent)) return Status::NotFound("no goal '" + parent + "'");
+  for (const std::string& child : children) {
+    if (!HasNode(child)) return Status::NotFound("no goal '" + child + "'");
+  }
+  if (children.empty()) {
+    return Status::Invalid("decomposition of '" + parent + "' has no children");
+  }
+  decompositions_.push_back({parent, std::move(children), kind});
+  return Status::OK();
+}
+
+bool SoftGoalGraph::HasNode(const std::string& id) const {
+  return index_.find(id) != index_.end();
+}
+
+Result<std::vector<std::string>> SoftGoalGraph::EvaluationOrder() const {
+  std::map<std::string, size_t> in_degree;
+  std::map<std::string, std::vector<std::string>> succ;
+  for (const SoftGoalNode& node : nodes_) in_degree[node.id] = 0;
+  const auto add_edge = [&](const std::string& from, const std::string& to) {
+    succ[from].push_back(to);
+    ++in_degree[to];
+  };
+  for (const ContributionLink& link : links_) add_edge(link.from, link.to);
+  for (const Decomposition& d : decompositions_) {
+    for (const std::string& child : d.children) add_edge(child, d.parent);
+  }
+  std::deque<std::string> ready;
+  for (const SoftGoalNode& node : nodes_) {
+    if (in_degree[node.id] == 0) ready.push_back(node.id);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const std::string& next : succ[id]) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::Invalid("soft-goal graph contains a contribution cycle");
+  }
+  return order;
+}
+
+namespace {
+double ContributionWeight(Contribution c) {
+  switch (c) {
+    case Contribution::kMake:
+      return 1.0;
+    case Contribution::kHelp:
+      return 0.5;
+    case Contribution::kHurt:
+      return -0.5;
+    case Contribution::kBreak:
+      return -1.0;
+  }
+  return 0.0;
+}
+
+double Clamp2(double v) { return std::max(-2.0, std::min(2.0, v)); }
+}  // namespace
+
+Result<std::map<std::string, double>> SoftGoalGraph::PropagateScores(
+    const std::map<std::string, double>& leaf_scores) const {
+  QOX_ASSIGN_OR_RETURN(const std::vector<std::string> order,
+                       EvaluationOrder());
+  std::map<std::string, double> scores;
+  for (const std::string& id : order) {
+    const auto leaf_it = leaf_scores.find(id);
+    if (leaf_it != leaf_scores.end()) {
+      scores[id] = Clamp2(leaf_it->second);
+      continue;
+    }
+    // Contribution sum.
+    bool has_contrib = false;
+    double contrib_sum = 0.0;
+    for (const ContributionLink& link : links_) {
+      if (link.to != id) continue;
+      has_contrib = true;
+      contrib_sum += ContributionWeight(link.contribution) * scores[link.from];
+    }
+    // Decomposition result.
+    bool has_decomp = false;
+    double decomp_value = 0.0;
+    for (const Decomposition& d : decompositions_) {
+      if (d.parent != id) continue;
+      has_decomp = true;
+      double value = d.kind == Decomposition::Kind::kAnd ? 2.0 : -2.0;
+      for (const std::string& child : d.children) {
+        value = d.kind == Decomposition::Kind::kAnd
+                    ? std::min(value, scores[child])
+                    : std::max(value, scores[child]);
+      }
+      decomp_value = value;
+    }
+    double result = 0.0;
+    if (has_contrib && has_decomp) {
+      result = std::min(Clamp2(contrib_sum), decomp_value);  // conservative
+    } else if (has_contrib) {
+      result = Clamp2(contrib_sum);
+    } else if (has_decomp) {
+      result = decomp_value;
+    }
+    scores[id] = result;
+  }
+  return scores;
+}
+
+Result<std::map<std::string, GoalLabel>> SoftGoalGraph::Propagate(
+    const std::map<std::string, GoalLabel>& leaf_labels) const {
+  std::map<std::string, double> leaf_scores;
+  for (const auto& [id, label] : leaf_labels) {
+    leaf_scores[id] = static_cast<double>(static_cast<int>(label));
+  }
+  QOX_ASSIGN_OR_RETURN(const auto scores, PropagateScores(leaf_scores));
+  std::map<std::string, GoalLabel> labels;
+  for (const auto& [id, score] : scores) {
+    GoalLabel label = GoalLabel::kUndetermined;
+    if (score >= 1.5) {
+      label = GoalLabel::kSatisfied;
+    } else if (score >= 0.5) {
+      label = GoalLabel::kWeaklySatisfied;
+    } else if (score <= -1.5) {
+      label = GoalLabel::kDenied;
+    } else if (score <= -0.5) {
+      label = GoalLabel::kWeaklyDenied;
+    }
+    labels[id] = label;
+  }
+  return labels;
+}
+
+std::string SoftGoalGraph::ToDot() const {
+  std::ostringstream oss;
+  oss << "digraph softgoals {\n  rankdir=BT;\n";
+  for (const SoftGoalNode& node : nodes_) {
+    const char* shape = node.kind == GoalKind::kSoftGoal
+                            ? "ellipse"
+                            : node.kind == GoalKind::kOperationalization
+                                  ? "hexagon"
+                                  : "note";
+    oss << "  \"" << node.id << "\" [shape=" << shape << "];\n";
+  }
+  for (const ContributionLink& link : links_) {
+    oss << "  \"" << link.from << "\" -> \"" << link.to << "\" [label=\""
+        << ContributionSymbol(link.contribution) << "\"];\n";
+  }
+  for (const Decomposition& d : decompositions_) {
+    for (const std::string& child : d.children) {
+      oss << "  \"" << child << "\" -> \"" << d.parent << "\" [style=dashed"
+          << ", label=\""
+          << (d.kind == Decomposition::Kind::kAnd ? "AND" : "OR") << "\"];\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+SoftGoalGraph BuildFigure2Graph() {
+  SoftGoalGraph g;
+  // Top-level soft-goals of the Fig. 2 scenario: "a design that should
+  // balance requirements for reliability, maintainability, performance,
+  // and freshness".
+  (void)g.AddSoftGoal("reliability", "process");
+  (void)g.AddSoftGoal("reliability", "software");
+  (void)g.AddSoftGoal("reliability", "hardware");
+  (void)g.AddSoftGoal("maintainability", "flow");
+  (void)g.AddSoftGoal("performance", "flow");
+  (void)g.AddSoftGoal("freshness", "data");
+  (void)g.AddDecomposition(
+      "reliability[process]",
+      {"reliability[software]", "reliability[hardware]"},
+      Decomposition::Kind::kAnd);
+
+  // Operationalizations (design decisions).
+  (void)g.AddOperationalization(Figure2Leaves::kParallelism);
+  (void)g.AddOperationalization(Figure2Leaves::kRecoveryPoints);
+  (void)g.AddOperationalization(Figure2Leaves::kRedundancy);
+  (void)g.AddOperationalization(Figure2Leaves::kDocumentation);
+  (void)g.AddOperationalization(Figure2Leaves::kPartitioning);
+
+  // Quantitative measures refining reliability (Sec. 2.3's examples:
+  // "MTBF should be greater than x", "uptime should be more than y").
+  (void)g.AddMeasure("mtbf");
+  (void)g.AddMeasure("uptime");
+  (void)g.AddContribution("mtbf", "reliability[software]",
+                          Contribution::kMake);
+  (void)g.AddContribution("uptime", "reliability[hardware]",
+                          Contribution::kHelp);
+
+  // The contribution pattern spelled out in the paper: parallelism ++ on
+  // reliability[software] (a form of redundancy), + on freshness and
+  // performance, - on reliability[hardware] (more devices, more failures).
+  (void)g.AddContribution(Figure2Leaves::kParallelism,
+                          "reliability[software]", Contribution::kMake);
+  (void)g.AddContribution(Figure2Leaves::kParallelism, "performance[flow]",
+                          Contribution::kHelp);
+  (void)g.AddContribution(Figure2Leaves::kParallelism, "freshness[data]",
+                          Contribution::kHelp);
+  (void)g.AddContribution(Figure2Leaves::kParallelism,
+                          "reliability[hardware]", Contribution::kHurt);
+  (void)g.AddContribution(Figure2Leaves::kParallelism,
+                          "maintainability[flow]", Contribution::kHurt);
+
+  // Recovery points: strong for recoverable reliability, costly for
+  // performance and freshness (Figs. 5 and 8).
+  (void)g.AddContribution(Figure2Leaves::kRecoveryPoints,
+                          "reliability[process]", Contribution::kHelp);
+  (void)g.AddContribution(Figure2Leaves::kRecoveryPoints,
+                          "performance[flow]", Contribution::kHurt);
+  (void)g.AddContribution(Figure2Leaves::kRecoveryPoints, "freshness[data]",
+                          Contribution::kHurt);
+
+  // NMR redundancy: strong software reliability, mild performance hit
+  // (Fig. 7), hardware exposure like parallelism.
+  (void)g.AddContribution(Figure2Leaves::kRedundancy,
+                          "reliability[software]", Contribution::kMake);
+  (void)g.AddContribution(Figure2Leaves::kRedundancy, "performance[flow]",
+                          Contribution::kHurt);
+  (void)g.AddContribution(Figure2Leaves::kRedundancy,
+                          "reliability[hardware]", Contribution::kHurt);
+
+  // Documentation helps maintainability, costs nothing at run time.
+  (void)g.AddContribution(Figure2Leaves::kDocumentation,
+                          "maintainability[flow]", Contribution::kMake);
+
+  // Partitioning enables parallel speedup but complicates the flow.
+  (void)g.AddContribution(Figure2Leaves::kPartitioning, "performance[flow]",
+                          Contribution::kHelp);
+  (void)g.AddContribution(Figure2Leaves::kPartitioning,
+                          "maintainability[flow]", Contribution::kHurt);
+  return g;
+}
+
+}  // namespace qox

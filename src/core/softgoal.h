@@ -1,0 +1,150 @@
+// Soft-goal interdependency graphs (Fig. 2 of the paper).
+//
+// "For supporting the systematic modeling of the design, soft-goal
+// interdependency graphs can be used [Chung et al.]. ... These soft-goals,
+// expressed in the form of type[topic], are refined as soft-sub-goals ...
+// the degree of parallelism contributes extremely positively (++) to the
+// fulfillment of the reliability[software] soft-goal ... On the other
+// hand, parallelism affects negatively (-) the reliability of hardware."
+//
+// The graph has three node kinds: qualitative soft-goals (type[topic]),
+// operationalizations (concrete design decisions: parallelism, recovery
+// points, redundancy, ...), and quantitative measures (MTBF, uptime, ...).
+// Contribution links carry the NFR-framework strengths ++ / + / - / --.
+// Given labels on the leaves (which design decisions a candidate design
+// adopts), label propagation derives how well each soft-goal is satisficed
+// — the qualitative pruning signal the optimizer uses before the numeric
+// cost model runs.
+
+#ifndef QOX_CORE_SOFTGOAL_H_
+#define QOX_CORE_SOFTGOAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qox {
+
+enum class GoalKind {
+  kSoftGoal,            ///< qualitative quality goal, type[topic]
+  kOperationalization,  ///< a design decision that can be adopted
+  kMeasure,             ///< a quantitative functional parameter
+};
+
+/// NFR-framework contribution strengths.
+enum class Contribution {
+  kMake,   ///< ++ : strongly positive
+  kHelp,   ///< +  : positive
+  kHurt,   ///< -  : negative
+  kBreak,  ///< -- : strongly negative
+};
+
+const char* ContributionSymbol(Contribution c);
+
+/// Satisficing labels, ordered. Numeric values used for propagation.
+enum class GoalLabel {
+  kDenied = -2,
+  kWeaklyDenied = -1,
+  kUndetermined = 0,
+  kWeaklySatisfied = 1,
+  kSatisfied = 2,
+};
+
+const char* GoalLabelName(GoalLabel label);
+
+struct SoftGoalNode {
+  std::string id;      ///< unique, e.g. "reliability[software]"
+  GoalKind kind = GoalKind::kSoftGoal;
+  std::string type;    ///< e.g. "reliability"
+  std::string topic;   ///< e.g. "software"
+};
+
+struct ContributionLink {
+  std::string from;  ///< child (contributor)
+  std::string to;    ///< parent (soft-goal)
+  Contribution contribution = Contribution::kHelp;
+};
+
+/// AND/OR refinement of a soft-goal into sub-goals.
+struct Decomposition {
+  enum class Kind { kAnd, kOr };
+  std::string parent;
+  std::vector<std::string> children;
+  Kind kind = Kind::kAnd;
+};
+
+class SoftGoalGraph {
+ public:
+  Status AddSoftGoal(const std::string& type, const std::string& topic);
+  Status AddOperationalization(std::string id);
+  Status AddMeasure(std::string id);
+
+  /// Adds a contribution from `from` (operationalization, measure, or
+  /// sub-goal) to soft-goal `to`.
+  Status AddContribution(const std::string& from, const std::string& to,
+                         Contribution c);
+
+  /// Declares `parent` as an AND/OR refinement of `children` (which must
+  /// be soft-goals).
+  Status AddDecomposition(const std::string& parent,
+                          std::vector<std::string> children,
+                          Decomposition::Kind kind);
+
+  bool HasNode(const std::string& id) const;
+  const std::vector<SoftGoalNode>& nodes() const { return nodes_; }
+  const std::vector<ContributionLink>& links() const { return links_; }
+
+  /// Qualitative label propagation: given labels for the leaf nodes a
+  /// design adopts or rejects (absent leaves are kUndetermined), computes
+  /// the label of every node. Contributions scale the child's numeric
+  /// label (++: x1, +: x0.5, -: x-0.5, --: x-1) and sum at the parent
+  /// (clamped); AND takes the minimum of children, OR the maximum, and a
+  /// node with both refinement and contributions takes the weaker of the
+  /// two results (conservative).
+  Result<std::map<std::string, GoalLabel>> Propagate(
+      const std::map<std::string, GoalLabel>& leaf_labels) const;
+
+  /// Numeric propagation with the same topology: leaf scores in [-2, 2],
+  /// continuous result per node. Used for ranking design alternatives.
+  Result<std::map<std::string, double>> PropagateScores(
+      const std::map<std::string, double>& leaf_scores) const;
+
+  /// Graphviz rendering with contribution symbols on edges.
+  std::string ToDot() const;
+
+  /// Helper: canonical id "type[topic]".
+  static std::string GoalId(const std::string& type, const std::string& topic);
+
+ private:
+  Status AddNode(SoftGoalNode node);
+  /// Topological order over contribution+decomposition edges
+  /// (children before parents). Error on cycles.
+  Result<std::vector<std::string>> EvaluationOrder() const;
+
+  std::vector<SoftGoalNode> nodes_;
+  std::vector<ContributionLink> links_;
+  std::vector<Decomposition> decompositions_;
+  std::map<std::string, size_t> index_;
+};
+
+/// Builds the paper's Fig. 2 example: reliability, maintainability,
+/// performance, and freshness soft-goals; parallelism, recovery points,
+/// redundancy, documentation, and partitioning operationalizations; MTBF
+/// and uptime measures; and the contribution links discussed in Sec. 2.3.
+SoftGoalGraph BuildFigure2Graph();
+
+/// Names of the operationalization leaves in the Fig. 2 graph (stable API
+/// for the optimizer: it labels these when scoring a physical design).
+struct Figure2Leaves {
+  static constexpr const char* kParallelism = "degree_of_parallelism";
+  static constexpr const char* kRecoveryPoints = "recovery_points";
+  static constexpr const char* kRedundancy = "nmr_redundancy";
+  static constexpr const char* kDocumentation = "documentation";
+  static constexpr const char* kPartitioning = "data_partitioning";
+};
+
+}  // namespace qox
+
+#endif  // QOX_CORE_SOFTGOAL_H_

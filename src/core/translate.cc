@@ -1,0 +1,214 @@
+#include "core/translate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qox {
+
+ConceptualFlow SalesBottomConceptual() {
+  ConceptualFlow flow;
+  flow.id = "sales_bottom_conceptual";
+  flow.sources = {"SALES_TRAN"};
+  flow.target = "SALES";
+  flow.operators = {
+      {"detect_sales_changes", "detect_changes", {}},
+      {"resolve_store_codes",
+       "resolve_codes",
+       {{QoxMetric::kConsistency, 0.99}}},
+      {"cleanse_sales", "cleanse", {{QoxMetric::kRobustness, 0.8}}},
+      {"derive_measures", "derive", {}},
+      {"assign_warehouse_keys", "assign_keys", {}},
+  };
+  flow.annotations = {{QoxMetric::kPerformance, 120.0},
+                      {QoxMetric::kReliability, 0.99}};
+  return flow;
+}
+
+ConceptualFlow ClickstreamConceptual() {
+  ConceptualFlow flow;
+  flow.id = "clickstream_conceptual";
+  flow.sources = {"CUSTWEB_CS"};
+  flow.target = "CUSTOMER";
+  flow.operators = {
+      {"cleanse_clicks", "cleanse", {}},
+      {"derive_channel", "derive", {}},
+      {"assign_warehouse_keys", "assign_keys", {}},
+  };
+  // "This flow has a pressing requirement for freshness."
+  flow.annotations = {{QoxMetric::kFreshness, 120.0},
+                      {QoxMetric::kReliability, 0.95}};
+  return flow;
+}
+
+Result<LogicalFlow> TranslateToLogical(const ConceptualFlow& conceptual,
+                                       const SalesScenario& scenario) {
+  if (conceptual.sources.size() != 1) {
+    return Status::Unimplemented(
+        "conceptual translation currently expands single-source flows; "
+        "multi-source flows are restructured first (Sec. 3.4)");
+  }
+  const std::string& source_name = conceptual.sources.front();
+  DataStorePtr source;
+  SnapshotStorePtr snapshot;
+  if (source_name == "SALES_TRAN") {
+    source = scenario.s1();
+    snapshot = scenario.sales_snapshot();
+  } else if (source_name == "SALES_STAFF") {
+    source = scenario.s2();
+    snapshot = scenario.staff_snapshot();
+  } else if (source_name == "CUSTWEB_CS") {
+    source = scenario.s3();
+  } else {
+    return Status::NotFound("unknown conceptual source '" + source_name + "'");
+  }
+  const double freshness_req = [&] {
+    const auto it = conceptual.annotations.find(QoxMetric::kFreshness);
+    return it == conceptual.annotations.end() ? 1e18 : it->second;
+  }();
+  const bool freshness_pressed = freshness_req <= 300.0;
+
+  std::vector<LogicalOp> ops;
+  for (const ConceptualOperator& cop : conceptual.operators) {
+    if (cop.kind == "detect_changes") {
+      if (snapshot == nullptr) {
+        return Status::Invalid("'" + cop.name +
+                               "': source has no change snapshot");
+      }
+      ops.push_back(MakeDelta("Delta_" + cop.name, snapshot));
+    } else if (cop.kind == "resolve_codes") {
+      ops.push_back(MakeLookup("Lkp_" + cop.name, scenario.store_dim(),
+                               "store_code", "store_code", {"store_key"},
+                               LookupMissPolicy::kReject, 0.94));
+    } else if (cop.kind == "cleanse") {
+      if (source_name == "CUSTWEB_CS") {
+        ops.push_back(MakeFilter("Flt_" + cop.name,
+                                 {Predicate::NotNull("customer_id")}, 0.9));
+      } else {
+        ops.push_back(MakeFilter("Flt_" + cop.name,
+                                 {Predicate::NotNull("amount"),
+                                  Predicate::NotNull("store_code")},
+                                 0.92));
+      }
+    } else if (cop.kind == "derive") {
+      if (source_name == "CUSTWEB_CS") {
+        ops.push_back(MakeFunction(
+            "Func_" + cop.name,
+            {ColumnTransform::Upper("action"),
+             ColumnTransform::Constant("channel", Value::String("WEB"))}));
+      } else {
+        ops.push_back(MakeFunction(
+            "Func_" + cop.name,
+            {ColumnTransform::Arith("net_amount", "amount",
+                                    ColumnTransform::ArithOp::kMul,
+                                    "quantity"),
+             ColumnTransform::Drop("store_code")}));
+      }
+    } else if (cop.kind == "assign_keys") {
+      if (source_name == "CUSTWEB_CS") {
+        ops.push_back(MakeSurrogateKey("SK_" + cop.name,
+                                       scenario.customer_keys(),
+                                       "customer_id", "customer_key", true));
+      } else {
+        // Warehouse keys for the fact row and the customer.
+        auto sale_keys = std::make_shared<SurrogateKeyRegistry>(1);
+        ops.push_back(MakeSurrogateKey("SK_" + cop.name + "_sale", sale_keys,
+                                       "tran_id", "sale_key", true));
+        ops.push_back(MakeSurrogateKey("SK_" + cop.name + "_cust",
+                                       scenario.customer_keys(),
+                                       "customer_id", "customer_key", true));
+      }
+    } else if (cop.kind == "aggregate") {
+      if (freshness_pressed) {
+        return Status::FailedPrecondition(
+            "'" + cop.name +
+            "': blocking aggregation refused under a freshness annotation "
+            "of " +
+            std::to_string(freshness_req) + "s (Sec. 3.4: lightweight "
+            "flows should avoid blocking operations)");
+      }
+      ops.push_back(MakeGroup("Grp_" + cop.name, {"store_key"},
+                              {Aggregate::Sum("net_amount", "total_amount"),
+                               Aggregate::Count("num_sales")}));
+    } else {
+      return Status::Unimplemented("no expansion template for conceptual "
+                                   "kind '" +
+                                   cop.kind + "'");
+    }
+  }
+  // Bind and create a target matching the expansion's output schema.
+  QOX_ASSIGN_OR_RETURN(const std::vector<Schema> schemas,
+                       BindLogicalChain(source->schema(), ops));
+  auto target = std::make_shared<MemTable>(conceptual.target + "_t",
+                                           schemas.back());
+  return LogicalFlow(conceptual.id + "_logical", source, std::move(ops),
+                     target);
+}
+
+Result<PhysicalDesign> TranslateToPhysical(
+    const LogicalFlow& flow, const std::map<QoxMetric, double>& annotations,
+    const CostModel& cost_model, const WorkloadParams& workload,
+    size_t threads) {
+  QOX_RETURN_IF_ERROR(flow.BindSchemas().status());
+  PhysicalDesign design;
+  design.flow = flow;
+  design.threads = threads;
+  design.loads_per_day = 24;
+
+  const auto get = [&annotations](QoxMetric metric, double fallback) {
+    const auto it = annotations.find(metric);
+    return it == annotations.end() ? fallback : it->second;
+  };
+  const double freshness_req = get(QoxMetric::kFreshness, 1e18);
+  const double reliability_req = get(QoxMetric::kReliability, 0.0);
+  const double window_req =
+      get(QoxMetric::kPerformance, workload.time_window_s);
+
+  const PhaseEstimate base = cost_model.EstimatePhases(
+      design, workload.rows_per_run);
+
+  // Sec. 3.4: pressing freshness -> frequent small loads; recovery points
+  // are unaffordable, use redundancy for fault tolerance instead.
+  if (freshness_req <= 300.0) {
+    design.loads_per_day = static_cast<size_t>(
+        std::max(24.0, std::ceil(86400.0 / std::max(1.0, freshness_req))));
+    if (reliability_req > 0.9) design.redundancy = 3;
+  } else if (reliability_req > 0.0) {
+    // Sec. 3.2: recovery point after extraction; and after the most
+    // expensive operator when the window affords the I/O.
+    design.recovery_points = {0};
+    double rows = workload.rows_per_run;
+    size_t most_expensive = 0;
+    double best_cost = -1.0;
+    for (size_t i = 0; i < flow.num_ops(); ++i) {
+      const double cost = flow.ops()[i].cost_per_row * rows;
+      if (cost > best_cost) {
+        best_cost = cost;
+        most_expensive = i;
+      }
+      rows *= flow.ops()[i].selectivity;
+    }
+    design.recovery_points.push_back(most_expensive + 1);
+    const PhaseEstimate with_rp =
+        cost_model.EstimatePhases(design, workload.rows_per_run);
+    if (with_rp.total_s > window_req) {
+      // Sec. 3.3: the window does not allow recovery points; switch to
+      // redundancy (graceful degradation instead of recovery I/O).
+      design.recovery_points.clear();
+      design.redundancy = 3;
+    }
+  }
+
+  // Sec. 3.1: parallelize the pipelineable segment when the sequential
+  // plan misses the window.
+  if (base.total_s > window_req * 0.5 && threads > 1) {
+    const auto [begin, end] = flow.PipelineableRange();
+    if (end > begin) {
+      design.parallel.partitions = std::min<size_t>(threads, 4);
+      design.parallel.range_begin = begin;
+      design.parallel.range_end = end;
+    }
+  }
+  return design;
+}
+
+}  // namespace qox

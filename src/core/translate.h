@@ -1,0 +1,57 @@
+// QoX-driven translations between design levels (Fig. 1 of the paper).
+//
+// "there may be several alternative translations from conceptual model to
+// logical model and these alternatives can be driven by the QoX objectives
+// and tradeoffs. Similarly, the translation from the logical model to the
+// physical model enables additional types of optimizations."
+//
+// Conceptual -> logical expands business-level operations into concrete
+// operator chains over a SalesScenario's stores (the expansion templates
+// consult QoX annotations: e.g. a high-freshness flow refuses blocking
+// expansions). Logical -> physical applies the Sec. 3.2-3.4 heuristics to
+// pick partitioning, recovery points, redundancy, and load frequency; the
+// optimizer (optimizer.h) supersedes these heuristics with a full search,
+// and bench/abl_rp_placement measures the gap.
+
+#ifndef QOX_CORE_TRANSLATE_H_
+#define QOX_CORE_TRANSLATE_H_
+
+#include "core/cost_model.h"
+#include "core/design.h"
+#include "core/sales_workflow.h"
+
+namespace qox {
+
+/// The conceptual model of the Fig. 3 bottom flow: business operations
+/// with QoX annotations, as a consultant would capture them.
+ConceptualFlow SalesBottomConceptual();
+
+/// The conceptual model of the Fig. 3 top (streaming) flow, annotated with
+/// a pressing freshness requirement.
+ConceptualFlow ClickstreamConceptual();
+
+/// Expands a conceptual flow into a logical flow over the scenario's
+/// stores. Supported conceptual kinds: "extract" (implicit, the flow
+/// source), "detect_changes", "resolve_codes", "cleanse", "derive",
+/// "assign_keys", "load" (implicit, the flow target). Unknown kinds error.
+/// A kFreshness annotation <= 300 s on the flow rejects expansions that
+/// introduce blocking operators beyond what change detection requires.
+Result<LogicalFlow> TranslateToLogical(const ConceptualFlow& conceptual,
+                                       const SalesScenario& scenario);
+
+/// Picks a physical design for a logical flow from its QoX annotations
+/// using the paper's heuristics:
+///   tight freshness  -> frequent loads, no recovery points, redundancy
+///                       for fault tolerance (Sec. 3.4)
+///   high reliability -> recovery point after extraction and after the
+///                       most expensive operator, or NMR when the time
+///                       window is too tight for RP I/O (Secs. 3.2-3.3)
+///   tight window     -> partition the pipelineable segment (Sec. 3.1)
+Result<PhysicalDesign> TranslateToPhysical(
+    const LogicalFlow& flow, const std::map<QoxMetric, double>& annotations,
+    const CostModel& cost_model, const WorkloadParams& workload,
+    size_t threads);
+
+}  // namespace qox
+
+#endif  // QOX_CORE_TRANSLATE_H_

@@ -1,0 +1,635 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace qox {
+
+Schema RejectStoreSchema() {
+  return Schema({{"flow_id", DataType::kString, false},
+                 {"instance", DataType::kInt64, false},
+                 {"attempt", DataType::kInt64, false},
+                 {"rejected_row", DataType::kString, false}});
+}
+
+size_t FingerprintRows(const std::vector<Row>& rows) {
+  // Order-insensitive combination: commutative sum of mixed row hashes.
+  size_t acc = 0x51ed270b0129ULL + rows.size();
+  for (const Row& row : rows) {
+    const size_t h = row.Hash();
+    acc += h * (h | 1);
+  }
+  return acc;
+}
+
+namespace {
+
+/// Countdown latch for waiting on a group of pool tasks without blocking
+/// the whole pool.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+std::string CutPointId(int instance, size_t cut) {
+  return "i" + std::to_string(instance) + ".cut" + std::to_string(cut);
+}
+
+/// Per-instance flow execution: extraction + transform chain with recovery
+/// semantics. Produces the rows at the final cut (pre-load).
+class FlowRunner {
+ public:
+  FlowRunner(const FlowSpec& flow, const ExecutionConfig& config,
+             const std::vector<Schema>& cut_schemas, ThreadPool* pool,
+             int instance_id, std::atomic<bool>* cancelled)
+      : flow_(flow),
+        config_(config),
+        cut_schemas_(cut_schemas),
+        pool_(pool),
+        instance_id_(instance_id),
+        cancelled_(cancelled) {
+    ctx_.cancelled = cancelled;
+    ctx_.rejected_rows = &rejected_;
+    if (config_.reject_store != nullptr) {
+      ctx_.reject_sink = [this](const Row& row) -> Status {
+        RowBatch audit(RejectStoreSchema());
+        Row record;
+        record.Append(Value::String(flow_.id));
+        record.Append(Value::Int64(instance_id_));
+        record.Append(Value::Int64(current_attempt_.load()));
+        record.Append(Value::String(row.ToString()));
+        audit.Append(std::move(record));
+        return config_.reject_store->Append(audit);
+      };
+    }
+  }
+
+  /// Runs (with per-instance retries unless redundant) and fills `*out`
+  /// with the transform output. Metrics cover this instance only.
+  Status RunToOutput(std::vector<Row>* out) {
+    const size_t max_attempts =
+        config_.redundancy > 1 ? 1 : std::max<size_t>(1, config_.max_attempts);
+    size_t attempt = 1;
+    while (true) {
+      metrics_.attempts = attempt;
+      current_attempt_.store(static_cast<int64_t>(attempt));
+      const StopWatch attempt_timer;
+      const Status st =
+          RunAttempt(static_cast<int>(attempt), FindResumeCut(), out);
+      if (st.ok()) return Status::OK();
+      if (st.IsInjectedFailure() && attempt < max_attempts) {
+        ++metrics_.failures_injected;
+        // Lost work = rework: the part of the attempt NOT durably saved by
+        // a recovery point written during it.
+        metrics_.lost_work_micros += std::max<int64_t>(
+            0, attempt_timer.ElapsedMicros() - durable_elapsed_micros_);
+        ++attempt;
+        continue;
+      }
+      if (st.IsInjectedFailure()) ++metrics_.failures_injected;
+      return st;
+    }
+  }
+
+  RunMetrics& metrics() { return metrics_; }
+  size_t rejected() const { return rejected_.load(); }
+
+ private:
+  size_t NumOps() const { return flow_.transforms.size(); }
+
+  bool HasRp(size_t cut) const {
+    return std::find(config_.recovery_points.begin(),
+                     config_.recovery_points.end(),
+                     cut) != config_.recovery_points.end();
+  }
+
+  /// Latest cut with a complete recovery point, or -1 (from scratch).
+  int FindResumeCut() const {
+    if (config_.rp_store == nullptr) return -1;
+    int best = -1;
+    for (const size_t cut : config_.recovery_points) {
+      if (static_cast<int>(cut) <= best) continue;
+      if (config_.rp_store->Has(
+              {flow_.id, CutPointId(instance_id_, cut)})) {
+        best = static_cast<int>(cut);
+      }
+    }
+    return best;
+  }
+
+  Status WriteRp(size_t cut, const std::vector<Row>& rows) {
+    const StopWatch timer;
+    QOX_RETURN_IF_ERROR(config_.rp_store->Save(
+        {flow_.id, CutPointId(instance_id_, cut)}, cut_schemas_[cut], rows));
+    metrics_.rp_write_micros += timer.ElapsedMicros();
+    ++metrics_.rp_points_written;
+    // Everything up to here is durable: a subsequent failure loses only
+    // the work after this point.
+    durable_elapsed_micros_ = NowMicros() - attempt_start_micros_;
+    return Status::OK();
+  }
+
+  Result<std::vector<Row>> LoadRp(size_t cut) {
+    const StopWatch timer;
+    QOX_ASSIGN_OR_RETURN(
+        RowBatch batch,
+        config_.rp_store->Load({flow_.id, CutPointId(instance_id_, cut)},
+                               cut_schemas_[cut]));
+    metrics_.rp_read_micros += timer.ElapsedMicros();
+    ++metrics_.resumed_from_rp;
+    return std::move(batch.rows());
+  }
+
+  Result<std::vector<Row>> Extract(int attempt) {
+    const StopWatch timer;
+    QOX_ASSIGN_OR_RETURN(const size_t total, flow_.source->NumRows());
+    std::vector<Row> rows;
+    rows.reserve(total);
+    Status scan_status = flow_.source->Scan(
+        config_.batch_size, [&](const RowBatch& batch) -> Status {
+          if (cancelled_ != nullptr && cancelled_->load()) {
+            return Status::Cancelled("extraction cancelled");
+          }
+          if (config_.injector != nullptr) {
+            QOX_RETURN_IF_ERROR(config_.injector->Check(
+                instance_id_, attempt, /*op_index=*/-1,
+                rows.size() + batch.num_rows(), total));
+          }
+          rows.insert(rows.end(), batch.rows().begin(), batch.rows().end());
+          return Status::OK();
+        });
+    metrics_.extract_micros += timer.ElapsedMicros();
+    if (!scan_status.ok()) return scan_status;
+    metrics_.rows_extracted += rows.size();
+    return rows;
+  }
+
+  /// Runs transform ops [begin, end) sequentially on this thread.
+  Result<std::vector<Row>> RunSequentialUnit(size_t begin, size_t end,
+                                             std::vector<Row> rows,
+                                             int attempt) {
+    std::vector<OperatorPtr> ops;
+    ops.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) ops.push_back(flow_.transforms[i]());
+    PipelineConfig pc;
+    pc.instance_id = instance_id_;
+    pc.attempt = attempt;
+    pc.op_index_offset = static_cast<int>(begin);
+    pc.injector = config_.injector;
+    pc.expected_input_rows = rows.size();
+    QOX_ASSIGN_OR_RETURN(
+        std::unique_ptr<Pipeline> pipeline,
+        Pipeline::Create(cut_schemas_[begin], std::move(ops), &ctx_, pc));
+    RowBatch batch(cut_schemas_[begin]);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      batch.Append(std::move(rows[i]));
+      if (batch.num_rows() >= config_.batch_size) {
+        QOX_RETURN_IF_ERROR(pipeline->Push(batch));
+        batch.Clear();
+      }
+    }
+    if (!batch.empty()) QOX_RETURN_IF_ERROR(pipeline->Push(batch));
+    QOX_RETURN_IF_ERROR(pipeline->Finish());
+    for (const OpStats& stats : pipeline->op_stats()) {
+      metrics_.AccumulateOp(stats);
+    }
+    return pipeline->TakeOutput();
+  }
+
+  /// Runs transform ops [begin, end) partitioned over the pool, then merges.
+  Result<std::vector<Row>> RunParallelUnit(size_t begin, size_t end,
+                                           std::vector<Row> rows,
+                                           int attempt) {
+    const size_t num_parts = config_.parallel.partitions;
+    // Distribute rows.
+    std::vector<std::vector<Row>> parts(num_parts);
+    for (auto& part : parts) part.reserve(rows.size() / num_parts + 1);
+    if (config_.parallel.scheme == PartitionScheme::kHash) {
+      QOX_ASSIGN_OR_RETURN(
+          const size_t col,
+          cut_schemas_[begin].FieldIndex(config_.parallel.hash_column));
+      for (Row& row : rows) {
+        const size_t h = row.HashColumns({col});
+        parts[h % num_parts].push_back(std::move(row));
+      }
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        parts[i % num_parts].push_back(std::move(rows[i]));
+      }
+    }
+    rows.clear();
+
+    struct PartResult {
+      Status status;
+      std::vector<Row> rows;
+      std::vector<OpStats> op_stats;
+      int64_t micros = 0;
+    };
+    std::vector<PartResult> results(num_parts);
+    Latch latch(num_parts);
+    for (size_t p = 0; p < num_parts; ++p) {
+      pool_->Submit([&, p] {
+        PartResult& result = results[p];
+        const StopWatch part_timer;
+        std::vector<OperatorPtr> ops;
+        ops.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          ops.push_back(flow_.transforms[i]());
+        }
+        PipelineConfig pc;
+        pc.instance_id = instance_id_;
+        pc.attempt = attempt;
+        pc.op_index_offset = static_cast<int>(begin);
+        pc.injector = config_.injector;
+        pc.expected_input_rows = parts[p].size();
+        Result<std::unique_ptr<Pipeline>> pipeline = Pipeline::Create(
+            cut_schemas_[begin], std::move(ops), &ctx_, pc);
+        if (!pipeline.ok()) {
+          result.status = pipeline.status();
+          latch.CountDown();
+          return;
+        }
+        RowBatch batch(cut_schemas_[begin]);
+        Status st = Status::OK();
+        for (Row& row : parts[p]) {
+          batch.Append(std::move(row));
+          if (batch.num_rows() >= config_.batch_size) {
+            st = pipeline.value()->Push(batch);
+            if (!st.ok()) break;
+            batch.Clear();
+          }
+        }
+        if (st.ok() && !batch.empty()) st = pipeline.value()->Push(batch);
+        if (st.ok()) st = pipeline.value()->Finish();
+        result.status = st;
+        if (st.ok()) result.rows = pipeline.value()->TakeOutput();
+        result.op_stats = pipeline.value()->op_stats();
+        result.micros = part_timer.ElapsedMicros();
+        latch.CountDown();
+      });
+    }
+    latch.Wait();
+    // Injected failures win over secondary cancellations so the retry
+    // machinery sees the true cause.
+    Status failed = Status::OK();
+    for (const PartResult& result : results) {
+      if (result.status.IsInjectedFailure()) {
+        failed = result.status;
+        break;
+      }
+      if (!result.status.ok() && failed.ok()) failed = result.status;
+    }
+    for (const PartResult& result : results) {
+      for (const OpStats& stats : result.op_stats) {
+        metrics_.AccumulateOp(stats);
+      }
+    }
+    QOX_RETURN_IF_ERROR(failed);
+    ParallelUnitStats unit_stats;
+    unit_stats.range_begin = begin;
+    unit_stats.range_end = end;
+    for (const PartResult& result : results) {
+      unit_stats.partition_micros.push_back(result.micros);
+      int64_t serialized = 0;
+      for (const OpStats& stats : result.op_stats) {
+        if (stats.kind == "delta") serialized += stats.micros;
+      }
+      unit_stats.serialized_micros.push_back(serialized);
+    }
+    // Merge branches back. Concatenation plus (by default) re-establishing
+    // a global order — the non-trivial merge cost the paper warns about.
+    const StopWatch merge_timer;
+    std::vector<Row> merged;
+    size_t total = 0;
+    for (const PartResult& result : results) total += result.rows.size();
+    merged.reserve(total);
+    for (PartResult& result : results) {
+      std::move(result.rows.begin(), result.rows.end(),
+                std::back_inserter(merged));
+      result.rows.clear();
+    }
+    if (config_.ordered_merge && !merged.empty() &&
+        merged.front().num_values() > 0) {
+      std::stable_sort(merged.begin(), merged.end(),
+                       [](const Row& a, const Row& b) {
+                         return a.value(0).Compare(b.value(0)) < 0;
+                       });
+    }
+    unit_stats.merge_micros = merge_timer.ElapsedMicros();
+    metrics_.merge_micros += unit_stats.merge_micros;
+    metrics_.parallel_units.push_back(std::move(unit_stats));
+    return merged;
+  }
+
+  /// Runs ops [begin, end), splitting into sequential/parallel exec units
+  /// by the parallel range.
+  Result<std::vector<Row>> RunSegment(size_t begin, size_t end,
+                                      std::vector<Row> rows, int attempt) {
+    const bool parallel_on = config_.parallel.partitions > 1;
+    const size_t rb = config_.parallel.range_begin;
+    const size_t re = std::min(config_.parallel.range_end, NumOps());
+    size_t pos = begin;
+    while (pos < end) {
+      if (parallel_on && pos >= rb && pos < re) {
+        const size_t next = std::min(end, re);
+        QOX_ASSIGN_OR_RETURN(rows,
+                             RunParallelUnit(pos, next, std::move(rows),
+                                             attempt));
+        pos = next;
+      } else {
+        const size_t next =
+            (parallel_on && pos < rb) ? std::min(end, rb) : end;
+        QOX_ASSIGN_OR_RETURN(rows,
+                             RunSequentialUnit(pos, next, std::move(rows),
+                                               attempt));
+        pos = next;
+      }
+    }
+    return rows;
+  }
+
+  Status RunAttempt(int attempt, int resume_cut, std::vector<Row>* out) {
+    attempt_start_micros_ = NowMicros();
+    durable_elapsed_micros_ = 0;
+    std::vector<Row> rows;
+    size_t current_cut = 0;
+    if (resume_cut < 0) {
+      QOX_ASSIGN_OR_RETURN(rows, Extract(attempt));
+      current_cut = 0;
+      if (HasRp(0)) QOX_RETURN_IF_ERROR(WriteRp(0, rows));
+    } else {
+      QOX_ASSIGN_OR_RETURN(rows, LoadRp(static_cast<size_t>(resume_cut)));
+      current_cut = static_cast<size_t>(resume_cut);
+    }
+    // Transform segment by segment between recovery-point cuts. The
+    // transform phase is timed exclusively: recovery-point writes have
+    // their own counter so the phases are additive.
+    std::vector<size_t> cuts = config_.recovery_points;
+    std::sort(cuts.begin(), cuts.end());
+    while (current_cut < NumOps()) {
+      // Next recovery cut strictly after current position, or the end.
+      size_t next_cut = NumOps();
+      for (const size_t cut : cuts) {
+        if (cut > current_cut && cut <= NumOps()) {
+          next_cut = std::min(next_cut, cut);
+          break;
+        }
+      }
+      const StopWatch segment_timer;
+      QOX_ASSIGN_OR_RETURN(
+          rows, RunSegment(current_cut, next_cut, std::move(rows), attempt));
+      metrics_.transform_micros += segment_timer.ElapsedMicros();
+      current_cut = next_cut;
+      if (HasRp(current_cut) && current_cut <= NumOps()) {
+        QOX_RETURN_IF_ERROR(WriteRp(current_cut, rows));
+      }
+    }
+    *out = std::move(rows);
+    return Status::OK();
+  }
+
+  const FlowSpec& flow_;
+  const ExecutionConfig& config_;
+  const std::vector<Schema>& cut_schemas_;
+  ThreadPool* pool_;
+  const int instance_id_;
+  std::atomic<bool>* cancelled_;
+  OperatorContext ctx_;
+  RunMetrics metrics_;
+  std::atomic<size_t> rejected_{0};
+  std::atomic<int64_t> current_attempt_{1};
+  int64_t attempt_start_micros_ = 0;
+  int64_t durable_elapsed_micros_ = 0;
+};
+
+/// Loads `rows` into the target with injected-failure retry: rows already
+/// durably appended are not re-appended (incremental restart).
+Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
+                     const std::vector<Row>& rows, const Schema& schema,
+                     RunMetrics* metrics) {
+  const StopWatch timer;
+  size_t loaded = 0;
+  int attempt = 1;
+  const size_t max_attempts = std::max<size_t>(1, config.max_attempts);
+  while (loaded < rows.size()) {
+    RowBatch batch(schema);
+    const size_t n = std::min(config.batch_size, rows.size() - loaded);
+    for (size_t i = 0; i < n; ++i) batch.Append(rows[loaded + i]);
+    if (config.injector != nullptr) {
+      const Status st =
+          config.injector->Check(/*instance=*/0, attempt,
+                                 FailureSpec::kAtLoad, loaded + n, rows.size());
+      if (st.IsInjectedFailure()) {
+        ++metrics->failures_injected;
+        if (static_cast<size_t>(attempt) >= max_attempts) {
+          metrics->load_micros += timer.ElapsedMicros();
+          return st;
+        }
+        ++attempt;
+        continue;  // resume: `loaded` rows are already durable
+      }
+      QOX_RETURN_IF_ERROR(st);
+    }
+    QOX_RETURN_IF_ERROR(flow.target->Append(batch));
+    loaded += n;
+  }
+  metrics->load_micros += timer.ElapsedMicros();
+  metrics->rows_loaded += rows.size();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Schema>> Executor::BindChain(const FlowSpec& flow,
+                                                const ExecutionConfig& config) {
+  if (flow.source == nullptr) return Status::Invalid("flow has no source");
+  if (flow.target == nullptr) return Status::Invalid("flow has no target");
+  std::vector<Schema> schemas;
+  schemas.reserve(flow.transforms.size() + 1);
+  schemas.push_back(flow.source->schema());
+  for (size_t i = 0; i < flow.transforms.size(); ++i) {
+    const OperatorFactory& factory = flow.transforms[i];
+    if (!factory) {
+      return Status::Invalid("null operator factory at position " +
+                             std::to_string(i));
+    }
+    OperatorPtr op = factory();
+    QOX_ASSIGN_OR_RETURN(Schema out, op->Bind(schemas.back()));
+    schemas.push_back(std::move(out));
+  }
+  if (schemas.back() != flow.target->schema()) {
+    return Status::Invalid(
+        "flow '" + flow.id + "' output schema [" + schemas.back().ToString() +
+        "] does not match target schema [" + flow.target->schema().ToString() +
+        "]");
+  }
+  // Config validation.
+  if (config.parallel.partitions == 0) {
+    return Status::Invalid("partitions must be >= 1");
+  }
+  if (config.parallel.partitions > 1 &&
+      config.parallel.scheme == PartitionScheme::kHash) {
+    const size_t begin =
+        std::min(config.parallel.range_begin, flow.transforms.size());
+    if (!schemas[begin].HasField(config.parallel.hash_column)) {
+      return Status::Invalid("hash partition column '" +
+                             config.parallel.hash_column +
+                             "' absent at the parallel range start");
+    }
+  }
+  for (const size_t cut : config.recovery_points) {
+    if (cut > flow.transforms.size()) {
+      return Status::Invalid("recovery point cut " + std::to_string(cut) +
+                             " beyond chain length " +
+                             std::to_string(flow.transforms.size()));
+    }
+  }
+  if (!config.recovery_points.empty() && config.rp_store == nullptr) {
+    return Status::Invalid("recovery points configured without an rp_store");
+  }
+  if (config.redundancy == 0) return Status::Invalid("redundancy must be >= 1");
+  if (config.reject_store != nullptr &&
+      config.reject_store->schema() != RejectStoreSchema()) {
+    return Status::Invalid("reject_store must have RejectStoreSchema()");
+  }
+  return schemas;
+}
+
+Result<RunMetrics> Executor::Run(const FlowSpec& flow,
+                                 const ExecutionConfig& config) {
+  const StopWatch total_timer;
+  const size_t rp_bytes_before =
+      config.rp_store != nullptr ? config.rp_store->total_bytes_written() : 0;
+  QOX_ASSIGN_OR_RETURN(const std::vector<Schema> cut_schemas,
+                       BindChain(flow, config));
+  ThreadPool pool(config.num_threads);
+  std::atomic<bool> cancelled{false};
+
+  RunMetrics metrics;
+  metrics.threads = config.num_threads;
+  metrics.partitions = config.parallel.partitions;
+  metrics.redundancy = config.redundancy;
+
+  std::vector<Row> accepted_output;
+  if (config.redundancy <= 1) {
+    FlowRunner runner(flow, config, cut_schemas, &pool, /*instance_id=*/0,
+                      &cancelled);
+    QOX_RETURN_IF_ERROR(runner.RunToOutput(&accepted_output));
+    metrics = runner.metrics();
+    metrics.threads = config.num_threads;
+    metrics.partitions = config.parallel.partitions;
+    metrics.redundancy = 1;
+    metrics.rows_rejected = runner.rejected();
+  } else {
+    // n-modular redundancy: k instances race; accept on majority vote.
+    const size_t k = config.redundancy;
+    const size_t majority = k / 2 + 1;
+    struct InstanceSlot {
+      std::unique_ptr<FlowRunner> runner;
+      std::vector<Row> output;
+      Status status = Status::OK();
+      bool done = false;
+    };
+    std::vector<InstanceSlot> slots(k);
+    std::mutex vote_mu;
+    std::condition_variable vote_cv;
+    size_t done_count = 0;
+    for (size_t i = 0; i < k; ++i) {
+      slots[i].runner = std::make_unique<FlowRunner>(
+          flow, config, cut_schemas, &pool, static_cast<int>(i), &cancelled);
+    }
+    std::vector<std::thread> instance_threads;
+    instance_threads.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      instance_threads.emplace_back([&, i] {
+        InstanceSlot& slot = slots[i];
+        slot.status = slot.runner->RunToOutput(&slot.output);
+        std::lock_guard<std::mutex> lock(vote_mu);
+        slot.done = true;
+        ++done_count;
+        vote_cv.notify_all();
+      });
+    }
+    // Wait until a fingerprint reaches majority or all instances finished.
+    int accepted_instance = -1;
+    {
+      std::unique_lock<std::mutex> lock(vote_mu);
+      while (true) {
+        std::map<size_t, std::vector<size_t>> votes;  // fingerprint -> ids
+        for (size_t i = 0; i < k; ++i) {
+          if (slots[i].done && slots[i].status.ok()) {
+            votes[FingerprintRows(slots[i].output)].push_back(i);
+          }
+        }
+        for (const auto& [fp, ids] : votes) {
+          if (ids.size() >= majority) {
+            accepted_instance = static_cast<int>(ids.front());
+            break;
+          }
+        }
+        if (accepted_instance >= 0 || done_count == k) break;
+        vote_cv.wait(lock);
+      }
+    }
+    cancelled.store(true);  // stop stragglers
+    for (std::thread& t : instance_threads) t.join();
+    if (accepted_instance < 0) {
+      // No majority: report the first hard error, else a vote failure.
+      for (const InstanceSlot& slot : slots) {
+        if (!slot.status.ok() && !slot.status.IsInjectedFailure() &&
+            slot.status.code() != StatusCode::kCancelled) {
+          return slot.status;
+        }
+      }
+      return Status::Internal("redundancy vote failed: no majority among " +
+                              std::to_string(k) + " instances");
+    }
+    accepted_output = std::move(slots[accepted_instance].output);
+    metrics = slots[accepted_instance].runner->metrics();
+    metrics.threads = config.num_threads;
+    metrics.partitions = config.parallel.partitions;
+    metrics.redundancy = k;
+    metrics.rows_rejected = slots[accepted_instance].runner->rejected();
+    // Failures that killed minority instances still count.
+    size_t failures = 0;
+    for (const InstanceSlot& slot : slots) {
+      failures += slot.runner->metrics().failures_injected;
+    }
+    metrics.failures_injected = failures;
+  }
+
+  QOX_RETURN_IF_ERROR(LoadWithRetry(flow, config, accepted_output,
+                                    cut_schemas.back(), &metrics));
+  if (flow.post_success) {
+    QOX_RETURN_IF_ERROR(flow.post_success());
+  }
+  if (config.rp_store != nullptr) {
+    QOX_RETURN_IF_ERROR(config.rp_store->DropFlow(flow.id));
+  }
+  metrics.total_micros = total_timer.ElapsedMicros();
+  if (config.rp_store != nullptr) {
+    metrics.rp_bytes_written =
+        config.rp_store->total_bytes_written() - rp_bytes_before;
+  }
+  return metrics;
+}
+
+}  // namespace qox

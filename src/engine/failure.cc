@@ -1,0 +1,129 @@
+#include "engine/failure.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace qox {
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNetwork:
+      return "network";
+    case FailureKind::kPower:
+      return "power";
+    case FailureKind::kHuman:
+      return "human";
+    case FailureKind::kResource:
+      return "resource";
+    case FailureKind::kMisc:
+      return "misc";
+  }
+  return "unknown";
+}
+
+const char* FlowPhaseName(FlowPhase phase) {
+  switch (phase) {
+    case FlowPhase::kExtract:
+      return "extract";
+    case FlowPhase::kTransform:
+      return "transform";
+    case FlowPhase::kLoad:
+      return "load";
+  }
+  return "unknown";
+}
+
+void FailureInjector::AddFailure(const FailureSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  planned_.push_back(Planned{spec, false});
+}
+
+void FailureInjector::ArmRandom(size_t count, int num_ops, Rng* rng) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < count; ++i) {
+    FailureSpec spec;
+    const uint64_t pick = rng->Next() % 5;
+    spec.kind = static_cast<FailureKind>(pick);
+    // -1 (extraction) .. num_ops-1 (transform ops).
+    spec.at_op = static_cast<int>(rng->Uniform(-1, num_ops - 1));
+    spec.at_fraction = rng->NextDouble();
+    spec.on_attempt = static_cast<int>(i) + 1;
+    planned_.push_back(Planned{spec, false});
+  }
+}
+
+void FailureInjector::ArmMtbf(double mtbf_seconds, double horizon_s,
+                              Rng* rng) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_start_micros_ = NowMicros();
+  timed_.clear();
+  double t = 0.0;
+  while (true) {
+    t += rng->Exponential(mtbf_seconds);
+    if (t >= horizon_s) break;
+    timed_.push_back({static_cast<int64_t>(t * 1e6), false});
+  }
+}
+
+Status FailureInjector::Check(int instance, int attempt, int op_index,
+                              size_t rows_done, size_t rows_total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // MTBF-sampled failures fire on wall-clock crossings, any position.
+  const int64_t elapsed = NowMicros() - clock_start_micros_;
+  for (TimedFailure& timed : timed_) {
+    if (timed.fired || elapsed < timed.at_elapsed_micros) continue;
+    timed.fired = true;
+    ++triggered_;
+    return Status::InjectedFailure(
+        "system failure (MTBF-sampled) at elapsed " +
+        std::to_string(elapsed / 1000) + "ms");
+  }
+  for (Planned& planned : planned_) {
+    if (planned.fired) continue;
+    const FailureSpec& spec = planned.spec;
+    const int target =
+        spec.target_instance < 0 ? 0 : spec.target_instance;
+    if (target != instance) continue;
+    if (spec.on_attempt != attempt) continue;
+    if (spec.at_op != op_index) continue;
+    const double fraction =
+        rows_total == 0
+            ? 0.0
+            : static_cast<double>(rows_done) / static_cast<double>(rows_total);
+    if (fraction + 1e-12 < spec.at_fraction) continue;
+    planned.fired = true;
+    ++triggered_;
+    std::string where =
+        op_index < 0 ? "extraction"
+        : op_index == FailureSpec::kAtLoad
+            ? "load"
+            : "transform op " + std::to_string(op_index);
+    return Status::InjectedFailure(std::string(FailureKindName(spec.kind)) +
+                                   " failure during " + where + " at " +
+                                   std::to_string(fraction * 100.0) + "%");
+  }
+  return Status::OK();
+}
+
+size_t FailureInjector::triggered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggered_;
+}
+
+void FailureInjector::Rearm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Planned& planned : planned_) planned.fired = false;
+  for (TimedFailure& timed : timed_) timed.fired = false;
+  clock_start_micros_ = NowMicros();
+  triggered_ = 0;
+}
+
+void FailureInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  planned_.clear();
+  timed_.clear();
+  triggered_ = 0;
+}
+
+}  // namespace qox

@@ -1,0 +1,122 @@
+// FailureInjector: deterministic and stochastic system-failure injection.
+//
+// The paper classifies errors into ETL-operation failures and system
+// failures (network, power, human, resource, miscellaneous; Sec. 2.2
+// "Recoverability"). The injector models the system-failure class: the
+// executor reports progress (which phase, which operator, how many rows),
+// and the injector decides when a configured failure fires. A fired failure
+// surfaces as StatusCode::kInjectedFailure, which the executor treats as a
+// recoverable interruption (restart / resume from recovery point / fail
+// over to a redundant instance).
+
+#ifndef QOX_ENGINE_FAILURE_H_
+#define QOX_ENGINE_FAILURE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qox {
+
+/// The paper's taxonomy of system failures.
+enum class FailureKind {
+  kNetwork,
+  kPower,
+  kHuman,
+  kResource,
+  kMisc,
+};
+
+const char* FailureKindName(FailureKind kind);
+
+/// Phases of flow execution at which progress is reported.
+enum class FlowPhase {
+  kExtract,
+  kTransform,
+  kLoad,
+};
+
+const char* FlowPhaseName(FlowPhase phase);
+
+/// One planned failure.
+///
+/// `at_op` positions the failure within the transform chain: -1 means the
+/// extraction phase, k >= 0 means during transform operator k (0-based),
+/// and kAtLoad means during the warehouse load. `at_fraction` refines the
+/// position to a fraction of that phase's rows. `on_attempt` makes the
+/// failure one-shot: it fires only on the given attempt number (1-based),
+/// so the standard experiment "fail once, then recover" is on_attempt = 1.
+/// `target_instance` restricts the failure to one redundant instance
+/// (-1 = applies to instance 0 / non-redundant runs).
+struct FailureSpec {
+  FailureKind kind = FailureKind::kResource;
+  int at_op = -1;
+  double at_fraction = 0.5;
+  int on_attempt = 1;
+  int target_instance = -1;
+
+  static constexpr int kAtLoad = 1 << 20;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector() = default;
+
+  /// Registers a planned failure.
+  void AddFailure(const FailureSpec& spec);
+
+  /// Arms `count` randomly placed one-shot failures over the transform
+  /// chain of `num_ops` operators, fractions sampled uniformly. Each fires
+  /// on a distinct attempt (1, 2, ...), modelling successive interruptions.
+  void ArmRandom(size_t count, int num_ops, Rng* rng);
+
+  /// MTBF mode: samples exponential times-to-failure with the given mean
+  /// and fires whenever the wall clock crosses one, regardless of position
+  /// (the paper's "system failures" — network, power — strike at arbitrary
+  /// moments). `horizon_s` bounds how far ahead failures are sampled.
+  void ArmMtbf(double mtbf_seconds, double horizon_s, Rng* rng);
+
+  /// Called by the executor as work progresses. Returns an injected-failure
+  /// status when a registered spec fires at this point, OK otherwise.
+  ///
+  /// `instance`: redundant-instance id (0 for non-redundant execution).
+  /// `attempt`: 1-based attempt number of this instance.
+  /// `op_index`: -1 extraction, k transform op k, FailureSpec::kAtLoad load.
+  /// `rows_done` / `rows_total`: progress within the phase (rows_total may
+  /// be 0 when unknown; then only at_fraction == 0 specs can fire).
+  Status Check(int instance, int attempt, int op_index, size_t rows_done,
+               size_t rows_total);
+
+  /// Number of failures that have fired so far.
+  size_t triggered_count() const;
+
+  /// Clears fired-state so the same plan can run again (keeps specs).
+  void Rearm();
+
+  /// Removes all specs.
+  void Clear();
+
+ private:
+  struct Planned {
+    FailureSpec spec;
+    bool fired = false;
+  };
+  struct TimedFailure {
+    int64_t at_elapsed_micros = 0;
+    bool fired = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Planned> planned_;
+  std::vector<TimedFailure> timed_;
+  int64_t clock_start_micros_ = 0;
+  size_t triggered_ = 0;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_FAILURE_H_

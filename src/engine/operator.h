@@ -1,0 +1,109 @@
+// Operator: the unit of transformation in a flow.
+//
+// Operators are push-based and vectorized: the pipeline calls Push() with
+// input batches and the operator appends produced rows to the output batch;
+// Finish() flushes state buffered by blocking operators (sort, group,
+// delta). Bind() performs schema inference/validation before any data
+// flows, so mis-wired flows fail at plan time.
+//
+// Operators are single-use: partitioned and redundant execution construct a
+// fresh clone per branch via OperatorFactory.
+
+#ifndef QOX_ENGINE_OPERATOR_H_
+#define QOX_ENGINE_OPERATOR_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "engine/run_metrics.h"
+
+namespace qox {
+
+/// Shared per-execution context handed to operators at Open().
+struct OperatorContext {
+  /// Cooperative cancellation flag (set when a redundant sibling already
+  /// produced the accepted result). May be null.
+  std::atomic<bool>* cancelled = nullptr;
+
+  /// Sink for rows rejected by quality operators (NULL filters, failed
+  /// lookups). May be null, in which case rejects are counted but dropped.
+  std::function<Status(const Row&)> reject_sink;
+
+  /// Rejected-row counter (always maintained).
+  std::atomic<size_t>* rejected_rows = nullptr;
+
+  bool IsCancelled() const {
+    return cancelled != nullptr && cancelled->load(std::memory_order_relaxed);
+  }
+
+  Status Reject(const Row& row) {
+    if (rejected_rows != nullptr) {
+      rejected_rows->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (reject_sink) return reject_sink(row);
+    return Status::OK();
+  }
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Short operator kind ("filter", "lookup", "sort", ...), used by plan
+  /// dumps, cost models, and maintainability metrics.
+  virtual const char* kind() const = 0;
+
+  /// Instance name ("Flt_NN", "SK_sales", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Validates the input schema and returns the output schema. Called once
+  /// before Open(). Implementations must be callable repeatedly (planners
+  /// bind speculatively while exploring rewrites).
+  virtual Result<Schema> Bind(const Schema& input) = 0;
+
+  /// Acquires execution-time resources (e.g., builds lookup hash tables).
+  /// Called once after Bind, before the first Push.
+  virtual Status Open(OperatorContext* ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Consumes `input`, appending any produced rows to `*output`. `*output`
+  /// carries the Bind() output schema. Blocking operators buffer here.
+  virtual Status Push(const RowBatch& input, RowBatch* output) = 0;
+
+  /// Emits rows buffered by blocking operators. Called exactly once, after
+  /// the final Push.
+  virtual Status Finish(RowBatch* output) {
+    (void)output;
+    return Status::OK();
+  }
+
+  /// True when the operator must see its entire input before emitting
+  /// (sort, group, delta). Pipelining/blocking separation drives both the
+  /// paper's algebraic optimization and recovery-point placement.
+  virtual bool IsBlocking() const { return false; }
+
+  /// Relative CPU cost per input row (1.0 = a trivial pass). Used by the
+  /// QoX cost model; calibrated against measured OpStats in tests.
+  virtual double CostPerRow() const { return 1.0; }
+
+  /// Expected output/input row ratio (selectivity), for volume estimation.
+  virtual double Selectivity() const { return 1.0; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Builds a fresh operator instance. Factories are the unit the planner
+/// composes: each partition/redundant branch materializes its own clone.
+using OperatorFactory = std::function<OperatorPtr()>;
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_OPERATOR_H_

@@ -1,0 +1,115 @@
+#include "engine/ops/filter_op.h"
+
+namespace qox {
+
+bool Predicate::Matches(const Row& row, size_t index) const {
+  const Value& v = row.value(index);
+  switch (kind) {
+    case Kind::kNotNull:
+      return !v.is_null();
+    case Kind::kIsNull:
+      return v.is_null();
+    case Kind::kCompare: {
+      if (v.is_null()) return false;  // SQL-style: NULL fails comparisons
+      const int c = v.Compare(literal);
+      switch (op) {
+        case CmpOp::kEq:
+          return c == 0;
+        case CmpOp::kNe:
+          return c != 0;
+        case CmpOp::kLt:
+          return c < 0;
+        case CmpOp::kLe:
+          return c <= 0;
+        case CmpOp::kGt:
+          return c > 0;
+        case CmpOp::kGe:
+          return c >= 0;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kNotNull:
+      return column + " IS NOT NULL";
+    case Kind::kIsNull:
+      return column + " IS NULL";
+    case Kind::kCompare: {
+      const char* op_text = "=";
+      switch (op) {
+        case CmpOp::kEq:
+          op_text = "=";
+          break;
+        case CmpOp::kNe:
+          op_text = "!=";
+          break;
+        case CmpOp::kLt:
+          op_text = "<";
+          break;
+        case CmpOp::kLe:
+          op_text = "<=";
+          break;
+        case CmpOp::kGt:
+          op_text = ">";
+          break;
+        case CmpOp::kGe:
+          op_text = ">=";
+          break;
+      }
+      return column + " " + op_text + " " + literal.ToString();
+    }
+  }
+  return "?";
+}
+
+FilterOp::FilterOp(std::string name, std::vector<Predicate> conjuncts,
+                   double estimated_selectivity)
+    : name_(std::move(name)),
+      conjuncts_(std::move(conjuncts)),
+      estimated_selectivity_(estimated_selectivity) {}
+
+Result<Schema> FilterOp::Bind(const Schema& input) {
+  indices_.clear();
+  indices_.reserve(conjuncts_.size());
+  for (const Predicate& p : conjuncts_) {
+    QOX_ASSIGN_OR_RETURN(const size_t idx, input.FieldIndex(p.column));
+    indices_.push_back(idx);
+  }
+  return input;  // filters do not change the schema
+}
+
+Status FilterOp::Open(OperatorContext* ctx) {
+  ctx_ = ctx;
+  return Status::OK();
+}
+
+Status FilterOp::Push(const RowBatch& input, RowBatch* output) {
+  for (const Row& row : input.rows()) {
+    bool pass = true;
+    for (size_t i = 0; i < conjuncts_.size(); ++i) {
+      if (!conjuncts_[i].Matches(row, indices_[i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      output->Append(row);
+    } else if (ctx_ != nullptr) {
+      QOX_RETURN_IF_ERROR(ctx_->Reject(row));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FilterOp::InputColumns() const {
+  std::vector<std::string> cols;
+  cols.reserve(conjuncts_.size());
+  for (const Predicate& p : conjuncts_) cols.push_back(p.column);
+  return cols;
+}
+
+}  // namespace qox

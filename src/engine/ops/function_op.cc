@@ -1,0 +1,326 @@
+#include "engine/ops/function_op.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qox {
+
+ColumnTransform ColumnTransform::Rename(std::string from, std::string to) {
+  ColumnTransform t;
+  t.kind = Kind::kRename;
+  t.a = std::move(from);
+  t.out = std::move(to);
+  return t;
+}
+
+ColumnTransform ColumnTransform::Drop(std::string column) {
+  ColumnTransform t;
+  t.kind = Kind::kDrop;
+  t.a = std::move(column);
+  return t;
+}
+
+ColumnTransform ColumnTransform::Arith(std::string out, std::string a,
+                                       ArithOp op, std::string b) {
+  ColumnTransform t;
+  t.kind = Kind::kArith;
+  t.out = std::move(out);
+  t.a = std::move(a);
+  t.arith_op = op;
+  t.b = std::move(b);
+  return t;
+}
+
+ColumnTransform ColumnTransform::Scale(std::string out, std::string a,
+                                       double factor) {
+  ColumnTransform t;
+  t.kind = Kind::kScale;
+  t.out = std::move(out);
+  t.a = std::move(a);
+  t.scale = factor;
+  return t;
+}
+
+ColumnTransform ColumnTransform::Concat(std::string out, std::string a,
+                                        std::string b, std::string separator) {
+  ColumnTransform t;
+  t.kind = Kind::kConcat;
+  t.out = std::move(out);
+  t.a = std::move(a);
+  t.b = std::move(b);
+  t.separator = std::move(separator);
+  t.out_type = DataType::kString;
+  return t;
+}
+
+ColumnTransform ColumnTransform::Upper(std::string column) {
+  ColumnTransform t;
+  t.kind = Kind::kUpper;
+  t.a = column;
+  t.out = std::move(column);
+  t.out_type = DataType::kString;
+  return t;
+}
+
+ColumnTransform ColumnTransform::Constant(std::string out, Value v) {
+  ColumnTransform t;
+  t.kind = Kind::kConstant;
+  t.out = std::move(out);
+  t.out_type = v.type();
+  t.literal = std::move(v);
+  return t;
+}
+
+ColumnTransform ColumnTransform::Coalesce(std::string column, Value fallback) {
+  ColumnTransform t;
+  t.kind = Kind::kCoalesce;
+  t.a = column;
+  t.out = std::move(column);
+  t.literal = std::move(fallback);
+  return t;
+}
+
+std::string ColumnTransform::ToString() const {
+  switch (kind) {
+    case Kind::kRename:
+      return "rename(" + a + " -> " + out + ")";
+    case Kind::kDrop:
+      return "drop(" + a + ")";
+    case Kind::kArith: {
+      const char* op_text = "+";
+      switch (arith_op) {
+        case ArithOp::kAdd:
+          op_text = "+";
+          break;
+        case ArithOp::kSub:
+          op_text = "-";
+          break;
+        case ArithOp::kMul:
+          op_text = "*";
+          break;
+        case ArithOp::kDiv:
+          op_text = "/";
+          break;
+      }
+      return out + " = " + a + " " + op_text + " " + b;
+    }
+    case Kind::kScale:
+      return out + " = " + a + " * " + std::to_string(scale);
+    case Kind::kConcat:
+      return out + " = concat(" + a + ", " + b + ")";
+    case Kind::kUpper:
+      return "upper(" + a + ")";
+    case Kind::kConstant:
+      return out + " = const(" + literal.ToString() + ")";
+    case Kind::kCoalesce:
+      return "coalesce(" + a + ", " + literal.ToString() + ")";
+  }
+  return "?";
+}
+
+FunctionOp::FunctionOp(std::string name,
+                       std::vector<ColumnTransform> transforms)
+    : name_(std::move(name)), transforms_(std::move(transforms)) {}
+
+Result<Schema> FunctionOp::Bind(const Schema& input) {
+  bound_.clear();
+  Schema schema = input;
+  for (const ColumnTransform& t : transforms_) {
+    BoundStep step;
+    step.transform = t;
+    switch (t.kind) {
+      case ColumnTransform::Kind::kRename: {
+        QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
+        QOX_ASSIGN_OR_RETURN(schema, schema.RenameField(t.a, t.out));
+        break;
+      }
+      case ColumnTransform::Kind::kDrop: {
+        QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
+        QOX_ASSIGN_OR_RETURN(schema, schema.RemoveField(t.a));
+        break;
+      }
+      case ColumnTransform::Kind::kArith:
+      case ColumnTransform::Kind::kConcat: {
+        QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
+        QOX_ASSIGN_OR_RETURN(step.b_index, schema.FieldIndex(t.b));
+        if (schema.HasField(t.out)) {
+          QOX_ASSIGN_OR_RETURN(step.out_index, schema.FieldIndex(t.out));
+        } else {
+          step.out_is_new = true;
+          step.out_index = schema.num_fields();
+          QOX_ASSIGN_OR_RETURN(schema,
+                               schema.AddField({t.out, t.out_type, true}));
+        }
+        break;
+      }
+      case ColumnTransform::Kind::kScale: {
+        QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
+        if (schema.HasField(t.out)) {
+          QOX_ASSIGN_OR_RETURN(step.out_index, schema.FieldIndex(t.out));
+        } else {
+          step.out_is_new = true;
+          step.out_index = schema.num_fields();
+          QOX_ASSIGN_OR_RETURN(
+              schema, schema.AddField({t.out, DataType::kDouble, true}));
+        }
+        break;
+      }
+      case ColumnTransform::Kind::kUpper:
+      case ColumnTransform::Kind::kCoalesce: {
+        QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
+        step.out_index = step.a_index;
+        break;
+      }
+      case ColumnTransform::Kind::kConstant: {
+        if (schema.HasField(t.out)) {
+          return Status::AlreadyExists("constant column '" + t.out +
+                                       "' already exists");
+        }
+        step.out_is_new = true;
+        step.out_index = schema.num_fields();
+        QOX_ASSIGN_OR_RETURN(schema,
+                             schema.AddField({t.out, t.out_type, true}));
+        break;
+      }
+    }
+    bound_.push_back(std::move(step));
+  }
+  output_schema_ = schema;
+  return output_schema_;
+}
+
+namespace {
+
+Value ApplyArith(const Value& a, const Value& b,
+                 ColumnTransform::ArithOp op) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  const Result<double> da = a.AsDouble();
+  const Result<double> db = b.AsDouble();
+  if (!da.ok() || !db.ok()) return Value::Null();
+  switch (op) {
+    case ColumnTransform::ArithOp::kAdd:
+      return Value::Double(da.value() + db.value());
+    case ColumnTransform::ArithOp::kSub:
+      return Value::Double(da.value() - db.value());
+    case ColumnTransform::ArithOp::kMul:
+      return Value::Double(da.value() * db.value());
+    case ColumnTransform::ArithOp::kDiv:
+      return db.value() == 0.0 ? Value::Null()
+                               : Value::Double(da.value() / db.value());
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Status FunctionOp::Push(const RowBatch& input, RowBatch* output) {
+  for (const Row& in_row : input.rows()) {
+    std::vector<Value> cells(in_row.values().begin(), in_row.values().end());
+    for (const BoundStep& step : bound_) {
+      const ColumnTransform& t = step.transform;
+      switch (t.kind) {
+        case ColumnTransform::Kind::kRename:
+          break;  // metadata only
+        case ColumnTransform::Kind::kDrop:
+          cells.erase(cells.begin() + static_cast<ptrdiff_t>(step.a_index));
+          break;
+        case ColumnTransform::Kind::kArith: {
+          Value v = ApplyArith(cells[step.a_index], cells[step.b_index],
+                               t.arith_op);
+          if (step.out_is_new) {
+            cells.push_back(std::move(v));
+          } else {
+            cells[step.out_index] = std::move(v);
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kScale: {
+          const Value& a = cells[step.a_index];
+          Value v = Value::Null();
+          if (!a.is_null()) {
+            const Result<double> da = a.AsDouble();
+            if (da.ok()) v = Value::Double(da.value() * t.scale);
+          }
+          if (step.out_is_new) {
+            cells.push_back(std::move(v));
+          } else {
+            cells[step.out_index] = std::move(v);
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kConcat: {
+          Value v = Value::String(cells[step.a_index].ToString() +
+                                  t.separator +
+                                  cells[step.b_index].ToString());
+          if (step.out_is_new) {
+            cells.push_back(std::move(v));
+          } else {
+            cells[step.out_index] = std::move(v);
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kUpper: {
+          Value& v = cells[step.a_index];
+          if (!v.is_null() && v.type() == DataType::kString) {
+            std::string s = v.string_value();
+            std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+              return static_cast<char>(std::toupper(c));
+            });
+            v = Value::String(std::move(s));
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kConstant:
+          cells.push_back(t.literal);
+          break;
+        case ColumnTransform::Kind::kCoalesce: {
+          Value& v = cells[step.a_index];
+          if (v.is_null()) v = t.literal;
+          break;
+        }
+      }
+    }
+    output->Append(Row(std::move(cells)));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FunctionOp::InputColumns() const {
+  std::vector<std::string> cols;
+  for (const ColumnTransform& t : transforms_) {
+    if (!t.a.empty()) cols.push_back(t.a);
+    if (!t.b.empty()) cols.push_back(t.b);
+  }
+  return cols;
+}
+
+std::vector<std::string> FunctionOp::CreatedColumns() const {
+  std::vector<std::string> cols;
+  for (const ColumnTransform& t : transforms_) {
+    switch (t.kind) {
+      case ColumnTransform::Kind::kRename:
+      case ColumnTransform::Kind::kArith:
+      case ColumnTransform::Kind::kScale:
+      case ColumnTransform::Kind::kConcat:
+      case ColumnTransform::Kind::kConstant:
+        if (!t.out.empty()) cols.push_back(t.out);
+        break;
+      case ColumnTransform::Kind::kDrop:
+      case ColumnTransform::Kind::kUpper:
+      case ColumnTransform::Kind::kCoalesce:
+        break;
+    }
+  }
+  return cols;
+}
+
+std::vector<std::string> FunctionOp::DroppedColumns() const {
+  std::vector<std::string> cols;
+  for (const ColumnTransform& t : transforms_) {
+    if (t.kind == ColumnTransform::Kind::kDrop) cols.push_back(t.a);
+    if (t.kind == ColumnTransform::Kind::kRename) cols.push_back(t.a);
+  }
+  return cols;
+}
+
+}  // namespace qox

@@ -1,0 +1,77 @@
+// GroupOp: blocking hash aggregation ("grouper" in the paper's pipelining
+// example {filter, sorter, filter, filter, function, grouper}).
+
+#ifndef QOX_ENGINE_OPS_GROUP_OP_H_
+#define QOX_ENGINE_OPS_GROUP_OP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace qox {
+
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggKindName(AggKind kind);
+
+/// One aggregate: kind over `column` (ignored for kCount), output `as`.
+struct Aggregate {
+  AggKind kind = AggKind::kCount;
+  std::string column;
+  std::string as;
+
+  static Aggregate Count(std::string as) { return {AggKind::kCount, "", std::move(as)}; }
+  static Aggregate Sum(std::string column, std::string as) {
+    return {AggKind::kSum, std::move(column), std::move(as)};
+  }
+  static Aggregate Min(std::string column, std::string as) {
+    return {AggKind::kMin, std::move(column), std::move(as)};
+  }
+  static Aggregate Max(std::string column, std::string as) {
+    return {AggKind::kMax, std::move(column), std::move(as)};
+  }
+  static Aggregate Avg(std::string column, std::string as) {
+    return {AggKind::kAvg, std::move(column), std::move(as)};
+  }
+};
+
+class GroupOp : public Operator {
+ public:
+  GroupOp(std::string name, std::vector<std::string> group_columns,
+          std::vector<Aggregate> aggregates);
+
+  const char* kind() const override { return "group"; }
+  const std::string& name() const override { return name_; }
+  Result<Schema> Bind(const Schema& input) override;
+  Status Push(const RowBatch& input, RowBatch* output) override;
+  Status Finish(RowBatch* output) override;
+  bool IsBlocking() const override { return true; }
+  double CostPerRow() const override { return 2.5; }
+  double Selectivity() const override { return 0.1; }  // group reduction
+
+  std::vector<std::string> InputColumns() const;
+
+ private:
+  struct AggState {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    size_t count = 0;      ///< non-NULL inputs
+    size_t row_count = 0;  ///< all rows (kCount)
+  };
+
+  const std::string name_;
+  const std::vector<std::string> group_columns_;
+  const std::vector<Aggregate> aggregates_;
+  std::vector<size_t> group_indices_;
+  std::vector<size_t> agg_indices_;
+  // Key = group-column row; value = one state per aggregate.
+  std::unordered_map<Row, std::vector<AggState>, RowHash> groups_;
+  std::vector<Row> group_order_;  // first-seen order for determinism
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_OPS_GROUP_OP_H_

@@ -1,0 +1,84 @@
+#include "engine/ops/lookup_op.h"
+
+namespace qox {
+
+LookupOp::LookupOp(std::string name, DataStorePtr dimension,
+                   std::string input_key, std::string dim_key,
+                   std::vector<std::string> append_columns,
+                   LookupMissPolicy miss_policy, double estimated_hit_rate)
+    : name_(std::move(name)),
+      dimension_(std::move(dimension)),
+      input_key_(std::move(input_key)),
+      dim_key_(std::move(dim_key)),
+      append_columns_(std::move(append_columns)),
+      miss_policy_(miss_policy),
+      estimated_hit_rate_(estimated_hit_rate) {}
+
+Result<Schema> LookupOp::Bind(const Schema& input) {
+  if (dimension_ == nullptr) {
+    return Status::Invalid("lookup '" + name_ + "' has no dimension store");
+  }
+  QOX_ASSIGN_OR_RETURN(input_key_index_, input.FieldIndex(input_key_));
+  const Schema& dim_schema = dimension_->schema();
+  QOX_ASSIGN_OR_RETURN(dim_key_index_, dim_schema.FieldIndex(dim_key_));
+  append_indices_.clear();
+  output_column_names_.clear();
+  Schema schema = input;
+  for (const std::string& col : append_columns_) {
+    QOX_ASSIGN_OR_RETURN(const size_t idx, dim_schema.FieldIndex(col));
+    append_indices_.push_back(idx);
+    std::string out_name = col;
+    if (schema.HasField(out_name)) {
+      out_name = dimension_->name() + "_" + col;
+    }
+    output_column_names_.push_back(out_name);
+    QOX_ASSIGN_OR_RETURN(
+        schema,
+        schema.AddField({out_name, dim_schema.field(idx).type, true}));
+  }
+  return schema;
+}
+
+Status LookupOp::Open(OperatorContext* ctx) {
+  ctx_ = ctx;
+  table_.clear();
+  QOX_ASSIGN_OR_RETURN(const RowBatch dim_rows, dimension_->ReadAll());
+  table_.reserve(dim_rows.num_rows());
+  for (const Row& row : dim_rows.rows()) {
+    table_.emplace(row.value(dim_key_index_), row);
+  }
+  return Status::OK();
+}
+
+Status LookupOp::Push(const RowBatch& input, RowBatch* output) {
+  for (const Row& row : input.rows()) {
+    const Value& key = row.value(input_key_index_);
+    const auto it = key.is_null() ? table_.end() : table_.find(key);
+    if (it == table_.end()) {
+      switch (miss_policy_) {
+        case LookupMissPolicy::kReject:
+          if (ctx_ != nullptr) QOX_RETURN_IF_ERROR(ctx_->Reject(row));
+          continue;
+        case LookupMissPolicy::kNull: {
+          Row out = row;
+          for (size_t i = 0; i < append_indices_.size(); ++i) {
+            out.Append(Value::Null());
+          }
+          output->Append(std::move(out));
+          continue;
+        }
+        case LookupMissPolicy::kError:
+          return Status::NotFound("lookup '" + name_ +
+                                  "': unresolved key " + key.ToString());
+      }
+    }
+    Row out = row;
+    for (const size_t idx : append_indices_) {
+      out.Append(it->second.value(idx));
+    }
+    output->Append(std::move(out));
+  }
+  return Status::OK();
+}
+
+}  // namespace qox

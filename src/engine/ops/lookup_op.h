@@ -1,0 +1,80 @@
+// LookupOp: hash-join a stream against a lookup dimension.
+//
+// Models the paper's "lookup operation (for finding corresponding codes
+// from store sites and for verifying the moving information as well)".
+// The dimension is loaded into a hash table at Open(); each input row is
+// probed by its key column and the requested dimension columns are
+// appended. The miss policy implements verification: unresolved codes can
+// be rejected (routed to the reject sink), padded with NULLs, or treated
+// as a hard error.
+
+#ifndef QOX_ENGINE_OPS_LOOKUP_OP_H_
+#define QOX_ENGINE_OPS_LOOKUP_OP_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/operator.h"
+#include "storage/data_store.h"
+
+namespace qox {
+
+enum class LookupMissPolicy {
+  kReject,  ///< route the row to the reject sink (verification failure)
+  kNull,    ///< keep the row, appended columns become NULL
+  kError,   ///< abort the flow
+};
+
+class LookupOp : public Operator {
+ public:
+  /// `dimension` is scanned once at Open(). `input_key` is the probe column
+  /// of the stream; `dim_key` the dimension's key column; `append_columns`
+  /// the dimension columns appended to matching rows (renamed on collision
+  /// with "<dim name>_" prefix).
+  LookupOp(std::string name, DataStorePtr dimension, std::string input_key,
+           std::string dim_key, std::vector<std::string> append_columns,
+           LookupMissPolicy miss_policy = LookupMissPolicy::kReject,
+           double estimated_hit_rate = 0.98);
+
+  const char* kind() const override { return "lookup"; }
+  const std::string& name() const override { return name_; }
+  Result<Schema> Bind(const Schema& input) override;
+  Status Open(OperatorContext* ctx) override;
+  Status Push(const RowBatch& input, RowBatch* output) override;
+  double CostPerRow() const override { return 2.0; }
+  double Selectivity() const override {
+    return miss_policy_ == LookupMissPolicy::kReject ? estimated_hit_rate_
+                                                     : 1.0;
+  }
+
+  const std::string& input_key() const { return input_key_; }
+
+  /// Columns this operator reads from its input (rewrite legality).
+  std::vector<std::string> InputColumns() const { return {input_key_}; }
+  /// Columns appended to the output (post-rename).
+  const std::vector<std::string>& OutputColumnNames() const {
+    return output_column_names_;
+  }
+
+ private:
+  const std::string name_;
+  const DataStorePtr dimension_;
+  const std::string input_key_;
+  const std::string dim_key_;
+  const std::vector<std::string> append_columns_;
+  const LookupMissPolicy miss_policy_;
+  const double estimated_hit_rate_;
+
+  std::vector<std::string> output_column_names_;
+  size_t input_key_index_ = 0;
+  size_t dim_key_index_ = 0;
+  std::vector<size_t> append_indices_;
+  std::unordered_map<Value, Row, ValueHash> table_;
+  OperatorContext* ctx_ = nullptr;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_OPS_LOOKUP_OP_H_

@@ -1,0 +1,49 @@
+#include "engine/ops/sort_op.h"
+
+#include <algorithm>
+
+namespace qox {
+
+SortOp::SortOp(std::string name, std::vector<SortKey> keys)
+    : name_(std::move(name)), keys_(std::move(keys)) {}
+
+Result<Schema> SortOp::Bind(const Schema& input) {
+  if (keys_.empty()) return Status::Invalid("sort '" + name_ + "' has no keys");
+  indices_.clear();
+  for (const SortKey& key : keys_) {
+    QOX_ASSIGN_OR_RETURN(const size_t idx, input.FieldIndex(key.column));
+    indices_.push_back(idx);
+  }
+  buffered_.clear();
+  return input;
+}
+
+Status SortOp::Push(const RowBatch& input, RowBatch* output) {
+  (void)output;
+  buffered_.insert(buffered_.end(), input.rows().begin(), input.rows().end());
+  return Status::OK();
+}
+
+Status SortOp::Finish(RowBatch* output) {
+  std::stable_sort(buffered_.begin(), buffered_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (size_t i = 0; i < indices_.size(); ++i) {
+                       const int c =
+                           a.value(indices_[i]).Compare(b.value(indices_[i]));
+                       if (c != 0) return keys_[i].descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  for (Row& row : buffered_) output->Append(std::move(row));
+  buffered_.clear();
+  return Status::OK();
+}
+
+std::vector<std::string> SortOp::InputColumns() const {
+  std::vector<std::string> cols;
+  cols.reserve(keys_.size());
+  for (const SortKey& key : keys_) cols.push_back(key.column);
+  return cols;
+}
+
+}  // namespace qox

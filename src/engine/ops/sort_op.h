@@ -1,0 +1,48 @@
+// SortOp: blocking sorter.
+//
+// Sorters are the canonical blocking operator of the paper's pipelining
+// discussion ("gather pipelining and blocking operations separately from
+// each other") and a recommended recovery-point site ("following an
+// operation that is costly or difficult to undo (e.g., a sort)").
+
+#ifndef QOX_ENGINE_OPS_SORT_OP_H_
+#define QOX_ENGINE_OPS_SORT_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace qox {
+
+/// One sort key.
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(std::string name, std::vector<SortKey> keys);
+
+  const char* kind() const override { return "sort"; }
+  const std::string& name() const override { return name_; }
+  Result<Schema> Bind(const Schema& input) override;
+  Status Push(const RowBatch& input, RowBatch* output) override;
+  Status Finish(RowBatch* output) override;
+  bool IsBlocking() const override { return true; }
+  double CostPerRow() const override { return 3.0; }
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+  std::vector<std::string> InputColumns() const;
+
+ private:
+  const std::string name_;
+  const std::vector<SortKey> keys_;
+  std::vector<size_t> indices_;
+  std::vector<Row> buffered_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_OPS_SORT_OP_H_

@@ -1,0 +1,70 @@
+#include "engine/ops/surrogate_key_op.h"
+
+namespace qox {
+
+int64_t SurrogateKeyRegistry::GetOrAssign(const Value& natural) {
+  if (natural.is_null()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(natural);
+  if (it != map_.end()) return it->second;
+  const int64_t key = next_key_++;
+  map_.emplace(natural, key);
+  return key;
+}
+
+Result<int64_t> SurrogateKeyRegistry::Get(const Value& natural) const {
+  if (natural.is_null()) return static_cast<int64_t>(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(natural);
+  if (it == map_.end()) {
+    return Status::NotFound("no surrogate assigned for " + natural.ToString());
+  }
+  return it->second;
+}
+
+size_t SurrogateKeyRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+SurrogateKeyOp::SurrogateKeyOp(std::string name,
+                               SurrogateKeyRegistryPtr registry,
+                               std::string natural_column,
+                               std::string surrogate_column,
+                               bool drop_natural)
+    : name_(std::move(name)),
+      registry_(std::move(registry)),
+      natural_column_(std::move(natural_column)),
+      surrogate_column_(std::move(surrogate_column)),
+      drop_natural_(drop_natural) {}
+
+Result<Schema> SurrogateKeyOp::Bind(const Schema& input) {
+  if (registry_ == nullptr) {
+    return Status::Invalid("surrogate key op '" + name_ + "' has no registry");
+  }
+  QOX_ASSIGN_OR_RETURN(natural_index_, input.FieldIndex(natural_column_));
+  Schema schema = input;
+  QOX_ASSIGN_OR_RETURN(
+      schema, schema.AddField({surrogate_column_, DataType::kInt64, false}));
+  if (drop_natural_) {
+    QOX_ASSIGN_OR_RETURN(schema, schema.RemoveField(natural_column_));
+  }
+  return schema;
+}
+
+Status SurrogateKeyOp::Push(const RowBatch& input, RowBatch* output) {
+  for (const Row& row : input.rows()) {
+    const int64_t surrogate = registry_->GetOrAssign(row.value(natural_index_));
+    Row out = row;
+    out.Append(Value::Int64(surrogate));
+    if (drop_natural_) {
+      std::vector<Value> cells(out.values().begin(), out.values().end());
+      cells.erase(cells.begin() + static_cast<ptrdiff_t>(natural_index_));
+      out = Row(std::move(cells));
+    }
+    output->Append(std::move(out));
+  }
+  return Status::OK();
+}
+
+}  // namespace qox

@@ -1,0 +1,75 @@
+// SurrogateKeyOp: replaces transactional (natural) keys with warehouse
+// surrogate keys.
+//
+// "a surrogate key assignment that replaces the transactional keys with
+// surrogate keys" (Fig. 3). Assignments live in a shared, thread-safe
+// SurrogateKeyRegistry so that partitioned branches, redundant instances,
+// and successive loads agree on the mapping — a required property for
+// warehouse consistency (and asserted by the engine tests).
+
+#ifndef QOX_ENGINE_OPS_SURROGATE_KEY_OP_H_
+#define QOX_ENGINE_OPS_SURROGATE_KEY_OP_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/operator.h"
+
+namespace qox {
+
+/// Thread-safe natural-key -> surrogate-key mapping for one target
+/// dimension. Surrogates are dense int64s starting at `first_key`.
+class SurrogateKeyRegistry {
+ public:
+  explicit SurrogateKeyRegistry(int64_t first_key = 1)
+      : next_key_(first_key) {}
+
+  /// Returns the surrogate for `natural`, assigning the next key on first
+  /// sight. NULL natural keys map to a shared "unknown" surrogate of 0.
+  int64_t GetOrAssign(const Value& natural);
+
+  /// Returns the surrogate if already assigned.
+  Result<int64_t> Get(const Value& natural) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Value, int64_t, ValueHash> map_;
+  int64_t next_key_;
+};
+
+using SurrogateKeyRegistryPtr = std::shared_ptr<SurrogateKeyRegistry>;
+
+class SurrogateKeyOp : public Operator {
+ public:
+  /// Replaces `natural_column` with a surrogate: the output column
+  /// `surrogate_column` (int64) is appended and, when `drop_natural`, the
+  /// natural column is removed.
+  SurrogateKeyOp(std::string name, SurrogateKeyRegistryPtr registry,
+                 std::string natural_column, std::string surrogate_column,
+                 bool drop_natural = true);
+
+  const char* kind() const override { return "surrogate_key"; }
+  const std::string& name() const override { return name_; }
+  Result<Schema> Bind(const Schema& input) override;
+  Status Push(const RowBatch& input, RowBatch* output) override;
+  double CostPerRow() const override { return 1.8; }
+
+  std::vector<std::string> InputColumns() const { return {natural_column_}; }
+  const std::string& surrogate_column() const { return surrogate_column_; }
+
+ private:
+  const std::string name_;
+  const SurrogateKeyRegistryPtr registry_;
+  const std::string natural_column_;
+  const std::string surrogate_column_;
+  const bool drop_natural_;
+  size_t natural_index_ = 0;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_OPS_SURROGATE_KEY_OP_H_

@@ -1,0 +1,106 @@
+#include "engine/pipeline.h"
+
+#include "common/clock.h"
+
+namespace qox {
+
+Result<std::unique_ptr<Pipeline>> Pipeline::Create(
+    const Schema& input_schema, std::vector<OperatorPtr> ops,
+    OperatorContext* ctx, const PipelineConfig& config) {
+  std::vector<Schema> schemas;
+  schemas.reserve(ops.size() + 1);
+  schemas.push_back(input_schema);
+  for (const OperatorPtr& op : ops) {
+    QOX_ASSIGN_OR_RETURN(Schema out, op->Bind(schemas.back()));
+    schemas.push_back(std::move(out));
+  }
+  auto pipeline = std::unique_ptr<Pipeline>(
+      new Pipeline(std::move(ops), std::move(schemas), ctx, config));
+  for (const OperatorPtr& op : pipeline->ops_) {
+    QOX_RETURN_IF_ERROR(op->Open(ctx));
+  }
+  return pipeline;
+}
+
+Pipeline::Pipeline(std::vector<OperatorPtr> ops, std::vector<Schema> schemas,
+                   OperatorContext* ctx, const PipelineConfig& config)
+    : ops_(std::move(ops)),
+      schemas_(std::move(schemas)),
+      ctx_(ctx),
+      config_(config) {
+  op_stats_.resize(ops_.size());
+  rows_entered_.resize(ops_.size(), 0);
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    op_stats_[i].name = ops_[i]->name();
+    op_stats_[i].kind = ops_[i]->kind();
+  }
+}
+
+Status Pipeline::CheckInterrupts(size_t op_ordinal,
+                                 size_t rows_about_to_enter) {
+  if (ctx_ != nullptr && ctx_->IsCancelled()) {
+    return Status::Cancelled("pipeline cancelled");
+  }
+  if (config_.injector != nullptr) {
+    QOX_RETURN_IF_ERROR(config_.injector->Check(
+        config_.instance_id, config_.attempt,
+        config_.op_index_offset + static_cast<int>(op_ordinal),
+        rows_about_to_enter, config_.expected_input_rows));
+  }
+  return Status::OK();
+}
+
+Status Pipeline::PushFrom(size_t from, const RowBatch& batch) {
+  if (from >= ops_.size()) {
+    output_.insert(output_.end(), batch.rows().begin(), batch.rows().end());
+    return Status::OK();
+  }
+  // `current` points at the caller's batch until the first operator emits;
+  // afterwards it owns the intermediate batch (avoids a deep copy of the
+  // input on every push).
+  const RowBatch* current = &batch;
+  RowBatch owned;
+  for (size_t i = from; i < ops_.size(); ++i) {
+    rows_entered_[i] += current->num_rows();
+    QOX_RETURN_IF_ERROR(CheckInterrupts(i, rows_entered_[i]));
+    RowBatch out(schemas_[i + 1]);
+    const StopWatch timer;
+    const Status st = ops_[i]->Push(*current, &out);
+    op_stats_[i].micros += timer.ElapsedMicros();
+    op_stats_[i].rows_in += current->num_rows();
+    QOX_RETURN_IF_ERROR(st);
+    op_stats_[i].rows_out += out.num_rows();
+    if (out.empty()) return Status::OK();  // blocked or fully filtered
+    owned = std::move(out);
+    current = &owned;
+  }
+  output_.insert(output_.end(), current->rows().begin(),
+                 current->rows().end());
+  return Status::OK();
+}
+
+Status Pipeline::Push(const RowBatch& batch) { return PushFrom(0, batch); }
+
+Status Pipeline::Finish() {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    QOX_RETURN_IF_ERROR(CheckInterrupts(i, rows_entered_[i]));
+    RowBatch out(schemas_[i + 1]);
+    const StopWatch timer;
+    const Status st = ops_[i]->Finish(&out);
+    op_stats_[i].micros += timer.ElapsedMicros();
+    QOX_RETURN_IF_ERROR(st);
+    op_stats_[i].rows_out += out.num_rows();
+    if (!out.empty()) {
+      QOX_RETURN_IF_ERROR(PushFrom(i + 1, out));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Row> Pipeline::TakeOutput() {
+  std::vector<Row> out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+}  // namespace qox

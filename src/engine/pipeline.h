@@ -1,0 +1,84 @@
+// Pipeline: a bound, executable chain of operators.
+//
+// A pipeline owns its operator instances, binds their schemas at creation,
+// and cascades batches through them on Push. Finish flushes blocking
+// operators in order, cascading each flush through the downstream
+// operators. Output rows accumulate in the pipeline (the executor decides
+// where they go next: the next segment, a recovery point, a merge, or the
+// warehouse load).
+//
+// The pipeline is also where failure injection and cancellation are
+// observed: before each operator invocation it reports progress to the
+// FailureInjector and checks the cooperative cancel flag.
+
+#ifndef QOX_ENGINE_PIPELINE_H_
+#define QOX_ENGINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/failure.h"
+#include "engine/operator.h"
+
+namespace qox {
+
+/// Execution identity of a pipeline (which redundant instance, which
+/// attempt, where its ops sit in the global transform chain).
+struct PipelineConfig {
+  int instance_id = 0;
+  int attempt = 1;
+  /// Global index of this pipeline's first operator within the flow's
+  /// transform chain (failure specs address global indices).
+  int op_index_offset = 0;
+  FailureInjector* injector = nullptr;
+  /// Expected number of input rows (denominator for failure fractions).
+  size_t expected_input_rows = 0;
+};
+
+class Pipeline {
+ public:
+  /// Binds `ops` against `input_schema`. Fails when any operator rejects
+  /// its input schema. Opens every operator with `ctx` (which must outlive
+  /// the pipeline).
+  static Result<std::unique_ptr<Pipeline>> Create(
+      const Schema& input_schema, std::vector<OperatorPtr> ops,
+      OperatorContext* ctx, const PipelineConfig& config);
+
+  /// Schema of rows this pipeline emits.
+  const Schema& output_schema() const { return schemas_.back(); }
+
+  /// Pushes one input batch through the whole chain.
+  Status Push(const RowBatch& batch);
+
+  /// Flushes blocking operators. Must be called exactly once, last.
+  Status Finish();
+
+  /// Rows emitted so far (all of them after Finish). Destructive read.
+  std::vector<Row> TakeOutput();
+
+  /// Per-operator statistics (timings, row counts).
+  const std::vector<OpStats>& op_stats() const { return op_stats_; }
+
+ private:
+  Pipeline(std::vector<OperatorPtr> ops, std::vector<Schema> schemas,
+           OperatorContext* ctx, const PipelineConfig& config);
+
+  /// Pushes `batch` through ops [from, n), appending final rows to output_.
+  Status PushFrom(size_t from, const RowBatch& batch);
+
+  Status CheckInterrupts(size_t op_ordinal, size_t rows_about_to_enter);
+
+  std::vector<OperatorPtr> ops_;
+  /// schemas_[i] = input schema of op i; schemas_[n] = output schema.
+  std::vector<Schema> schemas_;
+  OperatorContext* ctx_;
+  PipelineConfig config_;
+  std::vector<OpStats> op_stats_;
+  std::vector<size_t> rows_entered_;  // per-op cumulative input rows
+  std::vector<Row> output_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_PIPELINE_H_

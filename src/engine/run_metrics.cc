@@ -1,0 +1,40 @@
+#include "engine/run_metrics.h"
+
+#include <sstream>
+
+namespace qox {
+
+void RunMetrics::AccumulateOp(const OpStats& stats) {
+  for (OpStats& existing : op_stats) {
+    if (existing.name == stats.name) {
+      existing.Merge(stats);
+      return;
+    }
+  }
+  op_stats.push_back(stats);
+}
+
+std::string RunMetrics::Summary() const {
+  std::ostringstream oss;
+  oss << "total=" << total_micros / 1000.0 << "ms"
+      << " extract=" << extract_micros / 1000.0 << "ms"
+      << " transform=" << transform_micros / 1000.0 << "ms"
+      << " load=" << load_micros / 1000.0 << "ms";
+  if (rp_points_written > 0) {
+    oss << " rp_write=" << rp_write_micros / 1000.0 << "ms (" << rp_bytes_written
+        << "B, " << rp_points_written << " points)";
+  }
+  if (merge_micros > 0) oss << " merge=" << merge_micros / 1000.0 << "ms";
+  oss << " rows_in=" << rows_extracted << " rows_out=" << rows_loaded
+      << " rejected=" << rows_rejected << " attempts=" << attempts;
+  if (failures_injected > 0) {
+    oss << " failures=" << failures_injected
+        << " resumed_from_rp=" << resumed_from_rp
+        << " lost=" << lost_work_micros / 1000.0 << "ms";
+  }
+  oss << " [threads=" << threads << " partitions=" << partitions
+      << " redundancy=" << redundancy << "]";
+  return oss.str();
+}
+
+}  // namespace qox

@@ -1,0 +1,94 @@
+// RunMetrics: everything measured about one execution of an ETL flow.
+//
+// These are the raw quantitative measures the QoX framework consumes: the
+// paper's "lower level metrics [that] are functional parameters of the
+// system; e.g., time window, execution time, recoverability time, ...,
+// number of failures, latency of data updates" (Sec. 2.3).
+
+#ifndef QOX_ENGINE_RUN_METRICS_H_
+#define QOX_ENGINE_RUN_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qox {
+
+/// Per-operator accounting collected by the pipeline.
+struct OpStats {
+  std::string name;
+  std::string kind;  ///< operator kind ("filter", "delta", ...)
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+  int64_t micros = 0;
+
+  /// Merges another instance's stats (partitioned execution sums clones).
+  void Merge(const OpStats& other) {
+    rows_in += other.rows_in;
+    rows_out += other.rows_out;
+    micros += other.micros;
+  }
+};
+
+/// Timing breakdown of one partitioned (parallel) execution unit: the ops
+/// range it covered and each partition clone's measured duration. When the
+/// executor runs with one worker thread these durations are clean CPU
+/// times, which the benchmark harness schedules onto an N-CPU virtual
+/// machine (the multi-core hardware substitution documented in DESIGN.md).
+struct ParallelUnitStats {
+  size_t range_begin = 0;
+  size_t range_end = 0;
+  std::vector<int64_t> partition_micros;
+  /// Per partition: the share of partition_micros spent inside operators
+  /// that serialize across partitions through shared state (the Δ's
+  /// snapshot-store critical section). The virtual scheduler treats this
+  /// share as sequential work — with real concurrency those sections
+  /// contend on the snapshot mutex.
+  std::vector<int64_t> serialized_micros;
+  int64_t merge_micros = 0;
+};
+
+/// Metrics of one flow run (possibly spanning several attempts when
+/// failures were injected).
+struct RunMetrics {
+  // --- wall-clock phases (microseconds) -----------------------------------
+  int64_t total_micros = 0;      ///< end-to-end, including restarts
+  int64_t extract_micros = 0;    ///< extraction across all attempts
+  int64_t transform_micros = 0;  ///< transformation across all attempts
+  int64_t load_micros = 0;       ///< warehouse load across all attempts
+  int64_t rp_write_micros = 0;   ///< writing recovery points
+  int64_t rp_read_micros = 0;    ///< reading recovery points on resume
+  int64_t merge_micros = 0;      ///< merging partitioned branches back
+  int64_t lost_work_micros = 0;  ///< work discarded due to failures
+
+  // --- volumes -------------------------------------------------------------
+  size_t rows_extracted = 0;
+  size_t rows_loaded = 0;
+  size_t rows_rejected = 0;  ///< filtered/unresolved rows routed aside
+  size_t rp_bytes_written = 0;
+  size_t rp_points_written = 0;
+
+  // --- reliability ---------------------------------------------------------
+  size_t attempts = 0;          ///< 1 when no failure occurred
+  size_t failures_injected = 0; ///< failures that interrupted an attempt
+  size_t resumed_from_rp = 0;   ///< attempts that resumed from a recovery point
+
+  // --- configuration echo (for reports) ------------------------------------
+  size_t threads = 1;
+  size_t partitions = 1;
+  size_t redundancy = 1;
+
+  std::vector<OpStats> op_stats;
+  /// One entry per executed parallel unit (across attempts).
+  std::vector<ParallelUnitStats> parallel_units;
+
+  /// Adds an operator's stats, merging by name.
+  void AccumulateOp(const OpStats& stats);
+
+  /// Human-readable one-line summary.
+  std::string Summary() const;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_RUN_METRICS_H_

@@ -1,0 +1,52 @@
+// ThreadPool: fixed-size worker pool bounding the CPU resources available
+// to transformation work.
+//
+// The pool models the "number of processors" axis of the paper's
+// experiments (Figs. 4 and 5): partitioned branches and redundant
+// instances submit their work here, so configuring N workers is the
+// reproduction's equivalent of running on N CPUs.
+
+#ifndef QOX_ENGINE_THREAD_POOL_H_
+#define QOX_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qox {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not block waiting for other tasks on the
+  /// same pool (no nested Wait from inside a task).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_THREAD_POOL_H_

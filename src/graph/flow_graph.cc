@@ -1,0 +1,144 @@
+#include "graph/flow_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace qox {
+
+Status FlowGraph::AddNode(GraphNode node) {
+  if (node.id.empty()) return Status::Invalid("node id must be non-empty");
+  if (HasNode(node.id)) {
+    return Status::AlreadyExists("node '" + node.id + "' already exists");
+  }
+  node_index_.emplace(node.id, nodes_.size());
+  succ_.emplace(node.id, std::vector<std::string>{});
+  pred_.emplace(node.id, std::vector<std::string>{});
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status FlowGraph::AddDataStore(std::string id, std::string role) {
+  return AddNode({std::move(id), NodeKind::kDataStore, std::move(role)});
+}
+
+Status FlowGraph::AddOperation(std::string id, std::string op_kind) {
+  return AddNode({std::move(id), NodeKind::kOperation, std::move(op_kind)});
+}
+
+Status FlowGraph::AddEdge(const std::string& from, const std::string& to) {
+  if (!HasNode(from)) return Status::NotFound("no node '" + from + "'");
+  if (!HasNode(to)) return Status::NotFound("no node '" + to + "'");
+  if (from == to) return Status::Invalid("self-edge on '" + from + "'");
+  for (const GraphEdge& edge : edges_) {
+    if (edge.from == from && edge.to == to) {
+      return Status::AlreadyExists("edge " + from + " -> " + to +
+                                   " already exists");
+    }
+  }
+  edges_.push_back({from, to});
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  return Status::OK();
+}
+
+bool FlowGraph::HasNode(const std::string& id) const {
+  return node_index_.find(id) != node_index_.end();
+}
+
+Result<GraphNode> FlowGraph::GetNode(const std::string& id) const {
+  const auto it = node_index_.find(id);
+  if (it == node_index_.end()) return Status::NotFound("no node '" + id + "'");
+  return nodes_[it->second];
+}
+
+std::vector<std::string> FlowGraph::Predecessors(const std::string& id) const {
+  const auto it = pred_.find(id);
+  return it == pred_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> FlowGraph::Successors(const std::string& id) const {
+  const auto it = succ_.find(id);
+  return it == succ_.end() ? std::vector<std::string>{} : it->second;
+}
+
+size_t FlowGraph::InDegree(const std::string& id) const {
+  return Predecessors(id).size();
+}
+
+size_t FlowGraph::OutDegree(const std::string& id) const {
+  return Successors(id).size();
+}
+
+Result<std::vector<std::string>> FlowGraph::TopologicalOrder() const {
+  std::unordered_map<std::string, size_t> in_degree;
+  for (const GraphNode& node : nodes_) {
+    in_degree[node.id] = InDegree(node.id);
+  }
+  std::deque<std::string> ready;
+  for (const GraphNode& node : nodes_) {
+    if (in_degree[node.id] == 0) ready.push_back(node.id);
+  }
+  std::vector<std::string> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::string id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const std::string& next : Successors(id)) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::Invalid("graph contains a cycle");
+  }
+  return order;
+}
+
+Status FlowGraph::Validate() const {
+  QOX_RETURN_IF_ERROR(TopologicalOrder().status());
+  for (const GraphNode& node : nodes_) {
+    if (node.kind != NodeKind::kOperation) continue;
+    if (InDegree(node.id) == 0) {
+      return Status::Invalid("operation '" + node.id + "' has no input");
+    }
+    if (OutDegree(node.id) == 0) {
+      return Status::Invalid("operation '" + node.id + "' has no output");
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> FlowGraph::LongestPathLength() const {
+  QOX_ASSIGN_OR_RETURN(const std::vector<std::string> order,
+                       TopologicalOrder());
+  std::unordered_map<std::string, size_t> dist;
+  size_t best = 0;
+  for (const std::string& id : order) {
+    const size_t d = dist[id];  // 0 for sources
+    for (const std::string& next : Successors(id)) {
+      dist[next] = std::max(dist[next], d + 1);
+      best = std::max(best, dist[next]);
+    }
+  }
+  return best;
+}
+
+std::string FlowGraph::ToDot() const {
+  std::ostringstream oss;
+  oss << "digraph flow {\n  rankdir=LR;\n";
+  for (const GraphNode& node : nodes_) {
+    oss << "  \"" << node.id << "\" [shape="
+        << (node.kind == NodeKind::kDataStore ? "cylinder" : "box")
+        << ", label=\"" << node.id;
+    if (!node.label.empty()) oss << "\\n(" << node.label << ")";
+    oss << "\"];\n";
+  }
+  for (const GraphEdge& edge : edges_) {
+    oss << "  \"" << edge.from << "\" -> \"" << edge.to << "\";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace qox

@@ -1,0 +1,87 @@
+// FlowGraph: an ETL workflow as a directed acyclic graph.
+//
+// "An ETL workflow can be represented as a directed graph; its nodes are
+// the data stores and ETL operations of the workflow" (Sec. 3.5). The
+// graph is the substrate for the maintainability metrics of ref [16]
+// (size, length, modularity, coupling, complexity, vulnerability) and for
+// the soft-goal-driven design analysis in qox_core.
+
+#ifndef QOX_GRAPH_FLOW_GRAPH_H_
+#define QOX_GRAPH_FLOW_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qox {
+
+enum class NodeKind {
+  kDataStore,  ///< source, landing, warehouse table, view
+  kOperation,  ///< transformation operator
+};
+
+struct GraphNode {
+  std::string id;
+  NodeKind kind = NodeKind::kOperation;
+  /// Operator kind for operations ("filter", "lookup", ...), store role for
+  /// data stores ("source", "target", "view", "staging").
+  std::string label;
+};
+
+struct GraphEdge {
+  std::string from;
+  std::string to;
+};
+
+class FlowGraph {
+ public:
+  /// Adds a node; error on duplicate id.
+  Status AddNode(GraphNode node);
+  Status AddDataStore(std::string id, std::string role);
+  Status AddOperation(std::string id, std::string op_kind);
+
+  /// Adds a directed edge; both endpoints must exist.
+  Status AddEdge(const std::string& from, const std::string& to);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  bool HasNode(const std::string& id) const;
+  Result<GraphNode> GetNode(const std::string& id) const;
+
+  /// Ids of nodes with an edge into `id` (dependencies).
+  std::vector<std::string> Predecessors(const std::string& id) const;
+  /// Ids of nodes fed by `id` (dependents).
+  std::vector<std::string> Successors(const std::string& id) const;
+
+  size_t InDegree(const std::string& id) const;
+  size_t OutDegree(const std::string& id) const;
+
+  /// Topological order; error when the graph has a cycle.
+  Result<std::vector<std::string>> TopologicalOrder() const;
+
+  /// Checks DAG-ness and that operations are internally connected
+  /// (every operation has at least one predecessor and one successor).
+  Status Validate() const;
+
+  /// Length of the longest path, in edges.
+  Result<size_t> LongestPathLength() const;
+
+  /// Graphviz dot rendering (for documentation and debugging).
+  std::string ToDot() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  std::unordered_map<std::string, size_t> node_index_;
+  std::unordered_map<std::string, std::vector<std::string>> succ_;
+  std::unordered_map<std::string, std::vector<std::string>> pred_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_GRAPH_FLOW_GRAPH_H_

@@ -1,0 +1,79 @@
+#include "graph/graph_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qox {
+
+std::string MaintainabilityMetrics::ToString() const {
+  std::ostringstream oss;
+  oss << "size=" << size << " length=" << length << " coupling=" << coupling
+      << " complexity=" << complexity << " modularity=" << modularity
+      << " vulnerability=" << vulnerability_index << " score=" << score;
+  return oss.str();
+}
+
+Result<MaintainabilityMetrics> ComputeMaintainability(const FlowGraph& graph) {
+  QOX_RETURN_IF_ERROR(graph.TopologicalOrder().status());
+  MaintainabilityMetrics m;
+  m.size = graph.num_nodes();
+  if (m.size == 0) {
+    m.modularity = 1.0;
+    m.score = 1.0;
+    return m;
+  }
+  QOX_ASSIGN_OR_RETURN(m.length, graph.LongestPathLength());
+
+  size_t degree_sum = 0;
+  size_t straight_ops = 0;
+  size_t op_count = 0;
+  for (const GraphNode& node : graph.nodes()) {
+    const size_t in = graph.InDegree(node.id);
+    const size_t out = graph.OutDegree(node.id);
+    degree_sum += in + out;
+    NodeVulnerability v;
+    v.node_id = node.id;
+    v.in_degree = in;
+    v.out_degree = out;
+    v.score = in * out;
+    m.vulnerable_nodes.push_back(std::move(v));
+    if (node.kind == NodeKind::kOperation) {
+      ++op_count;
+      if (in <= 1 && out <= 1) ++straight_ops;
+    }
+  }
+  m.coupling = static_cast<double>(degree_sum) / static_cast<double>(m.size);
+  m.complexity = static_cast<double>(graph.num_edges()) /
+                 static_cast<double>(m.size);
+  m.modularity = op_count == 0 ? 1.0
+                               : static_cast<double>(straight_ops) /
+                                     static_cast<double>(op_count);
+  std::sort(m.vulnerable_nodes.begin(), m.vulnerable_nodes.end(),
+            [](const NodeVulnerability& a, const NodeVulnerability& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.node_id < b.node_id;
+            });
+  m.vulnerability_index =
+      m.vulnerable_nodes.empty() ? 0 : m.vulnerable_nodes.front().score;
+
+  // Composite score: each component mapped to (0, 1], geometric-mean
+  // combined so one very bad dimension dominates. Baselines: a node's
+  // "ideal" coupling in a straight pipeline is 2 (one in, one out);
+  // complexity ~1; vulnerability 1; size/length discount grows slowly
+  // (log) since bigger flows are inherently harder to maintain.
+  const double coupling_term = std::min(1.0, 2.0 / std::max(1e-9, m.coupling));
+  const double complexity_term =
+      std::min(1.0, 1.0 / std::max(1e-9, m.complexity));
+  const double vulnerability_term =
+      1.0 / (1.0 + std::log1p(static_cast<double>(m.vulnerability_index)));
+  const double size_term =
+      1.0 / (1.0 + 0.1 * std::log1p(static_cast<double>(m.size)));
+  const double modularity_term = 0.25 + 0.75 * m.modularity;
+  m.score = std::pow(coupling_term * complexity_term * vulnerability_term *
+                         size_term * modularity_term,
+                     1.0 / 5.0);
+  return m;
+}
+
+}  // namespace qox

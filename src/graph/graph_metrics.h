@@ -1,0 +1,63 @@
+// Maintainability metrics over ETL workflow graphs.
+//
+// Sec. 2.2 of the paper: "Typical metrics for the maintainability of a
+// flow are its size, length, modularity (cohesion), coupling, and
+// complexity [16]", and Sec. 3.5 identifies the Δ transformation as a
+// "vulnerable" node because many nodes depend on it and it depends on
+// many. This module computes those measures from a FlowGraph. Definitions
+// (adapted from Vassiliadis et al., "Blueprints and Measures for ETL
+// Workflows", ER 2005):
+//
+//   size          |V|: nodes in the workflow graph
+//   length        longest source-to-sink path (edges)
+//   coupling      mean node degree (in + out), the wiring density a
+//                 maintainer must trace per node
+//   complexity    |E| / |V|: >1 signals heavy cross-wiring
+//   modularity    fraction of operation nodes with in-degree <= 1 and
+//                 out-degree <= 1 (straight-line, cohesive pipeline steps)
+//   vulnerability per node: in-degree * out-degree (how much of the flow a
+//                 change to this node can break); the index is the maximum
+//
+// A composite maintainability score in [0, 1] (1 = most maintainable)
+// combines the normalized measures; the QoX cost model consumes it.
+
+#ifndef QOX_GRAPH_GRAPH_METRICS_H_
+#define QOX_GRAPH_GRAPH_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/flow_graph.h"
+
+namespace qox {
+
+struct NodeVulnerability {
+  std::string node_id;
+  size_t in_degree = 0;
+  size_t out_degree = 0;
+  /// in * out: nodes that many depend on AND that depend on many.
+  size_t score = 0;
+};
+
+struct MaintainabilityMetrics {
+  size_t size = 0;
+  size_t length = 0;
+  double coupling = 0.0;
+  double complexity = 0.0;
+  double modularity = 0.0;
+  size_t vulnerability_index = 0;
+  /// Nodes ranked by vulnerability score, descending (ties by id).
+  std::vector<NodeVulnerability> vulnerable_nodes;
+  /// Composite [0, 1], higher is more maintainable.
+  double score = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes all maintainability measures. Fails when the graph is not a
+/// valid DAG.
+Result<MaintainabilityMetrics> ComputeMaintainability(const FlowGraph& graph);
+
+}  // namespace qox
+
+#endif  // QOX_GRAPH_GRAPH_METRICS_H_

@@ -1,0 +1,41 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+namespace qox {
+
+Status Catalog::Register(DataStorePtr store) {
+  if (store == nullptr) return Status::Invalid("cannot register null store");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = stores_.emplace(store->name(), store);
+  if (!inserted) {
+    return Status::AlreadyExists("store '" + store->name() +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<DataStorePtr> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stores_.find(name);
+  if (it == stores_.end()) {
+    return Status::NotFound("no store named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_.find(name) != stores_.end();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace qox

@@ -1,0 +1,35 @@
+// Catalog: named registry of the data stores a flow reads and writes.
+
+#ifndef QOX_STORAGE_CATALOG_H_
+#define QOX_STORAGE_CATALOG_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/data_store.h"
+
+namespace qox {
+
+class Catalog {
+ public:
+  /// Registers a store under its own name. Error on duplicates.
+  Status Register(DataStorePtr store);
+
+  /// Looks up a store by name.
+  Result<DataStorePtr> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Names of all registered stores, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, DataStorePtr> stores_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_CATALOG_H_

@@ -1,0 +1,15 @@
+#include "storage/data_store.h"
+
+namespace qox {
+
+Result<RowBatch> DataStore::ReadAll() const {
+  RowBatch all(schema());
+  const Status st = Scan(kDefaultBatchSize, [&](const RowBatch& batch) {
+    for (const Row& row : batch.rows()) all.Append(row);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return all;
+}
+
+}  // namespace qox

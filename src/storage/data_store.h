@@ -1,0 +1,56 @@
+// DataStore: the abstract source/target of ETL flows.
+//
+// The paper's workflow (Fig. 3) reads from relational tables (S1), file
+// dumps (S2), and a streaming web source (S3), lands data in a staging area,
+// and loads warehouse tables (DW1..DW3). All of these are DataStores here:
+// an ordered collection of rows with a fixed schema that can be scanned in
+// batches and appended to.
+
+#ifndef QOX_STORAGE_DATA_STORE_H_
+#define QOX_STORAGE_DATA_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace qox {
+
+class DataStore {
+ public:
+  virtual ~DataStore() = default;
+
+  /// Stable identifier of this store ("SALES_TRAN", "DW1", ...).
+  virtual const std::string& name() const = 0;
+
+  virtual const Schema& schema() const = 0;
+
+  /// Number of rows currently stored.
+  virtual Result<size_t> NumRows() const = 0;
+
+  /// Streams the contents in batches of at most `batch_size` rows to the
+  /// consumer. The consumer may return a non-OK status to abort the scan
+  /// (propagated to the caller).
+  virtual Status Scan(
+      size_t batch_size,
+      const std::function<Status(const RowBatch&)>& consumer) const = 0;
+
+  /// Appends a batch. The batch schema must equal the store schema.
+  virtual Status Append(const RowBatch& batch) = 0;
+
+  /// Removes all rows.
+  virtual Status Truncate() = 0;
+
+  /// Convenience: reads the whole store into a single batch.
+  Result<RowBatch> ReadAll() const;
+};
+
+using DataStorePtr = std::shared_ptr<DataStore>;
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_DATA_STORE_H_

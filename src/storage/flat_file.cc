@@ -1,0 +1,115 @@
+#include "storage/flat_file.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace qox {
+
+Result<std::shared_ptr<FlatFile>> FlatFile::Open(std::string name,
+                                                 Schema schema,
+                                                 std::string path,
+                                                 bool sync_every_append) {
+  auto file = std::shared_ptr<FlatFile>(
+      new FlatFile(std::move(name), std::move(schema), std::move(path),
+                   sync_every_append));
+  if (!std::filesystem::exists(file->path_)) {
+    QOX_RETURN_IF_ERROR(file->WriteHeader());
+  }
+  return file;
+}
+
+Status FlatFile::WriteHeader() {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return Status::IoError("cannot create file '" + path_ + "'");
+  std::vector<std::string> names;
+  names.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) names.push_back(f.name);
+  out << CsvEncodeLine(names) << "\n";
+  if (!out) return Status::IoError("cannot write header to '" + path_ + "'");
+  return Status::OK();
+}
+
+Result<size_t> FlatFile::NumRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ifstream in(path_);
+  if (!in) return Status::IoError("cannot open file '" + path_ + "'");
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines == 0 ? 0 : lines - 1;  // minus header
+}
+
+Status FlatFile::Scan(
+    size_t batch_size,
+    const std::function<Status(const RowBatch&)>& consumer) const {
+  if (batch_size == 0) return Status::Invalid("batch_size must be > 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ifstream in(path_);
+  if (!in) return Status::IoError("cannot open file '" + path_ + "'");
+  std::string line;
+  if (!std::getline(in, line)) return Status::OK();  // empty file: no header
+  RowBatch batch(schema_);
+  batch.Reserve(batch_size);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = CsvDecodeLine(line);
+    if (cells.size() != schema_.num_fields()) {
+      return Status::Invalid("file '" + path_ + "' line " +
+                             std::to_string(line_no) + ": expected " +
+                             std::to_string(schema_.num_fields()) +
+                             " cells, got " + std::to_string(cells.size()));
+    }
+    Row row;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      QOX_ASSIGN_OR_RETURN(Value v,
+                           Value::Parse(cells[i], schema_.field(i).type));
+      row.Append(std::move(v));
+    }
+    batch.Append(std::move(row));
+    if (batch.num_rows() >= batch_size) {
+      QOX_RETURN_IF_ERROR(consumer(batch));
+      batch.Clear();
+    }
+  }
+  if (!batch.empty()) QOX_RETURN_IF_ERROR(consumer(batch));
+  return Status::OK();
+}
+
+Status FlatFile::Append(const RowBatch& batch) {
+  if (batch.schema() != schema_) {
+    return Status::Invalid("append to '" + name_ + "': schema mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return Status::IoError("cannot open '" + path_ + "' for append");
+  size_t bytes = 0;
+  for (const Row& row : batch.rows()) {
+    std::vector<std::string> cells;
+    cells.reserve(row.num_values());
+    for (const Value& v : row.values()) cells.push_back(v.ToString());
+    const std::string line = CsvEncodeLine(cells);
+    out << line << "\n";
+    bytes += line.size() + 1;
+  }
+  if (sync_every_append_) out.flush();
+  if (!out) return Status::IoError("write to '" + path_ + "' failed");
+  bytes_written_ += bytes;
+  return Status::OK();
+}
+
+Status FlatFile::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteHeader();
+}
+
+size_t FlatFile::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+}  // namespace qox

@@ -1,0 +1,254 @@
+#include "storage/generators.h"
+
+#include <algorithm>
+
+namespace qox {
+
+namespace {
+
+constexpr const char* kRegions[] = {"north", "south", "east", "west",
+                                    "central"};
+constexpr const char* kCities[] = {"springfield", "rivertown", "lakeside",
+                                   "hillcrest", "brookfield", "fairview",
+                                   "oakdale", "maplewood"};
+constexpr const char* kCategories[] = {"electronics", "grocery", "apparel",
+                                       "home", "sports", "toys", "garden"};
+constexpr const char* kStatuses[] = {"active", "on_leave", "training",
+                                     "terminated"};
+constexpr const char* kActions[] = {"view", "search", "add_to_cart",
+                                    "purchase", "review"};
+constexpr const char* kUrls[] = {"/home", "/product", "/cart", "/checkout",
+                                 "/search", "/account", "/deals"};
+
+std::string StoreCode(size_t i) { return "ST" + std::to_string(1000 + i); }
+std::string ProductCode(size_t i) { return "PR" + std::to_string(100000 + i); }
+
+int64_t SampleEventTime(const WorkloadConfig& config, Rng* rng) {
+  return config.time_start_micros +
+         rng->Uniform(0, std::max<int64_t>(1, config.time_span_micros - 1));
+}
+
+}  // namespace
+
+Schema SalesTranSchema() {
+  return Schema({
+      {"tran_id", DataType::kInt64, /*nullable=*/false},
+      {"store_code", DataType::kString, true},
+      {"product_code", DataType::kString, true},
+      {"customer_id", DataType::kInt64, true},
+      {"sales_rep_id", DataType::kInt64, true},
+      {"quantity", DataType::kInt64, true},
+      {"amount", DataType::kDouble, true},
+      {"event_time", DataType::kTimestamp, false},
+  });
+}
+
+Schema SalesStaffSchema() {
+  return Schema({
+      {"rep_id", DataType::kInt64, false},
+      {"rep_name", DataType::kString, true},
+      {"status", DataType::kString, true},
+      {"branch", DataType::kString, true},
+      {"working_hours", DataType::kInt64, true},
+      {"event_time", DataType::kTimestamp, false},
+  });
+}
+
+Schema ClickstreamSchema() {
+  return Schema({
+      {"session_id", DataType::kInt64, false},
+      {"customer_id", DataType::kInt64, true},
+      {"url", DataType::kString, true},
+      {"action", DataType::kString, true},
+      {"event_time", DataType::kTimestamp, false},
+  });
+}
+
+Schema StoreDimSchema() {
+  return Schema({
+      {"store_code", DataType::kString, false},
+      {"store_key", DataType::kInt64, false},
+      {"region", DataType::kString, true},
+      {"city", DataType::kString, true},
+  });
+}
+
+Schema ProductDimSchema() {
+  return Schema({
+      {"product_code", DataType::kString, false},
+      {"product_key", DataType::kInt64, false},
+      {"category", DataType::kString, true},
+      {"list_price", DataType::kDouble, true},
+  });
+}
+
+std::vector<Row> GenerateSalesTransactions(const WorkloadConfig& config,
+                                           size_t n, int64_t first_tran_id,
+                                           Rng* rng) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    row.Append(Value::Int64(first_tran_id + static_cast<int64_t>(i)));
+    // store_code: NULL with half the null budget, dirty with dirty budget.
+    if (rng->Bernoulli(config.null_fraction / 2)) {
+      row.Append(Value::Null());
+    } else if (rng->Bernoulli(config.dirty_code_fraction)) {
+      row.Append(Value::String("STBAD" + std::to_string(rng->Uniform(0, 999))));
+    } else {
+      row.Append(Value::String(
+          StoreCode(static_cast<size_t>(rng->Uniform(
+              0, static_cast<int64_t>(config.num_stores) - 1)))));
+    }
+    // product_code: Zipf-popular products; occasionally dirty.
+    if (rng->Bernoulli(config.dirty_code_fraction)) {
+      row.Append(Value::String("PRBAD" + std::to_string(rng->Uniform(0, 999))));
+    } else {
+      row.Append(Value::String(
+          ProductCode(rng->Zipf(config.num_products, config.product_skew))));
+    }
+    row.Append(Value::Int64(rng->Uniform(
+        0, static_cast<int64_t>(config.num_customers) - 1)));
+    row.Append(
+        Value::Int64(rng->Uniform(0, static_cast<int64_t>(config.num_reps) - 1)));
+    row.Append(Value::Int64(rng->Uniform(1, 12)));
+    // amount: NULL with the other half of the null budget.
+    if (rng->Bernoulli(config.null_fraction / 2)) {
+      row.Append(Value::Null());
+    } else {
+      row.Append(Value::Double(
+          static_cast<double>(rng->Uniform(100, 99999)) / 100.0));
+    }
+    row.Append(Value::Timestamp(SampleEventTime(config, rng)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Row> GenerateStaffLogs(const WorkloadConfig& config, size_t n,
+                                   double update_fraction, Rng* rng) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_update = rng->Bernoulli(update_fraction);
+    const int64_t rep_id =
+        is_update
+            ? rng->Uniform(0, static_cast<int64_t>(config.num_reps) - 1)
+            : static_cast<int64_t>(config.num_reps) + rng->Uniform(0, 99999);
+    Row row;
+    row.Append(Value::Int64(rep_id));
+    row.Append(Value::String("rep_" + std::to_string(rep_id)));
+    row.Append(Value::String(
+        kStatuses[rng->Uniform(0, std::size(kStatuses) - 1)]));
+    row.Append(Value::String("branch_" + std::to_string(rng->Uniform(0, 49))));
+    row.Append(Value::Int64(rng->Uniform(10, 60)));
+    row.Append(Value::Timestamp(SampleEventTime(config, rng)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Row> GenerateClickstream(const WorkloadConfig& config, size_t n,
+                                     Rng* rng) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    row.Append(Value::Int64(rng->Uniform(0, 1'000'000'000)));
+    // ~10% anonymous sessions (NULL customer).
+    if (rng->Bernoulli(0.10)) {
+      row.Append(Value::Null());
+    } else {
+      row.Append(Value::Int64(rng->Uniform(
+          0, static_cast<int64_t>(config.num_customers) - 1)));
+    }
+    row.Append(Value::String(kUrls[rng->Uniform(0, std::size(kUrls) - 1)]));
+    row.Append(
+        Value::String(kActions[rng->Uniform(0, std::size(kActions) - 1)]));
+    row.Append(Value::Timestamp(SampleEventTime(config, rng)));
+    rows.push_back(std::move(row));
+  }
+  // Streaming sources deliver in event-time order.
+  const size_t time_col = 4;
+  std::sort(rows.begin(), rows.end(), [time_col](const Row& a, const Row& b) {
+    return a.value(time_col).Compare(b.value(time_col)) < 0;
+  });
+  return rows;
+}
+
+std::vector<Row> GenerateStoreDim(const WorkloadConfig& config, Rng* rng) {
+  std::vector<Row> rows;
+  rows.reserve(config.num_stores);
+  for (size_t i = 0; i < config.num_stores; ++i) {
+    Row row;
+    row.Append(Value::String(StoreCode(i)));
+    row.Append(Value::Int64(static_cast<int64_t>(10000 + i)));
+    row.Append(
+        Value::String(kRegions[rng->Uniform(0, std::size(kRegions) - 1)]));
+    row.Append(Value::String(kCities[rng->Uniform(0, std::size(kCities) - 1)]));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Row> GenerateProductDim(const WorkloadConfig& config, Rng* rng) {
+  std::vector<Row> rows;
+  rows.reserve(config.num_products);
+  for (size_t i = 0; i < config.num_products; ++i) {
+    Row row;
+    row.Append(Value::String(ProductCode(i)));
+    row.Append(Value::Int64(static_cast<int64_t>(500000 + i)));
+    row.Append(Value::String(
+        kCategories[rng->Uniform(0, std::size(kCategories) - 1)]));
+    row.Append(Value::Double(
+        static_cast<double>(rng->Uniform(99, 49999)) / 100.0));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> MutateForNextRun(const std::vector<Row>& previous,
+                                          size_t key_column,
+                                          size_t mutable_column,
+                                          double update_fraction,
+                                          size_t num_inserts,
+                                          const Schema& schema, Rng* rng) {
+  if (key_column >= schema.num_fields() ||
+      mutable_column >= schema.num_fields()) {
+    return Status::Invalid("column index out of range");
+  }
+  if (schema.field(mutable_column).type != DataType::kInt64 &&
+      schema.field(mutable_column).type != DataType::kDouble) {
+    return Status::Invalid("mutable column must be numeric");
+  }
+  std::vector<Row> next = previous;
+  int64_t max_key = 0;
+  for (const Row& row : next) {
+    if (row.value(key_column).type() == DataType::kInt64) {
+      max_key = std::max(max_key, row.value(key_column).int64_value());
+    }
+  }
+  for (Row& row : next) {
+    if (!rng->Bernoulli(update_fraction)) continue;
+    const Value& old = row.value(mutable_column);
+    if (schema.field(mutable_column).type == DataType::kInt64) {
+      const int64_t base = old.is_null() ? 0 : old.int64_value();
+      row.Set(mutable_column, Value::Int64(base + rng->Uniform(1, 10)));
+    } else {
+      const double base = old.is_null() ? 0.0 : old.double_value();
+      row.Set(mutable_column, Value::Double(base + 1.0 + rng->NextDouble()));
+    }
+  }
+  // Inserts: clone a random template row and give it a fresh key.
+  for (size_t i = 0; i < num_inserts; ++i) {
+    Row row = previous.empty()
+                  ? Row(std::vector<Value>(schema.num_fields(), Value::Null()))
+                  : previous[static_cast<size_t>(rng->Uniform(
+                        0, static_cast<int64_t>(previous.size()) - 1))];
+    row.Set(key_column, Value::Int64(max_key + 1 + static_cast<int64_t>(i)));
+    next.push_back(std::move(row));
+  }
+  return next;
+}
+
+}  // namespace qox

@@ -1,0 +1,117 @@
+// Workload generators: synthetic equivalents of the paper's enterprise data.
+//
+// The paper's Fig. 3 workflow reads:
+//   S1 SALES_TRAN   — relational table of sales transactions
+//   S2 SALES_STAFF  — log-sniffer file dumps about sales staff
+//   S3 CUSTWEB_CS   — streaming clickstream from the web portal
+//   L1 STORE_DT     — store-site lookup dimension
+//   L2 PRODUCT      — product lookup dimension
+//
+// The real data is proprietary, so we generate deterministic synthetic data
+// with the properties the experiments depend on: configurable volume, NULL
+// fraction (drives Flt_NN selectivity), dirty-code fraction (drives lookup
+// rejections), Zipf-skewed key popularity, and event timestamps (drives
+// freshness). All generation is seeded and reproducible.
+
+#ifndef QOX_STORAGE_GENERATORS_H_
+#define QOX_STORAGE_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace qox {
+
+/// Shared knobs for all generators.
+struct WorkloadConfig {
+  uint64_t seed = 42;
+
+  // Dimension cardinalities.
+  size_t num_stores = 200;
+  size_t num_products = 2000;
+  size_t num_customers = 20000;
+  size_t num_reps = 500;
+
+  /// Fraction of S1 rows whose `amount` or `store_code` is NULL
+  /// (rejected by the Flt_NN filter of Fig. 3).
+  double null_fraction = 0.08;
+
+  /// Fraction of S1 rows whose store/product code does not resolve in the
+  /// lookup dimensions (verification failures).
+  double dirty_code_fraction = 0.01;
+
+  /// Zipf skew of product popularity (0 = uniform).
+  double product_skew = 0.8;
+
+  /// Event-time window the generated rows span, in simulated micros.
+  int64_t time_start_micros = 0;
+  int64_t time_span_micros = 24LL * 3600 * 1000 * 1000;  // one day
+};
+
+// ---------------------------------------------------------------------------
+// Schemas (exact column layout of each store in the reproduction).
+// ---------------------------------------------------------------------------
+
+/// S1 SALES_TRAN: tran_id!, store_code, product_code, customer_id,
+/// sales_rep_id, quantity, amount, event_time.
+Schema SalesTranSchema();
+
+/// S2 SALES_STAFF: rep_id!, rep_name, status, branch, working_hours,
+/// event_time.
+Schema SalesStaffSchema();
+
+/// S3 CUSTWEB_CS: session_id!, customer_id, url, action, event_time.
+Schema ClickstreamSchema();
+
+/// L1 STORE_DT: store_code!, store_key!, region, city.
+Schema StoreDimSchema();
+
+/// L2 PRODUCT: product_code!, product_key!, category, list_price.
+Schema ProductDimSchema();
+
+// ---------------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------------
+
+/// Generates `n` S1 sales transactions. Transaction ids are sequential
+/// starting at `first_tran_id` so successive runs produce disjoint ids.
+std::vector<Row> GenerateSalesTransactions(const WorkloadConfig& config,
+                                           size_t n, int64_t first_tran_id,
+                                           Rng* rng);
+
+/// Generates `n` S2 staff-log records. Roughly `update_fraction` of them
+/// reuse rep ids from [0, num_reps) with changed attributes — these become
+/// updates in the Δ comparison; the rest are new reps.
+std::vector<Row> GenerateStaffLogs(const WorkloadConfig& config, size_t n,
+                                   double update_fraction, Rng* rng);
+
+/// Generates `n` S3 clickstream events with arrival order by event_time
+/// (streaming sources deliver in time order).
+std::vector<Row> GenerateClickstream(const WorkloadConfig& config, size_t n,
+                                     Rng* rng);
+
+/// Generates the full L1 store dimension (config.num_stores rows).
+std::vector<Row> GenerateStoreDim(const WorkloadConfig& config, Rng* rng);
+
+/// Generates the full L2 product dimension (config.num_products rows).
+std::vector<Row> GenerateProductDim(const WorkloadConfig& config, Rng* rng);
+
+/// Produces the next run's landing from a previous landing: keeps most rows
+/// unchanged, mutates `update_fraction` of them (non-key columns), and adds
+/// `num_inserts` new rows — the input shape the Δ operator exists for.
+/// `key_column` identifies the business key; `mutable_column` must be a
+/// numeric column to perturb.
+Result<std::vector<Row>> MutateForNextRun(const std::vector<Row>& previous,
+                                          size_t key_column,
+                                          size_t mutable_column,
+                                          double update_fraction,
+                                          size_t num_inserts,
+                                          const Schema& schema, Rng* rng);
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_GENERATORS_H_

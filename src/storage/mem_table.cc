@@ -1,0 +1,52 @@
+#include "storage/mem_table.h"
+
+namespace qox {
+
+Result<size_t> MemTable::NumRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+Status MemTable::Scan(
+    size_t batch_size,
+    const std::function<Status(const RowBatch&)>& consumer) const {
+  if (batch_size == 0) return Status::Invalid("batch_size must be > 0");
+  // Copy under the lock, stream outside it, so a slow consumer does not
+  // block writers. ETL scans read a landed snapshot, so this matches the
+  // semantics the flows need.
+  std::vector<Row> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = rows_;
+  }
+  RowBatch batch(schema_);
+  batch.Reserve(batch_size);
+  for (const Row& row : snapshot) {
+    batch.Append(row);
+    if (batch.num_rows() >= batch_size) {
+      QOX_RETURN_IF_ERROR(consumer(batch));
+      batch.Clear();
+    }
+  }
+  if (!batch.empty()) QOX_RETURN_IF_ERROR(consumer(batch));
+  return Status::OK();
+}
+
+Status MemTable::Append(const RowBatch& batch) {
+  if (batch.schema() != schema_) {
+    return Status::Invalid("append to '" + name_ + "': schema mismatch (" +
+                           batch.schema().ToString() + " vs " +
+                           schema_.ToString() + ")");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.insert(rows_.end(), batch.rows().begin(), batch.rows().end());
+  return Status::OK();
+}
+
+Status MemTable::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.clear();
+  return Status::OK();
+}
+
+}  // namespace qox

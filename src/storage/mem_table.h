@@ -1,0 +1,41 @@
+// MemTable: an in-memory, thread-safe DataStore.
+//
+// Used for relational sources, the staging area, and warehouse tables in
+// tests and benchmarks. Appends and scans are serialized by a mutex; a scan
+// takes a consistent snapshot of the row count at its start.
+
+#ifndef QOX_STORAGE_MEM_TABLE_H_
+#define QOX_STORAGE_MEM_TABLE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/data_store.h"
+
+namespace qox {
+
+class MemTable : public DataStore {
+ public:
+  MemTable(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  Result<size_t> NumRows() const override;
+  Status Scan(size_t batch_size,
+              const std::function<Status(const RowBatch&)>& consumer)
+      const override;
+  Status Append(const RowBatch& batch) override;
+  Status Truncate() override;
+
+ private:
+  const std::string name_;
+  const Schema schema_;
+  mutable std::mutex mu_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_MEM_TABLE_H_

@@ -1,0 +1,152 @@
+#include "storage/recovery_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace qox {
+
+namespace {
+std::string KeyOf(const RecoveryPointId& id) {
+  return id.flow_id + '\0' + id.point_id;
+}
+
+std::string SanitizeForFilename(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-')
+               ? c
+               : '_';
+  }
+  return out;
+}
+}  // namespace
+
+Result<std::shared_ptr<RecoveryPointStore>> RecoveryPointStore::Open(
+    std::string dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create recovery dir '" + dir +
+                           "': " + ec.message());
+  }
+  return std::shared_ptr<RecoveryPointStore>(
+      new RecoveryPointStore(std::move(dir)));
+}
+
+std::string RecoveryPointStore::DataPath(const RecoveryPointId& id) const {
+  return dir_ + "/" + SanitizeForFilename(id.flow_id) + "." +
+         SanitizeForFilename(id.point_id) + ".rp.csv";
+}
+
+Status RecoveryPointStore::Save(const RecoveryPointId& id,
+                                const Schema& schema,
+                                const std::vector<Row>& rows) {
+  const std::string path = DataPath(id);
+  const std::string tmp_path = path + ".tmp";
+  size_t bytes = 0;
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return Status::IoError("cannot create '" + tmp_path + "'");
+    for (const Row& row : rows) {
+      std::vector<std::string> cells;
+      cells.reserve(row.num_values());
+      for (const Value& v : row.values()) cells.push_back(v.ToString());
+      const std::string line = CsvEncodeLine(cells);
+      out << line << "\n";
+      bytes += line.size() + 1;
+    }
+    out.flush();
+    if (!out) return Status::IoError("write to '" + tmp_path + "' failed");
+  }
+  // Atomic publish: rename tmp over the data file, then record completeness.
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return Status::IoError("cannot publish recovery point '" + path +
+                           "': " + ec.message());
+  }
+  (void)schema;  // schema travels with the flow; file stores values only
+  total_bytes_written_.fetch_add(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  RecoveryPointInfo& info = points_[KeyOf(id)];
+  info.id = id;
+  info.num_rows = rows.size();
+  info.bytes = bytes;
+  info.complete = true;
+  return Status::OK();
+}
+
+bool RecoveryPointStore::Has(const RecoveryPointId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(KeyOf(id));
+  return it != points_.end() && it->second.complete;
+}
+
+Result<RowBatch> RecoveryPointStore::Load(const RecoveryPointId& id,
+                                          const Schema& schema) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(KeyOf(id));
+    if (it == points_.end() || !it->second.complete) {
+      return Status::NotFound("no complete recovery point '" + id.point_id +
+                              "' for flow '" + id.flow_id + "'");
+    }
+  }
+  std::ifstream in(DataPath(id));
+  if (!in) return Status::IoError("cannot open '" + DataPath(id) + "'");
+  RowBatch batch(schema);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = CsvDecodeLine(line);
+    if (cells.size() != schema.num_fields()) {
+      return Status::Internal("recovery point '" + DataPath(id) +
+                              "' row width mismatch");
+    }
+    Row row;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      QOX_ASSIGN_OR_RETURN(Value v,
+                           Value::Parse(cells[i], schema.field(i).type));
+      row.Append(std::move(v));
+    }
+    batch.Append(std::move(row));
+  }
+  return batch;
+}
+
+Status RecoveryPointStore::Drop(const RecoveryPointId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(KeyOf(id));
+  std::error_code ec;
+  std::filesystem::remove(DataPath(id), ec);
+  return Status::OK();
+}
+
+Status RecoveryPointStore::DropFlow(const std::string& flow_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second.id.flow_id == flow_id) {
+      std::error_code ec;
+      std::filesystem::remove(DataPath(it->second.id), ec);
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<RecoveryPointInfo> RecoveryPointStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RecoveryPointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [key, info] : points_) {
+    if (info.complete) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace qox

@@ -1,0 +1,92 @@
+// RecoveryPointStore: durable storage for recovery points (the paper's SP1,
+// SP2 of Fig. 3 and the RP configurations of Figs. 5–8).
+//
+// A recovery point is a persistent copy of the rows that have crossed a
+// given position in the flow, written to a real file so its I/O cost is
+// genuine. On failure, the executor resumes from the most recent complete
+// recovery point instead of restarting the flow from scratch.
+
+#ifndef QOX_STORAGE_RECOVERY_STORE_H_
+#define QOX_STORAGE_RECOVERY_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+
+namespace qox {
+
+/// Identifies one recovery point within one flow run.
+struct RecoveryPointId {
+  std::string flow_id;   ///< e.g. "sales_bottom_flow"
+  std::string point_id;  ///< e.g. "SP1" — position in the flow
+
+  bool operator==(const RecoveryPointId& other) const {
+    return flow_id == other.flow_id && point_id == other.point_id;
+  }
+};
+
+/// Saved state plus bookkeeping.
+struct RecoveryPointInfo {
+  RecoveryPointId id;
+  size_t num_rows = 0;
+  size_t bytes = 0;
+  bool complete = false;  ///< set only after all rows + commit marker landed
+};
+
+class RecoveryPointStore {
+ public:
+  /// `dir` is created if absent; existing recovery files in it are ignored
+  /// until re-registered (a fresh store starts logically empty).
+  static Result<std::shared_ptr<RecoveryPointStore>> Open(std::string dir);
+
+  /// Durably saves `rows` (with their schema) as recovery point `id`,
+  /// replacing any previous save. The point becomes visible/complete only
+  /// after the data file and commit marker are fully written, so a crash
+  /// mid-save leaves the previous state recoverable.
+  Status Save(const RecoveryPointId& id, const Schema& schema,
+              const std::vector<Row>& rows);
+
+  /// True if a complete recovery point exists.
+  bool Has(const RecoveryPointId& id) const;
+
+  /// Loads a complete recovery point. NotFound if absent or incomplete.
+  Result<RowBatch> Load(const RecoveryPointId& id, const Schema& schema) const;
+
+  /// Drops one recovery point (e.g., after the flow commits downstream).
+  Status Drop(const RecoveryPointId& id);
+
+  /// Drops every recovery point of a flow (after a successful run).
+  Status DropFlow(const std::string& flow_id);
+
+  /// Info for all currently complete points (diagnostics/tests).
+  std::vector<RecoveryPointInfo> List() const;
+
+  /// Total bytes ever written through Save (I/O accounting for Fig. 5).
+  size_t total_bytes_written() const { return total_bytes_written_.load(); }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit RecoveryPointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string DataPath(const RecoveryPointId& id) const;
+
+  const std::string dir_;
+  mutable std::mutex mu_;
+  // key = flow_id + '\0' + point_id
+  std::unordered_map<std::string, RecoveryPointInfo> points_;
+  std::atomic<size_t> total_bytes_written_{0};
+};
+
+using RecoveryPointStorePtr = std::shared_ptr<RecoveryPointStore>;
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_RECOVERY_STORE_H_

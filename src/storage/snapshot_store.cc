@@ -1,0 +1,74 @@
+#include "storage/snapshot_store.h"
+
+namespace qox {
+
+Result<Row> SnapshotStore::ExtractKey(const Row& row) const {
+  Row key;
+  for (const size_t c : key_columns_) {
+    if (c >= row.num_values()) {
+      return Status::Invalid("key column index " + std::to_string(c) +
+                             " out of range for row with " +
+                             std::to_string(row.num_values()) + " values");
+    }
+    key.Append(row.value(c));
+  }
+  return key;
+}
+
+Result<DeltaResult> SnapshotStore::ComputeDelta(
+    const std::vector<Row>& fresh) const {
+  // De-duplicate fresh rows by key, keeping the last occurrence.
+  std::unordered_map<Row, Row, RowHash> deduped;
+  deduped.reserve(fresh.size());
+  std::vector<Row> order;  // keys in first-seen order, for determinism
+  order.reserve(fresh.size());
+  for (const Row& row : fresh) {
+    QOX_ASSIGN_OR_RETURN(Row key, ExtractKey(row));
+    const auto it = deduped.find(key);
+    if (it == deduped.end()) {
+      order.push_back(key);
+      deduped.emplace(std::move(key), row);
+    } else {
+      it->second = row;
+    }
+  }
+  DeltaResult result;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Row& key : order) {
+    const Row& row = deduped.at(key);
+    const auto it = snapshot_.find(key);
+    if (it == snapshot_.end()) {
+      result.inserts.push_back(row);
+    } else if (!(it->second == row)) {
+      result.updates.push_back(row);
+    } else {
+      ++result.unchanged;
+    }
+  }
+  return result;
+}
+
+Status SnapshotStore::Commit(const std::vector<Row>& fresh) {
+  std::unordered_map<Row, Row, RowHash> next;
+  next.reserve(fresh.size());
+  for (const Row& row : fresh) {
+    QOX_ASSIGN_OR_RETURN(Row key, ExtractKey(row));
+    next[std::move(key)] = row;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(next);
+  return Status::OK();
+}
+
+size_t SnapshotStore::snapshot_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_.size();
+}
+
+Status SnapshotStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_.clear();
+  return Status::OK();
+}
+
+}  // namespace qox

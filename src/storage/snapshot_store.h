@@ -1,0 +1,71 @@
+// SnapshotStore: previous-landing snapshot used by the Δ (delta)
+// transformation of the paper's Fig. 3.
+//
+// The bottom flow lands source data and compares it "against the previous
+// landing (snapshot table) for identifying the changed tuples". The
+// SnapshotStore keeps the previous landing keyed by the business key and
+// classifies a fresh landing into inserts and updates; committing the fresh
+// landing makes it the snapshot for the next run.
+
+#ifndef QOX_STORAGE_SNAPSHOT_STORE_H_
+#define QOX_STORAGE_SNAPSHOT_STORE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+
+namespace qox {
+
+/// Classification of a fresh landing against the previous snapshot.
+struct DeltaResult {
+  /// Rows whose key was absent from the snapshot.
+  std::vector<Row> inserts;
+  /// Rows whose key was present but whose non-key columns changed.
+  std::vector<Row> updates;
+  /// Count of rows identical to the snapshot (dropped by the Δ operator).
+  size_t unchanged = 0;
+};
+
+class SnapshotStore {
+ public:
+  /// `key_columns` are positional indexes of the business key within the
+  /// landed schema.
+  SnapshotStore(std::string name, Schema schema,
+                std::vector<size_t> key_columns)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        key_columns_(std::move(key_columns)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// Classifies `fresh` against the current snapshot. Duplicate keys within
+  /// `fresh` keep the last occurrence (standard landing semantics).
+  Result<DeltaResult> ComputeDelta(const std::vector<Row>& fresh) const;
+
+  /// Replaces the snapshot with `fresh` (called after a successful load).
+  Status Commit(const std::vector<Row>& fresh);
+
+  size_t snapshot_size() const;
+
+  Status Clear();
+
+ private:
+  struct KeyOf;
+  Result<Row> ExtractKey(const Row& row) const;
+
+  const std::string name_;
+  const Schema schema_;
+  const std::vector<size_t> key_columns_;
+  mutable std::mutex mu_;
+  std::unordered_map<Row, Row, RowHash> snapshot_;  // key row -> full row
+};
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_SNAPSHOT_STORE_H_

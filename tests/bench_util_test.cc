@@ -1,0 +1,127 @@
+// The benchmark harness's virtual-machine scheduler is load-bearing for
+// every figure, so its laws are tested here.
+
+#include "../bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace bench {
+namespace {
+
+TEST(MakespanTest, SingleCpuIsSum) {
+  EXPECT_EQ(Makespan({10, 20, 30}, 1), 60);
+}
+
+TEST(MakespanTest, EnoughCpusIsMax) {
+  EXPECT_EQ(Makespan({10, 20, 30}, 3), 30);
+  EXPECT_EQ(Makespan({10, 20, 30}, 8), 30);
+}
+
+TEST(MakespanTest, GreedyPacking) {
+  // Two CPUs, tasks 10,20,30 in order: cpu0={10,30}, cpu1={20} -> 40.
+  EXPECT_EQ(Makespan({10, 20, 30}, 2), 40);
+}
+
+TEST(MakespanTest, EdgeCases) {
+  EXPECT_EQ(Makespan({}, 4), 0);
+  EXPECT_EQ(Makespan({7}, 0), 7);  // 0 cpus clamps to 1
+}
+
+TEST(MakespanTest, ReleaseTimesDelayStart) {
+  const std::vector<int64_t> tasks{10, 10};
+  const std::vector<int64_t> release{0, 100};
+  EXPECT_EQ(Makespan(tasks, 2, &release), 110);
+}
+
+RunMetrics MakeParallelMetrics() {
+  RunMetrics m;
+  m.extract_micros = 100;
+  m.transform_micros = 1000;  // includes the unit below + 100 sequential
+  m.load_micros = 50;
+  ParallelUnitStats unit;
+  unit.range_begin = 1;
+  unit.range_end = 4;
+  unit.partition_micros = {200, 200, 200, 200};
+  unit.serialized_micros = {0, 0, 0, 0};
+  unit.merge_micros = 100;
+  m.parallel_units.push_back(unit);
+  return m;
+}
+
+TEST(SimulatedTransformTest, OneCpuEqualsMeasured) {
+  const RunMetrics m = MakeParallelMetrics();
+  // sequential share = 1000 - (800 + 100) = 100; makespan(4x200, 1) = 800.
+  EXPECT_EQ(SimulatedTransformMicros(m, 1), 100 + 800 + 100);
+}
+
+TEST(SimulatedTransformTest, FourCpusParallelizePartitionsOnly) {
+  const RunMetrics m = MakeParallelMetrics();
+  // makespan(4x200, 4) = 200; merge and sequential stay.
+  EXPECT_EQ(SimulatedTransformMicros(m, 4), 100 + 200 + 100);
+}
+
+TEST(SimulatedTransformTest, SerializedShareDoesNotParallelize) {
+  RunMetrics m = MakeParallelMetrics();
+  m.parallel_units[0].serialized_micros = {100, 100, 100, 100};
+  // parallel parts 4x100 -> makespan 100; serialized sum 400; merge 100;
+  // sequential 100.
+  EXPECT_EQ(SimulatedTransformMicros(m, 4), 100 + 100 + 400 + 100);
+}
+
+TEST(SimulatedWallTest, SumsPhases) {
+  RunMetrics m = MakeParallelMetrics();
+  m.rp_write_micros = 30;
+  m.rp_read_micros = 20;
+  EXPECT_EQ(SimulatedWallMicros(m, 4),
+            100 + (100 + 200 + 100) + 30 + 20 + 50);
+}
+
+TEST(SimulatedNmrTest, MajorityCompletionWithChannelSerialization) {
+  RunMetrics base;
+  base.extract_micros = 100;
+  base.transform_micros = 1000;
+  base.load_micros = 50;
+  // TMR on ample CPUs: majority = 2nd finisher; instance 1 (0-based)
+  // releases at 2*extract, then its (interference-inflated) work.
+  const double interference = 1.0 + kNmrInterferencePerInstance * 2;
+  const int64_t expected_work =
+      static_cast<int64_t>(1000 * interference);
+  EXPECT_EQ(SimulatedNmrMicros(base, 3, 8),
+            200 + expected_work + 50);
+}
+
+TEST(SimulatedNmrTest, OverheadGrowsWithDegree) {
+  RunMetrics base;
+  base.extract_micros = 150;
+  base.transform_micros = 1000;
+  base.load_micros = 50;
+  const int64_t t3 = SimulatedNmrMicros(base, 3, 8);
+  const int64_t t4 = SimulatedNmrMicros(base, 4, 8);
+  const int64_t t5 = SimulatedNmrMicros(base, 5, 8);
+  EXPECT_LT(t3, t4);
+  EXPECT_LT(t4, t5);
+  // And all below a full serial re-run of 2 instances.
+  EXPECT_LT(t3, 2 * (150 + 1000 + 50));
+}
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table table({"a", "long_header"});
+  table.AddRow({"value_longer_than_header", "x"});
+  ::testing::internal::CaptureStdout();
+  table.Print("title");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("=== title ==="), std::string::npos);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("value_longer_than_header"), std::string::npos);
+}
+
+TEST(FormattersTest, MsAndSeconds) {
+  EXPECT_EQ(Ms(1234), "1.2");
+  EXPECT_EQ(Ms(1234, 3), "1.234");
+  EXPECT_EQ(Seconds(1.2345, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qox

@@ -1,0 +1,120 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace qox {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  Rng rng2(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.Bernoulli(0.0));
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.3);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(42);
+  std::map<size_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Zipf(100, 1.0)];
+  // Rank 0 must be clearly more popular than rank 50.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniform) {
+  Rng rng(42);
+  std::map<size_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Zipf(10, 0.0)];
+  for (int rank = 0; rank < 10; ++rank) {
+    EXPECT_NEAR(counts[rank] / static_cast<double>(n), 0.1, 0.02);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(42);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  EXPECT_EQ(shuffled.size(), items.size());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+  // Empty vector is fine.
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,80 @@
+#include "common/row.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+Row MakeRow(int64_t id, const std::string& name, double amount) {
+  return Row({Value::Int64(id), Value::String(name), Value::Double(amount)});
+}
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"name", DataType::kString, true},
+                 {"amount", DataType::kDouble, true}});
+}
+
+TEST(RowTest, AccessAndMutate) {
+  Row row = MakeRow(1, "a", 2.0);
+  EXPECT_EQ(row.num_values(), 3u);
+  EXPECT_EQ(row.value(0).int64_value(), 1);
+  row.Set(2, Value::Double(9.5));
+  EXPECT_DOUBLE_EQ(row.value(2).double_value(), 9.5);
+  row.Append(Value::Bool(true));
+  EXPECT_EQ(row.num_values(), 4u);
+}
+
+TEST(RowTest, LexicographicCompare) {
+  EXPECT_LT(MakeRow(1, "a", 1.0), MakeRow(2, "a", 1.0));
+  EXPECT_LT(MakeRow(1, "a", 1.0), MakeRow(1, "b", 0.0));
+  EXPECT_EQ(MakeRow(1, "a", 1.0).Compare(MakeRow(1, "a", 1.0)), 0);
+  // Shorter rows sort before longer rows with the same prefix.
+  EXPECT_LT(Row({Value::Int64(1)}), Row({Value::Int64(1), Value::Int64(0)}));
+}
+
+TEST(RowTest, HashMatchesEquality) {
+  EXPECT_EQ(MakeRow(7, "x", 1.5).Hash(), MakeRow(7, "x", 1.5).Hash());
+  EXPECT_NE(MakeRow(7, "x", 1.5).Hash(), MakeRow(8, "x", 1.5).Hash());
+}
+
+TEST(RowTest, HashColumnsSubset) {
+  const Row a = MakeRow(7, "x", 1.0);
+  const Row b = MakeRow(7, "y", 2.0);
+  EXPECT_EQ(a.HashColumns({0}), b.HashColumns({0}));
+  EXPECT_NE(a.HashColumns({1}), b.HashColumns({1}));
+}
+
+TEST(RowBatchTest, AppendAndValidate) {
+  RowBatch batch(TestSchema());
+  batch.Append(MakeRow(1, "a", 1.0));
+  batch.Append(MakeRow(2, "b", 2.0));
+  EXPECT_EQ(batch.num_rows(), 2u);
+  EXPECT_TRUE(batch.Validate().ok());
+}
+
+TEST(RowBatchTest, ValidateCatchesWidthMismatch) {
+  RowBatch batch(TestSchema());
+  batch.Append(Row({Value::Int64(1)}));
+  EXPECT_EQ(batch.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RowBatchTest, ValidateCatchesNullInNonNullable) {
+  RowBatch batch(TestSchema());
+  batch.Append(Row({Value::Null(), Value::String("a"), Value::Double(1.0)}));
+  EXPECT_EQ(batch.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RowBatchTest, ByteSizeSumsRows) {
+  RowBatch batch(TestSchema());
+  EXPECT_EQ(batch.ByteSize(), 0u);
+  batch.Append(MakeRow(1, "abc", 1.0));
+  EXPECT_GT(batch.ByteSize(), 16u);
+}
+
+TEST(RowTest, ToStringFormat) {
+  EXPECT_EQ(MakeRow(1, "a", 2.5).ToString(), "(1, a, 2.5)");
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,88 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"name", DataType::kString, true},
+                 {"amount", DataType::kDouble, true}});
+}
+
+TEST(SchemaTest, FieldAccessByIndexAndName) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(0).name, "id");
+  EXPECT_FALSE(s.field(0).nullable);
+  const Result<size_t> idx = s.FieldIndex("amount");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 2u);
+  EXPECT_TRUE(s.HasField("name"));
+  EXPECT_FALSE(s.HasField("missing"));
+  EXPECT_FALSE(s.FieldIndex("missing").ok());
+}
+
+TEST(SchemaTest, AddFieldAppendsAndRejectsDuplicates) {
+  const Schema s = TestSchema();
+  const Result<Schema> extended = s.AddField({"extra", DataType::kBool, true});
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended.value().num_fields(), 4u);
+  EXPECT_EQ(extended.value().field(3).name, "extra");
+  EXPECT_EQ(s.num_fields(), 3u);  // original untouched
+  EXPECT_EQ(s.AddField({"id", DataType::kInt64, true}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RemoveFieldShiftsIndexes) {
+  const Result<Schema> removed = TestSchema().RemoveField("name");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value().num_fields(), 2u);
+  EXPECT_EQ(removed.value().FieldIndex("amount").value(), 1u);
+  EXPECT_FALSE(TestSchema().RemoveField("missing").ok());
+}
+
+TEST(SchemaTest, RenameField) {
+  const Result<Schema> renamed = TestSchema().RenameField("name", "label");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed.value().HasField("label"));
+  EXPECT_FALSE(renamed.value().HasField("name"));
+  // Renaming onto an existing other column fails.
+  EXPECT_EQ(TestSchema().RenameField("name", "id").status().code(),
+            StatusCode::kAlreadyExists);
+  // Renaming onto itself is a no-op success.
+  EXPECT_TRUE(TestSchema().RenameField("name", "name").ok());
+}
+
+TEST(SchemaTest, ProjectReordersAndSubsets) {
+  const Result<Schema> projected =
+      TestSchema().Project({"amount", "id"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().num_fields(), 2u);
+  EXPECT_EQ(projected.value().field(0).name, "amount");
+  EXPECT_EQ(projected.value().field(1).name, "id");
+  EXPECT_FALSE(TestSchema().Project({"nope"}).ok());
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_EQ(TestSchema(), TestSchema());
+  const Result<Schema> other = TestSchema().RenameField("name", "label");
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(TestSchema(), other.value());
+}
+
+TEST(SchemaTest, ToStringMarksNonNullable) {
+  const std::string text = TestSchema().ToString();
+  EXPECT_NE(text.find("id:int64!"), std::string::npos);
+  EXPECT_NE(text.find("name:string"), std::string::npos);
+}
+
+TEST(SchemaTest, EmptySchema) {
+  const Schema empty;
+  EXPECT_EQ(empty.num_fields(), 0u);
+  EXPECT_EQ(empty, Schema());
+}
+
+}  // namespace
+}  // namespace qox

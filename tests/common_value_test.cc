@@ -1,0 +1,128 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  const Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int64(-7).int64_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Timestamp(123456).timestamp_micros(), 123456);
+}
+
+TEST(ValueTest, TimestampIsDistinctType) {
+  EXPECT_EQ(Value::Timestamp(1).type(), DataType::kTimestamp);
+  EXPECT_EQ(Value::Int64(1).type(), DataType::kInt64);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Null(), Value::Int64(-1000000));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericTypesCompareNumerically) {
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int64(2), Value::Double(2.5));
+  EXPECT_LT(Value::Double(1.5), Value::Int64(2));
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+}
+
+TEST(ValueTest, CrossTypeOrderIsStable) {
+  // bool < numeric < string, deterministically.
+  EXPECT_LT(Value::Bool(true), Value::Int64(0));
+  EXPECT_LT(Value::Int64(999), Value::String("a"));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("apple"), Value::String("banana"));
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  // Distinct values should (with overwhelming probability) hash apart.
+  EXPECT_NE(Value::Int64(1).Hash(), Value::Int64(2).Hash());
+}
+
+TEST(ValueTest, AsDoubleConversions) {
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble().value(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Int64(5).AsDouble().value(), 5.0);
+  EXPECT_DOUBLE_EQ(Value::Double(2.25).AsDouble().value(), 2.25);
+  EXPECT_DOUBLE_EQ(Value::Timestamp(100).AsDouble().value(), 100.0);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+struct RoundTripCase {
+  DataType type;
+  std::string text;
+};
+
+class ValueParseRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {
+};
+
+TEST_P(ValueParseRoundTripTest, ParseThenFormatIsIdentity) {
+  const RoundTripCase& test_case = GetParam();
+  const Result<Value> parsed = Value::Parse(test_case.text, test_case.type);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().ToString(), test_case.text);
+  EXPECT_EQ(parsed.value().type(), test_case.type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RoundTrips, ValueParseRoundTripTest,
+    ::testing::Values(RoundTripCase{DataType::kBool, "true"},
+                      RoundTripCase{DataType::kBool, "false"},
+                      RoundTripCase{DataType::kInt64, "0"},
+                      RoundTripCase{DataType::kInt64, "-92233720368547758"},
+                      RoundTripCase{DataType::kInt64, "123456789"},
+                      RoundTripCase{DataType::kDouble, "2.5"},
+                      RoundTripCase{DataType::kDouble, "-0.125"},
+                      RoundTripCase{DataType::kString, "hello world"},
+                      RoundTripCase{DataType::kString, "with,comma"},
+                      RoundTripCase{DataType::kTimestamp, "1719619200000000"}));
+
+TEST(ValueParseTest, EmptyStringIsNullForEveryType) {
+  for (const DataType type :
+       {DataType::kBool, DataType::kInt64, DataType::kDouble,
+        DataType::kString, DataType::kTimestamp}) {
+    const Result<Value> parsed = Value::Parse("", type);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().is_null());
+  }
+}
+
+TEST(ValueParseTest, MalformedInputsError) {
+  EXPECT_FALSE(Value::Parse("maybe", DataType::kBool).ok());
+  EXPECT_FALSE(Value::Parse("12x", DataType::kInt64).ok());
+  EXPECT_FALSE(Value::Parse("1.2.3", DataType::kDouble).ok());
+}
+
+TEST(ValueTest, ByteSizeReflectsContent) {
+  EXPECT_EQ(Value::Int64(1).ByteSize(), 8u);
+  EXPECT_EQ(Value::Double(1.0).ByteSize(), 8u);
+  EXPECT_GT(Value::String("abcdefgh").ByteSize(), 8u);
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+}
+
+TEST(ValueTest, DataTypeNames) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kTimestamp), "timestamp");
+  EXPECT_STREQ(DataTypeName(DataType::kNull), "null");
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,285 @@
+// Cost-model laws: the model must rank designs the way the paper's
+// experiments rank them (ordinal fidelity), and calibration must fit the
+// main rates from a measured run.
+
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+LogicalFlow MakeFlow() {
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(1000));
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFilter("flt", {Predicate::NotNull("amount")}, 0.875));
+  ops.push_back(MakeFunction(
+      "fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}));
+  ops.push_back(MakeSort("sort", {{"id", false}}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  return LogicalFlow("cm_flow", source, std::move(ops), target);
+}
+
+PhysicalDesign BaseDesign() {
+  PhysicalDesign design;
+  design.flow = MakeFlow();
+  design.threads = 4;
+  return design;
+}
+
+WorkloadParams BaseWorkload() {
+  WorkloadParams workload;
+  workload.rows_per_run = 100000;
+  workload.failure_rate_per_s = 0.01;
+  workload.time_window_s = 3600;
+  return workload;
+}
+
+TEST(CostModelTest, PhasesArePositiveAndSum) {
+  const CostModel model;
+  const PhaseEstimate est = model.EstimatePhases(BaseDesign(), 100000);
+  EXPECT_GT(est.extract_s, 0.0);
+  EXPECT_GT(est.transform_s, 0.0);
+  EXPECT_GT(est.load_s, 0.0);
+  EXPECT_DOUBLE_EQ(est.rp_s, 0.0);
+  EXPECT_NEAR(est.total_s,
+              est.extract_s + est.transform_s + est.load_s + est.rp_s +
+                  est.merge_s,
+              1e-9);
+}
+
+TEST(CostModelTest, TimeGrowsWithVolume) {
+  const CostModel model;
+  const PhysicalDesign design = BaseDesign();
+  const double t1 = model.EstimatePhases(design, 10000).total_s;
+  const double t2 = model.EstimatePhases(design, 100000).total_s;
+  EXPECT_GT(t2, t1 * 5);
+}
+
+TEST(CostModelTest, RecoveryPointsAddCost) {
+  // Fig. 5's headline: recovery points significantly increase total cost.
+  const CostModel model;
+  PhysicalDesign without_rp = BaseDesign();
+  PhysicalDesign with_rp = BaseDesign();
+  with_rp.recovery_points = {0, 3};
+  const double t_without =
+      model.EstimatePhases(without_rp, 100000).total_s;
+  const double t_with = model.EstimatePhases(with_rp, 100000).total_s;
+  EXPECT_GT(t_with, t_without * 1.1);
+  // More recovery points cost more than fewer.
+  PhysicalDesign rp_all = BaseDesign();
+  rp_all.recovery_points = {0, 1, 2, 3};
+  EXPECT_GT(model.EstimatePhases(rp_all, 100000).total_s, t_with);
+}
+
+TEST(CostModelTest, ParallelismSpeedsUpTransformOnly) {
+  // Fig. 4's headline: parallelization improves the transformation part;
+  // extraction is unaffected; speedup is sub-linear.
+  const CostModel model;
+  PhysicalDesign sequential = BaseDesign();
+  PhysicalDesign parallel = BaseDesign();
+  parallel.parallel.partitions = 4;
+  const PhaseEstimate seq = model.EstimatePhases(sequential, 200000);
+  const PhaseEstimate par = model.EstimatePhases(parallel, 200000);
+  EXPECT_DOUBLE_EQ(par.extract_s, seq.extract_s);
+  EXPECT_LT(par.transform_s, seq.transform_s);
+  EXPECT_GT(par.transform_s, seq.transform_s / 4.0);  // sub-linear
+  EXPECT_GT(par.merge_s, 0.0);                        // merge is not free
+}
+
+TEST(CostModelTest, PartitionsBeyondThreadsDoNotHelp) {
+  const CostModel model;
+  PhysicalDesign p4 = BaseDesign();
+  p4.threads = 2;
+  p4.parallel.partitions = 4;
+  PhysicalDesign p2 = BaseDesign();
+  p2.threads = 2;
+  p2.parallel.partitions = 2;
+  EXPECT_GE(model.EstimatePhases(p4, 100000).transform_s,
+            model.EstimatePhases(p2, 100000).transform_s * 0.99);
+}
+
+TEST(CostModelTest, RedundancyAddsModerateOverhead) {
+  // Fig. 7's headline: NMR costs less than recovery points, and overhead
+  // grows with the degree.
+  const CostModel model;
+  PhysicalDesign base = BaseDesign();
+  PhysicalDesign tmr = BaseDesign();
+  tmr.redundancy = 3;
+  PhysicalDesign fmr = BaseDesign();
+  fmr.redundancy = 5;
+  PhysicalDesign rp = BaseDesign();
+  rp.recovery_points = {0, 1, 2, 3};
+  const double t_base = model.EstimatePhases(base, 100000).total_s;
+  const double t_tmr = model.EstimatePhases(tmr, 100000).total_s;
+  const double t_fmr = model.EstimatePhases(fmr, 100000).total_s;
+  const double t_rp = model.EstimatePhases(rp, 100000).total_s;
+  EXPECT_GT(t_tmr, t_base);
+  EXPECT_GT(t_fmr, t_tmr);
+  EXPECT_LT(t_tmr, t_rp);  // redundancy beats heavy RP I/O
+}
+
+TEST(CostModelTest, ReliabilityImprovesWithRedundancyAndRp) {
+  const CostModel model;
+  const WorkloadParams workload = BaseWorkload();
+  PhysicalDesign bare = BaseDesign();
+  PhysicalDesign with_rp = BaseDesign();
+  with_rp.recovery_points = {0, 2};
+  PhysicalDesign tmr = BaseDesign();
+  tmr.redundancy = 3;
+  const PhaseEstimate bare_phases = model.EstimatePhases(bare, 100000);
+  const PhaseEstimate rp_phases = model.EstimatePhases(with_rp, 100000);
+  const PhaseEstimate tmr_phases = model.EstimatePhases(tmr, 100000);
+  const double r_bare =
+      model.EstimateReliability(bare, bare_phases, workload);
+  const double r_rp = model.EstimateReliability(with_rp, rp_phases, workload);
+  const double r_tmr =
+      model.EstimateReliability(tmr, tmr_phases, workload);
+  EXPECT_GT(r_rp, 0.9);
+  EXPECT_GT(r_tmr, r_bare * 0.99);
+  EXPECT_LE(r_rp, 1.0);
+  EXPECT_LE(r_tmr, 1.0);
+}
+
+TEST(CostModelTest, AttemptSuccessProbabilityLaw) {
+  EXPECT_DOUBLE_EQ(CostModel::AttemptSuccessProbability(100, 0.0), 1.0);
+  EXPECT_NEAR(CostModel::AttemptSuccessProbability(10, 0.1),
+              std::exp(-1.0), 1e-12);
+  EXPECT_GT(CostModel::AttemptSuccessProbability(1, 0.01),
+            CostModel::AttemptSuccessProbability(100, 0.01));
+}
+
+TEST(CostModelTest, RecoverabilityShrinksWithMoreRecoveryPoints) {
+  // Fig. 6's headline: rework after a failure shrinks when durable points
+  // are closer together.
+  const CostModel model;
+  PhysicalDesign none = BaseDesign();
+  PhysicalDesign one = BaseDesign();
+  one.recovery_points = {0};
+  PhysicalDesign many = BaseDesign();
+  many.recovery_points = {0, 1, 2, 3};
+  const double r_none = model.EstimateRecoverability(
+      none, model.EstimatePhases(none, 100000));
+  const double r_one =
+      model.EstimateRecoverability(one, model.EstimatePhases(one, 100000));
+  const double r_many = model.EstimateRecoverability(
+      many, model.EstimatePhases(many, 100000));
+  EXPECT_LT(r_one, r_none);
+  EXPECT_LT(r_many, r_one);
+}
+
+TEST(CostModelTest, FreshnessImprovesWithLoadFrequency) {
+  // Fig. 8's headline: more loads per day => fresher data.
+  const CostModel model;
+  const WorkloadParams workload = BaseWorkload();
+  PhysicalDesign daily = BaseDesign();
+  daily.loads_per_day = 1;
+  PhysicalDesign hourly = BaseDesign();
+  hourly.loads_per_day = 24;
+  PhysicalDesign quarter_hourly = BaseDesign();
+  quarter_hourly.loads_per_day = 96;
+  const double f_daily = model.EstimateFreshness(daily, workload);
+  const double f_hourly = model.EstimateFreshness(hourly, workload);
+  const double f_frequent =
+      model.EstimateFreshness(quarter_hourly, workload);
+  EXPECT_GT(f_daily, f_hourly);
+  EXPECT_GT(f_hourly, f_frequent);
+}
+
+TEST(CostModelTest, FreshnessSeparatesConfigsAtHighFrequency) {
+  // At high load frequency the per-batch overhead separates RP-heavy from
+  // lean configurations (the right side of Fig. 8).
+  const CostModel model;
+  WorkloadParams workload = BaseWorkload();
+  PhysicalDesign lean = BaseDesign();
+  lean.loads_per_day = 96;
+  PhysicalDesign rp_heavy = BaseDesign();
+  rp_heavy.loads_per_day = 96;
+  rp_heavy.recovery_points = {0, 1, 2, 3};
+  EXPECT_GT(model.EstimateFreshness(rp_heavy, workload),
+            model.EstimateFreshness(lean, workload));
+}
+
+TEST(CostModelTest, MaintainabilityPenalizesPhysicalComplexity) {
+  const CostModel model;
+  PhysicalDesign plain = BaseDesign();
+  PhysicalDesign complex_design = BaseDesign();
+  complex_design.parallel.partitions = 8;
+  complex_design.redundancy = 3;
+  complex_design.recovery_points = {0, 1, 2};
+  const double m_plain = model.EstimateMaintainability(plain).value();
+  const double m_complex =
+      model.EstimateMaintainability(complex_design).value();
+  EXPECT_GT(m_plain, m_complex);
+  EXPECT_GT(m_complex, 0.0);
+}
+
+TEST(CostModelTest, PredictCoversAllMetrics) {
+  const CostModel model;
+  const Result<QoxVector> v = model.Predict(BaseDesign(), BaseWorkload());
+  ASSERT_TRUE(v.ok()) << v.status();
+  for (const QoxMetric metric : AllQoxMetrics()) {
+    EXPECT_TRUE(v.value().Has(metric)) << QoxMetricName(metric);
+  }
+  // Probabilities and scores stay in [0, 1].
+  for (const QoxMetric metric :
+       {QoxMetric::kReliability, QoxMetric::kAvailability,
+        QoxMetric::kMaintainability, QoxMetric::kScalability,
+        QoxMetric::kRobustness, QoxMetric::kConsistency,
+        QoxMetric::kFlexibility}) {
+    const double value = v.value().Get(metric).value();
+    EXPECT_GE(value, 0.0) << QoxMetricName(metric);
+    EXPECT_LE(value, 1.0) << QoxMetricName(metric);
+  }
+}
+
+TEST(CostModelTest, ProvenanceTradesTraceabilityForTime) {
+  // Sec. 3.5: enriching the flow for provenance hurts performance but
+  // gains traceability.
+  const CostModel model;
+  PhysicalDesign plain = BaseDesign();
+  PhysicalDesign traced = BaseDesign();
+  traced.provenance_columns = true;
+  const QoxVector v_plain = model.Predict(plain, BaseWorkload()).value();
+  const QoxVector v_traced = model.Predict(traced, BaseWorkload()).value();
+  EXPECT_GT(v_traced.Get(QoxMetric::kTraceability).value(),
+            v_plain.Get(QoxMetric::kTraceability).value());
+  EXPECT_GT(v_traced.Get(QoxMetric::kPerformance).value(),
+            v_plain.Get(QoxMetric::kPerformance).value());
+}
+
+TEST(CostModelTest, CalibrationFitsMeasuredRates) {
+  // Execute the flow for real, calibrate, and check the calibrated model
+  // predicts that run's phase times within a loose factor.
+  const LogicalFlow flow = MakeFlow();
+  const Result<RunMetrics> measured =
+      Executor::Run(flow.ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(measured.ok());
+  const CostModelParams params = CostModel::Calibrate(
+      CostModelParams{}, measured.value(), flow, 1000);
+  EXPECT_GT(params.extract_ns_per_row, 0.0);
+  EXPECT_GT(params.transform_ns_per_unit, 0.0);
+  EXPECT_GT(params.load_ns_per_row, 0.0);
+  const CostModel model(params);
+  PhysicalDesign design;
+  design.flow = flow;
+  design.threads = 1;
+  const PhaseEstimate predicted = model.EstimatePhases(design, 1000);
+  const double measured_total =
+      static_cast<double>(measured.value().total_micros) / 1e6;
+  EXPECT_GT(predicted.total_s, measured_total * 0.2);
+  EXPECT_LT(predicted.total_s, measured_total * 5.0);
+}
+
+}  // namespace
+}  // namespace qox

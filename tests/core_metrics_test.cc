@@ -1,0 +1,75 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+TEST(QoxMetricTest, AllMetricsHaveUniqueNames) {
+  std::set<std::string> names;
+  for (const QoxMetric metric : AllQoxMetrics()) {
+    EXPECT_TRUE(names.insert(QoxMetricName(metric)).second)
+        << QoxMetricName(metric);
+  }
+  EXPECT_EQ(names.size(), 13u);
+}
+
+TEST(QoxMetricTest, ParseRoundTrips) {
+  for (const QoxMetric metric : AllQoxMetrics()) {
+    const Result<QoxMetric> parsed = ParseQoxMetric(QoxMetricName(metric));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), metric);
+  }
+  EXPECT_FALSE(ParseQoxMetric("speed").ok());
+}
+
+TEST(QoxMetricTest, DirectionsMatchPaperSemantics) {
+  // Time-like and cost metrics improve downward.
+  EXPECT_FALSE(HigherIsBetter(QoxMetric::kPerformance));
+  EXPECT_FALSE(HigherIsBetter(QoxMetric::kFreshness));
+  EXPECT_FALSE(HigherIsBetter(QoxMetric::kRecoverability));
+  EXPECT_FALSE(HigherIsBetter(QoxMetric::kCost));
+  // Probabilities and scores improve upward.
+  EXPECT_TRUE(HigherIsBetter(QoxMetric::kReliability));
+  EXPECT_TRUE(HigherIsBetter(QoxMetric::kMaintainability));
+  EXPECT_TRUE(HigherIsBetter(QoxMetric::kAvailability));
+}
+
+TEST(QoxMetricTest, UnitsAssigned) {
+  EXPECT_STREQ(QoxMetricUnit(QoxMetric::kPerformance), "s");
+  EXPECT_STREQ(QoxMetricUnit(QoxMetric::kReliability), "probability");
+  EXPECT_STREQ(QoxMetricUnit(QoxMetric::kMaintainability), "score");
+  EXPECT_STREQ(QoxMetricUnit(QoxMetric::kCost), "units");
+}
+
+TEST(QoxMetricTest, StructuralMetricsIdentified) {
+  EXPECT_TRUE(IsDesignStructural(QoxMetric::kMaintainability));
+  EXPECT_TRUE(IsDesignStructural(QoxMetric::kFlexibility));
+  EXPECT_FALSE(IsDesignStructural(QoxMetric::kPerformance));
+  EXPECT_FALSE(IsDesignStructural(QoxMetric::kReliability));
+}
+
+TEST(QoxVectorTest, SetGetHas) {
+  QoxVector v;
+  EXPECT_FALSE(v.Has(QoxMetric::kPerformance));
+  EXPECT_FALSE(v.Get(QoxMetric::kPerformance).ok());
+  v.Set(QoxMetric::kPerformance, 12.5);
+  EXPECT_TRUE(v.Has(QoxMetric::kPerformance));
+  EXPECT_DOUBLE_EQ(v.Get(QoxMetric::kPerformance).value(), 12.5);
+  EXPECT_DOUBLE_EQ(v.GetOr(QoxMetric::kFreshness, -1.0), -1.0);
+  v.Set(QoxMetric::kPerformance, 3.0);  // overwrite
+  EXPECT_DOUBLE_EQ(v.Get(QoxMetric::kPerformance).value(), 3.0);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(QoxVectorTest, ToStringListsMetrics) {
+  QoxVector v;
+  v.Set(QoxMetric::kPerformance, 2.0);
+  v.Set(QoxMetric::kReliability, 0.99);
+  const std::string text = v.ToString();
+  EXPECT_NE(text.find("performance=2"), std::string::npos);
+  EXPECT_NE(text.find("reliability=0.99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,109 @@
+#include "core/micro_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/generators.h"
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+/// A clickstream-like flow: filter anonymous events, load the rest.
+LogicalFlow MakeClickFlow(size_t events, uint64_t seed = 42) {
+  WorkloadConfig workload;
+  workload.seed = seed;
+  Rng rng(seed);
+  const std::vector<Row> rows = GenerateClickstream(workload, events, &rng);
+  auto source = std::make_shared<MemTable>("clicks", ClickstreamSchema());
+  (void)source->Append(RowBatch(ClickstreamSchema(), rows));
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFilter("flt", {Predicate::NotNull("customer_id")}, 0.9));
+  auto target = std::make_shared<MemTable>("dw", ClickstreamSchema());
+  return LogicalFlow("click_flow", source, std::move(ops), target);
+}
+
+TEST(MicroBatchTest, ProcessesAllEventsAcrossWindows) {
+  const LogicalFlow flow = MakeClickFlow(2000);
+  MicroBatchConfig config;
+  config.num_windows = 8;
+  const Result<FreshnessStats> stats = RunMicroBatches(flow, config);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.value().events_processed, 2000u);
+  EXPECT_GE(stats.value().windows_executed, 6u);  // a window may be empty
+  // Loaded rows = non-anonymous events, same as a single full run.
+  const LogicalFlow full = MakeClickFlow(2000);
+  const Result<RunMetrics> reference =
+      Executor::Run(full.ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(stats.value().rows_loaded, reference.value().rows_loaded);
+}
+
+TEST(MicroBatchTest, MoreWindowsImproveFreshness) {
+  const Result<FreshnessStats> coarse =
+      RunMicroBatches(MakeClickFlow(3000), [] {
+        MicroBatchConfig c;
+        c.num_windows = 2;
+        return c;
+      }());
+  const Result<FreshnessStats> fine =
+      RunMicroBatches(MakeClickFlow(3000), [] {
+        MicroBatchConfig c;
+        c.num_windows = 64;
+        return c;
+      }());
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  // Waiting dominates: finer windows mean much fresher data (Sec. 3.4).
+  EXPECT_LT(fine.value().avg_freshness_s,
+            coarse.value().avg_freshness_s / 4.0);
+  EXPECT_LT(fine.value().p95_freshness_s, coarse.value().p95_freshness_s);
+}
+
+TEST(MicroBatchTest, SlaAttainmentComputed) {
+  MicroBatchConfig config;
+  config.num_windows = 4;
+  // One day of events in 4 windows: ~6h window, avg wait ~3h.
+  config.freshness_sla_s = 3.0 * 3600;
+  const Result<FreshnessStats> stats =
+      RunMicroBatches(MakeClickFlow(2000), config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().sla_attainment, 0.2);
+  EXPECT_LT(stats.value().sla_attainment, 0.8);
+}
+
+TEST(MicroBatchTest, ValidatesInputs) {
+  const LogicalFlow flow = MakeClickFlow(100);
+  MicroBatchConfig config;
+  config.num_windows = 0;
+  EXPECT_FALSE(RunMicroBatches(flow, config).ok());
+  config.num_windows = 4;
+  config.event_time_column = "missing";
+  EXPECT_FALSE(RunMicroBatches(flow, config).ok());
+  config.event_time_column = "url";  // not a timestamp
+  EXPECT_FALSE(RunMicroBatches(flow, config).ok());
+}
+
+TEST(MicroBatchTest, EmptySourceYieldsEmptyStats) {
+  auto source = std::make_shared<MemTable>("clicks", ClickstreamSchema());
+  auto target = std::make_shared<MemTable>("dw", ClickstreamSchema());
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFilter("flt", {Predicate::NotNull("customer_id")}, 0.9));
+  const LogicalFlow flow("empty", source, std::move(ops), target);
+  const Result<FreshnessStats> stats =
+      RunMicroBatches(flow, MicroBatchConfig{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().events_processed, 0u);
+  EXPECT_EQ(stats.value().windows_executed, 0u);
+}
+
+TEST(MicroBatchTest, StatsToStringMentionsFields) {
+  FreshnessStats stats;
+  stats.windows_executed = 3;
+  stats.avg_freshness_s = 1.5;
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("windows=3"), std::string::npos);
+  EXPECT_NE(text.find("avg=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,211 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+LogicalFlow MakeFlow() {
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(100));
+  const Schema dim_schema({{"code", DataType::kString, false},
+                           {"key", DataType::kInt64, false}});
+  const DataStorePtr dim = testing_util::MakeSource(
+      dim_schema,
+      {Row({Value::String("a"), Value::Int64(1)}),
+       Row({Value::String("b"), Value::Int64(2)}),
+       Row({Value::String("c"), Value::Int64(3)})},
+      "dim");
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeLookup("lkp", dim, "category", "code", {"key"},
+                           LookupMissPolicy::kReject, 0.98));
+  ops.push_back(MakeFilter("flt", {Predicate::NotNull("amount")}, 0.875));
+  ops.push_back(MakeFunction(
+      "fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}));
+  ops.push_back(MakeSort("sort", {{"id", false}}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  return LogicalFlow("opt_flow", source, std::move(ops), target);
+}
+
+WorkloadParams MakeWorkload() {
+  WorkloadParams workload;
+  workload.rows_per_run = 500000;
+  workload.failure_rate_per_s = 0.05;
+  workload.time_window_s = 120.0;
+  return workload;
+}
+
+QoxOptimizer MakeOptimizer(OptimizerOptions options = {}) {
+  options.threads = 4;
+  return QoxOptimizer(CostModel{}, options);
+}
+
+TEST(OptimizerTest, ExploresAndReturnsFeasibleBest) {
+  const QoxOptimizer optimizer = MakeOptimizer();
+  const Result<OptimizationResult> result = optimizer.Optimize(
+      MakeFlow(), QoxObjective::PerformanceFirst(60.0), MakeWorkload());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result.value().designs_explored, 10u);
+  EXPECT_TRUE(result.value().best.evaluation.feasible)
+      << result.value().best.evaluation.ToString();
+  EXPECT_FALSE(result.value().pareto_front.empty());
+  EXPECT_FALSE(result.value().softgoal_labels.empty());
+}
+
+TEST(OptimizerTest, PerformanceObjectivePicksParallelNoRpDesign) {
+  const QoxOptimizer optimizer = MakeOptimizer();
+  const Result<OptimizationResult> result = optimizer.Optimize(
+      MakeFlow(), QoxObjective::PerformanceFirst(60.0), MakeWorkload());
+  ASSERT_TRUE(result.ok());
+  const PhysicalDesign& best = result.value().best.design;
+  EXPECT_GT(best.parallel.partitions, 1u);
+  EXPECT_TRUE(best.recovery_points.empty());
+  EXPECT_EQ(best.redundancy, 1u);
+}
+
+TEST(OptimizerTest, ReliabilityObjectivePicksProtectedDesign) {
+  const QoxOptimizer optimizer = MakeOptimizer();
+  const Result<OptimizationResult> result = optimizer.Optimize(
+      MakeFlow(), QoxObjective::ReliabilityFirst(0.99), MakeWorkload());
+  ASSERT_TRUE(result.ok());
+  const PhysicalDesign& best = result.value().best.design;
+  // Either recovery points or redundancy must have been adopted.
+  EXPECT_TRUE(!best.recovery_points.empty() || best.redundancy > 1)
+      << best.Describe();
+  EXPECT_GE(result.value().best.predicted.Get(QoxMetric::kReliability)
+                .value(),
+            0.99);
+}
+
+TEST(OptimizerTest, FreshnessObjectivePrefersFrequentLoads) {
+  OptimizerOptions options;
+  options.loads_per_day_choices = {24, 96, 288};
+  const QoxOptimizer optimizer = MakeOptimizer(options);
+  WorkloadParams workload = MakeWorkload();
+  workload.rows_per_run = 50000;
+  const Result<OptimizationResult> result = optimizer.Optimize(
+      MakeFlow(), QoxObjective::FreshnessFirst(300.0), workload);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().best.design.loads_per_day, 96u)
+      << result.value().best.design.Describe();
+}
+
+TEST(OptimizerTest, ObjectivesChangeTheWinner) {
+  const QoxOptimizer optimizer = MakeOptimizer();
+  const WorkloadParams workload = MakeWorkload();
+  const PhysicalDesign perf_best =
+      optimizer
+          .Optimize(MakeFlow(), QoxObjective::PerformanceFirst(60.0),
+                    workload)
+          .value()
+          .best.design;
+  const PhysicalDesign rel_best =
+      optimizer
+          .Optimize(MakeFlow(), QoxObjective::ReliabilityFirst(0.999),
+                    workload)
+          .value()
+          .best.design;
+  EXPECT_NE(perf_best.Describe(), rel_best.Describe());
+}
+
+TEST(OptimizerTest, ParetoFrontIsNonDominated) {
+  const QoxOptimizer optimizer = MakeOptimizer();
+  const QoxObjective objective = QoxObjective::PerformanceFirst(60.0);
+  const Result<OptimizationResult> result =
+      optimizer.Optimize(MakeFlow(), objective, MakeWorkload());
+  ASSERT_TRUE(result.ok());
+  const std::vector<DesignCandidate>& front = result.value().pareto_front;
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      // No front member strictly dominates another on the preferred
+      // metrics (performance and cost for this profile).
+      const double pi =
+          front[i].predicted.Get(QoxMetric::kPerformance).value();
+      const double pj =
+          front[j].predicted.Get(QoxMetric::kPerformance).value();
+      const double ci = front[i].predicted.Get(QoxMetric::kCost).value();
+      const double cj = front[j].predicted.Get(QoxMetric::kCost).value();
+      EXPECT_FALSE(pi < pj && ci < cj)
+          << "front member " << j << " dominated by " << i;
+    }
+  }
+}
+
+TEST(OptimizerTest, SoftGoalPruningReducesExploration) {
+  OptimizerOptions with_pruning;
+  with_pruning.softgoal_pruning = true;
+  OptimizerOptions without_pruning;
+  without_pruning.softgoal_pruning = false;
+  const QoxObjective objective = QoxObjective::ReliabilityFirst(0.99);
+  const OptimizationResult pruned =
+      MakeOptimizer(with_pruning)
+          .Optimize(MakeFlow(), objective, MakeWorkload())
+          .value();
+  const OptimizationResult full =
+      MakeOptimizer(without_pruning)
+          .Optimize(MakeFlow(), objective, MakeWorkload())
+          .value();
+  EXPECT_GT(pruned.designs_pruned_by_softgoals, 0u);
+  EXPECT_EQ(full.designs_pruned_by_softgoals, 0u);
+}
+
+TEST(OptimizerTest, SoftGoalLabelsReflectDesign) {
+  PhysicalDesign design;
+  design.flow = MakeFlow();
+  design.redundancy = 3;
+  const auto labels = QoxOptimizer::SoftGoalLabels(design);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GE(static_cast<int>(labels.value().at("reliability[software]")),
+            static_cast<int>(GoalLabel::kWeaklySatisfied));
+  PhysicalDesign bare;
+  bare.flow = design.flow;
+  const auto bare_labels = QoxOptimizer::SoftGoalLabels(bare);
+  ASSERT_TRUE(bare_labels.ok());
+  EXPECT_LT(
+      static_cast<int>(bare_labels.value().at("reliability[software]")),
+      static_cast<int>(labels.value().at("reliability[software]")));
+}
+
+TEST(OptimizerTest, InfeasibleObjectiveStillReturnsRankedBest) {
+  QoxObjective impossible;
+  impossible.AddConstraint(
+      QoxConstraint::AtMost(QoxMetric::kPerformance, 1e-9));
+  impossible.Prefer(QoxMetric::kPerformance, 1.0, 1.0);
+  const Result<OptimizationResult> result =
+      MakeOptimizer().Optimize(MakeFlow(), impossible, MakeWorkload());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().best.evaluation.feasible);
+}
+
+TEST(OptimizerTest, BestDesignActuallyExecutes) {
+  const QoxOptimizer optimizer = MakeOptimizer();
+  const Result<OptimizationResult> result = optimizer.Optimize(
+      MakeFlow(), QoxObjective::PerformanceFirst(60.0), MakeWorkload());
+  ASSERT_TRUE(result.ok());
+  PhysicalDesign best = result.value().best.design;
+  const ExecutionConfig config = best.ToExecutionConfig(nullptr, nullptr);
+  const Result<RunMetrics> metrics =
+      Executor::Run(best.flow.ToFlowSpec(), config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics.value().rows_loaded, 0u);
+}
+
+TEST(OptimizerTest, SummaryMentionsKeyNumbers) {
+  const Result<OptimizationResult> result = MakeOptimizer().Optimize(
+      MakeFlow(), QoxObjective::PerformanceFirst(60.0), MakeWorkload());
+  ASSERT_TRUE(result.ok());
+  const std::string text = result.value().Summary();
+  EXPECT_NE(text.find("explored="), std::string::npos);
+  EXPECT_NE(text.find("best:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qox

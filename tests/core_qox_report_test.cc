@@ -1,0 +1,109 @@
+#include "core/qox_report.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+PhysicalDesign MakeDesign() {
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(1000));
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFilter("flt", {Predicate::NotNull("amount")}, 0.875));
+  ops.push_back(MakeFunction(
+      "fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  PhysicalDesign design;
+  design.flow = LogicalFlow("report_flow", source, std::move(ops), target);
+  design.threads = 2;
+  return design;
+}
+
+TEST(QoxReportTest, MeasuresFromExecutedRun) {
+  PhysicalDesign design = MakeDesign();
+  const Result<RunMetrics> metrics =
+      Executor::Run(design.flow.ToFlowSpec(),
+                    design.ToExecutionConfig(nullptr, nullptr));
+  ASSERT_TRUE(metrics.ok());
+  const CostModel model;
+  MeasurementContext context;
+  context.loads_per_day = 24;
+  const Result<QoxVector> measured =
+      MeasureQox(metrics.value(), design, context, model);
+  ASSERT_TRUE(measured.ok()) << measured.status();
+  EXPECT_GT(measured.value().Get(QoxMetric::kPerformance).value(), 0.0);
+  EXPECT_DOUBLE_EQ(measured.value().Get(QoxMetric::kReliability).value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(measured.value().Get(QoxMetric::kConsistency).value(),
+                   1.0);
+  // No failures: recoverability is not claimed.
+  EXPECT_FALSE(measured.value().Has(QoxMetric::kRecoverability));
+  // Freshness = period/2 + exec: dominated by the hourly period here.
+  EXPECT_NEAR(measured.value().Get(QoxMetric::kFreshness).value(), 1800.0,
+              5.0);
+}
+
+TEST(QoxReportTest, FailedRunReportsRecoverabilityAndAttempts) {
+  PhysicalDesign design = MakeDesign();
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 1;
+  spec.at_fraction = 0.5;
+  injector.AddFailure(spec);
+  ExecutionConfig config = design.ToExecutionConfig(nullptr, &injector);
+  const Result<RunMetrics> metrics =
+      Executor::Run(design.flow.ToFlowSpec(), config);
+  ASSERT_TRUE(metrics.ok());
+  const Result<QoxVector> measured = MeasureQox(
+      metrics.value(), design, MeasurementContext{}, CostModel{});
+  ASSERT_TRUE(measured.ok());
+  EXPECT_TRUE(measured.value().Has(QoxMetric::kRecoverability));
+  EXPECT_DOUBLE_EQ(measured.value().Get(QoxMetric::kReliability).value(),
+                   0.5);  // 1 success / 2 attempts
+}
+
+TEST(QoxReportTest, ComparisonRowsAndRendering) {
+  QoxVector predicted;
+  predicted.Set(QoxMetric::kPerformance, 2.0);
+  predicted.Set(QoxMetric::kReliability, 0.95);
+  predicted.Set(QoxMetric::kCost, 10.0);
+  QoxVector measured;
+  measured.Set(QoxMetric::kPerformance, 1.6);
+  measured.Set(QoxMetric::kReliability, 1.0);
+  // kCost missing from measured: excluded from comparison.
+  const std::vector<ComparisonRow> rows =
+      ComparePredictionToMeasurement(predicted, measured);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].metric, QoxMetric::kPerformance);
+  EXPECT_NEAR(rows[0].relative_error, 0.25, 1e-9);
+  const std::string table = RenderComparison(rows);
+  EXPECT_NE(table.find("performance"), std::string::npos);
+  EXPECT_NE(table.find("25.0%"), std::string::npos);
+}
+
+TEST(QoxReportTest, PredictionAndMeasurementAgreeOnStructuralMetrics) {
+  PhysicalDesign design = MakeDesign();
+  const CostModel model;
+  WorkloadParams workload;
+  workload.rows_per_run = 1000;
+  const QoxVector predicted = model.Predict(design, workload).value();
+  const Result<RunMetrics> metrics =
+      Executor::Run(design.flow.ToFlowSpec(),
+                    design.ToExecutionConfig(nullptr, nullptr));
+  ASSERT_TRUE(metrics.ok());
+  const QoxVector measured =
+      MeasureQox(metrics.value(), design, MeasurementContext{}, model)
+          .value();
+  EXPECT_DOUBLE_EQ(predicted.Get(QoxMetric::kMaintainability).value(),
+                   measured.Get(QoxMetric::kMaintainability).value());
+}
+
+}  // namespace
+}  // namespace qox

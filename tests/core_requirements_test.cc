@@ -1,0 +1,125 @@
+#include "core/requirements.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+QoxVector FastReliableVector() {
+  QoxVector v;
+  v.Set(QoxMetric::kPerformance, 10.0);
+  v.Set(QoxMetric::kReliability, 0.99);
+  v.Set(QoxMetric::kFreshness, 30.0);
+  v.Set(QoxMetric::kCost, 50.0);
+  return v;
+}
+
+TEST(QoxConstraintTest, AtMostAtLeastSemantics) {
+  const QoxConstraint at_most =
+      QoxConstraint::AtMost(QoxMetric::kPerformance, 60.0);
+  EXPECT_TRUE(at_most.Satisfied(60.0));
+  EXPECT_TRUE(at_most.Satisfied(10.0));
+  EXPECT_FALSE(at_most.Satisfied(61.0));
+  const QoxConstraint at_least =
+      QoxConstraint::AtLeast(QoxMetric::kReliability, 0.9);
+  EXPECT_TRUE(at_least.Satisfied(0.9));
+  EXPECT_FALSE(at_least.Satisfied(0.89));
+}
+
+TEST(QoxObjectiveTest, FeasibilityRequiresAllConstraints) {
+  QoxObjective obj;
+  obj.AddConstraint(QoxConstraint::AtMost(QoxMetric::kPerformance, 60.0));
+  obj.AddConstraint(QoxConstraint::AtLeast(QoxMetric::kReliability, 0.95));
+  const ObjectiveEvaluation eval = obj.Evaluate(FastReliableVector());
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_TRUE(eval.violated.empty());
+
+  QoxVector slow = FastReliableVector();
+  slow.Set(QoxMetric::kPerformance, 120.0);
+  const ObjectiveEvaluation bad = obj.Evaluate(slow);
+  EXPECT_FALSE(bad.feasible);
+  ASSERT_EQ(bad.violated.size(), 1u);
+  EXPECT_EQ(bad.violated[0].metric, QoxMetric::kPerformance);
+}
+
+TEST(QoxObjectiveTest, MissingMetricViolatesConstraint) {
+  QoxObjective obj;
+  obj.AddConstraint(QoxConstraint::AtLeast(QoxMetric::kAuditability, 0.5));
+  EXPECT_FALSE(obj.Evaluate(FastReliableVector()).feasible);
+}
+
+TEST(QoxObjectiveTest, ScoreRewardsImprovement) {
+  QoxObjective obj;
+  obj.Prefer(QoxMetric::kPerformance, 1.0, /*reference=*/20.0);
+  QoxVector fast;
+  fast.Set(QoxMetric::kPerformance, 5.0);
+  QoxVector at_ref;
+  at_ref.Set(QoxMetric::kPerformance, 20.0);
+  QoxVector slow;
+  slow.Set(QoxMetric::kPerformance, 80.0);
+  const double fast_score = obj.Evaluate(fast).score;
+  const double ref_score = obj.Evaluate(at_ref).score;
+  const double slow_score = obj.Evaluate(slow).score;
+  EXPECT_GT(fast_score, ref_score);
+  EXPECT_GT(ref_score, slow_score);
+  EXPECT_NEAR(ref_score, 0.5, 1e-9);
+  EXPECT_GE(slow_score, 0.0);
+  EXPECT_LE(fast_score, 1.0);
+}
+
+TEST(QoxObjectiveTest, HigherIsBetterMetricsScoreInverted) {
+  QoxObjective obj;
+  obj.Prefer(QoxMetric::kReliability, 1.0, /*reference=*/0.9);
+  QoxVector good;
+  good.Set(QoxMetric::kReliability, 0.999);
+  QoxVector bad;
+  bad.Set(QoxMetric::kReliability, 0.5);
+  EXPECT_GT(obj.Evaluate(good).score, obj.Evaluate(bad).score);
+}
+
+TEST(QoxObjectiveTest, WeightsBlendComponents) {
+  QoxObjective perf_heavy;
+  perf_heavy.Prefer(QoxMetric::kPerformance, 10.0, 10.0);
+  perf_heavy.Prefer(QoxMetric::kCost, 1.0, 10.0);
+  QoxObjective cost_heavy;
+  cost_heavy.Prefer(QoxMetric::kPerformance, 1.0, 10.0);
+  cost_heavy.Prefer(QoxMetric::kCost, 10.0, 10.0);
+  QoxVector fast_expensive;
+  fast_expensive.Set(QoxMetric::kPerformance, 1.0);
+  fast_expensive.Set(QoxMetric::kCost, 100.0);
+  EXPECT_GT(perf_heavy.Evaluate(fast_expensive).score,
+            cost_heavy.Evaluate(fast_expensive).score);
+}
+
+TEST(QoxObjectiveTest, MissingPreferredMetricScoresZeroComponent) {
+  QoxObjective obj;
+  obj.Prefer(QoxMetric::kTraceability, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(obj.Evaluate(FastReliableVector()).score, 0.0);
+}
+
+TEST(QoxObjectiveTest, CannedProfilesAreWellFormed) {
+  EXPECT_FALSE(QoxObjective::PerformanceFirst(60).constraints().empty());
+  EXPECT_FALSE(QoxObjective::FreshnessFirst(120).constraints().empty());
+  EXPECT_FALSE(QoxObjective::ReliabilityFirst(0.99).constraints().empty());
+  EXPECT_FALSE(
+      QoxObjective::MaintainabilityAware(300).preferences().empty());
+  // Profiles evaluate without crashing on a complete vector.
+  QoxVector v = FastReliableVector();
+  v.Set(QoxMetric::kRecoverability, 5.0);
+  v.Set(QoxMetric::kMaintainability, 0.6);
+  v.Set(QoxMetric::kFlexibility, 0.7);
+  const ObjectiveEvaluation eval =
+      QoxObjective::FreshnessFirst(120).Evaluate(v);
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_GT(eval.score, 0.0);
+}
+
+TEST(QoxObjectiveTest, ToStringMentionsParts) {
+  QoxObjective obj = QoxObjective::PerformanceFirst(60);
+  const std::string text = obj.ToString();
+  EXPECT_NE(text.find("performance"), std::string::npos);
+  EXPECT_NE(text.find("<="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qox

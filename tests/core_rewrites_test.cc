@@ -1,0 +1,192 @@
+// Algebraic rewrites: legality rules and the empirical guarantee that
+// every legal rewrite preserves the output multiset on randomized data.
+
+#include "core/rewrites.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SameMultiset;
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+/// A flow shaped like the paper's bottom flow: lookup, then filter, then
+/// function, then sort — with the filter deliberately after the lookup.
+LogicalFlow PaperShapedFlow() {
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(500));
+  const Schema dim_schema({{"code", DataType::kString, false},
+                           {"key", DataType::kInt64, false}});
+  const DataStorePtr dim = testing_util::MakeSource(
+      dim_schema,
+      {Row({Value::String("a"), Value::Int64(1)}),
+       Row({Value::String("b"), Value::Int64(2)}),
+       Row({Value::String("c"), Value::Int64(3)})},
+      "dim");
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeLookup("lkp", dim, "category", "code", {"key"},
+                           LookupMissPolicy::kReject, 0.98));
+  ops.push_back(MakeFilter("flt", {Predicate::NotNull("amount")}, 0.875));
+  ops.push_back(MakeFunction(
+      "fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}));
+  ops.push_back(MakeSort("sort", {{"id", false}}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  return LogicalFlow("paper_flow", source, std::move(ops), target);
+}
+
+/// Runs a flow and returns the loaded rows (fresh target each run).
+std::vector<Row> RunFlow(const LogicalFlow& flow) {
+  auto target = std::make_shared<MemTable>(
+      "tgt_run", flow.target()->schema());
+  LogicalFlow copy(flow.id(), flow.source(),
+                   std::vector<LogicalOp>(flow.ops()), target);
+  const Result<RunMetrics> metrics =
+      Executor::Run(copy.ToFlowSpec(), ExecutionConfig{});
+  EXPECT_TRUE(metrics.ok()) << metrics.status();
+  return target->ReadAll().value().rows();
+}
+
+TEST(RewritesTest, FilterCanMoveBeforeLookup) {
+  const LogicalFlow flow = PaperShapedFlow();
+  // ops: lkp(0), flt(1), fn(2), sort(3). The Sec. 3.1 move: swap 0 and 1.
+  EXPECT_TRUE(CanSwapAdjacent(flow, 0));
+  const Result<LogicalFlow> swapped = SwapAdjacent(flow, 0);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped.value().ops()[0].name, "flt");
+  EXPECT_EQ(swapped.value().ops()[1].name, "lkp");
+}
+
+TEST(RewritesTest, FilterCannotMoveAboveOpCreatingItsColumn) {
+  // A filter on "scaled" cannot move above the function creating "scaled".
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(50));
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFunction(
+      "fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}));
+  ops.push_back(MakeFilter("flt", {Predicate::Compare(
+                                      "scaled", Predicate::CmpOp::kGt,
+                                      Value::Double(10.0))}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  const LogicalFlow flow("dep_flow", source, std::move(ops), target);
+  EXPECT_FALSE(CanSwapAdjacent(flow, 0));
+  EXPECT_EQ(SwapAdjacent(flow, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RewritesTest, MultisetOpsAreBarriers) {
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(50));
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeGroup("grp", {"category"}, {Aggregate::Count("n")}));
+  ops.push_back(MakeFilter("flt", {Predicate::Compare(
+                                      "n", Predicate::CmpOp::kGt,
+                                      Value::Int64(1))}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  const LogicalFlow flow("grp_flow", source, std::move(ops), target);
+  EXPECT_FALSE(CanSwapAdjacent(flow, 0));
+}
+
+TEST(RewritesTest, SchemaChangingSwapsRejectedWhenFinalSchemaDiffers) {
+  // Two column-creating ops: swapping them would permute output columns,
+  // so the rewrite is rejected (targets are fixed).
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(20));
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFunction(
+      "fn1", {ColumnTransform::Scale("x1", "amount", 2.0)}));
+  ops.push_back(MakeFunction(
+      "fn2", {ColumnTransform::Scale("x2", "amount", 3.0)}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  const LogicalFlow flow("two_fn", source, std::move(ops), target);
+  EXPECT_FALSE(CanSwapAdjacent(flow, 0));
+}
+
+TEST(RewritesTest, OutOfRangeSwap) {
+  const LogicalFlow flow = PaperShapedFlow();
+  EXPECT_FALSE(CanSwapAdjacent(flow, 99));
+  EXPECT_EQ(SwapAdjacent(flow, 99).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RewritesTest, NeighborsEnumeratesLegalSwaps) {
+  const LogicalFlow flow = PaperShapedFlow();
+  const std::vector<LogicalFlow> neighbors = Neighbors(flow);
+  EXPECT_GE(neighbors.size(), 2u);
+  for (const LogicalFlow& neighbor : neighbors) {
+    EXPECT_TRUE(neighbor.BindSchemas().ok());
+  }
+}
+
+// Property: every legal single swap preserves the output multiset.
+class RewriteEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RewriteEquivalenceTest, LegalSwapPreservesOutput) {
+  const size_t i = GetParam();
+  const LogicalFlow flow = PaperShapedFlow();
+  if (!CanSwapAdjacent(flow, i)) {
+    GTEST_SKIP() << "swap " << i << " illegal for this flow";
+  }
+  const LogicalFlow swapped = SwapAdjacent(flow, i).value();
+  EXPECT_TRUE(SameMultiset(RunFlow(flow), RunFlow(swapped)))
+      << "swap at " << i << " changed the output";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, RewriteEquivalenceTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(RewritesTest, EstimateChainWorkUsesSelectivity) {
+  std::vector<LogicalOp> cheap_first;
+  cheap_first.push_back(MakeFilter("flt", {Predicate::NotNull("amount")},
+                                   0.5));
+  cheap_first.push_back(MakeSort("sort", {{"id", false}}));
+  std::vector<LogicalOp> expensive_first;
+  expensive_first.push_back(MakeSort("sort", {{"id", false}}));
+  expensive_first.push_back(
+      MakeFilter("flt", {Predicate::NotNull("amount")}, 0.5));
+  // Filtering before sorting halves the sorter's input: less work.
+  EXPECT_LT(EstimateChainWork(cheap_first, 1000),
+            EstimateChainWork(expensive_first, 1000));
+}
+
+TEST(RewritesTest, GreedyReorderMovesFilterBeforeLookup) {
+  const LogicalFlow flow = PaperShapedFlow();
+  const Result<ReorderResult> result = GreedyReorder(flow, 1000);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result.value().swaps_applied, 0u);
+  EXPECT_LT(result.value().work_after, result.value().work_before);
+  // The filter ends up before the lookup.
+  size_t flt_pos = 99, lkp_pos = 99;
+  for (size_t i = 0; i < result.value().flow.num_ops(); ++i) {
+    if (result.value().flow.ops()[i].name == "flt") flt_pos = i;
+    if (result.value().flow.ops()[i].name == "lkp") lkp_pos = i;
+  }
+  EXPECT_LT(flt_pos, lkp_pos);
+}
+
+TEST(RewritesTest, GreedyReorderPreservesOutput) {
+  const LogicalFlow flow = PaperShapedFlow();
+  const LogicalFlow reordered = GreedyReorder(flow, 1000).value().flow;
+  EXPECT_TRUE(SameMultiset(RunFlow(flow), RunFlow(reordered)));
+}
+
+TEST(RewritesTest, GreedyReorderIsIdempotent) {
+  const LogicalFlow flow = PaperShapedFlow();
+  const LogicalFlow once = GreedyReorder(flow, 1000).value().flow;
+  const Result<ReorderResult> twice = GreedyReorder(once, 1000);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice.value().swaps_applied, 0u);
+}
+
+}  // namespace
+}  // namespace qox

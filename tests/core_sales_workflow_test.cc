@@ -1,0 +1,221 @@
+// End-to-end tests of the Fig. 3 sales scenario: all three flows execute,
+// deltas behave across successive runs, views answer, and the scenario
+// graph is well-formed.
+
+#include "core/sales_workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "core/design.h"
+
+namespace qox {
+namespace {
+
+SalesScenarioConfig SmallConfig() {
+  SalesScenarioConfig config;
+  config.s1_rows = 2000;
+  config.s2_rows = 400;
+  config.s3_rows = 1000;
+  config.workload.num_stores = 50;
+  config.workload.num_products = 200;
+  config.workload.num_customers = 500;
+  config.workload.num_reps = 60;
+  return config;
+}
+
+class SalesScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = SalesScenario::Create(SmallConfig()).TakeValue();
+  }
+  std::unique_ptr<SalesScenario> scenario_;
+};
+
+TEST_F(SalesScenarioTest, StoresPopulated) {
+  EXPECT_EQ(scenario_->s1()->NumRows().value(), 2000u);
+  EXPECT_EQ(scenario_->s2()->NumRows().value(), 400u);
+  EXPECT_EQ(scenario_->s3()->NumRows().value(), 1000u);
+  EXPECT_EQ(scenario_->store_dim()->NumRows().value(), 50u);
+  EXPECT_EQ(scenario_->product_dim()->NumRows().value(), 200u);
+  EXPECT_EQ(scenario_->dw1()->NumRows().value(), 0u);
+}
+
+TEST_F(SalesScenarioTest, FlowsBindCleanly) {
+  EXPECT_TRUE(scenario_->bottom_flow().BindSchemas().ok())
+      << scenario_->bottom_flow().BindSchemas().status();
+  EXPECT_TRUE(scenario_->middle_flow().BindSchemas().ok());
+  EXPECT_TRUE(scenario_->top_flow().BindSchemas().ok());
+}
+
+TEST_F(SalesScenarioTest, BottomFlowMatchesPaperShape) {
+  const std::vector<LogicalOp>& ops = scenario_->bottom_flow().ops();
+  ASSERT_EQ(ops.size(), 7u);
+  EXPECT_EQ(ops[0].kind, "delta");
+  EXPECT_EQ(ops[1].kind, "lookup");   // store codes
+  EXPECT_EQ(ops[2].kind, "lookup");   // product codes
+  EXPECT_EQ(ops[3].kind, "filter");   // Flt_NN after lookups, as in Fig. 3
+  EXPECT_EQ(ops[4].kind, "function");
+  EXPECT_EQ(ops[5].kind, "surrogate_key");
+  EXPECT_EQ(ops[6].kind, "surrogate_key");
+}
+
+TEST_F(SalesScenarioTest, BottomFlowLoadsWarehouse) {
+  const Result<RunMetrics> metrics = Executor::Run(
+      scenario_->bottom_flow().ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  const size_t loaded = scenario_->dw1()->NumRows().value();
+  EXPECT_GT(loaded, 1000u);   // most rows survive
+  EXPECT_LT(loaded, 2000u);   // nulls/dirty codes rejected
+  EXPECT_GT(metrics.value().rows_rejected, 0u);
+  // DW1 carries surrogate keys and the derived measure.
+  EXPECT_TRUE(scenario_->dw1()->schema().HasField("sale_key"));
+  EXPECT_TRUE(scenario_->dw1()->schema().HasField("customer_key"));
+  EXPECT_TRUE(scenario_->dw1()->schema().HasField("net_amount"));
+  EXPECT_FALSE(scenario_->dw1()->schema().HasField("tran_id"));
+}
+
+TEST_F(SalesScenarioTest, SecondRunLoadsOnlyChanges) {
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  const size_t after_first = scenario_->dw1()->NumRows().value();
+  // Rerun without new data: the delta is empty.
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  EXPECT_EQ(scenario_->dw1()->NumRows().value(), after_first);
+  // Append a fresh batch: only it flows through.
+  ASSERT_TRUE(scenario_->AppendS1Batch(300).ok());
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  const size_t after_third = scenario_->dw1()->NumRows().value();
+  EXPECT_GT(after_third, after_first);
+  EXPECT_LE(after_third, after_first + 300);
+}
+
+TEST_F(SalesScenarioTest, AllThreeFlowsRun) {
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  ASSERT_TRUE(Executor::Run(scenario_->middle_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  ASSERT_TRUE(Executor::Run(scenario_->top_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  EXPECT_GT(scenario_->dw1()->NumRows().value(), 0u);
+  EXPECT_GT(scenario_->dw2()->NumRows().value(), 0u);
+  EXPECT_GT(scenario_->dw3()->NumRows().value(), 0u);
+  EXPECT_TRUE(scenario_->dw2()->schema().HasField("rep_key"));
+  EXPECT_TRUE(scenario_->dw3()->schema().HasField("customer_key"));
+}
+
+TEST_F(SalesScenarioTest, ViewsAnswerAfterLoads) {
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  ASSERT_TRUE(Executor::Run(scenario_->middle_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  ASSERT_TRUE(Executor::Run(scenario_->top_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  const Result<RowBatch> v1 = scenario_->QueryCustomerSaleRels();
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_GT(v1.value().num_rows(), 0u);
+  // Statuses are one of the three buckets.
+  const size_t status_col = v1.value().schema().FieldIndex("status").value();
+  for (const Row& row : v1.value().rows()) {
+    const std::string status = row.value(status_col).string_value();
+    EXPECT_TRUE(status == "platinum" || status == "gold" ||
+                status == "silver");
+  }
+  const Result<RowBatch> v2 = scenario_->QuerySalesRepRels();
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_GT(v2.value().num_rows(), 0u);
+  const size_t cat_col = v2.value().schema().FieldIndex("category").value();
+  for (const Row& row : v2.value().rows()) {
+    const std::string category = row.value(cat_col).string_value();
+    EXPECT_TRUE(category == "lead" || category == "core" ||
+                category == "developing");
+  }
+}
+
+TEST_F(SalesScenarioTest, CustomerKeysSharedAcrossFlows) {
+  // The same customer reaching DW1 (sales) and DW3 (web) must get the same
+  // surrogate key — that is what makes the V1 join work.
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  ASSERT_TRUE(Executor::Run(scenario_->top_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  EXPECT_GT(scenario_->customer_keys()->size(), 0u);
+  const Result<RowBatch> v1 = scenario_->QueryCustomerSaleRels();
+  ASSERT_TRUE(v1.ok());
+  EXPECT_GT(v1.value().num_rows(), 0u);  // join produced matches
+}
+
+TEST_F(SalesScenarioTest, ResetWarehouseClearsState) {
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  ASSERT_TRUE(scenario_->ResetWarehouse().ok());
+  EXPECT_EQ(scenario_->dw1()->NumRows().value(), 0u);
+  EXPECT_EQ(scenario_->sales_snapshot()->snapshot_size(), 0u);
+  // The flow runs again from scratch.
+  ASSERT_TRUE(Executor::Run(scenario_->bottom_flow().ToFlowSpec(),
+                            ExecutionConfig{})
+                  .ok());
+  EXPECT_GT(scenario_->dw1()->NumRows().value(), 0u);
+}
+
+TEST_F(SalesScenarioTest, ScenarioGraphIsValid) {
+  const Result<FlowGraph> graph = scenario_->ScenarioGraph();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_TRUE(graph.value().Validate().ok());
+  EXPECT_TRUE(graph.value().HasNode("SALES_TRAN"));
+  EXPECT_TRUE(graph.value().HasNode("CUSTOMER_SALE_RELS"));
+  EXPECT_EQ(graph.value().InDegree("CUSTOMER_SALE_RELS"), 2u);
+}
+
+TEST_F(SalesScenarioTest, BottomFlowRunsParallelAndRecovering) {
+  // The scenario composes with the physical machinery.
+  auto rp_store =
+      RecoveryPointStore::Open(::testing::TempDir() + "/sales_rp").value();
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 3;
+  spec.at_fraction = 0.5;
+  injector.AddFailure(spec);
+  ExecutionConfig config;
+  config.num_threads = 4;
+  config.parallel.partitions = 4;
+  config.parallel.range_begin = 1;  // after the delta
+  config.recovery_points = {1};
+  config.rp_store = rp_store;
+  config.injector = &injector;
+  const Result<RunMetrics> metrics =
+      Executor::Run(scenario_->bottom_flow().ToFlowSpec(), config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics.value().failures_injected, 1u);
+  EXPECT_EQ(metrics.value().resumed_from_rp, 1u);
+  EXPECT_GT(scenario_->dw1()->NumRows().value(), 0u);
+}
+
+TEST_F(SalesScenarioTest, FileBackedScenarioExtractsFromDisk) {
+  SalesScenarioConfig config = SmallConfig();
+  config.data_dir = ::testing::TempDir();
+  const Result<std::unique_ptr<SalesScenario>> scenario =
+      SalesScenario::Create(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  EXPECT_EQ(scenario.value()->s1()->NumRows().value(), 2000u);
+  const Result<RunMetrics> metrics = Executor::Run(
+      scenario.value()->bottom_flow().ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics.value().extract_micros, 0);
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,124 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+FlowJob MakeJob(const std::string& id, double deadline_s,
+                double duration_s) {
+  FlowJob job;
+  job.id = id;
+  job.deadline_s = deadline_s;
+  job.estimated_duration_s = duration_s;
+  return job;
+}
+
+TEST(PlanScheduleTest, OrdersByEarliestDeadline) {
+  const SchedulePlan plan = PlanSchedule(
+      {MakeJob("late", 100, 10), MakeJob("urgent", 20, 5),
+       MakeJob("mid", 50, 10)});
+  ASSERT_EQ(plan.slots.size(), 3u);
+  EXPECT_EQ(plan.slots[0].id, "urgent");
+  EXPECT_EQ(plan.slots[1].id, "mid");
+  EXPECT_EQ(plan.slots[2].id, "late");
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.makespan_s, 25.0);
+}
+
+TEST(PlanScheduleTest, SlotsPackBackToBack) {
+  const SchedulePlan plan =
+      PlanSchedule({MakeJob("a", 10, 4), MakeJob("b", 20, 6)});
+  EXPECT_DOUBLE_EQ(plan.slots[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(plan.slots[0].expected_end_s, 4.0);
+  EXPECT_DOUBLE_EQ(plan.slots[0].slack_s, 6.0);
+  EXPECT_DOUBLE_EQ(plan.slots[1].start_s, 4.0);
+  EXPECT_DOUBLE_EQ(plan.slots[1].expected_end_s, 10.0);
+  EXPECT_DOUBLE_EQ(plan.slots[1].slack_s, 10.0);
+}
+
+TEST(PlanScheduleTest, DetectsInfeasibility) {
+  const SchedulePlan plan =
+      PlanSchedule({MakeJob("a", 5, 4), MakeJob("b", 7, 4)});
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_LT(plan.slots[1].slack_s, 0.0);
+  // EDF is optimal: if EDF cannot schedule it, no order can.
+  const SchedulePlan reversed =
+      PlanSchedule({MakeJob("b", 7, 4), MakeJob("a", 5, 4)});
+  EXPECT_FALSE(reversed.feasible);
+}
+
+TEST(PlanScheduleTest, DeterministicTieBreak) {
+  const SchedulePlan plan =
+      PlanSchedule({MakeJob("zz", 10, 1), MakeJob("aa", 10, 1)});
+  EXPECT_EQ(plan.slots[0].id, "aa");
+}
+
+TEST(PlanScheduleTest, EmptyAndToString) {
+  const SchedulePlan plan = PlanSchedule({});
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.slots.empty());
+  const SchedulePlan full =
+      PlanSchedule({MakeJob("a", 5, 10)});
+  const std::string text = full.ToString();
+  EXPECT_NE(text.find("INFEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("[a "), std::string::npos);
+}
+
+FlowJob MakeExecutableJob(const std::string& id, double deadline_s,
+                          size_t rows) {
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(rows), id + "_src");
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFilter("flt_" + id, {Predicate::NotNull("amount")}));
+  auto target = std::make_shared<MemTable>(id + "_tgt", SimpleSchema());
+  FlowJob job;
+  job.id = id;
+  job.deadline_s = deadline_s;
+  job.estimated_duration_s = 0.05;
+  job.flow = LogicalFlow(id, source, std::move(ops), target);
+  return job;
+}
+
+TEST(ExecuteScheduleTest, RunsAllFlowsInPlannedOrder) {
+  const std::vector<FlowJob> jobs = {
+      MakeExecutableJob("slow_deadline", 30.0, 500),
+      MakeExecutableJob("tight_deadline", 5.0, 500),
+  };
+  const Result<ScheduleOutcome> outcome = ExecuteSchedule(jobs);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome.value().slots.size(), 2u);
+  EXPECT_EQ(outcome.value().slots[0].id, "tight_deadline");
+  EXPECT_EQ(outcome.value().deadlines_met, 2u);
+  for (const ExecutedSlot& slot : outcome.value().slots) {
+    EXPECT_TRUE(slot.deadline_met);
+    EXPECT_GT(slot.metrics.rows_loaded, 0u);
+    EXPECT_GE(slot.finished_s, slot.started_s);
+  }
+}
+
+TEST(ExecuteScheduleTest, ReportsMissedDeadlines) {
+  std::vector<FlowJob> jobs = {MakeExecutableJob("impossible", 0.0, 2000)};
+  const Result<ScheduleOutcome> outcome = ExecuteSchedule(jobs);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().deadlines_met, 0u);
+  EXPECT_FALSE(outcome.value().slots[0].deadline_met);
+}
+
+TEST(ExecuteScheduleTest, FlowErrorPropagates) {
+  FlowJob broken = MakeExecutableJob("broken", 10.0, 10);
+  FlowJob job;
+  job.id = "broken2";
+  job.deadline_s = 10.0;
+  // No source/target: Executor must reject it.
+  const Result<ScheduleOutcome> outcome = ExecuteSchedule({job});
+  EXPECT_FALSE(outcome.ok());
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,197 @@
+#include "core/softgoal.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+TEST(SoftGoalGraphTest, BuildAndValidate) {
+  SoftGoalGraph g;
+  ASSERT_TRUE(g.AddSoftGoal("performance", "flow").ok());
+  ASSERT_TRUE(g.AddOperationalization("parallelism").ok());
+  ASSERT_TRUE(
+      g.AddContribution("parallelism", "performance[flow]",
+                        Contribution::kHelp)
+          .ok());
+  EXPECT_TRUE(g.HasNode("performance[flow]"));
+  EXPECT_EQ(g.AddSoftGoal("performance", "flow").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(
+      g.AddContribution("missing", "performance[flow]", Contribution::kHelp)
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(SoftGoalGraphTest, GoalIdFormat) {
+  EXPECT_EQ(SoftGoalGraph::GoalId("reliability", "software"),
+            "reliability[software]");
+  EXPECT_EQ(SoftGoalGraph::GoalId("mtbf", ""), "mtbf");
+}
+
+TEST(SoftGoalGraphTest, MakePropagatesFullStrength) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("goal", "");
+  (void)g.AddOperationalization("decision");
+  (void)g.AddContribution("decision", "goal", Contribution::kMake);
+  const auto labels = g.Propagate({{"decision", GoalLabel::kSatisfied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels.value().at("goal"), GoalLabel::kSatisfied);
+}
+
+TEST(SoftGoalGraphTest, HelpWeakens) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("goal", "");
+  (void)g.AddOperationalization("decision");
+  (void)g.AddContribution("decision", "goal", Contribution::kHelp);
+  const auto labels = g.Propagate({{"decision", GoalLabel::kSatisfied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels.value().at("goal"), GoalLabel::kWeaklySatisfied);
+}
+
+TEST(SoftGoalGraphTest, HurtAndBreakInvert) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("hurt_goal", "");
+  (void)g.AddSoftGoal("broken_goal", "");
+  (void)g.AddOperationalization("decision");
+  (void)g.AddContribution("decision", "hurt_goal", Contribution::kHurt);
+  (void)g.AddContribution("decision", "broken_goal", Contribution::kBreak);
+  const auto labels = g.Propagate({{"decision", GoalLabel::kSatisfied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels.value().at("hurt_goal"), GoalLabel::kWeaklyDenied);
+  EXPECT_EQ(labels.value().at("broken_goal"), GoalLabel::kDenied);
+}
+
+TEST(SoftGoalGraphTest, ContributionsSumAndClamp) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("goal", "");
+  (void)g.AddOperationalization("d1");
+  (void)g.AddOperationalization("d2");
+  (void)g.AddOperationalization("d3");
+  (void)g.AddContribution("d1", "goal", Contribution::kMake);
+  (void)g.AddContribution("d2", "goal", Contribution::kMake);
+  (void)g.AddContribution("d3", "goal", Contribution::kBreak);
+  // Two makes (+2 each) and one break (-2): 2 + 2 - 2 = 2 (clamped path).
+  const auto labels = g.Propagate({{"d1", GoalLabel::kSatisfied},
+                                   {"d2", GoalLabel::kSatisfied},
+                                   {"d3", GoalLabel::kSatisfied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels.value().at("goal"), GoalLabel::kSatisfied);
+}
+
+TEST(SoftGoalGraphTest, AndDecompositionTakesMinimum) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("parent", "");
+  (void)g.AddSoftGoal("child1", "");
+  (void)g.AddSoftGoal("child2", "");
+  (void)g.AddDecomposition("parent", {"child1", "child2"},
+                           Decomposition::Kind::kAnd);
+  const auto labels = g.Propagate({{"child1", GoalLabel::kSatisfied},
+                                   {"child2", GoalLabel::kWeaklyDenied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels.value().at("parent"), GoalLabel::kWeaklyDenied);
+}
+
+TEST(SoftGoalGraphTest, OrDecompositionTakesMaximum) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("parent", "");
+  (void)g.AddSoftGoal("child1", "");
+  (void)g.AddSoftGoal("child2", "");
+  (void)g.AddDecomposition("parent", {"child1", "child2"},
+                           Decomposition::Kind::kOr);
+  const auto labels = g.Propagate({{"child1", GoalLabel::kDenied},
+                                   {"child2", GoalLabel::kSatisfied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels.value().at("parent"), GoalLabel::kSatisfied);
+}
+
+TEST(SoftGoalGraphTest, UnlabeledLeavesAreUndetermined) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("goal", "");
+  (void)g.AddOperationalization("decision");
+  (void)g.AddContribution("decision", "goal", Contribution::kMake);
+  const auto labels = g.Propagate({});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels.value().at("goal"), GoalLabel::kUndetermined);
+}
+
+TEST(SoftGoalGraphTest, CycleRejected) {
+  SoftGoalGraph g;
+  (void)g.AddSoftGoal("a", "");
+  (void)g.AddSoftGoal("b", "");
+  (void)g.AddContribution("a", "b", Contribution::kHelp);
+  (void)g.AddContribution("b", "a", Contribution::kHelp);
+  EXPECT_FALSE(g.Propagate({}).ok());
+}
+
+// --- The paper's Fig. 2 example ---------------------------------------------
+
+TEST(Figure2GraphTest, ParallelismContributionsMatchPaper) {
+  const SoftGoalGraph g = BuildFigure2Graph();
+  // "the degree of parallelism contributes extremely positively (++) to
+  // reliability[software] ... affects positively freshness and
+  // performance ... negatively (-) the reliability of hardware."
+  bool make_to_sw_reliability = false;
+  bool help_to_performance = false;
+  bool help_to_freshness = false;
+  bool hurt_to_hw_reliability = false;
+  for (const ContributionLink& link : g.links()) {
+    if (link.from != Figure2Leaves::kParallelism) continue;
+    if (link.to == "reliability[software]" &&
+        link.contribution == Contribution::kMake) {
+      make_to_sw_reliability = true;
+    }
+    if (link.to == "performance[flow]" &&
+        link.contribution == Contribution::kHelp) {
+      help_to_performance = true;
+    }
+    if (link.to == "freshness[data]" &&
+        link.contribution == Contribution::kHelp) {
+      help_to_freshness = true;
+    }
+    if (link.to == "reliability[hardware]" &&
+        link.contribution == Contribution::kHurt) {
+      hurt_to_hw_reliability = true;
+    }
+  }
+  EXPECT_TRUE(make_to_sw_reliability);
+  EXPECT_TRUE(help_to_performance);
+  EXPECT_TRUE(help_to_freshness);
+  EXPECT_TRUE(hurt_to_hw_reliability);
+}
+
+TEST(Figure2GraphTest, ParallelDesignSatisficesSoftwareReliability) {
+  const SoftGoalGraph g = BuildFigure2Graph();
+  const auto labels = g.Propagate(
+      {{Figure2Leaves::kParallelism, GoalLabel::kSatisfied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GE(static_cast<int>(labels.value().at("reliability[software]")),
+            static_cast<int>(GoalLabel::kWeaklySatisfied));
+  EXPECT_LE(static_cast<int>(labels.value().at("reliability[hardware]")),
+            static_cast<int>(GoalLabel::kUndetermined));
+}
+
+TEST(Figure2GraphTest, RecoveryPointsHurtFreshness) {
+  const SoftGoalGraph g = BuildFigure2Graph();
+  const auto labels = g.Propagate(
+      {{Figure2Leaves::kRecoveryPoints, GoalLabel::kSatisfied}});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_LT(static_cast<int>(labels.value().at("freshness[data]")), 0);
+  EXPECT_LT(static_cast<int>(labels.value().at("performance[flow]")), 0);
+}
+
+TEST(Figure2GraphTest, DotRenderingContainsSymbols) {
+  const std::string dot = BuildFigure2Graph().ToDot();
+  EXPECT_NE(dot.find("++"), std::string::npos);
+  EXPECT_NE(dot.find("reliability[software]"), std::string::npos);
+  EXPECT_NE(dot.find("AND"), std::string::npos);
+}
+
+TEST(ContributionTest, Symbols) {
+  EXPECT_STREQ(ContributionSymbol(Contribution::kMake), "++");
+  EXPECT_STREQ(ContributionSymbol(Contribution::kBreak), "--");
+  EXPECT_STREQ(GoalLabelName(GoalLabel::kWeaklySatisfied),
+               "weakly_satisfied");
+}
+
+}  // namespace
+}  // namespace qox

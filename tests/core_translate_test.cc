@@ -1,0 +1,144 @@
+#include "core/translate.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+SalesScenarioConfig SmallConfig() {
+  SalesScenarioConfig config;
+  config.s1_rows = 500;
+  config.s2_rows = 100;
+  config.s3_rows = 300;
+  config.workload.num_stores = 20;
+  config.workload.num_products = 50;
+  config.workload.num_customers = 100;
+  config.workload.num_reps = 20;
+  return config;
+}
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = SalesScenario::Create(SmallConfig()).TakeValue();
+  }
+  std::unique_ptr<SalesScenario> scenario_;
+};
+
+TEST_F(TranslateTest, SalesConceptualExpandsToExecutableLogical) {
+  const ConceptualFlow conceptual = SalesBottomConceptual();
+  const Result<LogicalFlow> logical =
+      TranslateToLogical(conceptual, *scenario_);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+  // detect_changes + resolve_codes + cleanse + derive + 2 key ops.
+  EXPECT_EQ(logical.value().num_ops(), 6u);
+  EXPECT_TRUE(logical.value().BindSchemas().ok());
+  // The expansion is executable end to end.
+  const Result<RunMetrics> metrics =
+      Executor::Run(logical.value().ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics.value().rows_loaded, 0u);
+}
+
+TEST_F(TranslateTest, ClickstreamConceptualExpands) {
+  const Result<LogicalFlow> logical =
+      TranslateToLogical(ClickstreamConceptual(), *scenario_);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+  EXPECT_EQ(logical.value().num_ops(), 3u);
+  const Result<RunMetrics> metrics =
+      Executor::Run(logical.value().ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(metrics.ok());
+}
+
+TEST_F(TranslateTest, FreshnessAnnotationRefusesBlockingExpansion) {
+  ConceptualFlow conceptual = ClickstreamConceptual();
+  conceptual.operators.push_back(
+      {"aggregate_sessions", "aggregate", {}});
+  const Result<LogicalFlow> logical =
+      TranslateToLogical(conceptual, *scenario_);
+  EXPECT_EQ(logical.status().code(), StatusCode::kFailedPrecondition)
+      << "a pressing freshness annotation must reject blocking expansions";
+}
+
+TEST_F(TranslateTest, UnknownKindsAndSourcesError) {
+  ConceptualFlow conceptual = SalesBottomConceptual();
+  conceptual.operators.push_back({"mystery", "teleport", {}});
+  EXPECT_EQ(TranslateToLogical(conceptual, *scenario_).status().code(),
+            StatusCode::kUnimplemented);
+  ConceptualFlow bad_source = SalesBottomConceptual();
+  bad_source.sources = {"NOT_A_SOURCE"};
+  EXPECT_EQ(TranslateToLogical(bad_source, *scenario_).status().code(),
+            StatusCode::kNotFound);
+  ConceptualFlow multi = SalesBottomConceptual();
+  multi.sources = {"SALES_TRAN", "SALES_STAFF"};
+  EXPECT_EQ(TranslateToLogical(multi, *scenario_).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(TranslateTest, PhysicalHeuristicsFollowAnnotations) {
+  const LogicalFlow logical =
+      TranslateToLogical(SalesBottomConceptual(), *scenario_).value();
+  const CostModel model;
+  WorkloadParams workload;
+  workload.rows_per_run = 100000;
+  workload.time_window_s = 600;
+
+  // Reliability-annotated: recovery points appear.
+  const Result<PhysicalDesign> reliable = TranslateToPhysical(
+      logical, {{QoxMetric::kReliability, 0.99}}, model, workload, 4);
+  ASSERT_TRUE(reliable.ok()) << reliable.status();
+  EXPECT_TRUE(!reliable.value().recovery_points.empty() ||
+              reliable.value().redundancy > 1);
+
+  // Freshness-annotated: frequent loads, no recovery points.
+  const Result<PhysicalDesign> fresh = TranslateToPhysical(
+      logical,
+      {{QoxMetric::kFreshness, 120.0}, {QoxMetric::kReliability, 0.99}},
+      model, workload, 4);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GE(fresh.value().loads_per_day, 96u);
+  EXPECT_TRUE(fresh.value().recovery_points.empty());
+  EXPECT_GT(fresh.value().redundancy, 1u);
+
+  // Unannotated: plain design.
+  const Result<PhysicalDesign> plain =
+      TranslateToPhysical(logical, {}, model, workload, 4);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain.value().recovery_points.empty());
+  EXPECT_EQ(plain.value().redundancy, 1u);
+}
+
+TEST_F(TranslateTest, TightWindowTriggersParallelism) {
+  const LogicalFlow logical =
+      TranslateToLogical(SalesBottomConceptual(), *scenario_).value();
+  const CostModel model;
+  WorkloadParams workload;
+  workload.rows_per_run = 50000000;  // enormous volume
+  workload.time_window_s = 10.0;
+  const Result<PhysicalDesign> design = TranslateToPhysical(
+      logical, {{QoxMetric::kPerformance, 10.0}}, model, workload, 8);
+  ASSERT_TRUE(design.ok());
+  EXPECT_GT(design.value().parallel.partitions, 1u);
+}
+
+TEST_F(TranslateTest, TranslatedPhysicalDesignExecutes) {
+  const LogicalFlow logical =
+      TranslateToLogical(SalesBottomConceptual(), *scenario_).value();
+  const CostModel model;
+  WorkloadParams workload;
+  workload.rows_per_run = 500;
+  const PhysicalDesign design =
+      TranslateToPhysical(logical, {{QoxMetric::kReliability, 0.99}}, model,
+                          workload, 4)
+          .value();
+  auto rp_store =
+      RecoveryPointStore::Open(::testing::TempDir() + "/translate_rp")
+          .value();
+  const ExecutionConfig config = design.ToExecutionConfig(rp_store, nullptr);
+  const Result<RunMetrics> metrics =
+      Executor::Run(design.flow.ToFlowSpec(), config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+}
+
+}  // namespace
+}  // namespace qox

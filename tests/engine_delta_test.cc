@@ -1,0 +1,112 @@
+#include "engine/ops/delta_op.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SimpleRow;
+using testing_util::SimpleSchema;
+
+std::shared_ptr<SnapshotStore> MakeSnapshot() {
+  return std::make_shared<SnapshotStore>("snap", SimpleSchema(),
+                                         std::vector<size_t>{0});
+}
+
+Result<std::vector<Row>> RunDelta(DeltaOp* op,
+                                  const std::vector<Row>& rows) {
+  return testing_util::RunOperator(op, SimpleSchema(), rows);
+}
+
+TEST(DeltaOpTest, FirstRunEmitsEverythingAsInserts) {
+  DeltaOp op("delta", MakeSnapshot());
+  const Result<std::vector<Row>> out =
+      RunDelta(&op, {SimpleRow(1, "a", 1.0), SimpleRow(2, "b", 2.0)});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out.value().size(), 2u);
+}
+
+TEST(DeltaOpTest, EmitsOnlyChangesAgainstSnapshot) {
+  auto snapshot = MakeSnapshot();
+  ASSERT_TRUE(
+      snapshot->Commit({SimpleRow(1, "a", 1.0), SimpleRow(2, "b", 2.0)}).ok());
+  DeltaOp op("delta", snapshot);
+  const Result<std::vector<Row>> out = RunDelta(
+      &op, {SimpleRow(1, "a", 1.0),     // unchanged -> dropped
+            SimpleRow(2, "b", 99.0),    // update
+            SimpleRow(3, "c", 3.0)});   // insert
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 2u);
+}
+
+TEST(DeltaOpTest, ChangeTypeColumnTagsRows) {
+  auto snapshot = MakeSnapshot();
+  ASSERT_TRUE(snapshot->Commit({SimpleRow(1, "a", 1.0)}).ok());
+  DeltaOp op("delta", snapshot, "change_type");
+  const Result<Schema> bound = op.Bind(SimpleSchema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value().HasField("change_type"));
+  OperatorContext ctx;
+  ASSERT_TRUE(op.Open(&ctx).ok());
+  RowBatch out(bound.value());
+  ASSERT_TRUE(op.Push(RowBatch(SimpleSchema(), {SimpleRow(1, "a", 42.0),
+                                                SimpleRow(2, "b", 2.0)}),
+                      &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());  // blocking: nothing until Finish
+  ASSERT_TRUE(op.Finish(&out).ok());
+  ASSERT_EQ(out.num_rows(), 2u);
+  // Inserts come first, then updates.
+  EXPECT_EQ(out.row(0).value(4).string_value(), "insert");
+  EXPECT_EQ(out.row(0).value(0).int64_value(), 2);
+  EXPECT_EQ(out.row(1).value(4).string_value(), "update");
+  EXPECT_EQ(out.row(1).value(0).int64_value(), 1);
+}
+
+TEST(DeltaOpTest, RepeatableWithoutCommit) {
+  // The delta must be stable across reruns until the snapshot commits —
+  // the property restart-based recovery relies on.
+  auto snapshot = MakeSnapshot();
+  ASSERT_TRUE(snapshot->Commit({SimpleRow(1, "a", 1.0)}).ok());
+  const std::vector<Row> landing{SimpleRow(1, "a", 2.0),
+                                 SimpleRow(5, "e", 5.0)};
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    DeltaOp op("delta", snapshot);
+    const Result<std::vector<Row>> out = RunDelta(&op, landing);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value().size(), 2u);
+  }
+}
+
+TEST(DeltaOpTest, AfterCommitDeltaShrinks) {
+  auto snapshot = MakeSnapshot();
+  const std::vector<Row> landing{SimpleRow(1, "a", 1.0),
+                                 SimpleRow(2, "b", 2.0)};
+  {
+    DeltaOp op("delta", snapshot);
+    EXPECT_EQ(RunDelta(&op, landing).value().size(), 2u);
+  }
+  ASSERT_TRUE(snapshot->Commit(landing).ok());
+  {
+    DeltaOp op("delta", snapshot);
+    EXPECT_EQ(RunDelta(&op, landing).value().size(), 0u);
+  }
+}
+
+TEST(DeltaOpTest, BindRejectsSchemaMismatch) {
+  DeltaOp op("delta", MakeSnapshot());
+  EXPECT_FALSE(op.Bind(Schema({{"other", DataType::kInt64, true}})).ok());
+  DeltaOp no_snapshot("delta", nullptr);
+  EXPECT_FALSE(no_snapshot.Bind(SimpleSchema()).ok());
+}
+
+TEST(DeltaOpTest, IsBlocking) {
+  DeltaOp op("delta", MakeSnapshot());
+  EXPECT_TRUE(op.IsBlocking());
+  EXPECT_STREQ(op.kind(), "delta");
+}
+
+}  // namespace
+}  // namespace qox

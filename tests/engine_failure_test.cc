@@ -1,0 +1,136 @@
+#include "engine/failure.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+TEST(FailureInjectorTest, FiresAtConfiguredFraction) {
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 2;
+  spec.at_fraction = 0.5;
+  injector.AddFailure(spec);
+  // Below the fraction: no fire.
+  EXPECT_TRUE(injector.Check(0, 1, 2, 40, 100).ok());
+  // Wrong op: no fire.
+  EXPECT_TRUE(injector.Check(0, 1, 1, 90, 100).ok());
+  // At the fraction on the right op: fires.
+  const Status st = injector.Check(0, 1, 2, 50, 100);
+  EXPECT_TRUE(st.IsInjectedFailure());
+  EXPECT_EQ(injector.triggered_count(), 1u);
+}
+
+TEST(FailureInjectorTest, OneShotPerSpec) {
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 0;
+  spec.at_fraction = 0.0;
+  injector.AddFailure(spec);
+  EXPECT_TRUE(injector.Check(0, 1, 0, 0, 100).IsInjectedFailure());
+  // Same position again: already fired.
+  EXPECT_TRUE(injector.Check(0, 1, 0, 0, 100).ok());
+}
+
+TEST(FailureInjectorTest, AttemptGating) {
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 0;
+  spec.at_fraction = 0.0;
+  spec.on_attempt = 2;
+  injector.AddFailure(spec);
+  EXPECT_TRUE(injector.Check(0, 1, 0, 50, 100).ok());
+  EXPECT_TRUE(injector.Check(0, 2, 0, 50, 100).IsInjectedFailure());
+}
+
+TEST(FailureInjectorTest, InstanceTargeting) {
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 0;
+  spec.at_fraction = 0.0;
+  spec.target_instance = 2;
+  injector.AddFailure(spec);
+  EXPECT_TRUE(injector.Check(0, 1, 0, 50, 100).ok());
+  EXPECT_TRUE(injector.Check(1, 1, 0, 50, 100).ok());
+  EXPECT_TRUE(injector.Check(2, 1, 0, 50, 100).IsInjectedFailure());
+}
+
+TEST(FailureInjectorTest, ExtractionAndLoadPositions) {
+  FailureInjector injector;
+  FailureSpec extract_spec;
+  extract_spec.at_op = -1;
+  extract_spec.at_fraction = 0.2;
+  injector.AddFailure(extract_spec);
+  FailureSpec load_spec;
+  load_spec.at_op = FailureSpec::kAtLoad;
+  load_spec.at_fraction = 0.0;
+  injector.AddFailure(load_spec);
+  EXPECT_TRUE(injector.Check(0, 1, -1, 25, 100).IsInjectedFailure());
+  EXPECT_TRUE(
+      injector.Check(0, 1, FailureSpec::kAtLoad, 1, 100).IsInjectedFailure());
+}
+
+TEST(FailureInjectorTest, UnknownTotalOnlyFiresZeroFraction) {
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 0;
+  spec.at_fraction = 0.5;
+  injector.AddFailure(spec);
+  EXPECT_TRUE(injector.Check(0, 1, 0, 10, 0).ok());  // total unknown
+  FailureSpec zero;
+  zero.at_op = 1;
+  zero.at_fraction = 0.0;
+  injector.AddFailure(zero);
+  EXPECT_TRUE(injector.Check(0, 1, 1, 0, 0).IsInjectedFailure());
+}
+
+TEST(FailureInjectorTest, RearmRestoresSpecs) {
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 0;
+  spec.at_fraction = 0.0;
+  injector.AddFailure(spec);
+  EXPECT_TRUE(injector.Check(0, 1, 0, 50, 100).IsInjectedFailure());
+  injector.Rearm();
+  EXPECT_EQ(injector.triggered_count(), 0u);
+  EXPECT_TRUE(injector.Check(0, 1, 0, 50, 100).IsInjectedFailure());
+  injector.Clear();
+  injector.Rearm();
+  EXPECT_TRUE(injector.Check(0, 1, 0, 50, 100).ok());
+}
+
+TEST(FailureInjectorTest, ArmRandomCreatesDistinctAttempts) {
+  FailureInjector injector;
+  Rng rng(7);
+  injector.ArmRandom(3, 5, &rng);
+  size_t fired = 0;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    for (int op = -1; op < 5 && injector.triggered_count() == fired; ++op) {
+      const Status st = injector.Check(0, attempt, op, 100, 100);
+      if (st.IsInjectedFailure()) ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3u);
+}
+
+TEST(FailureInjectorTest, MessagesNameKindAndPlace) {
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.kind = FailureKind::kNetwork;
+  spec.at_op = -1;
+  spec.at_fraction = 0.0;
+  injector.AddFailure(spec);
+  const Status st = injector.Check(0, 1, -1, 0, 10);
+  ASSERT_TRUE(st.IsInjectedFailure());
+  EXPECT_NE(st.message().find("network"), std::string::npos);
+  EXPECT_NE(st.message().find("extraction"), std::string::npos);
+}
+
+TEST(FailureKindTest, Names) {
+  EXPECT_STREQ(FailureKindName(FailureKind::kPower), "power");
+  EXPECT_STREQ(FailureKindName(FailureKind::kResource), "resource");
+  EXPECT_STREQ(FlowPhaseName(FlowPhase::kExtract), "extract");
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,172 @@
+#include "engine/ops/function_op.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::RunOperator;
+using testing_util::SimpleRow;
+using testing_util::SimpleSchema;
+
+TEST(FunctionOpTest, RenameChangesSchemaOnly) {
+  FunctionOp op("fn", {ColumnTransform::Rename("note", "comment")});
+  const Result<Schema> bound = op.Bind(SimpleSchema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value().HasField("comment"));
+  EXPECT_FALSE(bound.value().HasField("note"));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "a", 2.0, "hello")});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].value(3).string_value(), "hello");
+}
+
+TEST(FunctionOpTest, DropRemovesColumn) {
+  FunctionOp op("fn", {ColumnTransform::Drop("category")});
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(7, "a", 2.0, "x")});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value()[0].num_values(), 3u);
+  EXPECT_EQ(out.value()[0].value(0).int64_value(), 7);
+  EXPECT_DOUBLE_EQ(out.value()[0].value(1).double_value(), 2.0);
+}
+
+struct ArithCase {
+  ColumnTransform::ArithOp op;
+  double a;
+  double b;
+  double expected;
+};
+
+class FunctionArithTest : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(FunctionArithTest, ComputesArithmetic) {
+  const ArithCase& test_case = GetParam();
+  const Schema schema({{"a", DataType::kDouble, true},
+                       {"b", DataType::kDouble, true}});
+  FunctionOp op("fn", {ColumnTransform::Arith("out", "a", test_case.op, "b")});
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, schema,
+      {Row({Value::Double(test_case.a), Value::Double(test_case.b)})});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value()[0].num_values(), 3u);
+  EXPECT_DOUBLE_EQ(out.value()[0].value(2).double_value(),
+                   test_case.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, FunctionArithTest,
+    ::testing::Values(
+        ArithCase{ColumnTransform::ArithOp::kAdd, 2, 3, 5},
+        ArithCase{ColumnTransform::ArithOp::kSub, 2, 3, -1},
+        ArithCase{ColumnTransform::ArithOp::kMul, 2, 3, 6},
+        ArithCase{ColumnTransform::ArithOp::kDiv, 3, 2, 1.5}));
+
+TEST(FunctionOpTest, ArithWithNullYieldsNull) {
+  const Schema schema({{"a", DataType::kDouble, true},
+                       {"b", DataType::kDouble, true}});
+  FunctionOp op("fn", {ColumnTransform::Arith(
+                          "out", "a", ColumnTransform::ArithOp::kAdd, "b")});
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, schema, {Row({Value::Null(), Value::Double(1)})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value()[0].value(2).is_null());
+}
+
+TEST(FunctionOpTest, DivisionByZeroYieldsNull) {
+  const Schema schema({{"a", DataType::kDouble, true},
+                       {"b", DataType::kDouble, true}});
+  FunctionOp op("fn", {ColumnTransform::Arith(
+                          "out", "a", ColumnTransform::ArithOp::kDiv, "b")});
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, schema, {Row({Value::Double(5), Value::Double(0)})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value()[0].value(2).is_null());
+}
+
+TEST(FunctionOpTest, ScaleMultipliesByLiteral) {
+  FunctionOp op("fn", {ColumnTransform::Scale("scaled", "amount", 2.5)});
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "a", 4.0)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value()[0].value(4).double_value(), 10.0);
+}
+
+TEST(FunctionOpTest, ConcatJoinsAsStrings) {
+  FunctionOp op("fn",
+                {ColumnTransform::Concat("combo", "category", "id", "-")});
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(42, "a", 1.0)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].value(4).string_value(), "a-42");
+}
+
+TEST(FunctionOpTest, UpperInPlace) {
+  FunctionOp op("fn", {ColumnTransform::Upper("category")});
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "abc", 1.0)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].value(1).string_value(), "ABC");
+}
+
+TEST(FunctionOpTest, ConstantAppendsColumn) {
+  FunctionOp op("fn",
+                {ColumnTransform::Constant("source", Value::String("web"))});
+  const Result<Schema> bound = op.Bind(SimpleSchema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value().HasField("source"));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "a", 1.0)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].value(4).string_value(), "web");
+}
+
+TEST(FunctionOpTest, CoalesceReplacesNull) {
+  FunctionOp op("fn", {ColumnTransform::Coalesce("amount",
+                                                 Value::Double(0.0))});
+  std::vector<Row> rows;
+  rows.push_back(Row({Value::Int64(1), Value::String("a"), Value::Null(),
+                      Value::String("n")}));
+  rows.push_back(SimpleRow(2, "b", 5.0));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), rows);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value()[0].value(2).double_value(), 0.0);
+  EXPECT_DOUBLE_EQ(out.value()[1].value(2).double_value(), 5.0);
+}
+
+TEST(FunctionOpTest, TransformsComposeInOrder) {
+  // net = amount * 2, then drop amount; the arith must see the original.
+  FunctionOp op("fn", {ColumnTransform::Scale("net", "amount", 2.0),
+                       ColumnTransform::Drop("amount")});
+  const Result<Schema> bound = op.Bind(SimpleSchema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(bound.value().HasField("amount"));
+  EXPECT_TRUE(bound.value().HasField("net"));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "a", 3.0)});
+  ASSERT_TRUE(out.ok());
+  const size_t net_index = bound.value().FieldIndex("net").value();
+  EXPECT_DOUBLE_EQ(out.value()[0].value(net_index).double_value(), 6.0);
+}
+
+TEST(FunctionOpTest, BindFailsOnMissingColumn) {
+  FunctionOp op("fn", {ColumnTransform::Drop("missing")});
+  EXPECT_FALSE(op.Bind(SimpleSchema()).ok());
+}
+
+TEST(FunctionOpTest, MetadataExposesColumnSets) {
+  FunctionOp op("fn", {ColumnTransform::Arith("net", "amount",
+                                              ColumnTransform::ArithOp::kMul,
+                                              "id"),
+                       ColumnTransform::Drop("note")});
+  const std::vector<std::string> reads = op.InputColumns();
+  EXPECT_NE(std::find(reads.begin(), reads.end(), "amount"), reads.end());
+  EXPECT_EQ(op.CreatedColumns(), std::vector<std::string>{"net"});
+  EXPECT_EQ(op.DroppedColumns(), std::vector<std::string>{"note"});
+}
+
+}  // namespace
+}  // namespace qox

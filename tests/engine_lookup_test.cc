@@ -1,0 +1,131 @@
+#include "engine/ops/lookup_op.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::MakeSource;
+using testing_util::RunOperator;
+using testing_util::SimpleRow;
+using testing_util::SimpleSchema;
+
+Schema DimSchema() {
+  return Schema({{"code", DataType::kString, false},
+                 {"key", DataType::kInt64, false},
+                 {"region", DataType::kString, true}});
+}
+
+DataStorePtr MakeDim() {
+  return MakeSource(DimSchema(),
+                    {Row({Value::String("a"), Value::Int64(100),
+                          Value::String("north")}),
+                     Row({Value::String("b"), Value::Int64(200),
+                          Value::String("south")})},
+                    "dim");
+}
+
+TEST(LookupOpTest, AppendsDimensionColumns) {
+  LookupOp op("lkp", MakeDim(), "category", "code", {"key", "region"});
+  const Result<Schema> bound = op.Bind(SimpleSchema());
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_TRUE(bound.value().HasField("key"));
+  EXPECT_TRUE(bound.value().HasField("region"));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "a", 1.0)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0].value(4).int64_value(), 100);
+  EXPECT_EQ(out.value()[0].value(5).string_value(), "north");
+}
+
+TEST(LookupOpTest, RejectPolicyDropsMisses) {
+  std::atomic<size_t> rejected{0};
+  OperatorContext ctx;
+  ctx.rejected_rows = &rejected;
+  LookupOp op("lkp", MakeDim(), "category", "code", {"key"},
+              LookupMissPolicy::kReject);
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, SimpleSchema(),
+      {SimpleRow(1, "a", 1.0), SimpleRow(2, "zz", 2.0)}, &ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(rejected.load(), 1u);
+}
+
+TEST(LookupOpTest, NullPolicyPadsWithNulls) {
+  LookupOp op("lkp", MakeDim(), "category", "code", {"key", "region"},
+              LookupMissPolicy::kNull);
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, SimpleSchema(),
+      {SimpleRow(1, "a", 1.0), SimpleRow(2, "zz", 2.0)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 2u);
+  EXPECT_FALSE(out.value()[0].value(4).is_null());
+  EXPECT_TRUE(out.value()[1].value(4).is_null());
+  EXPECT_TRUE(out.value()[1].value(5).is_null());
+}
+
+TEST(LookupOpTest, ErrorPolicyAborts) {
+  LookupOp op("lkp", MakeDim(), "category", "code", {"key"},
+              LookupMissPolicy::kError);
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "zz", 1.0)});
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LookupOpTest, NullProbeKeyIsAMiss) {
+  std::atomic<size_t> rejected{0};
+  OperatorContext ctx;
+  ctx.rejected_rows = &rejected;
+  LookupOp op("lkp", MakeDim(), "category", "code", {"key"},
+              LookupMissPolicy::kReject);
+  std::vector<Row> rows;
+  rows.push_back(Row({Value::Int64(1), Value::Null(), Value::Double(1),
+                      Value::String("n")}));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), rows, &ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+  EXPECT_EQ(rejected.load(), 1u);
+}
+
+TEST(LookupOpTest, CollidingColumnNamesGetPrefixed) {
+  // Input already has a "note" column; dimension also provides "note".
+  const Schema dim({{"code", DataType::kString, false},
+                    {"note", DataType::kString, true}});
+  const DataStorePtr store = MakeSource(
+      dim, {Row({Value::String("a"), Value::String("dim-note")})}, "d2");
+  LookupOp op("lkp", store, "category", "code", {"note"});
+  const Result<Schema> bound = op.Bind(SimpleSchema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value().HasField("d2_note"));
+  EXPECT_EQ(op.OutputColumnNames(), std::vector<std::string>{"d2_note"});
+}
+
+TEST(LookupOpTest, BindValidatesColumns) {
+  LookupOp bad_probe("l", MakeDim(), "missing", "code", {"key"});
+  EXPECT_FALSE(bad_probe.Bind(SimpleSchema()).ok());
+  LookupOp bad_dim_key("l", MakeDim(), "category", "missing", {"key"});
+  EXPECT_FALSE(bad_dim_key.Bind(SimpleSchema()).ok());
+  LookupOp bad_append("l", MakeDim(), "category", "code", {"missing"});
+  EXPECT_FALSE(bad_append.Bind(SimpleSchema()).ok());
+  LookupOp no_dim("l", nullptr, "category", "code", {"key"});
+  EXPECT_FALSE(no_dim.Bind(SimpleSchema()).ok());
+}
+
+TEST(LookupOpTest, SelectivityFollowsMissPolicy) {
+  LookupOp reject("l", MakeDim(), "category", "code", {"key"},
+                  LookupMissPolicy::kReject, 0.9);
+  EXPECT_DOUBLE_EQ(reject.Selectivity(), 0.9);
+  LookupOp keep("l", MakeDim(), "category", "code", {"key"},
+                LookupMissPolicy::kNull, 0.9);
+  EXPECT_DOUBLE_EQ(keep.Selectivity(), 1.0);
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,65 @@
+#include "engine/run_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+TEST(OpStatsTest, MergeSums) {
+  OpStats a{"flt", "filter", 100, 90, 500};
+  const OpStats b{"flt", "filter", 50, 40, 250};
+  a.Merge(b);
+  EXPECT_EQ(a.rows_in, 150u);
+  EXPECT_EQ(a.rows_out, 130u);
+  EXPECT_EQ(a.micros, 750);
+}
+
+TEST(RunMetricsTest, AccumulateOpMergesByName) {
+  RunMetrics m;
+  m.AccumulateOp({"flt", "filter", 10, 9, 100});
+  m.AccumulateOp({"fn", "function", 9, 9, 50});
+  m.AccumulateOp({"flt", "filter", 10, 8, 100});
+  ASSERT_EQ(m.op_stats.size(), 2u);
+  EXPECT_EQ(m.op_stats[0].rows_in, 20u);
+  EXPECT_EQ(m.op_stats[0].micros, 200);
+  EXPECT_EQ(m.op_stats[0].kind, "filter");
+}
+
+TEST(RunMetricsTest, SummaryMentionsPhases) {
+  RunMetrics m;
+  m.total_micros = 5000;
+  m.extract_micros = 1000;
+  m.transform_micros = 3000;
+  m.load_micros = 500;
+  m.rows_extracted = 100;
+  m.rows_loaded = 90;
+  m.rows_rejected = 10;
+  m.attempts = 1;
+  const std::string text = m.Summary();
+  EXPECT_NE(text.find("total=5"), std::string::npos);
+  EXPECT_NE(text.find("extract=1"), std::string::npos);
+  EXPECT_NE(text.find("rows_in=100"), std::string::npos);
+  EXPECT_NE(text.find("rejected=10"), std::string::npos);
+  // No failure/rp/merge clutter when those did not happen.
+  EXPECT_EQ(text.find("failures="), std::string::npos);
+  EXPECT_EQ(text.find("rp_write="), std::string::npos);
+}
+
+TEST(RunMetricsTest, SummaryIncludesFailureAndRpSectionsWhenPresent) {
+  RunMetrics m;
+  m.failures_injected = 2;
+  m.resumed_from_rp = 1;
+  m.lost_work_micros = 1500;
+  m.rp_points_written = 3;
+  m.rp_write_micros = 800;
+  m.rp_bytes_written = 4096;
+  m.merge_micros = 100;
+  const std::string text = m.Summary();
+  EXPECT_NE(text.find("failures=2"), std::string::npos);
+  EXPECT_NE(text.find("resumed_from_rp=1"), std::string::npos);
+  EXPECT_NE(text.find("rp_write="), std::string::npos);
+  EXPECT_NE(text.find("merge="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qox

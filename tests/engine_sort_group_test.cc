@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "engine/ops/group_op.h"
+#include "engine/ops/sort_op.h"
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::RunOperator;
+using testing_util::SimpleRow;
+using testing_util::SimpleSchema;
+
+TEST(SortOpTest, SortsAscendingByDefault) {
+  SortOp op("sort", {{"amount", false}});
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, SimpleSchema(),
+      {SimpleRow(1, "a", 3.0), SimpleRow(2, "b", 1.0), SimpleRow(3, "c", 2.0)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 3u);
+  EXPECT_DOUBLE_EQ(out.value()[0].value(2).double_value(), 1.0);
+  EXPECT_DOUBLE_EQ(out.value()[1].value(2).double_value(), 2.0);
+  EXPECT_DOUBLE_EQ(out.value()[2].value(2).double_value(), 3.0);
+}
+
+TEST(SortOpTest, DescendingAndMultiKey) {
+  SortOp op("sort", {{"category", false}, {"amount", true}});
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, SimpleSchema(),
+      {SimpleRow(1, "b", 1.0), SimpleRow(2, "a", 1.0), SimpleRow(3, "a", 9.0)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].value(0).int64_value(), 3);  // a, 9
+  EXPECT_EQ(out.value()[1].value(0).int64_value(), 2);  // a, 1
+  EXPECT_EQ(out.value()[2].value(0).int64_value(), 1);  // b
+}
+
+TEST(SortOpTest, StableForEqualKeys) {
+  SortOp op("sort", {{"category", false}});
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, SimpleSchema(),
+      {SimpleRow(10, "same", 1.0), SimpleRow(20, "same", 2.0),
+       SimpleRow(30, "same", 3.0)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].value(0).int64_value(), 10);
+  EXPECT_EQ(out.value()[1].value(0).int64_value(), 20);
+  EXPECT_EQ(out.value()[2].value(0).int64_value(), 30);
+}
+
+TEST(SortOpTest, NullsSortFirst) {
+  SortOp op("sort", {{"amount", false}});
+  std::vector<Row> rows{SimpleRow(1, "a", 5.0)};
+  rows.push_back(Row({Value::Int64(2), Value::String("b"), Value::Null(),
+                      Value::String("n")}));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), rows);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value()[0].value(2).is_null());
+}
+
+TEST(SortOpTest, EmptyInputAndValidation) {
+  SortOp op("sort", {{"amount", false}});
+  EXPECT_TRUE(RunOperator(&op, SimpleSchema(), {}).value().empty());
+  SortOp no_keys("sort", {});
+  EXPECT_FALSE(no_keys.Bind(SimpleSchema()).ok());
+  SortOp bad_key("sort", {{"missing", false}});
+  EXPECT_FALSE(bad_key.Bind(SimpleSchema()).ok());
+  EXPECT_TRUE(op.IsBlocking());
+}
+
+TEST(GroupOpTest, AggregatesPerGroup) {
+  GroupOp op("grp", {"category"},
+             {Aggregate::Count("n"), Aggregate::Sum("amount", "total"),
+              Aggregate::Min("amount", "lo"), Aggregate::Max("amount", "hi"),
+              Aggregate::Avg("amount", "mean")});
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, SimpleSchema(),
+      {SimpleRow(1, "a", 1.0), SimpleRow(2, "a", 3.0), SimpleRow(3, "b", 5.0)});
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out.value().size(), 2u);
+  // First-seen order: group "a" first.
+  const Row& a = out.value()[0];
+  EXPECT_EQ(a.value(0).string_value(), "a");
+  EXPECT_EQ(a.value(1).int64_value(), 2);
+  EXPECT_DOUBLE_EQ(a.value(2).double_value(), 4.0);
+  EXPECT_DOUBLE_EQ(a.value(3).double_value(), 1.0);
+  EXPECT_DOUBLE_EQ(a.value(4).double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(a.value(5).double_value(), 2.0);
+  const Row& b = out.value()[1];
+  EXPECT_EQ(b.value(0).string_value(), "b");
+  EXPECT_EQ(b.value(1).int64_value(), 1);
+}
+
+TEST(GroupOpTest, NullValuesExcludedFromAggregatesButCounted) {
+  GroupOp op("grp", {"category"},
+             {Aggregate::Count("n"), Aggregate::Sum("amount", "total")});
+  std::vector<Row> rows{SimpleRow(1, "a", 2.0)};
+  rows.push_back(Row({Value::Int64(2), Value::String("a"), Value::Null(),
+                      Value::String("n")}));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), rows);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0].value(1).int64_value(), 2);  // count all rows
+  EXPECT_DOUBLE_EQ(out.value()[0].value(2).double_value(), 2.0);
+}
+
+TEST(GroupOpTest, AllNullGroupYieldsNullAggregates) {
+  GroupOp op("grp", {"category"}, {Aggregate::Sum("amount", "total")});
+  std::vector<Row> rows;
+  rows.push_back(Row({Value::Int64(1), Value::String("a"), Value::Null(),
+                      Value::String("n")}));
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), rows);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value()[0].value(1).is_null());
+}
+
+TEST(GroupOpTest, MultiColumnGroups) {
+  GroupOp op("grp", {"category", "note"}, {Aggregate::Count("n")});
+  const Result<std::vector<Row>> out = RunOperator(
+      &op, SimpleSchema(),
+      {SimpleRow(1, "a", 1.0, "x"), SimpleRow(2, "a", 1.0, "y"),
+       SimpleRow(3, "a", 1.0, "x")});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 2u);
+}
+
+TEST(GroupOpTest, Validation) {
+  GroupOp no_groups("grp", {}, {Aggregate::Count("n")});
+  EXPECT_FALSE(no_groups.Bind(SimpleSchema()).ok());
+  GroupOp bad_column("grp", {"missing"}, {Aggregate::Count("n")});
+  EXPECT_FALSE(bad_column.Bind(SimpleSchema()).ok());
+  GroupOp bad_agg("grp", {"category"}, {Aggregate::Sum("missing", "s")});
+  EXPECT_FALSE(bad_agg.Bind(SimpleSchema()).ok());
+}
+
+TEST(GroupOpTest, ReusableAfterRebind) {
+  GroupOp op("grp", {"category"}, {Aggregate::Count("n")});
+  ASSERT_TRUE(
+      RunOperator(&op, SimpleSchema(), {SimpleRow(1, "a", 1.0)}).ok());
+  // Rebind clears state; a second run starts fresh.
+  const Result<std::vector<Row>> out =
+      RunOperator(&op, SimpleSchema(), {SimpleRow(2, "b", 1.0)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0].value(0).string_value(), "b");
+}
+
+}  // namespace
+}  // namespace qox

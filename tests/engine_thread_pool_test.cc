@@ -1,0 +1,81 @@
+#include "engine/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace qox {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelismIsBounded) {
+  ThreadPool pool(2);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }  // destructor must join without deadlock
+  EXPECT_EQ(counter.load(), 30);
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,114 @@
+#include "graph/flow_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+FlowGraph LinearGraph() {
+  FlowGraph g;
+  (void)g.AddDataStore("src", "source");
+  (void)g.AddOperation("op1", "filter");
+  (void)g.AddOperation("op2", "sort");
+  (void)g.AddDataStore("tgt", "target");
+  (void)g.AddEdge("src", "op1");
+  (void)g.AddEdge("op1", "op2");
+  (void)g.AddEdge("op2", "tgt");
+  return g;
+}
+
+TEST(FlowGraphTest, BuildAndQuery) {
+  const FlowGraph g = LinearGraph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasNode("op1"));
+  EXPECT_FALSE(g.HasNode("nope"));
+  EXPECT_EQ(g.GetNode("op1").value().kind, NodeKind::kOperation);
+  EXPECT_EQ(g.GetNode("src").value().label, "source");
+  EXPECT_EQ(g.Predecessors("op2"), std::vector<std::string>{"op1"});
+  EXPECT_EQ(g.Successors("op1"), std::vector<std::string>{"op2"});
+  EXPECT_EQ(g.InDegree("src"), 0u);
+  EXPECT_EQ(g.OutDegree("tgt"), 0u);
+}
+
+TEST(FlowGraphTest, DuplicateAndInvalidInputs) {
+  FlowGraph g = LinearGraph();
+  EXPECT_EQ(g.AddOperation("op1", "x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge("src", "op1").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge("src", "missing").code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.AddEdge("op1", "op1").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(g.AddNode({"", NodeKind::kOperation, ""}).ok());
+}
+
+TEST(FlowGraphTest, TopologicalOrderRespectsEdges) {
+  const FlowGraph g = LinearGraph();
+  const Result<std::vector<std::string>> order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order.value().size(), 4u);
+  const auto pos = [&order](const std::string& id) {
+    return std::find(order.value().begin(), order.value().end(), id) -
+           order.value().begin();
+  };
+  EXPECT_LT(pos("src"), pos("op1"));
+  EXPECT_LT(pos("op1"), pos("op2"));
+  EXPECT_LT(pos("op2"), pos("tgt"));
+}
+
+TEST(FlowGraphTest, CycleDetected) {
+  FlowGraph g;
+  (void)g.AddOperation("a", "x");
+  (void)g.AddOperation("b", "x");
+  (void)g.AddOperation("c", "x");
+  (void)g.AddEdge("a", "b");
+  (void)g.AddEdge("b", "c");
+  (void)g.AddEdge("c", "a");
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(FlowGraphTest, ValidateRequiresConnectedOperations) {
+  FlowGraph g;
+  (void)g.AddDataStore("src", "source");
+  (void)g.AddOperation("dangling", "filter");
+  EXPECT_FALSE(g.Validate().ok());
+  (void)g.AddEdge("src", "dangling");
+  EXPECT_FALSE(g.Validate().ok());  // still no output
+  (void)g.AddDataStore("tgt", "target");
+  (void)g.AddEdge("dangling", "tgt");
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(FlowGraphTest, LongestPath) {
+  const FlowGraph g = LinearGraph();
+  EXPECT_EQ(g.LongestPathLength().value(), 3u);
+  FlowGraph diamond;
+  (void)diamond.AddDataStore("s", "source");
+  (void)diamond.AddOperation("a", "x");
+  (void)diamond.AddOperation("b", "x");
+  (void)diamond.AddOperation("c", "x");
+  (void)diamond.AddDataStore("t", "target");
+  (void)diamond.AddEdge("s", "a");
+  (void)diamond.AddEdge("s", "b");
+  (void)diamond.AddEdge("a", "c");
+  (void)diamond.AddEdge("b", "c");
+  (void)diamond.AddEdge("c", "t");
+  EXPECT_EQ(diamond.LongestPathLength().value(), 3u);
+}
+
+TEST(FlowGraphTest, EmptyGraph) {
+  const FlowGraph g;
+  EXPECT_TRUE(g.TopologicalOrder().value().empty());
+  EXPECT_EQ(g.LongestPathLength().value(), 0u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(FlowGraphTest, DotRendering) {
+  const std::string dot = LinearGraph().ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"src\" -> \"op1\""), std::string::npos);
+  EXPECT_NE(dot.find("cylinder"), std::string::npos);  // data stores
+  EXPECT_NE(dot.find("box"), std::string::npos);       // operations
+}
+
+}  // namespace
+}  // namespace qox

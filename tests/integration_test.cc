@@ -1,0 +1,165 @@
+// Full-stack integration: the consulting-engagement loop the paper
+// describes — conceptual requirements -> logical flow -> optimizer-chosen
+// physical design -> execution -> measured QoX vs predicted QoX.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/qox_report.h"
+#include "core/translate.h"
+
+namespace qox {
+namespace {
+
+SalesScenarioConfig SmallConfig() {
+  SalesScenarioConfig config;
+  config.s1_rows = 3000;
+  config.s2_rows = 500;
+  config.s3_rows = 1000;
+  config.workload.num_stores = 50;
+  config.workload.num_products = 100;
+  config.workload.num_customers = 400;
+  config.workload.num_reps = 50;
+  return config;
+}
+
+TEST(IntegrationTest, EngagementLoopEndToEnd) {
+  // 1. Build the environment and capture conceptual requirements.
+  std::unique_ptr<SalesScenario> scenario =
+      SalesScenario::Create(SmallConfig()).TakeValue();
+  const ConceptualFlow conceptual = SalesBottomConceptual();
+
+  // 2. Conceptual -> logical.
+  const LogicalFlow logical =
+      TranslateToLogical(conceptual, *scenario).TakeValue();
+
+  // 3. Calibrate a cost model from a probe run of the paper-faithful flow.
+  const Result<RunMetrics> probe = Executor::Run(
+      scenario->bottom_flow().ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  ASSERT_TRUE(scenario->ResetWarehouse().ok());
+  const CostModelParams params = CostModel::Calibrate(
+      CostModelParams{}, probe.value(), scenario->bottom_flow(), 3000);
+  const CostModel model(params);
+
+  // 4. Optimize for a reliability-focused engagement.
+  WorkloadParams workload;
+  workload.rows_per_run = 3000;
+  workload.failure_rate_per_s = 0.02;
+  workload.time_window_s = 300.0;
+  OptimizerOptions options;
+  options.threads = 4;
+  const QoxOptimizer optimizer(model, options);
+  const Result<OptimizationResult> optimized = optimizer.Optimize(
+      logical, QoxObjective::ReliabilityFirst(0.95), workload);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  ASSERT_TRUE(optimized.value().best.evaluation.feasible)
+      << optimized.value().best.evaluation.ToString();
+
+  // 5. Execute the winning design with failure injection.
+  PhysicalDesign best = optimized.value().best.design;
+  auto rp_store = RecoveryPointStore::Open(
+                      ::testing::TempDir() + "/integration_rp")
+                      .value();
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = 2;
+  spec.at_fraction = 0.4;
+  injector.AddFailure(spec);
+  const ExecutionConfig config = best.ToExecutionConfig(rp_store, &injector);
+  const Result<RunMetrics> run =
+      Executor::Run(best.flow.ToFlowSpec(), config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run.value().failures_injected, 1u);
+  EXPECT_GT(run.value().rows_loaded, 0u);
+
+  // 6. Measure QoX and compare to the prediction.
+  MeasurementContext context;
+  context.time_window_s = workload.time_window_s;
+  const QoxVector measured =
+      MeasureQox(run.value(), best, context, model).value();
+  const QoxVector predicted = optimized.value().best.predicted;
+  const std::vector<ComparisonRow> rows =
+      ComparePredictionToMeasurement(predicted, measured);
+  EXPECT_GE(rows.size(), 4u);
+  const std::string report = RenderComparison(rows);
+  EXPECT_FALSE(report.empty());
+  // The performance prediction is in the right order of magnitude.
+  for (const ComparisonRow& row : rows) {
+    if (row.metric == QoxMetric::kPerformance) {
+      EXPECT_LT(row.predicted, row.measured * 30.0);
+      EXPECT_GT(row.predicted, row.measured / 30.0);
+    }
+  }
+}
+
+TEST(IntegrationTest, RecoveredRunMatchesCleanRunOnRealWorkflow) {
+  // The exactly-once guarantee on the full Fig. 3 bottom flow.
+  std::unique_ptr<SalesScenario> clean =
+      SalesScenario::Create(SmallConfig()).TakeValue();
+  ASSERT_TRUE(
+      Executor::Run(clean->bottom_flow().ToFlowSpec(), ExecutionConfig{})
+          .ok());
+  const RowBatch expected = clean->dw1()->ReadAll().value();
+
+  std::unique_ptr<SalesScenario> faulty =
+      SalesScenario::Create(SmallConfig()).TakeValue();
+  auto rp_store = RecoveryPointStore::Open(
+                      ::testing::TempDir() + "/integration_rp2")
+                      .value();
+  FailureInjector injector;
+  for (int attempt = 1; attempt <= 2; ++attempt) {
+    FailureSpec spec;
+    spec.at_op = attempt + 1;
+    spec.at_fraction = 0.5;
+    spec.on_attempt = attempt;
+    injector.AddFailure(spec);
+  }
+  ExecutionConfig config;
+  config.recovery_points = {1};
+  config.rp_store = rp_store;
+  config.injector = &injector;
+  const Result<RunMetrics> metrics =
+      Executor::Run(faulty->bottom_flow().ToFlowSpec(), config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics.value().failures_injected, 2u);
+
+  // Same generated data (same seed) + exactly-once recovery => identical
+  // warehouse contents.
+  const RowBatch actual = faulty->dw1()->ReadAll().value();
+  ASSERT_EQ(actual.num_rows(), expected.num_rows());
+  std::vector<Row> a = actual.rows();
+  std::vector<Row> b = expected.rows();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i] == b[i]) << "row " << i << " differs";
+  }
+}
+
+TEST(IntegrationTest, OptimizerRankingMatchesMeasurementForRpCost) {
+  // The model says recovery points cost time (Fig. 5). Verify the measured
+  // ordering agrees: same flow, with and without RPs.
+  std::unique_ptr<SalesScenario> scenario =
+      SalesScenario::Create(SmallConfig()).TakeValue();
+  auto rp_store = RecoveryPointStore::Open(
+                      ::testing::TempDir() + "/integration_rp3")
+                      .value();
+
+  const Result<RunMetrics> plain = Executor::Run(
+      scenario->bottom_flow().ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(scenario->ResetWarehouse().ok());
+
+  ExecutionConfig with_rp;
+  with_rp.recovery_points = {0, 1, 2, 3, 4, 5, 6};
+  with_rp.rp_store = rp_store;
+  const Result<RunMetrics> rp_run =
+      Executor::Run(scenario->bottom_flow().ToFlowSpec(), with_rp);
+  ASSERT_TRUE(rp_run.ok());
+  EXPECT_GT(rp_run.value().rp_write_micros, 0);
+  EXPECT_GT(rp_run.value().total_micros, plain.value().total_micros);
+}
+
+}  // namespace
+}  // namespace qox

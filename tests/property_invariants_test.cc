@@ -1,0 +1,149 @@
+// Randomized property invariants across foundational types: the total
+// order on Values, hash/equality consistency, fingerprint permutation
+// invariance, and multi-step rewrite equivalence. Seeds are parameters so
+// failures are reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/rewrites.h"
+#include "engine/executor.h"
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SameMultiset;
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+Value RandomValue(Rng* rng) {
+  switch (rng->Uniform(0, 4)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case 2:
+      return Value::Int64(rng->Uniform(-1000, 1000));
+    case 3:
+      return Value::Double(static_cast<double>(rng->Uniform(-1000, 1000)) /
+                           7.0);
+    default:
+      return Value::String("s" + std::to_string(rng->Uniform(0, 99)));
+  }
+}
+
+class ValueOrderPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueOrderPropertyTest, TotalOrderLaws) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 300; ++i) {
+    const Value a = RandomValue(&rng);
+    const Value b = RandomValue(&rng);
+    const Value c = RandomValue(&rng);
+    // Antisymmetry (sign-level; magnitudes are strcmp-like).
+    const auto sign = [](int x) { return (x > 0) - (x < 0); };
+    EXPECT_EQ(sign(a.Compare(b)), -sign(b.Compare(a)));
+    // Reflexivity.
+    EXPECT_EQ(a.Compare(a), 0);
+    // Transitivity (a <= b && b <= c => a <= c).
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0)
+          << a.ToString() << " / " << b.ToString() << " / " << c.ToString();
+    }
+    // Hash consistency with equality.
+    if (a.Compare(b) == 0 && a.type() == b.type()) {
+      EXPECT_EQ(a.Hash(), b.Hash());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class FingerprintPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FingerprintPropertyTest, PermutationInvariantContentSensitive) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  std::vector<Row> rows = SimpleRows(200);
+  const size_t fingerprint = FingerprintRows(rows);
+  std::vector<Row> shuffled = rows;
+  rng.Shuffle(&shuffled);
+  EXPECT_EQ(FingerprintRows(shuffled), fingerprint);
+  // Any single-cell mutation changes it.
+  std::vector<Row> mutated = rows;
+  const size_t victim =
+      static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(rows.size()) - 1));
+  mutated[victim].Set(0, Value::Int64(rng.Uniform(100000, 200000)));
+  EXPECT_NE(FingerprintRows(mutated), fingerprint);
+  // Dropping a row changes it.
+  std::vector<Row> shorter = rows;
+  shorter.pop_back();
+  EXPECT_NE(FingerprintRows(shorter), fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+/// Random multi-step rewrite walks preserve the output multiset.
+class RewriteWalkPropertyTest : public ::testing::TestWithParam<int> {};
+
+LogicalFlow RandomizableFlow() {
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(300));
+  const Schema dim_schema({{"code", DataType::kString, false},
+                           {"key", DataType::kInt64, false}});
+  const DataStorePtr dim = testing_util::MakeSource(
+      dim_schema,
+      {Row({Value::String("a"), Value::Int64(1)}),
+       Row({Value::String("b"), Value::Int64(2)}),
+       Row({Value::String("c"), Value::Int64(3)})},
+      "dim");
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeLookup("lkp", dim, "category", "code", {"key"},
+                           LookupMissPolicy::kReject, 0.98));
+  ops.push_back(MakeFilter("flt1", {Predicate::NotNull("amount")}, 0.875));
+  ops.push_back(MakeFilter(
+      "flt2",
+      {Predicate::Compare("id", Predicate::CmpOp::kLt, Value::Int64(250))},
+      0.8));
+  ops.push_back(MakeSort("sort", {{"id", false}}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  return LogicalFlow("walk_flow", source, std::move(ops), target);
+}
+
+std::vector<Row> RunFlowFresh(const LogicalFlow& flow) {
+  auto target = std::make_shared<MemTable>(
+      "walk_tgt", flow.BindSchemas().value().back());
+  LogicalFlow copy(flow.id(), flow.source(),
+                   std::vector<LogicalOp>(flow.ops()), target);
+  const Result<RunMetrics> metrics =
+      Executor::Run(copy.ToFlowSpec(), ExecutionConfig{});
+  EXPECT_TRUE(metrics.ok()) << metrics.status();
+  return target->ReadAll().value().rows();
+}
+
+TEST_P(RewriteWalkPropertyTest, RandomSwapWalksPreserveOutput) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 13);
+  LogicalFlow flow = RandomizableFlow();
+  const std::vector<Row> expected = RunFlowFresh(flow);
+  // Take up to 6 random legal swaps.
+  for (int step = 0; step < 6; ++step) {
+    std::vector<size_t> legal;
+    for (size_t i = 0; i + 1 < flow.num_ops(); ++i) {
+      if (CanSwapAdjacent(flow, i)) legal.push_back(i);
+    }
+    if (legal.empty()) break;
+    const size_t pick = legal[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(legal.size()) - 1))];
+    flow = SwapAdjacent(flow, pick).value();
+  }
+  EXPECT_TRUE(SameMultiset(expected, RunFlowFresh(flow)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteWalkPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,55 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/mem_table.h"
+
+namespace qox {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, false}});
+}
+
+TEST(CatalogTest, RegisterAndGet) {
+  Catalog catalog;
+  auto table = std::make_shared<MemTable>("sales", TestSchema());
+  ASSERT_TRUE(catalog.Register(table).ok());
+  EXPECT_TRUE(catalog.Has("sales"));
+  const Result<DataStorePtr> found = catalog.Get("sales");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().get(), table.get());
+}
+
+TEST(CatalogTest, DuplicateRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.Register(std::make_shared<MemTable>("t", TestSchema())).ok());
+  EXPECT_EQ(
+      catalog.Register(std::make_shared<MemTable>("t", TestSchema())).code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MissingIsNotFound) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.Has("nope"));
+  EXPECT_EQ(catalog.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, NullStoreRejected) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.Register(nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, NamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.Register(std::make_shared<MemTable>("zeta", TestSchema())).ok());
+  ASSERT_TRUE(
+      catalog.Register(std::make_shared<MemTable>("alpha", TestSchema()))
+          .ok());
+  EXPECT_EQ(catalog.Names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,175 @@
+#include "storage/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace qox {
+namespace {
+
+TEST(GeneratorsTest, SalesTransactionsMatchSchema) {
+  WorkloadConfig config;
+  Rng rng(config.seed);
+  const std::vector<Row> rows =
+      GenerateSalesTransactions(config, 500, 0, &rng);
+  ASSERT_EQ(rows.size(), 500u);
+  const RowBatch batch(SalesTranSchema(), rows);
+  EXPECT_TRUE(batch.Validate().ok()) << batch.Validate();
+}
+
+TEST(GeneratorsTest, SalesTransactionIdsSequential) {
+  WorkloadConfig config;
+  Rng rng(config.seed);
+  const std::vector<Row> rows =
+      GenerateSalesTransactions(config, 100, 1000, &rng);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].value(0).int64_value(),
+              1000 + static_cast<int64_t>(i));
+  }
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  Rng rng1(7);
+  Rng rng2(7);
+  const std::vector<Row> a = GenerateSalesTransactions(config, 50, 0, &rng1);
+  const std::vector<Row> b = GenerateSalesTransactions(config, 50, 0, &rng2);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GeneratorsTest, NullFractionApproximatelyRespected) {
+  WorkloadConfig config;
+  config.null_fraction = 0.2;
+  config.dirty_code_fraction = 0.0;
+  Rng rng(config.seed);
+  const std::vector<Row> rows =
+      GenerateSalesTransactions(config, 20000, 0, &rng);
+  const size_t store_col = 1;
+  const size_t amount_col = 6;
+  size_t nulls = 0;
+  for (const Row& row : rows) {
+    if (row.value(store_col).is_null()) ++nulls;
+    if (row.value(amount_col).is_null()) ++nulls;
+  }
+  // Each column carries ~null_fraction/2.
+  EXPECT_NEAR(static_cast<double>(nulls) / 20000.0, 0.2, 0.03);
+}
+
+TEST(GeneratorsTest, ZeroNullFractionYieldsNoNulls) {
+  WorkloadConfig config;
+  config.null_fraction = 0.0;
+  config.dirty_code_fraction = 0.0;
+  Rng rng(config.seed);
+  const std::vector<Row> rows =
+      GenerateSalesTransactions(config, 2000, 0, &rng);
+  for (const Row& row : rows) {
+    EXPECT_FALSE(row.value(1).is_null());
+    EXPECT_FALSE(row.value(6).is_null());
+  }
+}
+
+TEST(GeneratorsTest, DirtyCodesDoNotResolveInDims) {
+  WorkloadConfig config;
+  config.dirty_code_fraction = 0.5;
+  config.null_fraction = 0.0;
+  Rng rng(config.seed);
+  Rng dim_rng(config.seed);
+  const std::vector<Row> stores = GenerateStoreDim(config, &dim_rng);
+  std::unordered_set<std::string> codes;
+  for (const Row& row : stores) codes.insert(row.value(0).string_value());
+  const std::vector<Row> rows =
+      GenerateSalesTransactions(config, 2000, 0, &rng);
+  size_t unresolved = 0;
+  for (const Row& row : rows) {
+    if (!row.value(1).is_null() &&
+        codes.find(row.value(1).string_value()) == codes.end()) {
+      ++unresolved;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(unresolved) / 2000.0, 0.5, 0.06);
+}
+
+TEST(GeneratorsTest, StaffLogsMatchSchemaAndUpdateFraction) {
+  WorkloadConfig config;
+  Rng rng(config.seed);
+  const std::vector<Row> rows = GenerateStaffLogs(config, 5000, 0.4, &rng);
+  const RowBatch batch(SalesStaffSchema(), rows);
+  EXPECT_TRUE(batch.Validate().ok());
+  size_t updates = 0;
+  for (const Row& row : rows) {
+    if (row.value(0).int64_value() <
+        static_cast<int64_t>(config.num_reps)) {
+      ++updates;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(updates) / 5000.0, 0.4, 0.05);
+}
+
+TEST(GeneratorsTest, ClickstreamSortedByEventTime) {
+  WorkloadConfig config;
+  Rng rng(config.seed);
+  const std::vector<Row> rows = GenerateClickstream(config, 1000, &rng);
+  const RowBatch batch(ClickstreamSchema(), rows);
+  EXPECT_TRUE(batch.Validate().ok());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].value(4).timestamp_micros(),
+              rows[i].value(4).timestamp_micros());
+  }
+}
+
+TEST(GeneratorsTest, DimensionsHaveUniqueKeys) {
+  WorkloadConfig config;
+  Rng rng(config.seed);
+  const std::vector<Row> stores = GenerateStoreDim(config, &rng);
+  EXPECT_EQ(stores.size(), config.num_stores);
+  std::unordered_set<std::string> codes;
+  for (const Row& row : stores) codes.insert(row.value(0).string_value());
+  EXPECT_EQ(codes.size(), config.num_stores);
+
+  const std::vector<Row> products = GenerateProductDim(config, &rng);
+  EXPECT_EQ(products.size(), config.num_products);
+  std::unordered_set<std::string> product_codes;
+  for (const Row& row : products) {
+    product_codes.insert(row.value(0).string_value());
+  }
+  EXPECT_EQ(product_codes.size(), config.num_products);
+}
+
+TEST(GeneratorsTest, MutateForNextRunProducesUpdatesAndInserts) {
+  WorkloadConfig config;
+  Rng rng(config.seed);
+  const std::vector<Row> previous =
+      GenerateSalesTransactions(config, 1000, 0, &rng);
+  const Result<std::vector<Row>> next =
+      MutateForNextRun(previous, /*key_column=*/0, /*mutable_column=*/5,
+                       /*update_fraction=*/0.3, /*num_inserts=*/50,
+                       SalesTranSchema(), &rng);
+  ASSERT_TRUE(next.ok()) << next.status();
+  EXPECT_EQ(next.value().size(), 1050u);
+  size_t changed = 0;
+  for (size_t i = 0; i < previous.size(); ++i) {
+    if (!(next.value()[i] == previous[i])) ++changed;
+  }
+  EXPECT_NEAR(static_cast<double>(changed) / 1000.0, 0.3, 0.06);
+  // Inserts carry fresh keys beyond the previous max.
+  for (size_t i = 1000; i < 1050; ++i) {
+    EXPECT_GE(next.value()[i].value(0).int64_value(), 1000);
+  }
+}
+
+TEST(GeneratorsTest, MutateForNextRunValidatesColumns) {
+  WorkloadConfig config;
+  Rng rng(config.seed);
+  const std::vector<Row> previous =
+      GenerateSalesTransactions(config, 10, 0, &rng);
+  EXPECT_FALSE(MutateForNextRun(previous, 99, 5, 0.1, 1, SalesTranSchema(),
+                                &rng)
+                   .ok());
+  // Column 2 (product_code) is a string: not a valid mutable column.
+  EXPECT_FALSE(MutateForNextRun(previous, 0, 2, 0.1, 1, SalesTranSchema(),
+                                &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace qox

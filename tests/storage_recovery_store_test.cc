@@ -1,0 +1,118 @@
+#include "storage/recovery_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace qox {
+namespace {
+
+class RecoveryStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/rp_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    store_ = RecoveryPointStore::Open(dir_).value();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Schema TestSchema() {
+    return Schema({{"id", DataType::kInt64, false},
+                   {"text", DataType::kString, true}});
+  }
+
+  std::vector<Row> MakeRows(size_t n) {
+    std::vector<Row> rows;
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(Row({Value::Int64(static_cast<int64_t>(i)),
+                          Value::String("r" + std::to_string(i))}));
+    }
+    return rows;
+  }
+
+  std::string dir_;
+  std::shared_ptr<RecoveryPointStore> store_;
+};
+
+TEST_F(RecoveryStoreTest, SaveLoadRoundTrip) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(10)).ok());
+  EXPECT_TRUE(store_->Has(id));
+  const Result<RowBatch> loaded = store_->Load(id, TestSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded.value().num_rows(), 10u);
+  EXPECT_EQ(loaded.value().row(3).value(1).string_value(), "r3");
+}
+
+TEST_F(RecoveryStoreTest, MissingPointIsNotFound) {
+  EXPECT_FALSE(store_->Has({"flow1", "nope"}));
+  EXPECT_EQ(store_->Load({"flow1", "nope"}, TestSchema()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RecoveryStoreTest, SaveOverwrites) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(10)).ok());
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(3)).ok());
+  EXPECT_EQ(store_->Load(id, TestSchema()).value().num_rows(), 3u);
+}
+
+TEST_F(RecoveryStoreTest, DropRemovesPoint) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(5)).ok());
+  ASSERT_TRUE(store_->Drop(id).ok());
+  EXPECT_FALSE(store_->Has(id));
+}
+
+TEST_F(RecoveryStoreTest, DropFlowRemovesOnlyThatFlow) {
+  ASSERT_TRUE(store_->Save({"flowA", "c0"}, TestSchema(), MakeRows(2)).ok());
+  ASSERT_TRUE(store_->Save({"flowA", "c1"}, TestSchema(), MakeRows(2)).ok());
+  ASSERT_TRUE(store_->Save({"flowB", "c0"}, TestSchema(), MakeRows(2)).ok());
+  ASSERT_TRUE(store_->DropFlow("flowA").ok());
+  EXPECT_FALSE(store_->Has({"flowA", "c0"}));
+  EXPECT_FALSE(store_->Has({"flowA", "c1"}));
+  EXPECT_TRUE(store_->Has({"flowB", "c0"}));
+}
+
+TEST_F(RecoveryStoreTest, ListReportsCompletePoints) {
+  ASSERT_TRUE(store_->Save({"f", "a"}, TestSchema(), MakeRows(4)).ok());
+  ASSERT_TRUE(store_->Save({"f", "b"}, TestSchema(), MakeRows(6)).ok());
+  const std::vector<RecoveryPointInfo> infos = store_->List();
+  EXPECT_EQ(infos.size(), 2u);
+  for (const RecoveryPointInfo& info : infos) {
+    EXPECT_TRUE(info.complete);
+    EXPECT_GT(info.bytes, 0u);
+  }
+}
+
+TEST_F(RecoveryStoreTest, BytesWrittenAccumulate) {
+  EXPECT_EQ(store_->total_bytes_written(), 0u);
+  ASSERT_TRUE(store_->Save({"f", "a"}, TestSchema(), MakeRows(100)).ok());
+  const size_t after_first = store_->total_bytes_written();
+  EXPECT_GT(after_first, 0u);
+  ASSERT_TRUE(store_->Save({"f", "b"}, TestSchema(), MakeRows(100)).ok());
+  EXPECT_GT(store_->total_bytes_written(), after_first);
+}
+
+TEST_F(RecoveryStoreTest, EmptyRowsSaveIsComplete) {
+  const RecoveryPointId id{"f", "empty"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), {}).ok());
+  EXPECT_TRUE(store_->Has(id));
+  EXPECT_EQ(store_->Load(id, TestSchema()).value().num_rows(), 0u);
+}
+
+TEST_F(RecoveryStoreTest, ValuesWithCommasSurvive) {
+  const RecoveryPointId id{"f", "commas"};
+  std::vector<Row> rows{
+      Row({Value::Int64(1), Value::String("a,b,\"c\"")})};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), rows).ok());
+  const Result<RowBatch> loaded = store_->Load(id, TestSchema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().row(0).value(1).string_value(), "a,b,\"c\"");
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,101 @@
+#include "storage/snapshot_store.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"payload", DataType::kString, true},
+                 {"amount", DataType::kDouble, true}});
+}
+
+Row MakeRow(int64_t id, const std::string& payload, double amount) {
+  return Row({Value::Int64(id), Value::String(payload),
+              Value::Double(amount)});
+}
+
+TEST(SnapshotStoreTest, FirstLandingIsAllInserts) {
+  SnapshotStore store("snap", TestSchema(), {0});
+  const std::vector<Row> fresh{MakeRow(1, "a", 1), MakeRow(2, "b", 2)};
+  const Result<DeltaResult> delta = store.ComputeDelta(fresh);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta.value().inserts.size(), 2u);
+  EXPECT_EQ(delta.value().updates.size(), 0u);
+  EXPECT_EQ(delta.value().unchanged, 0u);
+}
+
+TEST(SnapshotStoreTest, ClassifiesInsertUpdateUnchanged) {
+  SnapshotStore store("snap", TestSchema(), {0});
+  ASSERT_TRUE(store.Commit({MakeRow(1, "a", 1), MakeRow(2, "b", 2)}).ok());
+  EXPECT_EQ(store.snapshot_size(), 2u);
+
+  const std::vector<Row> fresh{
+      MakeRow(1, "a", 1),      // unchanged
+      MakeRow(2, "b", 99),     // update (amount changed)
+      MakeRow(3, "c", 3),      // insert (new key)
+  };
+  const Result<DeltaResult> delta = store.ComputeDelta(fresh);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta.value().inserts.size(), 1u);
+  EXPECT_EQ(delta.value().inserts[0].value(0).int64_value(), 3);
+  ASSERT_EQ(delta.value().updates.size(), 1u);
+  EXPECT_EQ(delta.value().updates[0].value(0).int64_value(), 2);
+  EXPECT_EQ(delta.value().unchanged, 1u);
+}
+
+TEST(SnapshotStoreTest, ComputeDeltaDoesNotMutateSnapshot) {
+  SnapshotStore store("snap", TestSchema(), {0});
+  ASSERT_TRUE(store.Commit({MakeRow(1, "a", 1)}).ok());
+  const std::vector<Row> fresh{MakeRow(2, "b", 2)};
+  ASSERT_TRUE(store.ComputeDelta(fresh).ok());
+  // Same delta again: still an insert (not committed).
+  const Result<DeltaResult> again = store.ComputeDelta(fresh);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().inserts.size(), 1u);
+}
+
+TEST(SnapshotStoreTest, DuplicateKeysInLandingKeepLast) {
+  SnapshotStore store("snap", TestSchema(), {0});
+  const std::vector<Row> fresh{MakeRow(1, "first", 1),
+                               MakeRow(1, "last", 2)};
+  const Result<DeltaResult> delta = store.ComputeDelta(fresh);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta.value().inserts.size(), 1u);
+  EXPECT_EQ(delta.value().inserts[0].value(1).string_value(), "last");
+}
+
+TEST(SnapshotStoreTest, CompositeKeys) {
+  SnapshotStore store("snap", TestSchema(), {0, 1});
+  ASSERT_TRUE(store.Commit({MakeRow(1, "a", 1)}).ok());
+  const std::vector<Row> fresh{MakeRow(1, "b", 1)};  // different composite
+  const Result<DeltaResult> delta = store.ComputeDelta(fresh);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta.value().inserts.size(), 1u);
+}
+
+TEST(SnapshotStoreTest, CommitReplacesSnapshot) {
+  SnapshotStore store("snap", TestSchema(), {0});
+  ASSERT_TRUE(store.Commit({MakeRow(1, "a", 1)}).ok());
+  ASSERT_TRUE(store.Commit({MakeRow(2, "b", 2)}).ok());
+  // Key 1 is gone; landing it again is an insert.
+  const Result<DeltaResult> delta = store.ComputeDelta({MakeRow(1, "a", 1)});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta.value().inserts.size(), 1u);
+}
+
+TEST(SnapshotStoreTest, ClearEmptiesSnapshot) {
+  SnapshotStore store("snap", TestSchema(), {0});
+  ASSERT_TRUE(store.Commit({MakeRow(1, "a", 1)}).ok());
+  ASSERT_TRUE(store.Clear().ok());
+  EXPECT_EQ(store.snapshot_size(), 0u);
+}
+
+TEST(SnapshotStoreTest, BadKeyColumnErrors) {
+  SnapshotStore store("snap", TestSchema(), {9});
+  EXPECT_FALSE(store.ComputeDelta({MakeRow(1, "a", 1)}).ok());
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,73 @@
+#include "storage/throttled_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "storage/mem_table.h"
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+DataStorePtr MakeInner(size_t rows) {
+  return testing_util::MakeSource(SimpleSchema(), SimpleRows(rows));
+}
+
+TEST(ThrottledStoreTest, DelegatesMetadataAndWrites) {
+  const DataStorePtr inner = MakeInner(100);
+  ThrottledStore store(inner, 1e9);
+  EXPECT_EQ(store.name(), inner->name());
+  EXPECT_EQ(store.schema(), inner->schema());
+  EXPECT_EQ(store.NumRows().value(), 100u);
+  RowBatch batch(SimpleSchema(), SimpleRows(5));
+  ASSERT_TRUE(store.Append(batch).ok());
+  EXPECT_EQ(store.NumRows().value(), 105u);
+  ASSERT_TRUE(store.Truncate().ok());
+  EXPECT_EQ(inner->NumRows().value(), 0u);
+}
+
+TEST(ThrottledStoreTest, ZeroBandwidthMeansUnthrottled) {
+  ThrottledStore store(MakeInner(2000), 0.0);
+  const StopWatch timer;
+  EXPECT_EQ(store.ReadAll().value().num_rows(), 2000u);
+  EXPECT_LT(timer.ElapsedMicros(), 200000);
+}
+
+TEST(ThrottledStoreTest, ScanPacedToBandwidth) {
+  const DataStorePtr inner = MakeInner(1000);
+  // Compute payload size, then allow ~20x payload/second: the scan should
+  // take roughly 50ms.
+  const size_t bytes = RowBatch(SimpleSchema(), SimpleRows(1000)).ByteSize();
+  ThrottledStore store(inner, static_cast<double>(bytes) * 20.0);
+  const StopWatch timer;
+  EXPECT_EQ(store.ReadAll().value().num_rows(), 1000u);
+  const int64_t elapsed = timer.ElapsedMicros();
+  EXPECT_GE(elapsed, 35000) << "scan finished faster than the channel allows";
+  EXPECT_LT(elapsed, 500000);
+}
+
+TEST(ThrottledStoreTest, FasterChannelIsFaster) {
+  const size_t bytes = RowBatch(SimpleSchema(), SimpleRows(1000)).ByteSize();
+  ThrottledStore slow(MakeInner(1000), static_cast<double>(bytes) * 10.0);
+  ThrottledStore fast(MakeInner(1000), static_cast<double>(bytes) * 100.0);
+  const StopWatch slow_timer;
+  ASSERT_TRUE(slow.ReadAll().ok());
+  const int64_t slow_elapsed = slow_timer.ElapsedMicros();
+  const StopWatch fast_timer;
+  ASSERT_TRUE(fast.ReadAll().ok());
+  const int64_t fast_elapsed = fast_timer.ElapsedMicros();
+  EXPECT_GT(slow_elapsed, fast_elapsed * 2);
+}
+
+TEST(ThrottledStoreTest, ConsumerErrorsPropagate) {
+  ThrottledStore store(MakeInner(100), 1e9);
+  const Status st = store.Scan(
+      10, [](const RowBatch&) { return Status::Cancelled("stop"); });
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace qox
