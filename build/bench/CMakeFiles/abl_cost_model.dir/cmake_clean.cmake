@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cost_model.dir/abl_cost_model.cc.o"
+  "CMakeFiles/abl_cost_model.dir/abl_cost_model.cc.o.d"
+  "abl_cost_model"
+  "abl_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

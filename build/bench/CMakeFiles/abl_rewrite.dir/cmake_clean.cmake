@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rewrite.dir/abl_rewrite.cc.o"
+  "CMakeFiles/abl_rewrite.dir/abl_rewrite.cc.o.d"
+  "abl_rewrite"
+  "abl_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rp_placement.dir/abl_rp_placement.cc.o"
+  "CMakeFiles/abl_rp_placement.dir/abl_rp_placement.cc.o.d"
+  "abl_rp_placement"
+  "abl_rp_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rp_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

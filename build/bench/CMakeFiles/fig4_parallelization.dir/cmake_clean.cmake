@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_parallelization.dir/fig4_parallelization.cc.o"
+  "CMakeFiles/fig4_parallelization.dir/fig4_parallelization.cc.o.d"
+  "fig4_parallelization"
+  "fig4_parallelization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_parallelization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

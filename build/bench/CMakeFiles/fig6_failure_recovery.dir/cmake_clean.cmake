@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_failure_recovery.dir/fig6_failure_recovery.cc.o"
+  "CMakeFiles/fig6_failure_recovery.dir/fig6_failure_recovery.cc.o.d"
+  "fig6_failure_recovery"
+  "fig6_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

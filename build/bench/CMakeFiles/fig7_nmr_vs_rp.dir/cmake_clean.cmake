@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nmr_vs_rp.dir/fig7_nmr_vs_rp.cc.o"
+  "CMakeFiles/fig7_nmr_vs_rp.dir/fig7_nmr_vs_rp.cc.o.d"
+  "fig7_nmr_vs_rp"
+  "fig7_nmr_vs_rp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nmr_vs_rp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

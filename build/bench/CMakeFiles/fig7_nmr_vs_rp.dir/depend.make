@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_nmr_vs_rp.
+# This may be replaced when dependencies are built.

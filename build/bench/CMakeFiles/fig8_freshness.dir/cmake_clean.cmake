@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_freshness.dir/fig8_freshness.cc.o"
+  "CMakeFiles/fig8_freshness.dir/fig8_freshness.cc.o.d"
+  "fig8_freshness"
+  "fig8_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nightly_window.dir/nightly_window.cpp.o"
+  "CMakeFiles/nightly_window.dir/nightly_window.cpp.o.d"
+  "nightly_window"
+  "nightly_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nightly_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

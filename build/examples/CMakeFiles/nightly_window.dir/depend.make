@@ -1,0 +1,2 @@
+# Empty dependencies file for nightly_window.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_dw.dir/sales_dw.cpp.o"
+  "CMakeFiles/sales_dw.dir/sales_dw.cpp.o.d"
+  "sales_dw"
+  "sales_dw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_dw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_freshness.dir/streaming_freshness.cpp.o"
+  "CMakeFiles/streaming_freshness.dir/streaming_freshness.cpp.o.d"
+  "streaming_freshness"
+  "streaming_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_advisor.dir/tradeoff_advisor.cpp.o"
+  "CMakeFiles/tradeoff_advisor.dir/tradeoff_advisor.cpp.o.d"
+  "tradeoff_advisor"
+  "tradeoff_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

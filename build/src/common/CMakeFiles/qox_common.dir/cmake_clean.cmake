@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qox_common.dir/clock.cc.o"
+  "CMakeFiles/qox_common.dir/clock.cc.o.d"
+  "CMakeFiles/qox_common.dir/rng.cc.o"
+  "CMakeFiles/qox_common.dir/rng.cc.o.d"
+  "CMakeFiles/qox_common.dir/row.cc.o"
+  "CMakeFiles/qox_common.dir/row.cc.o.d"
+  "CMakeFiles/qox_common.dir/schema.cc.o"
+  "CMakeFiles/qox_common.dir/schema.cc.o.d"
+  "CMakeFiles/qox_common.dir/status.cc.o"
+  "CMakeFiles/qox_common.dir/status.cc.o.d"
+  "CMakeFiles/qox_common.dir/strings.cc.o"
+  "CMakeFiles/qox_common.dir/strings.cc.o.d"
+  "CMakeFiles/qox_common.dir/value.cc.o"
+  "CMakeFiles/qox_common.dir/value.cc.o.d"
+  "libqox_common.a"
+  "libqox_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qox_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/qox_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/design.cc" "src/core/CMakeFiles/qox_core.dir/design.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/design.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/qox_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/micro_batch.cc" "src/core/CMakeFiles/qox_core.dir/micro_batch.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/micro_batch.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/qox_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/plan_io.cc" "src/core/CMakeFiles/qox_core.dir/plan_io.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/plan_io.cc.o.d"
+  "/root/repo/src/core/qox_report.cc" "src/core/CMakeFiles/qox_core.dir/qox_report.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/qox_report.cc.o.d"
+  "/root/repo/src/core/quality_features.cc" "src/core/CMakeFiles/qox_core.dir/quality_features.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/quality_features.cc.o.d"
+  "/root/repo/src/core/requirements.cc" "src/core/CMakeFiles/qox_core.dir/requirements.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/requirements.cc.o.d"
+  "/root/repo/src/core/rewrites.cc" "src/core/CMakeFiles/qox_core.dir/rewrites.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/rewrites.cc.o.d"
+  "/root/repo/src/core/sales_workflow.cc" "src/core/CMakeFiles/qox_core.dir/sales_workflow.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/sales_workflow.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/qox_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/softgoal.cc" "src/core/CMakeFiles/qox_core.dir/softgoal.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/softgoal.cc.o.d"
+  "/root/repo/src/core/translate.cc" "src/core/CMakeFiles/qox_core.dir/translate.cc.o" "gcc" "src/core/CMakeFiles/qox_core.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/qox_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qox_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qox_core.dir/cost_model.cc.o"
+  "CMakeFiles/qox_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/qox_core.dir/design.cc.o"
+  "CMakeFiles/qox_core.dir/design.cc.o.d"
+  "CMakeFiles/qox_core.dir/metrics.cc.o"
+  "CMakeFiles/qox_core.dir/metrics.cc.o.d"
+  "CMakeFiles/qox_core.dir/micro_batch.cc.o"
+  "CMakeFiles/qox_core.dir/micro_batch.cc.o.d"
+  "CMakeFiles/qox_core.dir/optimizer.cc.o"
+  "CMakeFiles/qox_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/qox_core.dir/plan_io.cc.o"
+  "CMakeFiles/qox_core.dir/plan_io.cc.o.d"
+  "CMakeFiles/qox_core.dir/qox_report.cc.o"
+  "CMakeFiles/qox_core.dir/qox_report.cc.o.d"
+  "CMakeFiles/qox_core.dir/quality_features.cc.o"
+  "CMakeFiles/qox_core.dir/quality_features.cc.o.d"
+  "CMakeFiles/qox_core.dir/requirements.cc.o"
+  "CMakeFiles/qox_core.dir/requirements.cc.o.d"
+  "CMakeFiles/qox_core.dir/rewrites.cc.o"
+  "CMakeFiles/qox_core.dir/rewrites.cc.o.d"
+  "CMakeFiles/qox_core.dir/sales_workflow.cc.o"
+  "CMakeFiles/qox_core.dir/sales_workflow.cc.o.d"
+  "CMakeFiles/qox_core.dir/schedule.cc.o"
+  "CMakeFiles/qox_core.dir/schedule.cc.o.d"
+  "CMakeFiles/qox_core.dir/softgoal.cc.o"
+  "CMakeFiles/qox_core.dir/softgoal.cc.o.d"
+  "CMakeFiles/qox_core.dir/translate.cc.o"
+  "CMakeFiles/qox_core.dir/translate.cc.o.d"
+  "libqox_core.a"
+  "libqox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/qox_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/failure.cc" "src/engine/CMakeFiles/qox_engine.dir/failure.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/failure.cc.o.d"
+  "/root/repo/src/engine/ops/delta_op.cc" "src/engine/CMakeFiles/qox_engine.dir/ops/delta_op.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/ops/delta_op.cc.o.d"
+  "/root/repo/src/engine/ops/filter_op.cc" "src/engine/CMakeFiles/qox_engine.dir/ops/filter_op.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/ops/filter_op.cc.o.d"
+  "/root/repo/src/engine/ops/function_op.cc" "src/engine/CMakeFiles/qox_engine.dir/ops/function_op.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/ops/function_op.cc.o.d"
+  "/root/repo/src/engine/ops/group_op.cc" "src/engine/CMakeFiles/qox_engine.dir/ops/group_op.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/ops/group_op.cc.o.d"
+  "/root/repo/src/engine/ops/lookup_op.cc" "src/engine/CMakeFiles/qox_engine.dir/ops/lookup_op.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/ops/lookup_op.cc.o.d"
+  "/root/repo/src/engine/ops/sort_op.cc" "src/engine/CMakeFiles/qox_engine.dir/ops/sort_op.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/ops/sort_op.cc.o.d"
+  "/root/repo/src/engine/ops/surrogate_key_op.cc" "src/engine/CMakeFiles/qox_engine.dir/ops/surrogate_key_op.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/ops/surrogate_key_op.cc.o.d"
+  "/root/repo/src/engine/pipeline.cc" "src/engine/CMakeFiles/qox_engine.dir/pipeline.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/pipeline.cc.o.d"
+  "/root/repo/src/engine/run_metrics.cc" "src/engine/CMakeFiles/qox_engine.dir/run_metrics.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/run_metrics.cc.o.d"
+  "/root/repo/src/engine/thread_pool.cc" "src/engine/CMakeFiles/qox_engine.dir/thread_pool.cc.o" "gcc" "src/engine/CMakeFiles/qox_engine.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qox_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

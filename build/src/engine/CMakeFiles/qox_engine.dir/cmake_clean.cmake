@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qox_engine.dir/executor.cc.o"
+  "CMakeFiles/qox_engine.dir/executor.cc.o.d"
+  "CMakeFiles/qox_engine.dir/failure.cc.o"
+  "CMakeFiles/qox_engine.dir/failure.cc.o.d"
+  "CMakeFiles/qox_engine.dir/ops/delta_op.cc.o"
+  "CMakeFiles/qox_engine.dir/ops/delta_op.cc.o.d"
+  "CMakeFiles/qox_engine.dir/ops/filter_op.cc.o"
+  "CMakeFiles/qox_engine.dir/ops/filter_op.cc.o.d"
+  "CMakeFiles/qox_engine.dir/ops/function_op.cc.o"
+  "CMakeFiles/qox_engine.dir/ops/function_op.cc.o.d"
+  "CMakeFiles/qox_engine.dir/ops/group_op.cc.o"
+  "CMakeFiles/qox_engine.dir/ops/group_op.cc.o.d"
+  "CMakeFiles/qox_engine.dir/ops/lookup_op.cc.o"
+  "CMakeFiles/qox_engine.dir/ops/lookup_op.cc.o.d"
+  "CMakeFiles/qox_engine.dir/ops/sort_op.cc.o"
+  "CMakeFiles/qox_engine.dir/ops/sort_op.cc.o.d"
+  "CMakeFiles/qox_engine.dir/ops/surrogate_key_op.cc.o"
+  "CMakeFiles/qox_engine.dir/ops/surrogate_key_op.cc.o.d"
+  "CMakeFiles/qox_engine.dir/pipeline.cc.o"
+  "CMakeFiles/qox_engine.dir/pipeline.cc.o.d"
+  "CMakeFiles/qox_engine.dir/run_metrics.cc.o"
+  "CMakeFiles/qox_engine.dir/run_metrics.cc.o.d"
+  "CMakeFiles/qox_engine.dir/thread_pool.cc.o"
+  "CMakeFiles/qox_engine.dir/thread_pool.cc.o.d"
+  "libqox_engine.a"
+  "libqox_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qox_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

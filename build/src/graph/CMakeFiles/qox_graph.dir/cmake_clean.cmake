@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qox_graph.dir/flow_graph.cc.o"
+  "CMakeFiles/qox_graph.dir/flow_graph.cc.o.d"
+  "CMakeFiles/qox_graph.dir/graph_metrics.cc.o"
+  "CMakeFiles/qox_graph.dir/graph_metrics.cc.o.d"
+  "libqox_graph.a"
+  "libqox_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qox_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

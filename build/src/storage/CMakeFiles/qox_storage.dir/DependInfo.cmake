@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/qox_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/data_store.cc" "src/storage/CMakeFiles/qox_storage.dir/data_store.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/data_store.cc.o.d"
+  "/root/repo/src/storage/flat_file.cc" "src/storage/CMakeFiles/qox_storage.dir/flat_file.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/flat_file.cc.o.d"
+  "/root/repo/src/storage/generators.cc" "src/storage/CMakeFiles/qox_storage.dir/generators.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/generators.cc.o.d"
+  "/root/repo/src/storage/mem_table.cc" "src/storage/CMakeFiles/qox_storage.dir/mem_table.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/mem_table.cc.o.d"
+  "/root/repo/src/storage/recovery_store.cc" "src/storage/CMakeFiles/qox_storage.dir/recovery_store.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/recovery_store.cc.o.d"
+  "/root/repo/src/storage/snapshot_store.cc" "src/storage/CMakeFiles/qox_storage.dir/snapshot_store.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/snapshot_store.cc.o.d"
+  "/root/repo/src/storage/throttled_store.cc" "src/storage/CMakeFiles/qox_storage.dir/throttled_store.cc.o" "gcc" "src/storage/CMakeFiles/qox_storage.dir/throttled_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qox_storage.dir/catalog.cc.o"
+  "CMakeFiles/qox_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/qox_storage.dir/data_store.cc.o"
+  "CMakeFiles/qox_storage.dir/data_store.cc.o.d"
+  "CMakeFiles/qox_storage.dir/flat_file.cc.o"
+  "CMakeFiles/qox_storage.dir/flat_file.cc.o.d"
+  "CMakeFiles/qox_storage.dir/generators.cc.o"
+  "CMakeFiles/qox_storage.dir/generators.cc.o.d"
+  "CMakeFiles/qox_storage.dir/mem_table.cc.o"
+  "CMakeFiles/qox_storage.dir/mem_table.cc.o.d"
+  "CMakeFiles/qox_storage.dir/recovery_store.cc.o"
+  "CMakeFiles/qox_storage.dir/recovery_store.cc.o.d"
+  "CMakeFiles/qox_storage.dir/snapshot_store.cc.o"
+  "CMakeFiles/qox_storage.dir/snapshot_store.cc.o.d"
+  "CMakeFiles/qox_storage.dir/throttled_store.cc.o"
+  "CMakeFiles/qox_storage.dir/throttled_store.cc.o.d"
+  "libqox_storage.a"
+  "libqox_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qox_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqox_storage.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_row_test.dir/common_row_test.cc.o"
+  "CMakeFiles/common_row_test.dir/common_row_test.cc.o.d"
+  "common_row_test"
+  "common_row_test.pdb"
+  "common_row_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_row_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

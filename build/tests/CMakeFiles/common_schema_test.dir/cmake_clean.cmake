@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_schema_test.dir/common_schema_test.cc.o"
+  "CMakeFiles/common_schema_test.dir/common_schema_test.cc.o.d"
+  "common_schema_test"
+  "common_schema_test.pdb"
+  "common_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

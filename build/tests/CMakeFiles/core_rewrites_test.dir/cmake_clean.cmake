@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rewrites_test.dir/core_rewrites_test.cc.o"
+  "CMakeFiles/core_rewrites_test.dir/core_rewrites_test.cc.o.d"
+  "core_rewrites_test"
+  "core_rewrites_test.pdb"
+  "core_rewrites_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rewrites_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sales_workflow_test.dir/core_sales_workflow_test.cc.o"
+  "CMakeFiles/core_sales_workflow_test.dir/core_sales_workflow_test.cc.o.d"
+  "core_sales_workflow_test"
+  "core_sales_workflow_test.pdb"
+  "core_sales_workflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sales_workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_softgoal_test.dir/core_softgoal_test.cc.o"
+  "CMakeFiles/core_softgoal_test.dir/core_softgoal_test.cc.o.d"
+  "core_softgoal_test"
+  "core_softgoal_test.pdb"
+  "core_softgoal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_softgoal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_translate_test.dir/core_translate_test.cc.o"
+  "CMakeFiles/core_translate_test.dir/core_translate_test.cc.o.d"
+  "core_translate_test"
+  "core_translate_test.pdb"
+  "core_translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

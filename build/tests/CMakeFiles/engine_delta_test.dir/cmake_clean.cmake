@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_delta_test.dir/engine_delta_test.cc.o"
+  "CMakeFiles/engine_delta_test.dir/engine_delta_test.cc.o.d"
+  "engine_delta_test"
+  "engine_delta_test.pdb"
+  "engine_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_failure_test.dir/engine_failure_test.cc.o"
+  "CMakeFiles/engine_failure_test.dir/engine_failure_test.cc.o.d"
+  "engine_failure_test"
+  "engine_failure_test.pdb"
+  "engine_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

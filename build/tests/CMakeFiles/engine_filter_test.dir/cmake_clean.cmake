@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_filter_test.dir/engine_filter_test.cc.o"
+  "CMakeFiles/engine_filter_test.dir/engine_filter_test.cc.o.d"
+  "engine_filter_test"
+  "engine_filter_test.pdb"
+  "engine_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

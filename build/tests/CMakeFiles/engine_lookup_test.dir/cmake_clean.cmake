@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_lookup_test.dir/engine_lookup_test.cc.o"
+  "CMakeFiles/engine_lookup_test.dir/engine_lookup_test.cc.o.d"
+  "engine_lookup_test"
+  "engine_lookup_test.pdb"
+  "engine_lookup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_lookup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_redundancy_test.dir/engine_redundancy_test.cc.o"
+  "CMakeFiles/engine_redundancy_test.dir/engine_redundancy_test.cc.o.d"
+  "engine_redundancy_test"
+  "engine_redundancy_test.pdb"
+  "engine_redundancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_redundancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_sort_group_test.dir/engine_sort_group_test.cc.o"
+  "CMakeFiles/engine_sort_group_test.dir/engine_sort_group_test.cc.o.d"
+  "engine_sort_group_test"
+  "engine_sort_group_test.pdb"
+  "engine_sort_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_sort_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

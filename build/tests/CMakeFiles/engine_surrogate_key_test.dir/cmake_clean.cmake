@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_surrogate_key_test.dir/engine_surrogate_key_test.cc.o"
+  "CMakeFiles/engine_surrogate_key_test.dir/engine_surrogate_key_test.cc.o.d"
+  "engine_surrogate_key_test"
+  "engine_surrogate_key_test.pdb"
+  "engine_surrogate_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_surrogate_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

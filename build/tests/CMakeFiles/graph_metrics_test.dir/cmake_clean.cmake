@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_metrics_test.dir/graph_metrics_test.cc.o"
+  "CMakeFiles/graph_metrics_test.dir/graph_metrics_test.cc.o.d"
+  "graph_metrics_test"
+  "graph_metrics_test.pdb"
+  "graph_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_generators_test.dir/storage_generators_test.cc.o"
+  "CMakeFiles/storage_generators_test.dir/storage_generators_test.cc.o.d"
+  "storage_generators_test"
+  "storage_generators_test.pdb"
+  "storage_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

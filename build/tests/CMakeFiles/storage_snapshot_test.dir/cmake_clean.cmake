@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_snapshot_test.dir/storage_snapshot_test.cc.o"
+  "CMakeFiles/storage_snapshot_test.dir/storage_snapshot_test.cc.o.d"
+  "storage_snapshot_test"
+  "storage_snapshot_test.pdb"
+  "storage_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

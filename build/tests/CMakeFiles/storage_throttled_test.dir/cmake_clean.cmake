@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_throttled_test.dir/storage_throttled_test.cc.o"
+  "CMakeFiles/storage_throttled_test.dir/storage_throttled_test.cc.o.d"
+  "storage_throttled_test"
+  "storage_throttled_test.pdb"
+  "storage_throttled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_throttled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
