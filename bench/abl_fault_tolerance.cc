@@ -1,0 +1,198 @@
+// Ablation — fault tolerance: storage-fault probability x retry policy.
+//
+// Question: as transient storage faults become more frequent, what do the
+// retry knobs (attempt budget, backoff) and recovery points buy, and what
+// do they cost? Every cell runs the same flow with the source wrapped in a
+// FaultyStore injecting per-batch transient scan faults, and reports the
+// observed attempts, per-run retries, backoff wait, recovery (lost work +
+// RP read) time, and end-to-end wall time.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/executor.h"
+#include "engine/ops/filter_op.h"
+#include "engine/ops/function_op.h"
+#include "engine/ops/sort_op.h"
+#include "storage/faulty_store.h"
+#include "storage/mem_table.h"
+
+namespace qox {
+namespace {
+
+constexpr size_t kRows = 20000;
+constexpr char kRpDir[] = "/tmp/qox_bench_ablft_rp";
+
+Schema SourceSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"category", DataType::kString, true},
+                 {"amount", DataType::kDouble, true}});
+}
+
+DataStorePtr BaseSource() {
+  static const DataStorePtr source = [] {
+    auto table = std::make_shared<MemTable>("src", SourceSchema());
+    RowBatch batch(SourceSchema());
+    const char* categories[] = {"a", "b", "c"};
+    for (size_t i = 0; i < kRows; ++i) {
+      batch.Append(Row({Value::Int64(static_cast<int64_t>(i)),
+                        Value::String(categories[i % 3]),
+                        Value::Double(static_cast<double>(i % 100))}));
+    }
+    (void)table->Append(batch);
+    return table;
+  }();
+  return source;
+}
+
+FlowSpec MakeFlow(DataStorePtr source, DataStorePtr target) {
+  FlowSpec spec;
+  spec.id = "ablft_flow";
+  spec.source = std::move(source);
+  spec.transforms.push_back([]() -> OperatorPtr {
+    return std::make_unique<FilterOp>(
+        "flt", std::vector<Predicate>{Predicate::NotNull("amount")});
+  });
+  spec.transforms.push_back([]() -> OperatorPtr {
+    return std::make_unique<FunctionOp>(
+        "fn", std::vector<ColumnTransform>{
+                  ColumnTransform::Scale("scaled", "amount", 2.0)});
+  });
+  spec.transforms.push_back([]() -> OperatorPtr {
+    return std::make_unique<SortOp>("sort",
+                                    std::vector<SortKey>{{"id", false}});
+  });
+  spec.target = std::move(target);
+  return spec;
+}
+
+Schema TargetSchema() {
+  FunctionOp fn("fn", {ColumnTransform::Scale("scaled", "amount", 2.0)});
+  return fn.Bind(SourceSchema()).value();
+}
+
+struct PolicyCase {
+  std::string name;
+  RetryPolicy retry;
+  bool with_rp = false;
+};
+
+std::vector<PolicyCase> Policies() {
+  std::vector<PolicyCase> cases;
+  {
+    PolicyCase c;
+    c.name = "immediate x8";
+    cases.push_back(c);  // seed defaults: 8 attempts, no backoff
+  }
+  {
+    PolicyCase c;
+    c.name = "backoff x8";
+    c.retry.initial_backoff_micros = 2000;
+    c.retry.max_backoff_micros = 50000;
+    c.retry.jitter = 0.5;
+    cases.push_back(c);
+  }
+  {
+    PolicyCase c;
+    c.name = "backoff x8 +RP";
+    c.retry.initial_backoff_micros = 2000;
+    c.retry.max_backoff_micros = 50000;
+    c.retry.jitter = 0.5;
+    c.with_rp = true;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+struct Row_ {
+  double fault_p = 0.0;
+  std::string policy;
+  std::string outcome;
+  size_t attempts = 0;
+  size_t retries = 0;
+  int64_t backoff_micros = 0;
+  int64_t recovery_micros = 0;  // lost work + RP reads: time spent redoing
+  int64_t total_micros = 0;
+};
+std::map<int, Row_>& Rows() {
+  static auto* const rows = new std::map<int, Row_>();
+  return *rows;
+}
+
+void BM_AblFaultTolerance(benchmark::State& state) {
+  const std::vector<double> fault_ps = {0.0, 0.002, 0.01, 0.05};
+  for (auto _ : state) {
+    int row_idx = 0;
+    uint64_t seed = 0xf417;
+    for (const double fault_p : fault_ps) {
+      for (const PolicyCase& policy : Policies()) {
+        FaultPlan plan;
+        plan.scan_fault_probability = fault_p;
+        auto faulty = std::make_shared<FaultyStore>(BaseSource(), plan,
+                                                    /*seed=*/seed++);
+        auto target = std::make_shared<MemTable>("wh", TargetSchema());
+        const FlowSpec flow = MakeFlow(faulty, target);
+        ExecutionConfig config;
+        config.retry = policy.retry;
+        if (policy.with_rp) {
+          std::filesystem::remove_all(kRpDir);
+          config.recovery_points = {0};
+          config.rp_store = RecoveryPointStore::Open(kRpDir).value();
+        }
+        Row_ row;
+        row.fault_p = fault_p;
+        row.policy = policy.name;
+        const Result<RunMetrics> metrics = Executor::Run(flow, config);
+        if (metrics.ok()) {
+          const RunMetrics& m = metrics.value();
+          row.outcome = "ok";
+          row.attempts = m.attempts;
+          row.retries = m.TotalRetries();
+          row.backoff_micros = m.backoff_micros;
+          row.recovery_micros = m.lost_work_micros + m.rp_read_micros;
+          row.total_micros = m.total_micros;
+        } else {
+          row.outcome = StatusCodeName(metrics.status().code());
+        }
+        Rows()[row_idx++] = row;
+      }
+    }
+    state.SetIterationTime(1e-3);
+  }
+}
+
+BENCHMARK(BM_AblFaultTolerance)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintFigure() {
+  bench::Table table({"fault_p", "policy", "outcome", "attempts", "retries",
+                      "backoff_ms", "recovery_ms", "total_ms"});
+  for (const auto& [idx, row] : Rows()) {
+    table.AddRow({bench::Seconds(row.fault_p, 3), row.policy, row.outcome,
+                  std::to_string(row.attempts), std::to_string(row.retries),
+                  bench::Ms(row.backoff_micros), bench::Ms(row.recovery_micros),
+                  bench::Ms(row.total_micros)});
+  }
+  table.Print(
+      "Ablation: fault tolerance — per-batch transient scan-fault "
+      "probability x retry policy (20k rows, faults injected by "
+      "FaultyStore, RP at cut 0 where noted)");
+}
+
+}  // namespace
+}  // namespace qox
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  qox::PrintFigure();
+  return 0;
+}

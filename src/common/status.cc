@@ -26,9 +26,23 @@ const char* StatusCodeName(StatusCode code) {
       return "injected_failure";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCorruptedData:
+      return "corrupted_data";
   }
   return "unknown";
 }
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kInjectedFailure ||
+         code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+bool IsTransient(const Status& status) { return IsTransient(status.code()); }
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

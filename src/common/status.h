@@ -31,6 +31,17 @@ enum class StatusCode {
   /// recoverable interruption rather than a bug.
   kInjectedFailure,
   kCancelled,
+  /// A transient storage/service fault: the operation may succeed if
+  /// retried (dropped connection, throttled backend, torn write). The
+  /// retry machinery treats it like an injected failure.
+  kUnavailable,
+  /// A per-attempt watchdog deadline expired; the attempt was aborted and
+  /// may be retried.
+  kDeadlineExceeded,
+  /// Persisted data failed integrity verification (checksum mismatch).
+  /// Retrying the same read cannot help; the caller must fall back to an
+  /// older copy or recompute.
+  kCorruptedData,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "io_error").
@@ -78,6 +89,15 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status CorruptedData(std::string msg) {
+    return Status(StatusCode::kCorruptedData, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,6 +108,9 @@ class Status {
   bool IsInjectedFailure() const {
     return code_ == StatusCode::kInjectedFailure;
   }
+
+  /// True if persisted data failed integrity verification.
+  bool IsCorruptedData() const { return code_ == StatusCode::kCorruptedData; }
 
   /// "OK" or "<code_name>: <message>".
   std::string ToString() const;
@@ -102,6 +125,15 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Transient-vs-permanent classification for the retry machinery. Transient
+/// failures (injected system failures, unavailable storage, expired attempt
+/// deadlines) are worth retrying — possibly after a backoff. Everything
+/// else (bad input, permanent I/O errors, corrupted data, cancellation) is
+/// permanent: retrying the identical operation cannot succeed, so the
+/// executor fails fast instead of burning its attempt budget.
+bool IsTransient(StatusCode code);
+bool IsTransient(const Status& status);
 
 /// A value-or-error outcome. Holds a T on success, a non-OK Status on error.
 ///

@@ -179,13 +179,23 @@ double CostModel::EstimateReliability(const PhysicalDesign& design,
     return std::min(1.0, success);
   }
   // Retries within the time window: a retry costs the expected rework —
-  // cheap with recovery points, a full rerun without — so designs whose
-  // retries are cheap fit more of them into the window ("to leave time
-  // for potential recovery", Sec. 2.2).
+  // cheap with recovery points, a full rerun without — plus the retry
+  // policy's mean backoff wait; with probability rp_corruption_prob the
+  // newest recovery point fails verification and the retry degrades to a
+  // from-scratch rerun. Designs whose retries are cheap fit more of them
+  // into the window ("to leave time for potential recovery", Sec. 2.2),
+  // but never more than the policy's attempt budget allows.
   const double rework = std::max(1e-6, EstimateRecoverability(design, phases));
+  const double p_corrupt =
+      design.recovery_points.empty() ? 0.0 : params_.rp_corruption_prob;
+  const double retry_cost = (1.0 - p_corrupt) * rework +
+                            p_corrupt * phases.total_s +
+                            design.retry.MeanBackoffSeconds();
   const double slack = std::max(0.0, workload.time_window_s - phases.total_s);
-  const double retries_allowed =
-      std::min(16.0, std::floor(slack / rework));
+  const double budget = static_cast<double>(
+      std::max<size_t>(1, design.retry.max_attempts) - 1);
+  const double retries_allowed = std::min(
+      std::min(16.0, budget), std::floor(slack / std::max(1e-6, retry_cost)));
   return 1.0 - std::pow(p_fail, 1.0 + std::max(0.0, retries_allowed));
 }
 

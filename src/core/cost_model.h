@@ -22,7 +22,11 @@
 //   redundancy      wall time factor 1 + contention * (k - 1) from
 //                   resource sharing (Fig. 7's 14%..58% NMR overheads)
 //   reliability     per-attempt failure probability 1 - exp(-lambda * T);
-//                   retries (recovery) or NMR majority voting lift it
+//                   retries (recovery) or NMR majority voting lift it; a
+//                   retry costs expected rework + the retry policy's mean
+//                   backoff wait, degraded toward a full rerun by the
+//                   RP-corruption probability, and the policy's attempt
+//                   budget caps how many retries the window can hold
 //   recoverability  expected rework after a failure given RP placement:
 //                   failure uniform over the run, rework = time since the
 //                   last durable cut (Fig. 6)
@@ -59,6 +63,11 @@ struct CostModelParams {
   double parallel_efficiency = 0.80;   ///< fraction of ideal speedup
   double redundancy_contention = 0.12; ///< overhead per extra instance
   double rp_resume_fixed_s = 0.01;     ///< fixed resume cost from an RP
+  /// Probability that a resume finds its newest recovery point corrupted
+  /// (checksum mismatch) and must fall back toward scratch. 0 (default)
+  /// models perfectly reliable RP storage and keeps predictions identical
+  /// to the pre-fault-tolerance model.
+  double rp_corruption_prob = 0.0;
 };
 
 /// Workload context a prediction is made for.

@@ -233,6 +233,7 @@ ExecutionConfig PhysicalDesign::ToExecutionConfig(
   config.recovery_points = recovery_points;
   config.rp_store = std::move(rp_store);
   config.redundancy = redundancy;
+  config.retry = retry;
   config.injector = injector;
   return config;
 }

@@ -176,6 +176,10 @@ struct PhysicalDesign {
   ParallelSpec parallel;
   std::vector<size_t> recovery_points;
   size_t redundancy = 1;
+  /// Retry behavior on transient failures (attempt budget, backoff,
+  /// per-attempt deadline) — a design knob like RP placement: more
+  /// attempts and longer backoff trade time-window slack for reliability.
+  RetryPolicy retry;
   /// Load scheduling: executions per day (drives freshness).
   size_t loads_per_day = 24;
   /// Optional quality features (affect traceability/auditability scores

@@ -68,4 +68,38 @@ std::string RenderComparison(const std::vector<ComparisonRow>& rows) {
   return oss.str();
 }
 
+std::string RenderFaultToleranceReport(const RunMetrics& metrics) {
+  std::ostringstream oss;
+  const auto line = [&oss](const std::string& key, const std::string& value) {
+    oss << std::left << std::setw(28) << key << value << "\n";
+  };
+  line("attempts", std::to_string(metrics.attempts));
+  for (const auto& [cause, count] : metrics.retries_by_cause) {
+    line("retry." + cause, std::to_string(count));
+  }
+  if (metrics.TotalRetries() > 0) {
+    line("retries_total", std::to_string(metrics.TotalRetries()));
+  }
+  if (metrics.backoff_micros > 0) {
+    std::ostringstream ms;
+    ms << std::fixed << std::setprecision(1)
+       << static_cast<double>(metrics.backoff_micros) / 1000.0 << "ms";
+    line("backoff_wait", ms.str());
+  }
+  if (metrics.rp_corruption_fallbacks > 0) {
+    line("rp_corruption_fallbacks",
+         std::to_string(metrics.rp_corruption_fallbacks));
+  }
+  if (metrics.failures_injected > 0) {
+    line("failures_injected", std::to_string(metrics.failures_injected));
+  }
+  if (metrics.lost_work_micros > 0) {
+    std::ostringstream ms;
+    ms << std::fixed << std::setprecision(1)
+       << static_cast<double>(metrics.lost_work_micros) / 1000.0 << "ms";
+    line("lost_work", ms.str());
+  }
+  return oss.str();
+}
+
 }  // namespace qox

@@ -57,6 +57,13 @@ std::vector<ComparisonRow> ComparePredictionToMeasurement(
 /// Fixed-width text table of a comparison.
 std::string RenderComparison(const std::vector<ComparisonRow>& rows);
 
+/// Fault-tolerance evidence of a run: attempts, per-cause retry counts,
+/// backoff wait, recovery-point corruption fallbacks, injected failures,
+/// and lost work. One "key  value" line per counter; retry causes render
+/// as retry.<cause> rows. Empty counters are omitted, so a clean run
+/// renders only the attempts line.
+std::string RenderFaultToleranceReport(const RunMetrics& metrics);
+
 }  // namespace qox
 
 #endif  // QOX_CORE_QOX_REPORT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <thread>
@@ -53,6 +54,17 @@ std::string CutPointId(int instance, size_t cut) {
   return "i" + std::to_string(instance) + ".cut" + std::to_string(cut);
 }
 
+/// Sleeps out a retry backoff and accounts it. Kept out of line so the
+/// instance loop and the load loop charge waits identically.
+void WaitBackoff(const RetryPolicy& policy, size_t failed_attempt, Rng* rng,
+                 RunMetrics* metrics) {
+  const int64_t wait = policy.BackoffMicros(failed_attempt, rng);
+  if (wait > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(wait));
+    metrics->backoff_micros += wait;
+  }
+}
+
 /// Per-instance flow execution: extraction + transform chain with recovery
 /// semantics. Produces the rows at the final cut (pre-load).
 class FlowRunner {
@@ -65,7 +77,9 @@ class FlowRunner {
         cut_schemas_(cut_schemas),
         pool_(pool),
         instance_id_(instance_id),
-        cancelled_(cancelled) {
+        cancelled_(cancelled),
+        backoff_rng_(config.retry.jitter_seed +
+                     static_cast<uint64_t>(instance_id)) {
     ctx_.cancelled = cancelled;
     ctx_.rejected_rows = &rejected_;
     if (config_.reject_store != nullptr) {
@@ -85,27 +99,33 @@ class FlowRunner {
   /// Runs (with per-instance retries unless redundant) and fills `*out`
   /// with the transform output. Metrics cover this instance only.
   Status RunToOutput(std::vector<Row>* out) {
+    const RetryPolicy& policy = config_.retry;
     const size_t max_attempts =
-        config_.redundancy > 1 ? 1 : std::max<size_t>(1, config_.max_attempts);
+        config_.redundancy > 1 ? 1 : std::max<size_t>(1, policy.max_attempts);
     size_t attempt = 1;
     while (true) {
       metrics_.attempts = attempt;
       current_attempt_.store(static_cast<int64_t>(attempt));
+      attempt_deadline_micros_ =
+          policy.attempt_deadline_micros > 0
+              ? NowMicros() + policy.attempt_deadline_micros
+              : 0;
       const StopWatch attempt_timer;
-      const Status st =
-          RunAttempt(static_cast<int>(attempt), FindResumeCut(), out);
+      const Status st = RunAttempt(static_cast<int>(attempt),
+                                   FindResumeCut(static_cast<int>(NumOps()) + 1),
+                                   out);
       if (st.ok()) return Status::OK();
-      if (st.IsInjectedFailure() && attempt < max_attempts) {
-        ++metrics_.failures_injected;
-        // Lost work = rework: the part of the attempt NOT durably saved by
-        // a recovery point written during it.
-        metrics_.lost_work_micros += std::max<int64_t>(
-            0, attempt_timer.ElapsedMicros() - durable_elapsed_micros_);
-        ++attempt;
-        continue;
-      }
       if (st.IsInjectedFailure()) ++metrics_.failures_injected;
-      return st;
+      // Only transient failures consume the retry budget; permanent errors
+      // (bad schema, corrupted data, real I/O errors) fail the run at once.
+      if (!IsTransient(st) || attempt >= max_attempts) return st;
+      ++metrics_.retries_by_cause[StatusCodeName(st.code())];
+      // Lost work = rework: the part of the attempt NOT durably saved by
+      // a recovery point written during it.
+      metrics_.lost_work_micros += std::max<int64_t>(
+          0, attempt_timer.ElapsedMicros() - durable_elapsed_micros_);
+      WaitBackoff(policy, attempt, &backoff_rng_, &metrics_);
+      ++attempt;
     }
   }
 
@@ -121,12 +141,16 @@ class FlowRunner {
                      cut) != config_.recovery_points.end();
   }
 
-  /// Latest cut with a complete recovery point, or -1 (from scratch).
-  int FindResumeCut() const {
+  /// Latest cut strictly below `below` with a complete recovery point, or
+  /// -1 (from scratch). Pass NumOps() + 1 for "the latest anywhere"; pass a
+  /// cut that failed verification to find the next older fallback.
+  int FindResumeCut(int below) const {
     if (config_.rp_store == nullptr) return -1;
     int best = -1;
     for (const size_t cut : config_.recovery_points) {
-      if (static_cast<int>(cut) <= best) continue;
+      if (static_cast<int>(cut) <= best || static_cast<int>(cut) >= below) {
+        continue;
+      }
       if (config_.rp_store->Has(
               {flow_.id, CutPointId(instance_id_, cut)})) {
         best = static_cast<int>(cut);
@@ -161,12 +185,28 @@ class FlowRunner {
   Result<std::vector<Row>> Extract(int attempt) {
     const StopWatch timer;
     QOX_ASSIGN_OR_RETURN(const size_t total, flow_.source->NumRows());
+    if (config_.injector != nullptr) {
+      // Report the phase start before scanning: an empty source never
+      // invokes the scan consumer, so a failure placed at extraction
+      // fraction 0 would otherwise never get a chance to fire.
+      const Status st = config_.injector->Check(instance_id_, attempt,
+                                                /*op_index=*/-1, 0, total);
+      if (!st.ok()) {
+        metrics_.extract_micros += timer.ElapsedMicros();
+        return st;
+      }
+    }
     std::vector<Row> rows;
     rows.reserve(total);
     Status scan_status = flow_.source->Scan(
         config_.batch_size, [&](const RowBatch& batch) -> Status {
           if (cancelled_ != nullptr && cancelled_->load()) {
             return Status::Cancelled("extraction cancelled");
+          }
+          if (attempt_deadline_micros_ > 0 &&
+              NowMicros() > attempt_deadline_micros_) {
+            return Status::DeadlineExceeded(
+                "attempt deadline expired during extraction");
           }
           if (config_.injector != nullptr) {
             QOX_RETURN_IF_ERROR(config_.injector->Check(
@@ -195,6 +235,7 @@ class FlowRunner {
     pc.op_index_offset = static_cast<int>(begin);
     pc.injector = config_.injector;
     pc.expected_input_rows = rows.size();
+    pc.deadline_micros = attempt_deadline_micros_;
     QOX_ASSIGN_OR_RETURN(
         std::unique_ptr<Pipeline> pipeline,
         Pipeline::Create(cut_schemas_[begin], std::move(ops), &ctx_, pc));
@@ -260,6 +301,7 @@ class FlowRunner {
         pc.op_index_offset = static_cast<int>(begin);
         pc.injector = config_.injector;
         pc.expected_input_rows = parts[p].size();
+        pc.deadline_micros = attempt_deadline_micros_;
         Result<std::unique_ptr<Pipeline>> pipeline = Pipeline::Create(
             cut_schemas_[begin], std::move(ops), &ctx_, pc);
         if (!pipeline.ok()) {
@@ -371,13 +413,31 @@ class FlowRunner {
     durable_elapsed_micros_ = 0;
     std::vector<Row> rows;
     size_t current_cut = 0;
-    if (resume_cut < 0) {
+    // Resume from the newest complete recovery point. A point whose
+    // checksum fails verification is dropped and resume falls back to the
+    // next older complete one (ultimately from scratch) instead of failing
+    // the run on its own persisted state.
+    bool resumed = false;
+    while (resume_cut >= 0) {
+      Result<std::vector<Row>> loaded =
+          LoadRp(static_cast<size_t>(resume_cut));
+      if (loaded.ok()) {
+        rows = loaded.TakeValue();
+        current_cut = static_cast<size_t>(resume_cut);
+        resumed = true;
+        break;
+      }
+      if (!loaded.status().IsCorruptedData()) return loaded.status();
+      ++metrics_.rp_corruption_fallbacks;
+      QOX_RETURN_IF_ERROR(config_.rp_store->Drop(
+          {flow_.id,
+           CutPointId(instance_id_, static_cast<size_t>(resume_cut))}));
+      resume_cut = FindResumeCut(resume_cut);
+    }
+    if (!resumed) {
       QOX_ASSIGN_OR_RETURN(rows, Extract(attempt));
       current_cut = 0;
       if (HasRp(0)) QOX_RETURN_IF_ERROR(WriteRp(0, rows));
-    } else {
-      QOX_ASSIGN_OR_RETURN(rows, LoadRp(static_cast<size_t>(resume_cut)));
-      current_cut = static_cast<size_t>(resume_cut);
     }
     // Transform segment by segment between recovery-point cuts. The
     // transform phase is timed exclusively: recovery-point writes have
@@ -416,40 +476,57 @@ class FlowRunner {
   RunMetrics metrics_;
   std::atomic<size_t> rejected_{0};
   std::atomic<int64_t> current_attempt_{1};
+  Rng backoff_rng_;
   int64_t attempt_start_micros_ = 0;
   int64_t durable_elapsed_micros_ = 0;
+  int64_t attempt_deadline_micros_ = 0;
 };
 
-/// Loads `rows` into the target with injected-failure retry: rows already
-/// durably appended are not re-appended (incremental restart).
+/// Loads `rows` into the target with transient-failure retry: rows already
+/// durably appended are not re-appended (incremental restart). Progress is
+/// re-derived from the target after each failed append, so a torn write
+/// that durably landed part of a batch is not loaded twice.
 Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
                      const std::vector<Row>& rows, const Schema& schema,
                      RunMetrics* metrics) {
   const StopWatch timer;
+  const RetryPolicy& policy = config.retry;
+  const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
+  Rng backoff_rng(policy.jitter_seed ^ 0x10adULL);
+  QOX_ASSIGN_OR_RETURN(const size_t base_rows, flow.target->NumRows());
   size_t loaded = 0;
-  int attempt = 1;
-  const size_t max_attempts = std::max<size_t>(1, config.max_attempts);
+  size_t attempt = 1;
   while (loaded < rows.size()) {
-    RowBatch batch(schema);
     const size_t n = std::min(config.batch_size, rows.size() - loaded);
-    for (size_t i = 0; i < n; ++i) batch.Append(rows[loaded + i]);
+    Status st = Status::OK();
     if (config.injector != nullptr) {
-      const Status st =
-          config.injector->Check(/*instance=*/0, attempt,
-                                 FailureSpec::kAtLoad, loaded + n, rows.size());
-      if (st.IsInjectedFailure()) {
-        ++metrics->failures_injected;
-        if (static_cast<size_t>(attempt) >= max_attempts) {
-          metrics->load_micros += timer.ElapsedMicros();
-          return st;
-        }
-        ++attempt;
-        continue;  // resume: `loaded` rows are already durable
-      }
-      QOX_RETURN_IF_ERROR(st);
+      st = config.injector->Check(/*instance=*/0, static_cast<int>(attempt),
+                                  FailureSpec::kAtLoad, loaded + n,
+                                  rows.size());
     }
-    QOX_RETURN_IF_ERROR(flow.target->Append(batch));
-    loaded += n;
+    if (st.ok()) {
+      RowBatch batch(schema);
+      for (size_t i = 0; i < n; ++i) batch.Append(rows[loaded + i]);
+      st = flow.target->Append(batch);
+      if (st.ok()) {
+        loaded += n;
+        continue;
+      }
+    }
+    if (st.IsInjectedFailure()) ++metrics->failures_injected;
+    if (!IsTransient(st) || attempt >= max_attempts) {
+      metrics->load_micros += timer.ElapsedMicros();
+      return st;
+    }
+    ++metrics->retries_by_cause[StatusCodeName(st.code())];
+    // A torn write may have durably appended a prefix of the failed batch;
+    // resync progress from the target so those rows are not re-loaded.
+    QOX_ASSIGN_OR_RETURN(const size_t rows_now, flow.target->NumRows());
+    if (rows_now > base_rows) {
+      loaded = std::max(loaded, rows_now - base_rows);
+    }
+    WaitBackoff(policy, attempt, &backoff_rng, metrics);
+    ++attempt;
   }
   metrics->load_micros += timer.ElapsedMicros();
   metrics->rows_loaded += rows.size();
@@ -506,6 +583,17 @@ Result<std::vector<Schema>> Executor::BindChain(const FlowSpec& flow,
     return Status::Invalid("recovery points configured without an rp_store");
   }
   if (config.redundancy == 0) return Status::Invalid("redundancy must be >= 1");
+  if (config.retry.multiplier < 1.0) {
+    return Status::Invalid("retry backoff multiplier must be >= 1");
+  }
+  if (config.retry.jitter < 0.0 || config.retry.jitter > 1.0) {
+    return Status::Invalid("retry jitter must be in [0, 1]");
+  }
+  if (config.retry.initial_backoff_micros < 0 ||
+      config.retry.max_backoff_micros < 0 ||
+      config.retry.attempt_deadline_micros < 0) {
+    return Status::Invalid("retry backoff/deadline durations must be >= 0");
+  }
   if (config.reject_store != nullptr &&
       config.reject_store->schema() != RejectStoreSchema()) {
     return Status::Invalid("reject_store must have RejectStoreSchema()");

@@ -15,11 +15,16 @@
 // positions 0..n: cut 0 is "after extraction", cut i is "after transform
 // operator i". Recovery points live at cut positions. An attempt runs
 // segment by segment between cuts; a recovery point at a cut durably saves
-// the rows crossing it. On an injected failure the attempt aborts and the
-// next attempt resumes from the latest complete recovery point (or from
-// scratch). With redundancy k > 1, k identical instances race and a
-// majority vote over the output accepts a result; instance failures kill
-// only that instance.
+// the rows crossing it. On a TRANSIENT failure (injected system failure,
+// unavailable storage, expired watchdog deadline — see IsTransient in
+// common/status) the attempt aborts, the executor waits out the
+// RetryPolicy's backoff, and the next attempt resumes from the latest
+// complete recovery point (or from scratch); a recovery point that fails
+// checksum verification is abandoned and resume falls back to the next
+// older complete point. PERMANENT errors fail the run immediately without
+// consuming the attempt budget. With redundancy k > 1, k identical
+// instances race and a majority vote over the output accepts a result;
+// instance failures kill only that instance.
 
 #ifndef QOX_ENGINE_EXECUTOR_H_
 #define QOX_ENGINE_EXECUTOR_H_
@@ -33,6 +38,7 @@
 #include "engine/failure.h"
 #include "engine/operator.h"
 #include "engine/pipeline.h"
+#include "engine/retry_policy.h"
 #include "engine/run_metrics.h"
 #include "engine/thread_pool.h"
 #include "storage/data_store.h"
@@ -85,9 +91,11 @@ struct ExecutionConfig {
   /// majority-votes their outputs.
   size_t redundancy = 1;
   FailureInjector* injector = nullptr;
-  /// Maximum attempts per instance before giving up (redundant instances
-  /// get a single attempt: redundancy replaces recovery).
-  size_t max_attempts = 8;
+  /// Retry behavior on transient failures: attempt budget, exponential
+  /// backoff with jitter, per-attempt watchdog deadline. Permanent errors
+  /// (see IsTransient in common/status) fail fast regardless. Redundant
+  /// instances get a single attempt: redundancy replaces recovery.
+  RetryPolicy retry;
   /// Re-establish a global order after merging partitioned branches (sort
   /// by first column). This is the "merging back the partitioned data is
   /// not cheap" cost of Sec. 2.2 and is on by default.

@@ -111,6 +111,16 @@ size_t FailureInjector::triggered_count() const {
   return triggered_;
 }
 
+std::vector<int64_t> FailureInjector::TimedScheduleMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> schedule;
+  schedule.reserve(timed_.size());
+  for (const TimedFailure& timed : timed_) {
+    schedule.push_back(timed.at_elapsed_micros);
+  }
+  return schedule;
+}
+
 void FailureInjector::Rearm() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Planned& planned : planned_) planned.fired = false;

@@ -94,6 +94,11 @@ class FailureInjector {
   /// Number of failures that have fired so far.
   size_t triggered_count() const;
 
+  /// The MTBF-sampled failure schedule (elapsed microseconds since arming),
+  /// fired or not, in firing order. Diagnostics/tests: two injectors armed
+  /// from equal-seeded Rngs produce identical schedules.
+  std::vector<int64_t> TimedScheduleMicros() const;
+
   /// Clears fired-state so the same plan can run again (keeps specs).
   void Rearm();
 

@@ -41,6 +41,12 @@ Status Pipeline::CheckInterrupts(size_t op_ordinal,
   if (ctx_ != nullptr && ctx_->IsCancelled()) {
     return Status::Cancelled("pipeline cancelled");
   }
+  if (config_.deadline_micros > 0 && NowMicros() > config_.deadline_micros) {
+    return Status::DeadlineExceeded(
+        "attempt deadline expired at transform op " +
+        std::to_string(config_.op_index_offset +
+                       static_cast<int>(op_ordinal)));
+  }
   if (config_.injector != nullptr) {
     QOX_RETURN_IF_ERROR(config_.injector->Check(
         config_.instance_id, config_.attempt,

@@ -34,6 +34,9 @@ struct PipelineConfig {
   FailureInjector* injector = nullptr;
   /// Expected number of input rows (denominator for failure fractions).
   size_t expected_input_rows = 0;
+  /// Watchdog: absolute NowMicros() deadline of the enclosing attempt; the
+  /// pipeline aborts with kDeadlineExceeded once past it. 0 = unbounded.
+  int64_t deadline_micros = 0;
 };
 
 class Pipeline {

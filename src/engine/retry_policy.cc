@@ -1,0 +1,48 @@
+#include "engine/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qox {
+
+namespace {
+double UnjitteredBackoffMicros(const RetryPolicy& policy,
+                               size_t failed_attempt) {
+  if (policy.initial_backoff_micros <= 0 || failed_attempt == 0) return 0.0;
+  const double grown =
+      static_cast<double>(policy.initial_backoff_micros) *
+      std::pow(std::max(1.0, policy.multiplier),
+               static_cast<double>(failed_attempt - 1));
+  return std::min(grown, static_cast<double>(std::max<int64_t>(
+                             policy.initial_backoff_micros,
+                             policy.max_backoff_micros)));
+}
+}  // namespace
+
+int64_t RetryPolicy::BackoffMicros(size_t failed_attempt, Rng* rng) const {
+  double backoff = UnjitteredBackoffMicros(*this, failed_attempt);
+  if (backoff <= 0.0) return 0;
+  if (jitter > 0.0 && rng != nullptr) {
+    const double j = std::min(1.0, jitter);
+    backoff *= 1.0 - j * rng->NextDouble();
+  }
+  return static_cast<int64_t>(backoff);
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status,
+                              size_t failed_attempt) const {
+  return IsTransient(status) && failed_attempt < std::max<size_t>(1, max_attempts);
+}
+
+double RetryPolicy::MeanBackoffSeconds() const {
+  if (max_attempts <= 1 || initial_backoff_micros <= 0) return 0.0;
+  double sum = 0.0;
+  for (size_t attempt = 1; attempt < max_attempts; ++attempt) {
+    sum += UnjitteredBackoffMicros(*this, attempt);
+  }
+  const double mean = sum / static_cast<double>(max_attempts - 1);
+  // E[1 - jitter * U] = 1 - jitter / 2.
+  return mean * (1.0 - std::min(1.0, jitter) / 2.0) / 1e6;
+}
+
+}  // namespace qox

@@ -1,0 +1,60 @@
+// RetryPolicy: how the executor spends its attempt budget.
+//
+// The paper's reliability metric asks whether a flow finishes within its
+// time window despite failures (Sec. 2.2); how fast retries come back
+// matters as much as how many are allowed. A RetryPolicy bundles the knobs:
+// attempt budget, exponential backoff between attempts (with jitter so
+// co-failing flows do not retry in lockstep against a struggling backend),
+// and a per-attempt watchdog deadline that aborts hung attempts so the
+// budget is not consumed by a stalled source.
+//
+// Only TRANSIENT failures (see IsTransient in common/status: injected
+// system failures, unavailable storage, expired deadlines) are retried;
+// permanent errors fail fast without touching the budget.
+
+#ifndef QOX_ENGINE_RETRY_POLICY_H_
+#define QOX_ENGINE_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qox {
+
+struct RetryPolicy {
+  /// Maximum attempts per instance before giving up (>= 1).
+  size_t max_attempts = 8;
+  /// Pause before the first retry, microseconds. 0 = immediate retries.
+  int64_t initial_backoff_micros = 0;
+  /// Backoff ceiling, microseconds.
+  int64_t max_backoff_micros = 1000000;
+  /// Backoff growth factor per retry (>= 1).
+  double multiplier = 2.0;
+  /// Jitter fraction in [0, 1]: each pause is scaled by a random factor in
+  /// [1 - jitter, 1], decorrelating retries of co-failing flows.
+  double jitter = 0.0;
+  /// Watchdog: abort an attempt that runs longer than this (microseconds);
+  /// the abort surfaces as kDeadlineExceeded and is retried as transient.
+  /// 0 = unbounded.
+  int64_t attempt_deadline_micros = 0;
+  /// Seed for the jitter stream (kept explicit for reproducible runs).
+  uint64_t jitter_seed = 0x5e7f;
+
+  /// Pause before the retry following failed attempt `failed_attempt`
+  /// (1-based): min(max, initial * multiplier^(failed_attempt - 1)),
+  /// jittered via `rng`.
+  int64_t BackoffMicros(size_t failed_attempt, Rng* rng) const;
+
+  /// True when `status` is transient and the budget allows another attempt
+  /// after `failed_attempt` failures.
+  bool ShouldRetry(const Status& status, size_t failed_attempt) const;
+
+  /// Expected pause before a retry, averaged over the attempt budget — the
+  /// backoff-delay term the QoX cost model charges to recovery time.
+  double MeanBackoffSeconds() const;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_RETRY_POLICY_H_

@@ -4,6 +4,12 @@
 
 namespace qox {
 
+size_t RunMetrics::TotalRetries() const {
+  size_t total = 0;
+  for (const auto& [cause, count] : retries_by_cause) total += count;
+  return total;
+}
+
 void RunMetrics::AccumulateOp(const OpStats& stats) {
   for (OpStats& existing : op_stats) {
     if (existing.name == stats.name) {
@@ -31,6 +37,20 @@ std::string RunMetrics::Summary() const {
     oss << " failures=" << failures_injected
         << " resumed_from_rp=" << resumed_from_rp
         << " lost=" << lost_work_micros / 1000.0 << "ms";
+  }
+  if (!retries_by_cause.empty()) {
+    oss << " retries={";
+    bool first = true;
+    for (const auto& [cause, count] : retries_by_cause) {
+      if (!first) oss << ",";
+      oss << cause << ":" << count;
+      first = false;
+    }
+    oss << "}";
+    if (backoff_micros > 0) oss << " backoff=" << backoff_micros / 1000.0 << "ms";
+  }
+  if (rp_corruption_fallbacks > 0) {
+    oss << " rp_corruption_fallbacks=" << rp_corruption_fallbacks;
   }
   oss << " [threads=" << threads << " partitions=" << partitions
       << " redundancy=" << redundancy << "]";

@@ -9,6 +9,7 @@
 #define QOX_ENGINE_RUN_METRICS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,7 @@ struct RunMetrics {
   int64_t rp_read_micros = 0;    ///< reading recovery points on resume
   int64_t merge_micros = 0;      ///< merging partitioned branches back
   int64_t lost_work_micros = 0;  ///< work discarded due to failures
+  int64_t backoff_micros = 0;    ///< waited between attempts (RetryPolicy)
 
   // --- volumes -------------------------------------------------------------
   size_t rows_extracted = 0;
@@ -72,6 +74,17 @@ struct RunMetrics {
   size_t attempts = 0;          ///< 1 when no failure occurred
   size_t failures_injected = 0; ///< failures that interrupted an attempt
   size_t resumed_from_rp = 0;   ///< attempts that resumed from a recovery point
+  /// Recovery points found corrupted on resume (checksum mismatch) and
+  /// abandoned in favor of an older point or a from-scratch restart.
+  size_t rp_corruption_fallbacks = 0;
+  /// Retries taken, keyed by failure cause (StatusCodeName of the status
+  /// that interrupted the attempt: "injected_failure", "unavailable",
+  /// "deadline_exceeded"). Sums to total retries across all phases.
+  std::map<std::string, size_t> retries_by_cause;
+
+  /// Total retries across causes (attempts beyond the first, load retries
+  /// included).
+  size_t TotalRetries() const;
 
   // --- configuration echo (for reports) ------------------------------------
   size_t threads = 1;

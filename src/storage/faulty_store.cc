@@ -1,0 +1,64 @@
+#include "storage/faulty_store.h"
+
+namespace qox {
+
+Status FaultyStore::MakeFault(const std::string& operation) const {
+  const std::string msg = "injected " +
+                          std::string(plan_.permanent ? "permanent" : "transient") +
+                          " storage fault during " + operation + " on '" +
+                          inner_->name() + "'";
+  if (plan_.permanent) return Status::IoError(msg);
+  return Status::Unavailable(msg);
+}
+
+Status FaultyStore::Scan(
+    size_t batch_size,
+    const std::function<Status(const RowBatch&)>& consumer) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++scan_calls_;
+    if (plan_.scan_fail_on_call > 0 && scan_calls_ == plan_.scan_fail_on_call) {
+      scan_faults_.fetch_add(1);
+      return MakeFault("scan");
+    }
+  }
+  return inner_->Scan(batch_size, [&](const RowBatch& batch) -> Status {
+    if (plan_.scan_fault_probability > 0.0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (rng_.Bernoulli(plan_.scan_fault_probability)) {
+        scan_faults_.fetch_add(1);
+        return MakeFault("scan");
+      }
+    }
+    return consumer(batch);
+  });
+}
+
+Status FaultyStore::Append(const RowBatch& batch) {
+  bool fault = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++append_calls_;
+    if (plan_.append_fail_on_call > 0 &&
+        append_calls_ == plan_.append_fail_on_call) {
+      fault = true;
+    } else if (plan_.append_fault_probability > 0.0 &&
+               rng_.Bernoulli(plan_.append_fault_probability)) {
+      fault = true;
+    }
+  }
+  if (!fault) return inner_->Append(batch);
+  append_faults_.fetch_add(1);
+  if (plan_.torn_writes && batch.num_rows() > 1) {
+    // Persist the first half of the batch before failing: the partial
+    // write a crashed appender leaves behind.
+    RowBatch torn(batch.schema());
+    for (size_t i = 0; i < batch.num_rows() / 2; ++i) {
+      torn.Append(batch.row(i));
+    }
+    QOX_RETURN_IF_ERROR(inner_->Append(torn));
+  }
+  return MakeFault("append");
+}
+
+}  // namespace qox

@@ -1,0 +1,87 @@
+// FaultyStore: a DataStore decorator that injects storage-level I/O faults.
+//
+// The engine's FailureInjector models system failures striking the
+// executor; FaultyStore models the other half of the paper's failure
+// taxonomy — faults in the storage layer itself (a dropped connection
+// mid-scan, a throttled backend rejecting an append, a torn write that
+// persists only a prefix of a batch). Wrapping a source, target, or staging
+// store in a FaultyStore exercises the retry/backoff and incremental-load
+// machinery end to end without touching the wrapped store's semantics.
+//
+// Faults are classified through common/status: transient faults surface as
+// kUnavailable (retry may succeed), permanent faults as kIoError (the
+// executor fails fast). All randomness flows from the explicitly seeded
+// Rng, so every fault schedule is reproducible.
+
+#ifndef QOX_STORAGE_FAULTY_STORE_H_
+#define QOX_STORAGE_FAULTY_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "storage/data_store.h"
+
+namespace qox {
+
+/// When and how the wrapped store misbehaves.
+struct FaultPlan {
+  /// Probability that any one scanned batch delivery fails (checked before
+  /// the batch reaches the consumer).
+  double scan_fault_probability = 0.0;
+  /// Probability that any one Append call fails.
+  double append_fault_probability = 0.0;
+  /// Deterministic mode: the Nth Scan call (1-based) fails before
+  /// delivering its first batch. 0 disables.
+  int scan_fail_on_call = 0;
+  /// Deterministic mode: the Nth Append call (1-based) fails. 0 disables.
+  int append_fail_on_call = 0;
+  /// Permanent faults surface as kIoError (not retryable); transient
+  /// faults (the default) as kUnavailable.
+  bool permanent = false;
+  /// Torn writes: a failing Append durably persists the first half of the
+  /// batch to the inner store before reporting the fault, modelling a
+  /// partial write. Callers must re-derive durable progress (e.g. from
+  /// NumRows()) instead of assuming append atomicity.
+  bool torn_writes = false;
+};
+
+class FaultyStore : public DataStore {
+ public:
+  /// Wraps `inner`; fault decisions are drawn from an Rng seeded with
+  /// `seed` so schedules are reproducible.
+  FaultyStore(DataStorePtr inner, FaultPlan plan, uint64_t seed)
+      : inner_(std::move(inner)), plan_(plan), rng_(seed) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const Schema& schema() const override { return inner_->schema(); }
+  Result<size_t> NumRows() const override { return inner_->NumRows(); }
+  Status Scan(size_t batch_size,
+              const std::function<Status(const RowBatch&)>& consumer)
+      const override;
+  Status Append(const RowBatch& batch) override;
+  Status Truncate() override { return inner_->Truncate(); }
+
+  const DataStorePtr& inner() const { return inner_; }
+
+  /// Faults injected on the scan / append path so far.
+  size_t scan_faults_injected() const { return scan_faults_.load(); }
+  size_t append_faults_injected() const { return append_faults_.load(); }
+
+ private:
+  Status MakeFault(const std::string& operation) const;
+
+  const DataStorePtr inner_;
+  const FaultPlan plan_;
+  mutable std::mutex mu_;  // guards rng_ and call counters
+  mutable Rng rng_;
+  mutable int scan_calls_ = 0;
+  int append_calls_ = 0;
+  mutable std::atomic<size_t> scan_faults_{0};
+  std::atomic<size_t> append_faults_{0};
+};
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_FAULTY_STORE_H_

@@ -24,6 +24,16 @@ std::string SanitizeForFilename(const std::string& s) {
 }
 }  // namespace
 
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  uint64_t hash = seed != 0 ? seed : 0xcbf29ce484222325ULL;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 Result<std::shared_ptr<RecoveryPointStore>> RecoveryPointStore::Open(
     std::string dir) {
   std::error_code ec;
@@ -41,12 +51,18 @@ std::string RecoveryPointStore::DataPath(const RecoveryPointId& id) const {
          SanitizeForFilename(id.point_id) + ".rp.csv";
 }
 
+std::string RecoveryPointStore::MarkerPath(const RecoveryPointId& id) const {
+  return DataPath(id) + ".commit";
+}
+
 Status RecoveryPointStore::Save(const RecoveryPointId& id,
                                 const Schema& schema,
                                 const std::vector<Row>& rows) {
   const std::string path = DataPath(id);
   const std::string tmp_path = path + ".tmp";
   size_t bytes = 0;
+  uint64_t checksum = 0;
+  bool first_line = true;
   {
     std::ofstream out(tmp_path, std::ios::trunc);
     if (!out) return Status::IoError("cannot create '" + tmp_path + "'");
@@ -57,16 +73,36 @@ Status RecoveryPointStore::Save(const RecoveryPointId& id,
       const std::string line = CsvEncodeLine(cells);
       out << line << "\n";
       bytes += line.size() + 1;
+      checksum = Fnv1a64(line.data(), line.size(),
+                         first_line ? 0 : checksum);
+      first_line = false;
     }
     out.flush();
     if (!out) return Status::IoError("write to '" + tmp_path + "' failed");
   }
-  // Atomic publish: rename tmp over the data file, then record completeness.
+  // Atomic publish: rename tmp over the data file, seal the commit marker
+  // (row count + content checksum), then record completeness.
   std::error_code ec;
   std::filesystem::rename(tmp_path, path, ec);
   if (ec) {
     return Status::IoError("cannot publish recovery point '" + path +
                            "': " + ec.message());
+  }
+  {
+    const std::string marker_tmp = MarkerPath(id) + ".tmp";
+    std::ofstream marker(marker_tmp, std::ios::trunc);
+    if (!marker) return Status::IoError("cannot create '" + marker_tmp + "'");
+    marker << rows.size() << " " << checksum << "\n";
+    marker.flush();
+    if (!marker) {
+      return Status::IoError("write to '" + marker_tmp + "' failed");
+    }
+    marker.close();
+    std::filesystem::rename(marker_tmp, MarkerPath(id), ec);
+    if (ec) {
+      return Status::IoError("cannot seal recovery point '" + path +
+                             "': " + ec.message());
+    }
   }
   (void)schema;  // schema travels with the flow; file stores values only
   total_bytes_written_.fetch_add(bytes);
@@ -75,6 +111,7 @@ Status RecoveryPointStore::Save(const RecoveryPointId& id,
   info.id = id;
   info.num_rows = rows.size();
   info.bytes = bytes;
+  info.checksum = checksum;
   info.complete = true;
   return Status::OK();
 }
@@ -87,6 +124,8 @@ bool RecoveryPointStore::Has(const RecoveryPointId& id) const {
 
 Result<RowBatch> RecoveryPointStore::Load(const RecoveryPointId& id,
                                           const Schema& schema) const {
+  uint64_t expected_checksum = 0;
+  size_t expected_rows = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = points_.find(KeyOf(id));
@@ -94,17 +133,37 @@ Result<RowBatch> RecoveryPointStore::Load(const RecoveryPointId& id,
       return Status::NotFound("no complete recovery point '" + id.point_id +
                               "' for flow '" + id.flow_id + "'");
     }
+    expected_checksum = it->second.checksum;
+    expected_rows = it->second.num_rows;
   }
   std::ifstream in(DataPath(id));
   if (!in) return Status::IoError("cannot open '" + DataPath(id) + "'");
-  RowBatch batch(schema);
+  // Verify the content checksum sealed into the commit marker BEFORE
+  // parsing: corrupted bytes must surface as kCorruptedData (fall back to
+  // an older point), never as a parse error mistaken for a bug.
+  std::vector<std::string> lines;
+  uint64_t checksum = 0;
+  bool first_line = true;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const std::vector<std::string> cells = CsvDecodeLine(line);
+    checksum = Fnv1a64(line.data(), line.size(), first_line ? 0 : checksum);
+    first_line = false;
+    lines.push_back(std::move(line));
+  }
+  if (checksum != expected_checksum || lines.size() != expected_rows) {
+    return Status::CorruptedData(
+        "recovery point '" + DataPath(id) + "' failed verification (" +
+        std::to_string(lines.size()) + "/" + std::to_string(expected_rows) +
+        " rows, checksum " + std::to_string(checksum) + " != sealed " +
+        std::to_string(expected_checksum) + ")");
+  }
+  RowBatch batch(schema);
+  for (const std::string& stored : lines) {
+    const std::vector<std::string> cells = CsvDecodeLine(stored);
     if (cells.size() != schema.num_fields()) {
-      return Status::Internal("recovery point '" + DataPath(id) +
-                              "' row width mismatch");
+      return Status::CorruptedData("recovery point '" + DataPath(id) +
+                                   "' row width mismatch");
     }
     Row row;
     for (size_t i = 0; i < cells.size(); ++i) {
@@ -122,6 +181,7 @@ Status RecoveryPointStore::Drop(const RecoveryPointId& id) {
   points_.erase(KeyOf(id));
   std::error_code ec;
   std::filesystem::remove(DataPath(id), ec);
+  std::filesystem::remove(MarkerPath(id), ec);
   return Status::OK();
 }
 
@@ -131,6 +191,7 @@ Status RecoveryPointStore::DropFlow(const std::string& flow_id) {
     if (it->second.id.flow_id == flow_id) {
       std::error_code ec;
       std::filesystem::remove(DataPath(it->second.id), ec);
+      std::filesystem::remove(MarkerPath(it->second.id), ec);
       it = points_.erase(it);
     } else {
       ++it;

@@ -10,6 +10,7 @@
 #define QOX_STORAGE_RECOVERY_STORE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -37,8 +38,14 @@ struct RecoveryPointInfo {
   RecoveryPointId id;
   size_t num_rows = 0;
   size_t bytes = 0;
+  /// FNV-1a 64 content checksum over the serialized row bytes; written to
+  /// the commit marker and verified on Load.
+  uint64_t checksum = 0;
   bool complete = false;  ///< set only after all rows + commit marker landed
 };
+
+/// FNV-1a 64-bit, the content checksum recovery points are sealed with.
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed = 0);
 
 class RecoveryPointStore {
  public:
@@ -48,15 +55,19 @@ class RecoveryPointStore {
 
   /// Durably saves `rows` (with their schema) as recovery point `id`,
   /// replacing any previous save. The point becomes visible/complete only
-  /// after the data file and commit marker are fully written, so a crash
-  /// mid-save leaves the previous state recoverable.
+  /// after the data file and commit marker (row count + content checksum)
+  /// are fully written, so a crash mid-save leaves the previous state
+  /// recoverable.
   Status Save(const RecoveryPointId& id, const Schema& schema,
               const std::vector<Row>& rows);
 
   /// True if a complete recovery point exists.
   bool Has(const RecoveryPointId& id) const;
 
-  /// Loads a complete recovery point. NotFound if absent or incomplete.
+  /// Loads a complete recovery point. NotFound if absent or incomplete;
+  /// kCorruptedData if the on-disk bytes no longer match the checksum
+  /// sealed into the commit marker (bit rot, torn overwrite, tampering) —
+  /// the caller must fall back to an older point or recompute.
   Result<RowBatch> Load(const RecoveryPointId& id, const Schema& schema) const;
 
   /// Drops one recovery point (e.g., after the flow commits downstream).
@@ -77,6 +88,7 @@ class RecoveryPointStore {
   explicit RecoveryPointStore(std::string dir) : dir_(std::move(dir)) {}
 
   std::string DataPath(const RecoveryPointId& id) const;
+  std::string MarkerPath(const RecoveryPointId& id) const;
 
   const std::string dir_;
   mutable std::mutex mu_;

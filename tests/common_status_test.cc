@@ -23,7 +23,33 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::CorruptedData("x").code(), StatusCode::kCorruptedData);
   EXPECT_EQ(Status::Invalid("why").message(), "why");
+}
+
+TEST(StatusTest, CorruptedDataIsRecognized) {
+  EXPECT_TRUE(Status::CorruptedData("bad bytes").IsCorruptedData());
+  EXPECT_FALSE(Status::IoError("disk").IsCorruptedData());
+  EXPECT_FALSE(Status::OK().IsCorruptedData());
+}
+
+TEST(StatusTest, TransientClassification) {
+  // Retryable: injected system failures, unavailable storage, expired
+  // watchdog deadlines.
+  EXPECT_TRUE(IsTransient(Status::InjectedFailure("boom")));
+  EXPECT_TRUE(IsTransient(Status::Unavailable("blip")));
+  EXPECT_TRUE(IsTransient(Status::DeadlineExceeded("hung")));
+  // Permanent: everything else, including real I/O errors and integrity
+  // failures — retrying cannot help.
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::IoError("disk")));
+  EXPECT_FALSE(IsTransient(Status::CorruptedData("bad")));
+  EXPECT_FALSE(IsTransient(Status::Cancelled("stop")));
+  EXPECT_FALSE(IsTransient(Status::Invalid("bad arg")));
+  EXPECT_FALSE(IsTransient(Status::Internal("bug")));
 }
 
 TEST(StatusTest, InjectedFailureIsRecognized) {
@@ -112,7 +138,9 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kIoError,
         StatusCode::kInternal, StatusCode::kUnimplemented,
-        StatusCode::kInjectedFailure, StatusCode::kCancelled}) {
+        StatusCode::kInjectedFailure, StatusCode::kCancelled,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
+        StatusCode::kCorruptedData}) {
     EXPECT_STRNE(StatusCodeName(code), "unknown");
   }
 }

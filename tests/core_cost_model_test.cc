@@ -151,6 +151,60 @@ TEST(CostModelTest, ReliabilityImprovesWithRedundancyAndRp) {
   EXPECT_LE(r_tmr, 1.0);
 }
 
+TEST(CostModelTest, BackoffDelayLowersReliability) {
+  // A policy that spends seconds backing off leaves less window slack for
+  // retries; reliability must not improve and generally drops.
+  const CostModel model;
+  WorkloadParams workload = BaseWorkload();
+  workload.failure_rate_per_s = 0.1;
+  workload.time_window_s = 30.0;
+  PhysicalDesign quick = BaseDesign();
+  quick.recovery_points = {0};
+  PhysicalDesign slow = quick;
+  slow.retry.initial_backoff_micros = 5000000;  // 5s initial backoff
+  slow.retry.max_backoff_micros = 20000000;
+  const PhaseEstimate phases = model.EstimatePhases(quick, 100000);
+  const double r_quick = model.EstimateReliability(quick, phases, workload);
+  const double r_slow = model.EstimateReliability(slow, phases, workload);
+  EXPECT_LT(r_slow, r_quick);
+}
+
+TEST(CostModelTest, SmallerAttemptBudgetLowersReliability) {
+  const CostModel model;
+  WorkloadParams workload = BaseWorkload();
+  workload.failure_rate_per_s = 0.5;
+  PhysicalDesign roomy = BaseDesign();
+  roomy.recovery_points = {0};
+  PhysicalDesign strict = roomy;
+  strict.retry.max_attempts = 2;  // one retry only
+  const PhaseEstimate phases = model.EstimatePhases(roomy, 100000);
+  EXPECT_LT(model.EstimateReliability(strict, phases, workload),
+            model.EstimateReliability(roomy, phases, workload));
+}
+
+TEST(CostModelTest, RpCorruptionDegradesRetriesTowardScratch) {
+  // With corruption probability > 0 a retry is expected to cost more (the
+  // fallback re-runs from scratch), so fewer retries fit in the window and
+  // reliability drops — but only for designs that actually use RPs.
+  CostModelParams params;
+  params.rp_corruption_prob = 0.5;
+  const CostModel clean;
+  const CostModel rotten(params);
+  WorkloadParams workload = BaseWorkload();
+  workload.failure_rate_per_s = 0.1;
+  workload.time_window_s = 60.0;
+  PhysicalDesign with_rp = BaseDesign();
+  with_rp.recovery_points = {0, 2};
+  const PhaseEstimate phases = clean.EstimatePhases(with_rp, 100000);
+  EXPECT_LE(rotten.EstimateReliability(with_rp, phases, workload),
+            clean.EstimateReliability(with_rp, phases, workload));
+  // No recovery points -> the corruption knob is irrelevant.
+  PhysicalDesign bare = BaseDesign();
+  const PhaseEstimate bare_phases = clean.EstimatePhases(bare, 100000);
+  EXPECT_DOUBLE_EQ(rotten.EstimateReliability(bare, bare_phases, workload),
+                   clean.EstimateReliability(bare, bare_phases, workload));
+}
+
 TEST(CostModelTest, AttemptSuccessProbabilityLaw) {
   EXPECT_DOUBLE_EQ(CostModel::AttemptSuccessProbability(100, 0.0), 1.0);
   EXPECT_NEAR(CostModel::AttemptSuccessProbability(10, 0.1),

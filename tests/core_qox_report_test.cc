@@ -105,5 +105,30 @@ TEST(QoxReportTest, PredictionAndMeasurementAgreeOnStructuralMetrics) {
                    measured.Get(QoxMetric::kMaintainability).value());
 }
 
+TEST(QoxReportTest, FaultToleranceReportSurfacesCounters) {
+  RunMetrics metrics;
+  metrics.attempts = 3;
+  metrics.retries_by_cause["unavailable"] = 1;
+  metrics.retries_by_cause["injected_failure"] = 1;
+  metrics.backoff_micros = 4500;
+  metrics.rp_corruption_fallbacks = 1;
+  metrics.failures_injected = 1;
+  const std::string report = RenderFaultToleranceReport(metrics);
+  EXPECT_NE(report.find("attempts"), std::string::npos);
+  EXPECT_NE(report.find("retry.unavailable"), std::string::npos);
+  EXPECT_NE(report.find("retry.injected_failure"), std::string::npos);
+  EXPECT_NE(report.find("retries_total"), std::string::npos);
+  EXPECT_NE(report.find("backoff_wait"), std::string::npos);
+  EXPECT_NE(report.find("4.5ms"), std::string::npos);
+  EXPECT_NE(report.find("rp_corruption_fallbacks"), std::string::npos);
+  // A clean run renders just the attempts line.
+  RunMetrics clean;
+  clean.attempts = 1;
+  const std::string clean_report = RenderFaultToleranceReport(clean);
+  EXPECT_NE(clean_report.find("attempts"), std::string::npos);
+  EXPECT_EQ(clean_report.find("retry"), std::string::npos);
+  EXPECT_EQ(clean_report.find("backoff"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace qox

@@ -126,7 +126,7 @@ TEST(MtbfInjectorTest, FlowSurvivesMtbfFailuresExactlyOnce) {
   injector.ArmMtbf(/*mtbf_seconds=*/0.002, /*horizon_s=*/0.005, &rng);
   ExecutionConfig config;
   config.injector = &injector;
-  config.max_attempts = 32;
+  config.retry.max_attempts = 32;
   const Result<RunMetrics> metrics =
       Executor::Run(MakeFlow(source, target), config);
   ASSERT_TRUE(metrics.ok()) << metrics.status();
@@ -157,7 +157,7 @@ TEST_P(StochasticFailureTest, ExactlyOnceUnderRandomFailures) {
                       .value();
   ExecutionConfig config;
   config.injector = &injector;
-  config.max_attempts = 16;
+  config.retry.max_attempts = 16;
   if (seed % 2 == 0) {
     config.recovery_points = {0};
     config.rp_store = rp_store;

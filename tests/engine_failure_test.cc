@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace qox {
 namespace {
 
@@ -124,6 +126,69 @@ TEST(FailureInjectorTest, MessagesNameKindAndPlace) {
   ASSERT_TRUE(st.IsInjectedFailure());
   EXPECT_NE(st.message().find("network"), std::string::npos);
   EXPECT_NE(st.message().find("extraction"), std::string::npos);
+}
+
+TEST(FailureInjectorTest, EmptyPhaseZeroFractionFiresOncePerAttempt) {
+  // Regression: a failure placed at fraction 0 of a phase must fire even
+  // when the phase processes zero rows (rows_total == 0 makes the computed
+  // fraction 0), and exactly once per one-shot spec.
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = -1;
+  spec.at_fraction = 0.0;
+  spec.on_attempt = 1;
+  injector.AddFailure(spec);
+  EXPECT_TRUE(injector.Check(0, 1, -1, 0, 0).IsInjectedFailure());
+  // One-shot: the same attempt does not re-fire.
+  EXPECT_TRUE(injector.Check(0, 1, -1, 0, 0).ok());
+  // A second spec on attempt 2 fires again under zero rows.
+  FailureSpec second = spec;
+  second.on_attempt = 2;
+  injector.AddFailure(second);
+  EXPECT_TRUE(injector.Check(0, 2, -1, 0, 0).IsInjectedFailure());
+  EXPECT_TRUE(injector.Check(0, 2, -1, 0, 0).ok());
+  EXPECT_EQ(injector.triggered_count(), 2u);
+}
+
+TEST(FailureInjectorTest, MtbfSameSeedSameSchedule) {
+  FailureInjector a;
+  FailureInjector b;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  a.ArmMtbf(/*mtbf_seconds=*/0.5, /*horizon_s=*/30.0, &rng_a);
+  b.ArmMtbf(/*mtbf_seconds=*/0.5, /*horizon_s=*/30.0, &rng_b);
+  const std::vector<int64_t> sched_a = a.TimedScheduleMicros();
+  EXPECT_FALSE(sched_a.empty());
+  EXPECT_EQ(sched_a, b.TimedScheduleMicros());
+  // A different seed produces a different schedule.
+  FailureInjector c;
+  Rng rng_c(100);
+  c.ArmMtbf(0.5, 30.0, &rng_c);
+  EXPECT_NE(sched_a, c.TimedScheduleMicros());
+  // Schedules are sorted and within the horizon.
+  for (size_t i = 0; i + 1 < sched_a.size(); ++i) {
+    EXPECT_LE(sched_a[i], sched_a[i + 1]);
+  }
+  EXPECT_LT(sched_a.back(), static_cast<int64_t>(30.0 * 1e6));
+}
+
+TEST(FailureInjectorTest, RearmRestoresTimedFailures) {
+  FailureInjector injector;
+  Rng rng(7);
+  // Tiny MTBF: every schedule entry is already due the moment we check.
+  injector.ArmMtbf(/*mtbf_seconds=*/1e-9, /*horizon_s=*/1e-6, &rng);
+  const std::vector<int64_t> schedule = injector.TimedScheduleMicros();
+  ASSERT_FALSE(schedule.empty());
+  size_t fired = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (injector.Check(0, 1, 0, 1, 1).IsInjectedFailure()) ++fired;
+  }
+  EXPECT_EQ(fired, schedule.size());
+  EXPECT_TRUE(injector.Check(0, 1, 0, 1, 1).ok());  // all consumed
+  // Rearm restores every timed failure without resampling the schedule.
+  injector.Rearm();
+  EXPECT_EQ(injector.TimedScheduleMicros(), schedule);
+  EXPECT_TRUE(injector.Check(0, 1, 0, 1, 1).IsInjectedFailure());
 }
 
 TEST(FailureKindTest, Names) {

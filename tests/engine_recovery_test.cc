@@ -221,7 +221,7 @@ TEST_F(RecoveryTest, MaxAttemptsExhaustedReturnsFailure) {
   }
   ExecutionConfig config;
   config.injector = &injector;
-  config.max_attempts = 3;
+  config.retry.max_attempts = 3;
   const Result<RunMetrics> metrics =
       Executor::Run(MakeFlow(source, target), config);
   ASSERT_FALSE(metrics.ok());

@@ -1,0 +1,69 @@
+#include "engine/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace qox {
+namespace {
+
+TEST(RetryPolicyTest, DefaultsRetryImmediately) {
+  const RetryPolicy policy;
+  EXPECT_EQ(policy.BackoffMicros(1, nullptr), 0);
+  EXPECT_EQ(policy.BackoffMicros(5, nullptr), 0);
+  EXPECT_DOUBLE_EQ(policy.MeanBackoffSeconds(), 0.0);
+}
+
+TEST(RetryPolicyTest, ExponentialGrowthClampedAtMax) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 1000;
+  policy.multiplier = 2.0;
+  EXPECT_EQ(policy.BackoffMicros(1, nullptr), 100);
+  EXPECT_EQ(policy.BackoffMicros(2, nullptr), 200);
+  EXPECT_EQ(policy.BackoffMicros(3, nullptr), 400);
+  EXPECT_EQ(policy.BackoffMicros(4, nullptr), 800);
+  EXPECT_EQ(policy.BackoffMicros(5, nullptr), 1000);   // clamped
+  EXPECT_EQ(policy.BackoffMicros(20, nullptr), 1000);  // stays clamped
+}
+
+TEST(RetryPolicyTest, JitterShrinksWithinBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 10000;
+  policy.jitter = 0.5;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t wait = policy.BackoffMicros(1, &rng);
+    EXPECT_GT(wait, 10000 / 2 - 1);  // jitter only shrinks, at most by half
+    EXPECT_LE(wait, 10000);
+  }
+  // Deterministic under an equal seed.
+  Rng rng_a(9);
+  Rng rng_b(9);
+  EXPECT_EQ(policy.BackoffMicros(1, &rng_a), policy.BackoffMicros(1, &rng_b));
+}
+
+TEST(RetryPolicyTest, ShouldRetryHonorsClassificationAndBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_TRUE(policy.ShouldRetry(Status::InjectedFailure("x"), 1));
+  EXPECT_TRUE(policy.ShouldRetry(Status::Unavailable("x"), 2));
+  EXPECT_FALSE(policy.ShouldRetry(Status::Unavailable("x"), 3));  // exhausted
+  EXPECT_FALSE(policy.ShouldRetry(Status::IoError("x"), 1));     // permanent
+  EXPECT_FALSE(policy.ShouldRetry(Status::CorruptedData("x"), 1));
+}
+
+TEST(RetryPolicyTest, MeanBackoffMatchesSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 1000000;
+  policy.multiplier = 2.0;
+  // Waits before attempts 2..4: 100, 200, 400 -> mean 233.3us.
+  EXPECT_NEAR(policy.MeanBackoffSeconds(), (100 + 200 + 400) / 3.0 / 1e6,
+              1e-12);
+  policy.jitter = 1.0;  // E[1 - U] = 1/2
+  EXPECT_NEAR(policy.MeanBackoffSeconds(),
+              (100 + 200 + 400) / 3.0 / 2.0 / 1e6, 1e-12);
+}
+
+}  // namespace
+}  // namespace qox

@@ -1,0 +1,134 @@
+#include "storage/faulty_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/mem_table.h"
+
+namespace qox {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"text", DataType::kString, true}});
+}
+
+std::shared_ptr<MemTable> MakeTable(size_t rows) {
+  auto table = std::make_shared<MemTable>("t", TestSchema());
+  RowBatch batch(TestSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    batch.Append(Row({Value::Int64(static_cast<int64_t>(i)),
+                      Value::String("r" + std::to_string(i))}));
+  }
+  EXPECT_TRUE(table->Append(batch).ok());
+  return table;
+}
+
+RowBatch MakeBatch(size_t rows) {
+  RowBatch batch(TestSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    batch.Append(Row({Value::Int64(static_cast<int64_t>(i)),
+                      Value::String("n" + std::to_string(i))}));
+  }
+  return batch;
+}
+
+TEST(FaultyStoreTest, NoFaultsIsTransparent) {
+  FaultyStore store(MakeTable(100), FaultPlan{}, /*seed=*/1);
+  EXPECT_EQ(store.NumRows().value(), 100u);
+  size_t scanned = 0;
+  ASSERT_TRUE(store
+                  .Scan(32,
+                        [&](const RowBatch& batch) {
+                          scanned += batch.num_rows();
+                          return Status::OK();
+                        })
+                  .ok());
+  EXPECT_EQ(scanned, 100u);
+  ASSERT_TRUE(store.Append(MakeBatch(5)).ok());
+  EXPECT_EQ(store.NumRows().value(), 105u);
+  EXPECT_EQ(store.scan_faults_injected(), 0u);
+  EXPECT_EQ(store.append_faults_injected(), 0u);
+}
+
+TEST(FaultyStoreTest, ScanFailOnNthCallIsTransientAndDeterministic) {
+  FaultPlan plan;
+  plan.scan_fail_on_call = 2;
+  FaultyStore store(MakeTable(10), plan, /*seed=*/1);
+  const auto consume = [](const RowBatch&) { return Status::OK(); };
+  EXPECT_TRUE(store.Scan(4, consume).ok());
+  const Status st = store.Scan(4, consume);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsTransient(st));
+  EXPECT_TRUE(store.Scan(4, consume).ok());  // only the 2nd call fails
+  EXPECT_EQ(store.scan_faults_injected(), 1u);
+}
+
+TEST(FaultyStoreTest, ScanFaultProbabilityOneAlwaysFails) {
+  FaultPlan plan;
+  plan.scan_fault_probability = 1.0;
+  FaultyStore store(MakeTable(10), plan, /*seed=*/7);
+  size_t delivered = 0;
+  const Status st = store.Scan(4, [&](const RowBatch& batch) {
+    delivered += batch.num_rows();
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(delivered, 0u);  // fault fires before the batch is delivered
+  EXPECT_GE(store.scan_faults_injected(), 1u);
+}
+
+TEST(FaultyStoreTest, PermanentFaultIsIoError) {
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  plan.permanent = true;
+  FaultyStore store(MakeTable(0), plan, /*seed=*/1);
+  const Status st = store.Append(MakeBatch(4));
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_FALSE(IsTransient(st));
+}
+
+TEST(FaultyStoreTest, AppendFaultLeavesInnerUntouched) {
+  auto inner = MakeTable(0);
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  FaultyStore store(inner, plan, /*seed=*/1);
+  EXPECT_EQ(store.Append(MakeBatch(4)).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(inner->NumRows().value(), 0u);
+  // The next call passes through.
+  ASSERT_TRUE(store.Append(MakeBatch(4)).ok());
+  EXPECT_EQ(inner->NumRows().value(), 4u);
+  EXPECT_EQ(store.append_faults_injected(), 1u);
+}
+
+TEST(FaultyStoreTest, TornWritePersistsHalfTheBatch) {
+  auto inner = MakeTable(0);
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  plan.torn_writes = true;
+  FaultyStore store(inner, plan, /*seed=*/1);
+  const Status st = store.Append(MakeBatch(10));
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(inner->NumRows().value(), 5u);  // first half landed durably
+}
+
+TEST(FaultyStoreTest, SameSeedSameFaultSchedule) {
+  const auto schedule = [](uint64_t seed) {
+    FaultPlan plan;
+    plan.scan_fault_probability = 0.3;
+    FaultyStore store(MakeTable(64), plan, seed);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 20; ++i) {
+      outcomes.push_back(
+          store.Scan(8, [](const RowBatch&) { return Status::OK(); }).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(schedule(42), schedule(42));
+  EXPECT_NE(schedule(42), schedule(43));
+}
+
+}  // namespace
+}  // namespace qox

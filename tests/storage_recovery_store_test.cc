@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 namespace qox {
 namespace {
@@ -102,6 +103,76 @@ TEST_F(RecoveryStoreTest, EmptyRowsSaveIsComplete) {
   ASSERT_TRUE(store_->Save(id, TestSchema(), {}).ok());
   EXPECT_TRUE(store_->Has(id));
   EXPECT_EQ(store_->Load(id, TestSchema()).value().num_rows(), 0u);
+}
+
+TEST_F(RecoveryStoreTest, SaveWritesCommitMarkerWithChecksum) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(4)).ok());
+  std::string marker_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().ends_with(".commit")) {
+      marker_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(marker_path.empty()) << "no .commit marker written";
+  std::ifstream marker(marker_path);
+  size_t rows = 0;
+  uint64_t checksum = 0;
+  marker >> rows >> checksum;
+  EXPECT_EQ(rows, 4u);
+  EXPECT_NE(checksum, 0u);
+  const std::vector<RecoveryPointInfo> infos = store_->List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].checksum, checksum);
+}
+
+TEST_F(RecoveryStoreTest, FlippedByteFailsVerification) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(10)).ok());
+  // Flip one byte of the persisted data file.
+  std::string data_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().ends_with(".rp.csv")) {
+      data_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(data_path.empty());
+  {
+    std::fstream file(data_path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(3);
+    file.put('#');
+  }
+  const Result<RowBatch> loaded = store_->Load(id, TestSchema());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptedData)
+      << loaded.status();
+}
+
+TEST_F(RecoveryStoreTest, TruncatedFileFailsVerification) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(10)).ok());
+  std::string data_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().ends_with(".rp.csv")) {
+      data_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(data_path.empty());
+  std::filesystem::resize_file(data_path,
+                               std::filesystem::file_size(data_path) / 2);
+  const Result<RowBatch> loaded = store_->Load(id, TestSchema());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptedData);
+}
+
+TEST_F(RecoveryStoreTest, DropRemovesMarkerFile) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(2)).ok());
+  ASSERT_TRUE(store_->Drop(id).ok());
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    FAIL() << "leftover file: " << entry.path();
+  }
 }
 
 TEST_F(RecoveryStoreTest, ValuesWithCommasSurvive) {
