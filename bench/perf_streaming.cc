@@ -1,0 +1,141 @@
+// Streaming vs phased execution on the sales workflow.
+//
+// Runs two flows of the Fig. 3 scenario for real — sources behind a
+// throttled channel, so extraction has genuine wall time — under the
+// phased executor and the streaming (pipelined) executor at 1/2/4/8
+// workers, and prints ONE JSON line with rows/sec for each combination:
+//
+//   * click_top (S3 -> Flt -> Func -> SK -> DW3): every operator is
+//     per-row, so streaming overlaps the extraction stall with transform
+//     and load work across bounded channels — the pipelining win.
+//   * sales_bottom (S1 -> Δ -> ... -> DW1): the blocking Δ buffers the
+//     whole input before emitting, so extraction cannot overlap with the
+//     downstream work and streaming at best ties phased (the serial
+//     partitioner/merge stages cost a little with no stall to hide them
+//     under) — the materialization barrier the cost model prices
+//     (DESIGN.md "Streaming dataflow").
+//
+// Unlike the fig* benches this one measures real wall time (the overlap
+// IS the effect), so it skips the virtual N-CPU scheduler and the
+// google-benchmark harness.
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sales_workflow.h"
+#include "engine/executor.h"
+
+namespace qox {
+namespace {
+
+constexpr size_t kRows = 60000;
+constexpr int kRepeats = 3;  // best-of, to shed cold-cache noise
+
+ExecutionConfig MakeConfig(size_t workers, bool streaming, bool has_delta) {
+  ExecutionConfig config;
+  config.num_threads = workers;
+  if (workers > 1) {
+    config.parallel.partitions = workers;
+    // For the Δ flow, partition only the pipelineable part after the Δ
+    // ("4PF-p": the Δ serializes on the shared snapshot anyway).
+    if (has_delta) config.parallel.range_begin = 1;
+  }
+  config.streaming = streaming;
+  return config;
+}
+
+/// Best-of-kRepeats wall micros + loaded rows for one configuration.
+struct Sample {
+  int64_t wall_micros = 0;
+  int64_t rows_loaded = 0;
+  bool ok = false;
+};
+
+Sample Measure(SalesScenario* scenario, const LogicalFlow& flow,
+               size_t workers, bool streaming, bool has_delta) {
+  Sample best;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    if (!scenario->ResetWarehouse().ok()) return best;
+    const Result<RunMetrics> metrics = Executor::Run(
+        flow.ToFlowSpec(), MakeConfig(workers, streaming, has_delta));
+    if (!metrics.ok()) {
+      std::cerr << "perf_streaming run failed (flow=" << flow.id()
+                << " workers=" << workers << " streaming=" << streaming
+                << "): " << metrics.status() << "\n";
+      return best;
+    }
+    if (!best.ok || metrics.value().total_micros < best.wall_micros) {
+      best.wall_micros = metrics.value().total_micros;
+      best.rows_loaded = static_cast<int64_t>(metrics.value().rows_loaded);
+      best.ok = true;
+    }
+  }
+  return best;
+}
+
+double RowsPerSec(const Sample& sample) {
+  if (!sample.ok || sample.wall_micros <= 0) return 0.0;
+  return static_cast<double>(sample.rows_loaded) * 1e6 /
+         static_cast<double>(sample.wall_micros);
+}
+
+int RunBench() {
+  const std::string dir = "/tmp/qox_bench_perf_streaming";
+  std::filesystem::create_directories(dir);
+  SalesScenarioConfig config;
+  config.s1_rows = kRows;
+  config.s2_rows = 2000;
+  config.s3_rows = kRows;
+  config.data_dir = dir;  // CSV-backed S1: extraction = real I/O + parse
+  config.source_bandwidth_bytes_per_s = 8.0 * 1024 * 1024;  // remote link
+  Result<std::unique_ptr<SalesScenario>> scenario =
+      SalesScenario::Create(config);
+  if (!scenario.ok()) {
+    std::cerr << "scenario build failed: " << scenario.status() << "\n";
+    return 1;
+  }
+
+  std::ostringstream json;
+  json << "{\"bench\":\"perf_streaming\",\"rows\":" << kRows
+       << ",\"flows\":[";
+  bool first_flow = true;
+  for (const bool has_delta : {false, true}) {
+    const LogicalFlow& flow = has_delta ? scenario.value()->bottom_flow()
+                                        : scenario.value()->top_flow();
+    if (!first_flow) json << ",";
+    first_flow = false;
+    json << "{\"flow\":\"" << flow.id() << "\",\"results\":[";
+    bool first = true;
+    for (const size_t workers : {1u, 2u, 4u, 8u}) {
+      const Sample phased =
+          Measure(scenario.value().get(), flow, workers, false, has_delta);
+      const Sample streaming =
+          Measure(scenario.value().get(), flow, workers, true, has_delta);
+      if (!phased.ok || !streaming.ok) return 1;
+      if (!first) json << ",";
+      first = false;
+      json << "{\"workers\":" << workers
+           << ",\"phased_us\":" << phased.wall_micros
+           << ",\"streaming_us\":" << streaming.wall_micros
+           << ",\"phased_rows_per_s\":"
+           << static_cast<int64_t>(RowsPerSec(phased))
+           << ",\"streaming_rows_per_s\":"
+           << static_cast<int64_t>(RowsPerSec(streaming)) << ",\"speedup\":"
+           << static_cast<double>(phased.wall_micros) /
+                  static_cast<double>(streaming.wall_micros)
+           << "}";
+    }
+    json << "]}";
+  }
+  json << "]}";
+  std::cout << json.str() << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace qox
+
+int main() { return qox::RunBench(); }

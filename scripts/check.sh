@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the repo twice via the QOX_SANITIZE CMake knob and
+# runs the tier-1 suite under AddressSanitizer, then the concurrency-heavy
+# engine_* tests under ThreadSanitizer (the streaming executor, channels,
+# and thread pool are where data races would live).
+#
+# Usage:  scripts/check.sh [--asan-only|--tsan-only]
+#
+# Build trees land in build-asan/ and build-tsan/ next to build/ so the
+# regular (unsanitized) tree stays untouched. Exits non-zero on the first
+# failing suite.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_suite() {
+  local sanitizer="$1"     # address | thread
+  local build_dir="$2"     # build-asan | build-tsan
+  local label_regex="$3"   # ctest -L filter over binary-name labels ('' = all)
+
+  echo "==> [${sanitizer}] configuring ${build_dir}"
+  cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" \
+        -DQOX_SANITIZE="${sanitizer}" > /dev/null
+  echo "==> [${sanitizer}] building"
+  cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}" > /dev/null
+  echo "==> [${sanitizer}] running ctest ${label_regex:+-L ${label_regex}}"
+  (cd "${REPO_ROOT}/${build_dir}" && \
+   ctest -j "${JOBS}" --output-on-failure ${label_regex:+-L "${label_regex}"})
+}
+
+case "${MODE}" in
+  all)
+    run_suite address build-asan ""
+    run_suite thread build-tsan "^engine_"
+    ;;
+  --asan-only)
+    run_suite address build-asan ""
+    ;;
+  --tsan-only)
+    run_suite thread build-tsan "^engine_"
+    ;;
+  *)
+    echo "usage: scripts/check.sh [--asan-only|--tsan-only]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> sanitizer checks passed"

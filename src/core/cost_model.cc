@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "graph/graph_metrics.h"
 
@@ -39,6 +41,82 @@ double EffectiveSpeedup(const PhysicalDesign& design,
   return std::max(1.0, ways * params.parallel_efficiency);
 }
 
+/// Wall time of one streaming (pipelined) run. The dataflow drains
+/// completely at pipeline BARRIERS — recovery-point cuts (the collect →
+/// write → re-emit stage) and blocking operators (sort/group/delta buffer
+/// everything before emitting) — which splits the op chain into sections.
+/// Within a section, stages (extract, each transform chunk, load) run
+/// concurrently, so the section costs the MAX of its stage times; sections,
+/// RP writes, and the ordered merge serialize. On top ride the per-stage
+/// spawn/fill startup and the per-row channel transfer overhead — the
+/// prices streaming pays that phased execution does not.
+double StreamingTotalSeconds(const PhysicalDesign& design,
+                             const CostModelParams& params,
+                             const PhaseEstimate& est,
+                             const std::vector<double>& op_seconds,
+                             const std::vector<double>& rows_at_cut) {
+  const size_t n = op_seconds.size();
+  const bool parallel = design.parallel.partitions > 1;
+  const size_t rb = parallel ? std::min(design.parallel.range_begin, n) : 0;
+  const size_t re = parallel ? std::min(design.parallel.range_end, n) : 0;
+
+  std::set<size_t> barriers;
+  for (const size_t cut : design.recovery_points) {
+    if (cut <= n) barriers.insert(cut);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (design.flow.ops()[i].blocking) barriers.insert(i + 1);
+  }
+  barriers.insert(n);
+  // Stage borders: every barrier plus the partitioned range's edges (the
+  // engine splits each segment into sequential / partitioned chunks there).
+  std::set<size_t> borders(barriers.begin(), barriers.end());
+  borders.insert(0);
+  if (parallel && rb < re) {
+    borders.insert(rb);
+    borders.insert(re);
+  }
+
+  double total = 0.0;
+  double wall = est.extract_s;  // extract overlaps the first section
+  if (barriers.count(0) > 0) {  // RP at cut 0 drains extract by itself
+    total += wall;
+    wall = 0.0;
+  }
+  size_t stages = 2;  // extract + load/collect sink
+  const std::vector<size_t> border_list(borders.begin(), borders.end());
+  for (size_t k = 0; k + 1 < border_list.size(); ++k) {
+    const size_t a = border_list[k];
+    const size_t b = border_list[k + 1];
+    double stage_s = 0.0;
+    for (size_t i = a; i < b; ++i) stage_s += op_seconds[i];
+    wall = std::max(wall, stage_s);
+    ++stages;
+    if (parallel && a >= rb && b <= re && rb < re) {
+      stages += design.parallel.partitions + 1;  // partitioner + merge
+    }
+    if (barriers.count(b) > 0) {  // section ends here
+      if (b == n) wall = std::max(wall, est.load_s);
+      total += wall;
+      wall = 0.0;
+    }
+  }
+  if (n == 0) total = std::max(est.extract_s, est.load_s);
+
+  double channel_s = 0.0;  // each border is a channel edge rows cross
+  for (const size_t b : borders) {
+    channel_s += rows_at_cut[b] * params.stream_channel_ns_per_row / 1e9;
+  }
+  double total_s = total + est.rp_s + est.merge_s + channel_s +
+                   static_cast<double>(stages) *
+                       params.stream_stage_startup_us / 1e6;
+  if (design.redundancy > 1) {
+    total_s *= 1.0 + params.redundancy_contention *
+                         static_cast<double>(design.redundancy - 1);
+  }
+  return total_s;
+}
+
 }  // namespace
 
 PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
@@ -53,10 +131,12 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
   const size_t re =
       parallel ? std::min(design.parallel.range_end, ops.size()) : 0;
   const double speedup = EffectiveSpeedup(design, params_);
+  std::vector<double> op_seconds(ops.size(), 0.0);
   for (size_t i = 0; i < ops.size(); ++i) {
     double op_s = ops[i].cost_per_row * rows[i] *
                   params_.transform_ns_per_unit / 1e9;
     if (parallel && i >= rb && i < re) op_s /= speedup;
+    op_seconds[i] = op_s;
     est.transform_s += op_s;
   }
   if (parallel && rb < re) {
@@ -86,6 +166,9 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
                       static_cast<double>(design.redundancy - 1);
   }
   est.total_s = body + est.load_s;
+  if (design.streaming) {
+    est.total_s = StreamingTotalSeconds(design, params_, est, op_seconds, rows);
+  }
   return est;
 }
 

@@ -30,6 +30,13 @@
 //   recoverability  expected rework after a failure given RP placement:
 //                   failure uniform over the run, rework = time since the
 //                   last durable cut (Fig. 6)
+//   streaming       overlapped execution: the flow splits into sections at
+//                   pipeline barriers (recovery-point cuts and blocking
+//                   operators); within a section concurrent stages overlap,
+//                   so the section's wall time is the MAX of its stage
+//                   costs (extract, per-chunk transform, load) instead of
+//                   their sum, plus per-stage startup and per-row channel
+//                   transfer overheads
 //   freshness       load period / 2 + per-batch execution time (Fig. 8)
 //   maintainability graph metrics of the logical flow (ref [16])
 //   cost            machine-seconds (threads x time x redundancy) plus
@@ -63,6 +70,11 @@ struct CostModelParams {
   double parallel_efficiency = 0.80;   ///< fraction of ideal speedup
   double redundancy_contention = 0.12; ///< overhead per extra instance
   double rp_resume_fixed_s = 0.01;     ///< fixed resume cost from an RP
+  /// Streaming-execution overheads: one-time spawn/fill cost per dataflow
+  /// stage, and the per-row cost of moving a row across a bounded channel
+  /// edge (enqueue + wakeup amortized over a batch).
+  double stream_stage_startup_us = 150.0;
+  double stream_channel_ns_per_row = 25.0;
   /// Probability that a resume finds its newest recovery point corrupted
   /// (checksum mismatch) and must fall back toward scratch. 0 (default)
   /// models perfectly reliable RP storage and keeps predictions identical

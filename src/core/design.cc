@@ -235,6 +235,7 @@ ExecutionConfig PhysicalDesign::ToExecutionConfig(
   config.redundancy = redundancy;
   config.retry = retry;
   config.injector = injector;
+  config.streaming = streaming;
   return config;
 }
 
@@ -257,6 +258,7 @@ std::string PhysicalDesign::ConfigTag() const {
   if (!recovery_points.empty()) {
     oss << (recovery_points.size() >= 3 ? "+RP++" : "+RP");
   }
+  if (streaming) oss << "+S";
   return oss.str();
 }
 

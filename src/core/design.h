@@ -186,6 +186,11 @@ struct PhysicalDesign {
   /// and add per-row cost when enabled).
   bool provenance_columns = false;
   bool audit_rejects = false;
+  /// Streaming (pipelined) execution: stages overlap across bounded
+  /// channels instead of running phase-by-phase. Changes the performance
+  /// law (overlapped max-of-stages instead of sum, see cost_model.h) and
+  /// maps to ExecutionConfig::streaming.
+  bool streaming = false;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

@@ -101,10 +101,15 @@ Status SalesScenario::Build(const SalesScenarioConfig& config) {
     }
     const std::vector<Row> s3_rows =
         GenerateClickstream(config.workload, config.s3_rows, &rng_);
-    // The clickstream is a streaming source; it stays in memory.
+    // The clickstream is a streaming source; it stays in memory but still
+    // arrives over the web-portal channel, so the bandwidth cap applies.
     auto s3 = std::make_shared<MemTable>("CUSTWEB_CS", ClickstreamSchema());
     QOX_RETURN_IF_ERROR(s3->Append(RowBatch(ClickstreamSchema(), s3_rows)));
     s3_ = s3;
+    if (config.source_bandwidth_bytes_per_s > 0) {
+      s3_ = std::make_shared<ThrottledStore>(
+          s3_, config.source_bandwidth_bytes_per_s);
+    }
   }
 
   // --- shared state ----------------------------------------------------------

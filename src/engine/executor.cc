@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "engine/streaming.h"
 
 namespace qox {
 
@@ -96,12 +97,30 @@ class FlowRunner {
     }
   }
 
+  /// Streaming with no redundancy loads inline at the dataflow sink
+  /// (redundant instances must still hand their output to the voter).
+  bool StreamingInlineLoad() const {
+    return config_.streaming && config_.redundancy <= 1;
+  }
+
+  /// Whether the inline-load sink ran and made the target current (so the
+  /// caller must skip its own load phase).
+  bool loaded_inline() const { return loaded_inline_; }
+
   /// Runs (with per-instance retries unless redundant) and fills `*out`
-  /// with the transform output. Metrics cover this instance only.
+  /// with the transform output. Metrics cover this instance only. In
+  /// inline-load streaming mode `*out` stays empty: rows are already in
+  /// the target on success.
   Status RunToOutput(std::vector<Row>* out) {
     const RetryPolicy& policy = config_.retry;
     const size_t max_attempts =
         config_.redundancy > 1 ? 1 : std::max<size_t>(1, policy.max_attempts);
+    metrics_.streaming = config_.streaming;
+    if (StreamingInlineLoad()) {
+      // Baseline for cross-attempt incremental restart: rows beyond this
+      // count are ours, durably loaded by an earlier (failed) attempt.
+      QOX_ASSIGN_OR_RETURN(load_base_rows_, flow_.target->NumRows());
+    }
     size_t attempt = 1;
     while (true) {
       metrics_.attempts = attempt;
@@ -111,9 +130,12 @@ class FlowRunner {
               ? NowMicros() + policy.attempt_deadline_micros
               : 0;
       const StopWatch attempt_timer;
-      const Status st = RunAttempt(static_cast<int>(attempt),
-                                   FindResumeCut(static_cast<int>(NumOps()) + 1),
-                                   out);
+      const int resume_cut =
+          FindResumeCut(static_cast<int>(NumOps()) + 1);
+      const Status st =
+          config_.streaming
+              ? RunAttemptStreaming(static_cast<int>(attempt), resume_cut, out)
+              : RunAttempt(static_cast<int>(attempt), resume_cut, out);
       if (st.ok()) return Status::OK();
       if (st.IsInjectedFailure()) ++metrics_.failures_injected;
       // Only transient failures consume the retry budget; permanent errors
@@ -199,7 +221,7 @@ class FlowRunner {
     std::vector<Row> rows;
     rows.reserve(total);
     Status scan_status = flow_.source->Scan(
-        config_.batch_size, [&](const RowBatch& batch) -> Status {
+        config_.batch_size, [&](RowBatch& batch) -> Status {
           if (cancelled_ != nullptr && cancelled_->load()) {
             return Status::Cancelled("extraction cancelled");
           }
@@ -213,7 +235,8 @@ class FlowRunner {
                 instance_id_, attempt, /*op_index=*/-1,
                 rows.size() + batch.num_rows(), total));
           }
-          rows.insert(rows.end(), batch.rows().begin(), batch.rows().end());
+          rows.insert(rows.end(), std::make_move_iterator(batch.rows().begin()),
+                      std::make_move_iterator(batch.rows().end()));
           return Status::OK();
         });
     metrics_.extract_micros += timer.ElapsedMicros();
@@ -408,6 +431,40 @@ class FlowRunner {
     return rows;
   }
 
+  /// Resolves the resume point: loads the newest verifiable recovery point
+  /// into `*rows`, falling back past corrupted points (dropping them) to
+  /// older ones. Returns the cut resumed from, or -1 for a from-scratch
+  /// attempt (`*rows` untouched).
+  Result<int> ResumeFromRp(int resume_cut, std::vector<Row>* rows) {
+    while (resume_cut >= 0) {
+      Result<std::vector<Row>> loaded =
+          LoadRp(static_cast<size_t>(resume_cut));
+      if (loaded.ok()) {
+        *rows = loaded.TakeValue();
+        return resume_cut;
+      }
+      if (!loaded.status().IsCorruptedData()) return loaded.status();
+      ++metrics_.rp_corruption_fallbacks;
+      QOX_RETURN_IF_ERROR(config_.rp_store->Drop(
+          {flow_.id,
+           CutPointId(instance_id_, static_cast<size_t>(resume_cut))}));
+      resume_cut = FindResumeCut(resume_cut);
+    }
+    return -1;
+  }
+
+  /// The recovery cut ending the segment that starts at `current_cut`
+  /// (the next configured cut strictly after it, or the chain end).
+  size_t NextCut(size_t current_cut) const {
+    size_t next_cut = NumOps();
+    for (const size_t cut : config_.recovery_points) {
+      if (cut > current_cut && cut <= NumOps()) {
+        next_cut = std::min(next_cut, cut);
+      }
+    }
+    return next_cut;
+  }
+
   Status RunAttempt(int attempt, int resume_cut, std::vector<Row>* out) {
     attempt_start_micros_ = NowMicros();
     durable_elapsed_micros_ = 0;
@@ -417,23 +474,10 @@ class FlowRunner {
     // checksum fails verification is dropped and resume falls back to the
     // next older complete one (ultimately from scratch) instead of failing
     // the run on its own persisted state.
-    bool resumed = false;
-    while (resume_cut >= 0) {
-      Result<std::vector<Row>> loaded =
-          LoadRp(static_cast<size_t>(resume_cut));
-      if (loaded.ok()) {
-        rows = loaded.TakeValue();
-        current_cut = static_cast<size_t>(resume_cut);
-        resumed = true;
-        break;
-      }
-      if (!loaded.status().IsCorruptedData()) return loaded.status();
-      ++metrics_.rp_corruption_fallbacks;
-      QOX_RETURN_IF_ERROR(config_.rp_store->Drop(
-          {flow_.id,
-           CutPointId(instance_id_, static_cast<size_t>(resume_cut))}));
-      resume_cut = FindResumeCut(resume_cut);
-    }
+    QOX_ASSIGN_OR_RETURN(const int resumed_cut,
+                         ResumeFromRp(resume_cut, &rows));
+    const bool resumed = resumed_cut >= 0;
+    if (resumed) current_cut = static_cast<size_t>(resumed_cut);
     if (!resumed) {
       QOX_ASSIGN_OR_RETURN(rows, Extract(attempt));
       current_cut = 0;
@@ -442,17 +486,8 @@ class FlowRunner {
     // Transform segment by segment between recovery-point cuts. The
     // transform phase is timed exclusively: recovery-point writes have
     // their own counter so the phases are additive.
-    std::vector<size_t> cuts = config_.recovery_points;
-    std::sort(cuts.begin(), cuts.end());
     while (current_cut < NumOps()) {
-      // Next recovery cut strictly after current position, or the end.
-      size_t next_cut = NumOps();
-      for (const size_t cut : cuts) {
-        if (cut > current_cut && cut <= NumOps()) {
-          next_cut = std::min(next_cut, cut);
-          break;
-        }
-      }
+      const size_t next_cut = NextCut(current_cut);
       const StopWatch segment_timer;
       QOX_ASSIGN_OR_RETURN(
           rows, RunSegment(current_cut, next_cut, std::move(rows), attempt));
@@ -464,6 +499,565 @@ class FlowRunner {
     }
     *out = std::move(rows);
     return Status::OK();
+  }
+
+  // ===== Streaming (pipelined) execution ==================================
+  //
+  // The attempt is wired as a dataflow of stages connected by bounded
+  // channels (engine/streaming.h): source (extract, or recovery-point
+  // replay) → transform units split exactly as RunSegment splits them →
+  // recovery-point barriers → sink (inline load, or a collector when the
+  // redundancy voter needs the output). Stage bodies run on their own
+  // threads; they never touch metrics_ except under stage_mu_, and phase
+  // counters are attributed from per-stage busy time after Join. Blocking
+  // operators (inside pipelines), ordered-merge sorts, and recovery-point
+  // barriers remain the only full materialization points.
+
+  /// Appends `row` to `*acc`, flushing full batches into `out`.
+  Status EmitRow(Row row, RowBatch* acc, BatchChannel* out,
+                 StageStats* stats) {
+    acc->Append(std::move(row));
+    if (acc->num_rows() >= config_.batch_size) {
+      return FlushBatch(acc, out, stats);
+    }
+    return Status::OK();
+  }
+
+  /// Sends `*acc`'s rows into `out` (no-op when empty) and resets it.
+  Status FlushBatch(RowBatch* acc, BatchChannel* out, StageStats* stats) {
+    if (acc->empty()) return Status::OK();
+    RowBatch send(acc->schema());
+    send.rows() = std::move(acc->rows());
+    acc->Clear();
+    stats->rows += send.num_rows();
+    ++stats->batches;
+    return out->Push(std::move(send), &stats->backpressure_micros);
+  }
+
+  /// Builds a bound pipeline over ops [begin, end) (shared by streaming
+  /// transform stages; `expected_rows` feeds failure-fraction denominators).
+  Result<std::unique_ptr<Pipeline>> MakePipeline(size_t begin, size_t end,
+                                                 int attempt,
+                                                 size_t expected_rows) {
+    std::vector<OperatorPtr> ops;
+    ops.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) ops.push_back(flow_.transforms[i]());
+    PipelineConfig pc;
+    pc.instance_id = instance_id_;
+    pc.attempt = attempt;
+    pc.op_index_offset = static_cast<int>(begin);
+    pc.injector = config_.injector;
+    pc.expected_input_rows = expected_rows;
+    pc.deadline_micros = attempt_deadline_micros_;
+    return Pipeline::Create(cut_schemas_[begin], std::move(ops), &ctx_, pc);
+  }
+
+  void AccumulateOpsLocked(const std::vector<OpStats>& stats) {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    for (const OpStats& s : stats) metrics_.AccumulateOp(s);
+  }
+
+  /// Source stage: scans the source, streaming batches into `out`.
+  void SpawnExtractStage(StageSet* stages, BatchChannelPtr out, int attempt) {
+    stages->Spawn("extract", [this, out, attempt](StageStats* stats) -> Status {
+      QOX_ASSIGN_OR_RETURN(const size_t total, flow_.source->NumRows());
+      if (config_.injector != nullptr) {
+        QOX_RETURN_IF_ERROR(config_.injector->Check(
+            instance_id_, attempt, /*op_index=*/-1, 0, total));
+      }
+      size_t seen = 0;
+      QOX_RETURN_IF_ERROR(flow_.source->Scan(
+          config_.batch_size, [&](RowBatch& batch) -> Status {
+            if (cancelled_ != nullptr && cancelled_->load()) {
+              return Status::Cancelled("extraction cancelled");
+            }
+            if (attempt_deadline_micros_ > 0 &&
+                NowMicros() > attempt_deadline_micros_) {
+              return Status::DeadlineExceeded(
+                  "attempt deadline expired during extraction");
+            }
+            seen += batch.num_rows();
+            if (config_.injector != nullptr) {
+              QOX_RETURN_IF_ERROR(config_.injector->Check(
+                  instance_id_, attempt, /*op_index=*/-1, seen, total));
+            }
+            RowBatch send(batch.schema());
+            send.rows() = std::move(batch.rows());
+            stats->rows += send.num_rows();
+            ++stats->batches;
+            return out->Push(std::move(send), &stats->backpressure_micros);
+          }));
+      stats->channel_high_water = out->stats().high_water;
+      out->Close();
+      return Status::OK();
+    });
+  }
+
+  /// Source stage variant: replays recovery-point rows into the dataflow.
+  void SpawnReplayStage(StageSet* stages, BatchChannelPtr out,
+                        std::vector<Row> rows, size_t cut) {
+    auto replay = std::make_shared<std::vector<Row>>(std::move(rows));
+    stages->Spawn(
+        "replay", [this, out, replay, cut](StageStats* stats) -> Status {
+          RowBatch acc(cut_schemas_[cut]);
+          for (Row& row : *replay) {
+            QOX_RETURN_IF_ERROR(EmitRow(std::move(row), &acc, out.get(), stats));
+          }
+          QOX_RETURN_IF_ERROR(FlushBatch(&acc, out.get(), stats));
+          replay->clear();
+          stats->channel_high_water = out->stats().high_water;
+          out->Close();
+          return Status::OK();
+        });
+  }
+
+  /// Recovery-point barrier: materializes the full cut, persists it, then
+  /// re-emits downstream. Returns the barrier's output channel.
+  BatchChannelPtr SpawnBarrierStage(StageSet* stages, BatchChannelPtr in,
+                                    size_t cut) {
+    BatchChannelPtr out = stages->MakeChannel(config_.channel_capacity);
+    stages->Spawn(
+        "rp.cut" + std::to_string(cut),
+        [this, in, out, cut](StageStats* stats) -> Status {
+          std::vector<Row> rows;
+          while (true) {
+            QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                                 in->Pop(&stats->stall_micros));
+            if (!item.has_value()) break;
+            rows.insert(rows.end(),
+                        std::make_move_iterator(item->rows().begin()),
+                        std::make_move_iterator(item->rows().end()));
+          }
+          {
+            std::lock_guard<std::mutex> lock(stage_mu_);
+            QOX_RETURN_IF_ERROR(WriteRp(cut, rows));
+          }
+          RowBatch acc(cut_schemas_[cut]);
+          for (Row& row : rows) {
+            QOX_RETURN_IF_ERROR(EmitRow(std::move(row), &acc, out.get(), stats));
+          }
+          QOX_RETURN_IF_ERROR(FlushBatch(&acc, out.get(), stats));
+          stats->channel_high_water = out->stats().high_water;
+          out->Close();
+          return Status::OK();
+        });
+    return out;
+  }
+
+  /// Sequential transform stage over ops [begin, end): pops input batches,
+  /// pushes them through its pipeline, and emits whatever the pipeline has
+  /// produced so far — blocking operators inside simply emit nothing until
+  /// Finish.
+  BatchChannelPtr SpawnTransformStage(StageSet* stages, BatchChannelPtr in,
+                                      size_t begin, size_t end, int attempt,
+                                      size_t expected_rows) {
+    BatchChannelPtr out = stages->MakeChannel(config_.channel_capacity);
+    const std::string name = "transform[" + std::to_string(begin) + "," +
+                             std::to_string(end) + ")";
+    stages->Spawn(name, [this, in, out, begin, end, attempt, expected_rows](
+                            StageStats* stats) -> Status {
+      QOX_ASSIGN_OR_RETURN(std::unique_ptr<Pipeline> pipeline,
+                           MakePipeline(begin, end, attempt, expected_rows));
+      RowBatch acc(cut_schemas_[end]);
+      while (true) {
+        QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                             in->Pop(&stats->stall_micros));
+        if (!item.has_value()) break;
+        QOX_RETURN_IF_ERROR(pipeline->Push(*item));
+        for (Row& row : pipeline->TakeOutput()) {
+          QOX_RETURN_IF_ERROR(EmitRow(std::move(row), &acc, out.get(), stats));
+        }
+      }
+      QOX_RETURN_IF_ERROR(pipeline->Finish());
+      for (Row& row : pipeline->TakeOutput()) {
+        QOX_RETURN_IF_ERROR(EmitRow(std::move(row), &acc, out.get(), stats));
+      }
+      QOX_RETURN_IF_ERROR(FlushBatch(&acc, out.get(), stats));
+      AccumulateOpsLocked(pipeline->op_stats());
+      stats->channel_high_water = out->stats().high_water;
+      out->Close();
+      return Status::OK();
+    });
+    return out;
+  }
+
+  /// Partitioned unit over ops [begin, end): a partitioner stage routes
+  /// rows into per-partition channels as they arrive (no pre-split
+  /// materialization), one pipeline stage per partition transforms them,
+  /// and a merge stage reunifies the branches — a k-way ordered merge over
+  /// per-partition sorted runs when ordered_merge is set, else a
+  /// deterministic round-robin batch interleave.
+  Result<BatchChannelPtr> SpawnParallelUnit(StageSet* stages,
+                                            BatchChannelPtr in, size_t begin,
+                                            size_t end, int attempt,
+                                            size_t expected_rows) {
+    const size_t num_parts = config_.parallel.partitions;
+    const std::string range =
+        "[" + std::to_string(begin) + "," + std::to_string(end) + ")";
+    size_t hash_col = 0;
+    if (config_.parallel.scheme == PartitionScheme::kHash) {
+      QOX_ASSIGN_OR_RETURN(hash_col, cut_schemas_[begin].FieldIndex(
+                                         config_.parallel.hash_column));
+    }
+    std::vector<BatchChannelPtr> part_in;
+    part_in.reserve(num_parts);
+    for (size_t p = 0; p < num_parts; ++p) {
+      part_in.push_back(stages->MakeChannel(config_.channel_capacity));
+    }
+    stages->Spawn(
+        "partition" + range,
+        [this, in, part_in, begin, hash_col](StageStats* stats) -> Status {
+          const PartitionScheme scheme = config_.parallel.scheme;
+          const size_t num_parts = part_in.size();
+          std::vector<RowBatch> acc;
+          acc.reserve(num_parts);
+          for (size_t p = 0; p < num_parts; ++p) {
+            acc.emplace_back(cut_schemas_[begin]);
+          }
+          size_t rr = 0;
+          while (true) {
+            QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                                 in->Pop(&stats->stall_micros));
+            if (!item.has_value()) break;
+            for (Row& row : item->rows()) {
+              const size_t p = scheme == PartitionScheme::kHash
+                                   ? row.HashColumns({hash_col}) % num_parts
+                                   : rr++ % num_parts;
+              QOX_RETURN_IF_ERROR(
+                  EmitRow(std::move(row), &acc[p], part_in[p].get(), stats));
+            }
+          }
+          size_t high_water = 0;
+          for (size_t p = 0; p < num_parts; ++p) {
+            QOX_RETURN_IF_ERROR(FlushBatch(&acc[p], part_in[p].get(), stats));
+            high_water = std::max(high_water, part_in[p]->stats().high_water);
+            part_in[p]->Close();
+          }
+          stats->channel_high_water = high_water;
+          return Status::OK();
+        });
+    const bool ordered =
+        config_.ordered_merge && cut_schemas_[end].num_fields() > 0;
+    std::vector<BatchChannelPtr> part_out;
+    part_out.reserve(num_parts);
+    const size_t per_part_rows = expected_rows / num_parts + 1;
+    for (size_t p = 0; p < num_parts; ++p) {
+      part_out.push_back(stages->MakeChannel(config_.channel_capacity));
+      stages->Spawn(
+          "part" + std::to_string(p) + range,
+          [this, inp = part_in[p], outp = part_out[p], begin, end, attempt,
+           per_part_rows, ordered](StageStats* stats) -> Status {
+            QOX_ASSIGN_OR_RETURN(
+                std::unique_ptr<Pipeline> pipeline,
+                MakePipeline(begin, end, attempt, per_part_rows));
+            RowBatch acc(cut_schemas_[end]);
+            // Ordered merges need each branch to emit one sorted run, so
+            // the branch buffers + sorts its whole output (a blocking
+            // materialization, same as the phased post-merge sort).
+            std::vector<Row> run;
+            auto emit = [&](std::vector<Row> produced) -> Status {
+              if (ordered) {
+                run.insert(run.end(),
+                           std::make_move_iterator(produced.begin()),
+                           std::make_move_iterator(produced.end()));
+                return Status::OK();
+              }
+              for (Row& row : produced) {
+                QOX_RETURN_IF_ERROR(
+                    EmitRow(std::move(row), &acc, outp.get(), stats));
+              }
+              return Status::OK();
+            };
+            while (true) {
+              QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                                   inp->Pop(&stats->stall_micros));
+              if (!item.has_value()) break;
+              QOX_RETURN_IF_ERROR(pipeline->Push(*item));
+              QOX_RETURN_IF_ERROR(emit(pipeline->TakeOutput()));
+            }
+            QOX_RETURN_IF_ERROR(pipeline->Finish());
+            QOX_RETURN_IF_ERROR(emit(pipeline->TakeOutput()));
+            if (ordered) {
+              std::stable_sort(run.begin(), run.end(),
+                               [](const Row& a, const Row& b) {
+                                 return a.value(0).Compare(b.value(0)) < 0;
+                               });
+              for (Row& row : run) {
+                QOX_RETURN_IF_ERROR(
+                    EmitRow(std::move(row), &acc, outp.get(), stats));
+              }
+            }
+            QOX_RETURN_IF_ERROR(FlushBatch(&acc, outp.get(), stats));
+            AccumulateOpsLocked(pipeline->op_stats());
+            stats->channel_high_water = outp->stats().high_water;
+            outp->Close();
+            return Status::OK();
+          });
+    }
+    BatchChannelPtr out = stages->MakeChannel(config_.channel_capacity);
+    if (ordered) {
+      SpawnOrderedMerge(stages, part_out, out, end, range);
+    } else {
+      SpawnRoundRobinMerge(stages, part_out, out, range);
+    }
+    return out;
+  }
+
+  /// K-way merge over per-partition sorted runs: repeatedly emits the
+  /// smallest head row by first-column order, breaking ties toward the
+  /// lowest partition index — exactly the order the phased executor's
+  /// stable_sort over the partition-concatenated output produces.
+  void SpawnOrderedMerge(StageSet* stages, std::vector<BatchChannelPtr> parts,
+                         BatchChannelPtr out, size_t end_cut,
+                         const std::string& range) {
+    stages->Spawn(
+        "merge" + range,
+        [this, parts, out, end_cut](StageStats* stats) -> Status {
+          struct Run {
+            std::vector<Row> rows;
+            size_t next = 0;
+            bool open = true;
+          };
+          std::vector<Run> runs(parts.size());
+          auto refill = [&](size_t p) -> Status {
+            Run& run = runs[p];
+            while (run.open && run.next >= run.rows.size()) {
+              QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                                   parts[p]->Pop(&stats->stall_micros));
+              if (!item.has_value()) {
+                run.open = false;
+                break;
+              }
+              run.rows = std::move(item->rows());
+              run.next = 0;
+            }
+            return Status::OK();
+          };
+          for (size_t p = 0; p < runs.size(); ++p) {
+            QOX_RETURN_IF_ERROR(refill(p));
+          }
+          RowBatch acc(cut_schemas_[end_cut]);
+          while (true) {
+            int best = -1;
+            for (size_t p = 0; p < runs.size(); ++p) {
+              if (runs[p].next >= runs[p].rows.size()) continue;
+              if (best < 0 ||
+                  runs[p].rows[runs[p].next].value(0).Compare(
+                      runs[best].rows[runs[best].next].value(0)) < 0) {
+                best = static_cast<int>(p);
+              }
+            }
+            if (best < 0) break;
+            Run& run = runs[best];
+            QOX_RETURN_IF_ERROR(EmitRow(std::move(run.rows[run.next]), &acc,
+                                        out.get(), stats));
+            ++run.next;
+            QOX_RETURN_IF_ERROR(refill(static_cast<size_t>(best)));
+          }
+          QOX_RETURN_IF_ERROR(FlushBatch(&acc, out.get(), stats));
+          stats->channel_high_water = out->stats().high_water;
+          out->Close();
+          return Status::OK();
+        });
+  }
+
+  /// Unordered merge: forwards one batch per open partition per round, in
+  /// partition-index order — deterministic, which the inline-load sink's
+  /// cross-attempt skip logic depends on.
+  void SpawnRoundRobinMerge(StageSet* stages,
+                            std::vector<BatchChannelPtr> parts,
+                            BatchChannelPtr out, const std::string& range) {
+    stages->Spawn(
+        "merge" + range, [parts, out](StageStats* stats) -> Status {
+          std::vector<bool> open(parts.size(), true);
+          size_t remaining = parts.size();
+          while (remaining > 0) {
+            for (size_t p = 0; p < parts.size(); ++p) {
+              if (!open[p]) continue;
+              QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                                   parts[p]->Pop(&stats->stall_micros));
+              if (!item.has_value()) {
+                open[p] = false;
+                --remaining;
+                continue;
+              }
+              stats->rows += item->num_rows();
+              ++stats->batches;
+              QOX_RETURN_IF_ERROR(
+                  out->Push(std::move(*item), &stats->backpressure_micros));
+            }
+          }
+          stats->channel_high_water = out->stats().high_water;
+          out->Close();
+          return Status::OK();
+        });
+  }
+
+  /// Terminal stage, redundancy mode: materializes the dataflow output for
+  /// the voter (the caller's `*out` buffer, cleared per attempt).
+  void SpawnCollectStage(StageSet* stages, BatchChannelPtr in,
+                         std::vector<Row>* out) {
+    stages->Spawn("collect", [in, out](StageStats* stats) -> Status {
+      out->clear();
+      while (true) {
+        QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                             in->Pop(&stats->stall_micros));
+        if (!item.has_value()) break;
+        stats->rows += item->num_rows();
+        ++stats->batches;
+        out->insert(out->end(), std::make_move_iterator(item->rows().begin()),
+                    std::make_move_iterator(item->rows().end()));
+      }
+      return Status::OK();
+    });
+  }
+
+  /// Terminal stage, inline load: appends arriving batches to the target,
+  /// skipping the prefix a prior attempt already made durable. Stage
+  /// wiring and merges are deterministic, so rows reach the sink in the
+  /// same order every attempt and the durable rows are exactly a prefix
+  /// of this attempt's arrival sequence (torn writes included — the skip
+  /// is recomputed from the target's row count).
+  void SpawnLoadStage(StageSet* stages, BatchChannelPtr in, int attempt) {
+    stages->Spawn("load", [this, in, attempt](StageStats* stats) -> Status {
+      QOX_ASSIGN_OR_RETURN(const size_t durable, flow_.target->NumRows());
+      const size_t skip = durable - load_base_rows_;
+      size_t seen = 0;  // rows that reached the sink this attempt
+      RowBatch acc(cut_schemas_.back());
+      auto flush = [&]() -> Status {
+        if (acc.empty()) return Status::OK();
+        if (config_.injector != nullptr) {
+          // Streaming cannot know the final output count up front, so load
+          // progress is reported with an unknown total: only
+          // at_fraction == 0 load specs can fire mid-stream.
+          QOX_RETURN_IF_ERROR(config_.injector->Check(
+              instance_id_, attempt, FailureSpec::kAtLoad, seen,
+              /*rows_total=*/0));
+        }
+        QOX_RETURN_IF_ERROR(flow_.target->Append(acc));
+        acc.Clear();
+        return Status::OK();
+      };
+      while (true) {
+        QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                             in->Pop(&stats->stall_micros));
+        if (!item.has_value()) break;
+        ++stats->batches;
+        for (Row& row : item->rows()) {
+          ++seen;
+          if (seen <= skip) continue;  // durable from a prior attempt
+          acc.Append(std::move(row));
+          if (acc.num_rows() >= config_.batch_size) {
+            QOX_RETURN_IF_ERROR(flush());
+          }
+        }
+      }
+      QOX_RETURN_IF_ERROR(flush());
+      stats->rows = seen;
+      std::lock_guard<std::mutex> lock(stage_mu_);
+      metrics_.rows_loaded += seen;
+      loaded_inline_ = true;
+      return Status::OK();
+    });
+  }
+
+  /// Charges per-stage busy time to the phase counters. Streaming stages
+  /// overlap, so in this mode the phase counters are busy-time aggregates
+  /// rather than exclusive wall-clock phases.
+  void AttributeStagePhases(const std::vector<StageStats>& stage_stats) {
+    for (const StageStats& s : stage_stats) {
+      if (s.name == "extract" || s.name == "replay") {
+        metrics_.extract_micros += s.busy_micros;
+        if (s.name == "extract") metrics_.rows_extracted += s.rows;
+      } else if (s.name.rfind("merge", 0) == 0) {
+        metrics_.merge_micros += s.busy_micros;
+      } else if (s.name.rfind("transform", 0) == 0 ||
+                 s.name.rfind("part", 0) == 0) {
+        metrics_.transform_micros += s.busy_micros;
+      } else if (s.name == "load") {
+        metrics_.load_micros += s.busy_micros;
+      }
+      // "rp.cut*" barriers: the persist cost is self-accounted by WriteRp;
+      // "collect" is voter bookkeeping, not a flow phase.
+    }
+  }
+
+  /// Wires the stages covering ops [begin, end), splitting into
+  /// sequential/partitioned units exactly as the phased RunSegment does.
+  Result<BatchChannelPtr> WireSegment(StageSet* stages, BatchChannelPtr in,
+                                      size_t begin, size_t end, int attempt,
+                                      size_t expected_rows) {
+    const bool parallel_on = config_.parallel.partitions > 1;
+    const size_t rb = config_.parallel.range_begin;
+    const size_t re = std::min(config_.parallel.range_end, NumOps());
+    size_t pos = begin;
+    BatchChannelPtr cursor = std::move(in);
+    while (pos < end) {
+      if (parallel_on && pos >= rb && pos < re) {
+        const size_t next = std::min(end, re);
+        QOX_ASSIGN_OR_RETURN(cursor,
+                             SpawnParallelUnit(stages, cursor, pos, next,
+                                               attempt, expected_rows));
+        pos = next;
+      } else {
+        const size_t next = (parallel_on && pos < rb) ? std::min(end, rb) : end;
+        cursor = SpawnTransformStage(stages, cursor, pos, next, attempt,
+                                     expected_rows);
+        pos = next;
+      }
+    }
+    return cursor;
+  }
+
+  /// One streaming attempt: wires the dataflow and runs it to completion.
+  /// Mirrors RunAttempt's recovery semantics (resume, corruption fallback,
+  /// per-cut persistence) with stages instead of phases.
+  Status RunAttemptStreaming(int attempt, int resume_cut,
+                             std::vector<Row>* out) {
+    attempt_start_micros_ = NowMicros();
+    durable_elapsed_micros_ = 0;
+    std::vector<Row> resume_rows;
+    QOX_ASSIGN_OR_RETURN(const int resumed_cut,
+                         ResumeFromRp(resume_cut, &resume_rows));
+    size_t current_cut =
+        resumed_cut >= 0 ? static_cast<size_t>(resumed_cut) : 0;
+    // Failure fractions and pipeline sizing need a row-count denominator
+    // before any rows flow; the source size (or the replayed cut's size)
+    // is the best available estimate.
+    QOX_ASSIGN_OR_RETURN(const size_t source_rows, flow_.source->NumRows());
+    const size_t expected_rows =
+        resumed_cut >= 0 ? resume_rows.size() : source_rows;
+
+    StageSet stages;
+    BatchChannelPtr cursor = stages.MakeChannel(config_.channel_capacity);
+    if (resumed_cut >= 0) {
+      SpawnReplayStage(&stages, cursor, std::move(resume_rows), current_cut);
+    } else {
+      SpawnExtractStage(&stages, cursor, attempt);
+      if (HasRp(0)) cursor = SpawnBarrierStage(&stages, cursor, 0);
+    }
+    while (current_cut < NumOps()) {
+      const size_t next_cut = NextCut(current_cut);
+      QOX_ASSIGN_OR_RETURN(cursor,
+                           WireSegment(&stages, cursor, current_cut, next_cut,
+                                       attempt, expected_rows));
+      current_cut = next_cut;
+      if (HasRp(current_cut)) {
+        cursor = SpawnBarrierStage(&stages, cursor, current_cut);
+      }
+    }
+    if (StreamingInlineLoad()) {
+      SpawnLoadStage(&stages, cursor, attempt);
+    } else {
+      SpawnCollectStage(&stages, cursor, out);
+    }
+    std::vector<StageStats> stage_stats;
+    const Status st = stages.Join(&stage_stats);
+    AttributeStagePhases(stage_stats);
+    for (StageStats& s : stage_stats) {
+      metrics_.stage_stats.push_back(std::move(s));
+    }
+    return st;
   }
 
   const FlowSpec& flow_;
@@ -480,6 +1074,12 @@ class FlowRunner {
   int64_t attempt_start_micros_ = 0;
   int64_t durable_elapsed_micros_ = 0;
   int64_t attempt_deadline_micros_ = 0;
+  /// Streaming only: serializes metrics_ (and WriteRp's durable-progress
+  /// bookkeeping) across stage threads.
+  std::mutex stage_mu_;
+  /// Streaming inline load: target row count before the first attempt.
+  size_t load_base_rows_ = 0;
+  bool loaded_inline_ = false;
 };
 
 /// Loads `rows` into the target with transient-failure retry: rows already
@@ -617,10 +1217,12 @@ Result<RunMetrics> Executor::Run(const FlowSpec& flow,
   metrics.redundancy = config.redundancy;
 
   std::vector<Row> accepted_output;
+  bool loaded_inline = false;
   if (config.redundancy <= 1) {
     FlowRunner runner(flow, config, cut_schemas, &pool, /*instance_id=*/0,
                       &cancelled);
     QOX_RETURN_IF_ERROR(runner.RunToOutput(&accepted_output));
+    loaded_inline = runner.loaded_inline();
     metrics = runner.metrics();
     metrics.threads = config.num_threads;
     metrics.partitions = config.parallel.partitions;
@@ -704,8 +1306,10 @@ Result<RunMetrics> Executor::Run(const FlowSpec& flow,
     metrics.failures_injected = failures;
   }
 
-  QOX_RETURN_IF_ERROR(LoadWithRetry(flow, config, accepted_output,
-                                    cut_schemas.back(), &metrics));
+  if (!loaded_inline) {
+    QOX_RETURN_IF_ERROR(LoadWithRetry(flow, config, accepted_output,
+                                      cut_schemas.back(), &metrics));
+  }
   if (flow.post_success) {
     QOX_RETURN_IF_ERROR(flow.post_success());
   }

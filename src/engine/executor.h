@@ -106,6 +106,19 @@ struct ExecutionConfig {
   /// mechanism of the QoX suite. Must have RejectStoreSchema(). Retried
   /// attempts re-log their rejects (each record names its attempt).
   DataStorePtr reject_store;
+  /// Streaming (pipelined) execution: extract, transform units, and load
+  /// run as concurrent stages connected by bounded Channel<RowBatch> edges
+  /// (DESIGN.md "Streaming dataflow"), so batches flow end to end without
+  /// full materialization except at blocking operators and recovery-point
+  /// cuts. With redundancy == 1 the load runs inline as the dataflow sink
+  /// (a failed load consumes a flow attempt and the next attempt skips
+  /// rows already durable in the target). Output and metrics semantics
+  /// match phased mode; phase timings become per-stage busy-time
+  /// aggregates (stages overlap, so they no longer sum to total).
+  bool streaming = false;
+  /// Bounded capacity, in batches, of every streaming channel (the
+  /// backpressure window between adjacent stages). Values < 1 act as 1.
+  size_t channel_capacity = 8;
 };
 
 /// Schema of the reject/audit store:

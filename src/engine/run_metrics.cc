@@ -52,8 +52,20 @@ std::string RunMetrics::Summary() const {
   if (rp_corruption_fallbacks > 0) {
     oss << " rp_corruption_fallbacks=" << rp_corruption_fallbacks;
   }
+  if (streaming && !stage_stats.empty()) {
+    int64_t stall = 0;
+    int64_t backpressure = 0;
+    for (const StageStats& stage : stage_stats) {
+      stall += stage.stall_micros;
+      backpressure += stage.backpressure_micros;
+    }
+    oss << " stages=" << stage_stats.size()
+        << " stall=" << stall / 1000.0 << "ms"
+        << " backpressure=" << backpressure / 1000.0 << "ms";
+  }
   oss << " [threads=" << threads << " partitions=" << partitions
-      << " redundancy=" << redundancy << "]";
+      << " redundancy=" << redundancy << (streaming ? " streaming" : "")
+      << "]";
   return oss.str();
 }
 

@@ -49,6 +49,22 @@ struct ParallelUnitStats {
   int64_t merge_micros = 0;
 };
 
+/// Accounting of one stage of a streaming (pipelined) execution: a thread
+/// running extract, a transform pipeline, a partition branch, a merge, a
+/// recovery-point barrier, or the load, connected to its neighbors by
+/// bounded channels. busy + stall + backpressure ≈ the stage's wall time;
+/// the stall/backpressure split shows which neighbor was the bottleneck.
+struct StageStats {
+  std::string name;                ///< "extract", "transform[0,3)", "load", ...
+  int64_t busy_micros = 0;         ///< actually processing rows
+  int64_t stall_micros = 0;        ///< blocked popping an empty input channel
+  int64_t backpressure_micros = 0; ///< blocked pushing a full output channel
+  size_t batches = 0;              ///< batches this stage emitted
+  size_t rows = 0;                 ///< rows this stage emitted
+  /// High-water mark of the stage's output channel (0 for sink stages).
+  size_t channel_high_water = 0;
+};
+
 /// Metrics of one flow run (possibly spanning several attempts when
 /// failures were injected).
 struct RunMetrics {
@@ -90,10 +106,13 @@ struct RunMetrics {
   size_t threads = 1;
   size_t partitions = 1;
   size_t redundancy = 1;
+  bool streaming = false;  ///< ran in streaming (pipelined) mode
 
   std::vector<OpStats> op_stats;
   /// One entry per executed parallel unit (across attempts).
   std::vector<ParallelUnitStats> parallel_units;
+  /// Streaming mode only: one entry per dataflow stage (across attempts).
+  std::vector<StageStats> stage_stats;
 
   /// Adds an operator's stats, merging by name.
   void AccumulateOp(const OpStats& stats);

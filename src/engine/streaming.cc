@@ -1,0 +1,101 @@
+#include "engine/streaming.h"
+
+#include "common/clock.h"
+
+namespace qox {
+
+StageSet::~StageSet() {
+  if (joined_) return;
+  // Destroyed without Join (likely unwinding after an error): poison so no
+  // stage can block forever, then detach-free join.
+  FailAll(Status::Cancelled("StageSet destroyed before Join"));
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+BatchChannelPtr StageSet::MakeChannel(size_t capacity) {
+  auto channel = std::make_shared<BatchChannel>(capacity);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_failure_.ok()) channel->Poison(first_failure_);
+  channels_.push_back(channel);
+  return channel;
+}
+
+void StageSet::Spawn(std::string name, std::function<Status(StageStats*)> body) {
+  size_t slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot = outcomes_.size();
+    outcomes_.emplace_back();
+    outcomes_[slot].stats.name = std::move(name);
+  }
+  threads_.emplace_back([this, slot, body = std::move(body)] {
+    StageStats local;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      local.name = outcomes_[slot].stats.name;
+    }
+    StopWatch watch;
+    Status status = body(&local);
+    const int64_t wall = watch.ElapsedMicros();
+    local.busy_micros = wall - local.stall_micros - local.backpressure_micros;
+    if (local.busy_micros < 0) local.busy_micros = 0;
+    bool primary = false;
+    if (!status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // A stage that failed on its own (not by echoing the recorded
+        // poison status) is a primary failure.
+        primary = first_failure_.ok() ||
+                  first_failure_.message() != status.message();
+      }
+      FailAll(status);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    outcomes_[slot].status = std::move(status);
+    outcomes_[slot].stats = std::move(local);
+    outcomes_[slot].primary = primary;
+  });
+}
+
+void StageSet::FailAll(const Status& status) {
+  std::vector<BatchChannelPtr> channels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_failure_.ok()) first_failure_ = status;
+    channels = channels_;
+  }
+  for (const BatchChannelPtr& channel : channels) channel->Poison(status);
+}
+
+Status StageSet::Join(std::vector<StageStats>* stats) {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pick the winning status: injected failures first (the retry machinery
+  // keys on them), then the first primary failure, then any failure.
+  Status winner = Status::OK();
+  bool winner_primary = false;
+  for (const Outcome& outcome : outcomes_) {
+    if (outcome.status.ok()) continue;
+    if (outcome.status.code() == StatusCode::kInjectedFailure) {
+      winner = outcome.status;
+      break;
+    }
+    if (winner.ok() || (outcome.primary && !winner_primary)) {
+      winner = outcome.status;
+      winner_primary = outcome.primary;
+    }
+  }
+  if (stats != nullptr) {
+    for (Outcome& outcome : outcomes_) {
+      stats->push_back(std::move(outcome.stats));
+    }
+  }
+  return winner;
+}
+
+}  // namespace qox

@@ -1,0 +1,85 @@
+// StageSet: thread + channel coordination for streaming (pipelined)
+// execution.
+//
+// A streaming dataflow is a set of stages (extract, transform pipelines,
+// partition branches, merges, recovery-point barriers, load) running on
+// dedicated threads, connected by bounded Channel<RowBatch> edges. The
+// StageSet owns both: it creates the channels, spawns the stage threads,
+// and guarantees clean unwinding when any stage fails.
+//
+// Error protocol: a stage body returns a Status. The first non-OK outcome
+// poisons EVERY channel in the set, which wakes every stage blocked on a
+// Push or Pop with that status; those stages return it in turn (they are
+// "secondary" failures). Join() then reports one winning status: injected
+// failures beat everything (the retry machinery must see the true cause),
+// then the first primary error, then any secondary echo.
+//
+// Accounting: each stage gets a StageStats slot. The stage body records
+// rows/batches and its channel waits (Push/Pop expose their blocked time);
+// the set derives busy time as wall − stall − backpressure when the body
+// finishes. Join() appends all slots to the caller's RunMetrics stage list.
+
+#ifndef QOX_ENGINE_STREAMING_H_
+#define QOX_ENGINE_STREAMING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "engine/channel.h"
+#include "engine/run_metrics.h"
+
+namespace qox {
+
+using BatchChannel = Channel<RowBatch>;
+using BatchChannelPtr = std::shared_ptr<BatchChannel>;
+
+class StageSet {
+ public:
+  StageSet() = default;
+  /// Joins any stages still running (after poisoning, so this cannot hang).
+  ~StageSet();
+
+  StageSet(const StageSet&) = delete;
+  StageSet& operator=(const StageSet&) = delete;
+
+  /// Creates a channel registered for poison-on-failure. If a stage has
+  /// already failed, the channel is born poisoned, so stages wired after a
+  /// failure unwind immediately instead of processing data nobody reads.
+  BatchChannelPtr MakeChannel(size_t capacity);
+
+  /// Spawns `body` on a dedicated thread. The body fills its StageStats
+  /// (rows, batches, waits); wall and busy time are measured here. A
+  /// non-OK return poisons every channel in the set.
+  void Spawn(std::string name, std::function<Status(StageStats*)> body);
+
+  /// Waits for every spawned stage and appends their stats to `*stats`
+  /// (may be null). Returns the winning status per the error protocol.
+  /// Must be called after all Spawn/MakeChannel calls.
+  Status Join(std::vector<StageStats>* stats);
+
+ private:
+  /// Poisons every registered channel with `status` (first failure wins).
+  void FailAll(const Status& status);
+
+  struct Outcome {
+    Status status = Status::OK();
+    StageStats stats;
+    bool primary = false;  ///< failed before (not because of) the poison
+  };
+
+  std::mutex mu_;
+  std::vector<BatchChannelPtr> channels_;
+  std::vector<Outcome> outcomes_;
+  std::vector<std::thread> threads_;
+  Status first_failure_ = Status::OK();
+  bool joined_ = false;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_STREAMING_H_

@@ -29,12 +29,31 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
-void ThreadPool::Wait() {
+namespace {
+/// The pool (if any) whose WorkerLoop owns the calling thread.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() const {
+  return current_worker_pool == this;
+}
+
+Status ThreadPool::Wait() {
+  if (InWorkerThread()) {
+    // A worker waiting for the pool's own queue to drain waits for itself:
+    // with every worker doing so the pool deadlocks. Refuse loudly instead.
+    return Status::FailedPrecondition(
+        "ThreadPool::Wait() called from inside a pool task: a worker cannot "
+        "wait for its own pool (deadlock); restructure the task to not "
+        "block on sibling tasks");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  return Status::OK();
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace qox {
 
 class ThreadPool {
@@ -27,11 +29,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not block waiting for other tasks on the
-  /// same pool (no nested Wait from inside a task).
+  /// same pool — in particular they must not call Wait(), which would
+  /// deadlock a fully occupied pool; Wait() detects and rejects this.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Blocks until every submitted task has finished. Calling Wait() from
+  /// inside a task of this same pool is a deadlock-in-waiting (the worker
+  /// would wait for itself); it is detected and rejected with
+  /// kFailedPrecondition instead of blocking.
+  Status Wait();
+
+  /// True when the calling thread is one of this pool's workers. Useful
+  /// for asserting "must not run on the pool" preconditions.
+  bool InWorkerThread() const;
 
   size_t num_threads() const { return workers_.size(); }
 

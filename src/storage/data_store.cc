@@ -4,8 +4,8 @@ namespace qox {
 
 Result<RowBatch> DataStore::ReadAll() const {
   RowBatch all(schema());
-  const Status st = Scan(kDefaultBatchSize, [&](const RowBatch& batch) {
-    for (const Row& row : batch.rows()) all.Append(row);
+  const Status st = Scan(kDefaultBatchSize, [&](RowBatch& batch) {
+    for (Row& row : batch.rows()) all.Append(std::move(row));
     return Status::OK();
   });
   if (!st.ok()) return st;

@@ -34,10 +34,12 @@ class DataStore {
 
   /// Streams the contents in batches of at most `batch_size` rows to the
   /// consumer. The consumer may return a non-OK status to abort the scan
-  /// (propagated to the caller).
-  virtual Status Scan(
-      size_t batch_size,
-      const std::function<Status(const RowBatch&)>& consumer) const = 0;
+  /// (propagated to the caller). Each batch is handed over mutably: the
+  /// consumer may move rows out of it (the store never re-reads a batch
+  /// after the consumer returns), which keeps the extract path copy-free.
+  virtual Status Scan(size_t batch_size,
+                      const std::function<Status(RowBatch&)>& consumer)
+      const = 0;
 
   /// Appends a batch. The batch schema must equal the store schema.
   virtual Status Append(const RowBatch& batch) = 0;

@@ -13,7 +13,7 @@ Status FaultyStore::MakeFault(const std::string& operation) const {
 
 Status FaultyStore::Scan(
     size_t batch_size,
-    const std::function<Status(const RowBatch&)>& consumer) const {
+    const std::function<Status(RowBatch&)>& consumer) const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++scan_calls_;
@@ -22,7 +22,7 @@ Status FaultyStore::Scan(
       return MakeFault("scan");
     }
   }
-  return inner_->Scan(batch_size, [&](const RowBatch& batch) -> Status {
+  return inner_->Scan(batch_size, [&](RowBatch& batch) -> Status {
     if (plan_.scan_fault_probability > 0.0) {
       std::lock_guard<std::mutex> lock(mu_);
       if (rng_.Bernoulli(plan_.scan_fault_probability)) {

@@ -44,7 +44,7 @@ Result<size_t> FlatFile::NumRows() const {
 
 Status FlatFile::Scan(
     size_t batch_size,
-    const std::function<Status(const RowBatch&)>& consumer) const {
+    const std::function<Status(RowBatch&)>& consumer) const {
   if (batch_size == 0) return Status::Invalid("batch_size must be > 0");
   std::lock_guard<std::mutex> lock(mu_);
   std::ifstream in(path_);

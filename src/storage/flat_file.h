@@ -31,8 +31,7 @@ class FlatFile : public DataStore {
   const std::string& path() const { return path_; }
   Result<size_t> NumRows() const override;
   Status Scan(size_t batch_size,
-              const std::function<Status(const RowBatch&)>& consumer)
-      const override;
+              const std::function<Status(RowBatch&)>& consumer) const override;
   Status Append(const RowBatch& batch) override;
   Status Truncate() override;
 

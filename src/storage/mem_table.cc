@@ -9,11 +9,12 @@ Result<size_t> MemTable::NumRows() const {
 
 Status MemTable::Scan(
     size_t batch_size,
-    const std::function<Status(const RowBatch&)>& consumer) const {
+    const std::function<Status(RowBatch&)>& consumer) const {
   if (batch_size == 0) return Status::Invalid("batch_size must be > 0");
   // Copy under the lock, stream outside it, so a slow consumer does not
   // block writers. ETL scans read a landed snapshot, so this matches the
-  // semantics the flows need.
+  // semantics the flows need. The snapshot is ours alone, so batches hand
+  // their rows to the consumer by move.
   std::vector<Row> snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -21,8 +22,8 @@ Status MemTable::Scan(
   }
   RowBatch batch(schema_);
   batch.Reserve(batch_size);
-  for (const Row& row : snapshot) {
-    batch.Append(row);
+  for (Row& row : snapshot) {
+    batch.Append(std::move(row));
     if (batch.num_rows() >= batch_size) {
       QOX_RETURN_IF_ERROR(consumer(batch));
       batch.Clear();

@@ -24,8 +24,7 @@ class MemTable : public DataStore {
   const Schema& schema() const override { return schema_; }
   Result<size_t> NumRows() const override;
   Status Scan(size_t batch_size,
-              const std::function<Status(const RowBatch&)>& consumer)
-      const override;
+              const std::function<Status(RowBatch&)>& consumer) const override;
   Status Append(const RowBatch& batch) override;
   Status Truncate() override;
 

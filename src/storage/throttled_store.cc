@@ -8,11 +8,11 @@ namespace qox {
 
 Status ThrottledStore::Scan(
     size_t batch_size,
-    const std::function<Status(const RowBatch&)>& consumer) const {
+    const std::function<Status(RowBatch&)>& consumer) const {
   if (bytes_per_second_ <= 0) return inner_->Scan(batch_size, consumer);
   const int64_t start = NowMicros();
   size_t bytes_seen = 0;
-  return inner_->Scan(batch_size, [&](const RowBatch& batch) -> Status {
+  return inner_->Scan(batch_size, [&](RowBatch& batch) -> Status {
     bytes_seen += batch.ByteSize();
     // Pace delivery: this batch may not arrive before the channel could
     // have transferred its bytes.

@@ -27,8 +27,7 @@ class ThrottledStore : public DataStore {
   const Schema& schema() const override { return inner_->schema(); }
   Result<size_t> NumRows() const override { return inner_->NumRows(); }
   Status Scan(size_t batch_size,
-              const std::function<Status(const RowBatch&)>& consumer)
-      const override;
+              const std::function<Status(RowBatch&)>& consumer) const override;
   Status Append(const RowBatch& batch) override {
     return inner_->Append(batch);
   }

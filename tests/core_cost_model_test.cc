@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "test_util.h"
@@ -310,6 +311,87 @@ TEST(CostModelTest, ProvenanceTradesTraceabilityForTime) {
             v_plain.Get(QoxMetric::kTraceability).value());
   EXPECT_GT(v_traced.Get(QoxMetric::kPerformance).value(),
             v_plain.Get(QoxMetric::kPerformance).value());
+}
+
+TEST(CostModelTest, StreamingPredictsOverlapGain) {
+  // The streaming law replaces the phased sum with the max of overlapped
+  // stage costs per section: cheaper than phased, but never cheaper than
+  // the most expensive single phase.
+  const CostModel model;
+  PhysicalDesign phased = BaseDesign();
+  PhysicalDesign streaming = BaseDesign();
+  streaming.streaming = true;
+  const PhaseEstimate p = model.EstimatePhases(phased, 500000);
+  const PhaseEstimate s = model.EstimatePhases(streaming, 500000);
+  EXPECT_LT(s.total_s, p.total_s);
+  const double floor =
+      std::max({p.extract_s, p.transform_s, p.load_s});
+  EXPECT_GE(s.total_s, floor);
+  // Per-phase components are shared with the phased estimate; only the
+  // composition into total time changes.
+  EXPECT_DOUBLE_EQ(s.extract_s, p.extract_s);
+  EXPECT_DOUBLE_EQ(s.transform_s, p.transform_s);
+}
+
+TEST(CostModelTest, StreamingBarriersReduceOverlap) {
+  // A recovery-point cut drains the pipeline: beyond its write cost, the
+  // barrier splits one overlapped section into two serialized ones, so the
+  // non-RP part of the prediction cannot shrink.
+  const CostModel model;
+  PhysicalDesign open = BaseDesign();
+  open.streaming = true;
+  PhysicalDesign cut = BaseDesign();
+  cut.streaming = true;
+  cut.recovery_points = {1};
+  const PhaseEstimate open_est = model.EstimatePhases(open, 500000);
+  const PhaseEstimate cut_est = model.EstimatePhases(cut, 500000);
+  EXPECT_GE(cut_est.total_s - cut_est.rp_s, open_est.total_s - 1e-9);
+  EXPECT_GT(cut_est.total_s, open_est.total_s);
+}
+
+TEST(CostModelTest, StreamingPredictionMatchesMeasuredRun) {
+  // Acceptance check for the streaming law: calibrate from a phased run,
+  // predict the streaming run, and compare against the engine's measured
+  // streaming RunMetrics within the same loose factor as
+  // CalibrationFitsMeasuredRates.
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(20000));
+  std::vector<LogicalOp> ops;
+  ops.push_back(MakeFilter("flt", {Predicate::NotNull("amount")}, 0.875));
+  ops.push_back(MakeFunction(
+      "fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}));
+  ops.push_back(MakeSort("sort", {{"id", false}}));
+  const std::vector<Schema> schemas =
+      BindLogicalChain(source->schema(), ops).value();
+  auto target = std::make_shared<MemTable>("tgt", schemas.back());
+  const LogicalFlow flow("cm_stream", source, std::move(ops), target);
+
+  const Result<RunMetrics> phased_run =
+      Executor::Run(flow.ToFlowSpec(), ExecutionConfig{});
+  ASSERT_TRUE(phased_run.ok()) << phased_run.status();
+  const CostModelParams params = CostModel::Calibrate(
+      CostModelParams{}, phased_run.value(), flow, 20000);
+
+  ASSERT_TRUE(target->Truncate().ok());
+  ExecutionConfig streaming_config;
+  streaming_config.streaming = true;
+  const Result<RunMetrics> streaming_run =
+      Executor::Run(flow.ToFlowSpec(), streaming_config);
+  ASSERT_TRUE(streaming_run.ok()) << streaming_run.status();
+  ASSERT_TRUE(streaming_run.value().streaming);
+
+  const CostModel model(params);
+  PhysicalDesign design;
+  design.flow = flow;
+  design.threads = 1;
+  design.streaming = true;
+  const PhaseEstimate predicted = model.EstimatePhases(design, 20000);
+  const double measured_total =
+      static_cast<double>(streaming_run.value().total_micros) / 1e6;
+  EXPECT_GT(predicted.total_s, measured_total * 0.2)
+      << predicted.ToString() << " measured=" << measured_total << "s";
+  EXPECT_LT(predicted.total_s, measured_total * 5.0)
+      << predicted.ToString() << " measured=" << measured_total << "s";
 }
 
 TEST(CostModelTest, CalibrationFitsMeasuredRates) {

@@ -65,6 +65,35 @@ TEST(ThreadPoolTest, TasksSubmittedFromTasks) {
   EXPECT_EQ(counter.load(), 16);
 }
 
+TEST(ThreadPoolTest, WaitFromInsideAPoolTaskIsRejected) {
+  // A task that blocks on its own pool's Wait() would deadlock a fully
+  // occupied pool; the pool must detect the nesting and refuse instead.
+  ThreadPool pool(2);
+  std::atomic<bool> rejected{false};
+  pool.Submit([&pool, &rejected] {
+    const Status status = pool.Wait();
+    if (!status.ok() && status.code() == StatusCode::kFailedPrecondition) {
+      rejected.store(true);
+    }
+  });
+  ASSERT_TRUE(pool.Wait().ok());  // outside the pool Wait() still works
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(ThreadPoolTest, WaitFromAnotherPoolsWorkerIsAllowed) {
+  // Nested-Wait detection is per pool: a worker of pool A may Wait() on
+  // pool B (that is how partitioned segments fan out today).
+  ThreadPool outer(2);
+  std::atomic<bool> inner_done{false};
+  outer.Submit([&inner_done] {
+    ThreadPool inner(2);
+    inner.Submit([&inner_done] { inner_done.store(true); });
+    ASSERT_TRUE(inner.Wait().ok());
+  });
+  ASSERT_TRUE(outer.Wait().ok());
+  EXPECT_TRUE(inner_done.load());
+}
+
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   std::atomic<int> counter{0};
   {
