@@ -806,7 +806,10 @@ class FlowRunner {
   /// K-way merge over per-partition sorted runs: repeatedly emits the
   /// smallest head row by first-column order, breaking ties toward the
   /// lowest partition index — exactly the order the phased executor's
-  /// stable_sort over the partition-concatenated output produces.
+  /// stable_sort over the partition-concatenated output produces. Inputs
+  /// are consumed through a PartitionFeed so waiting on one partition's
+  /// next batch never head-of-line blocks the others (deadlock under
+  /// partition skew otherwise).
   void SpawnOrderedMerge(StageSet* stages, std::vector<BatchChannelPtr> parts,
                          BatchChannelPtr out, size_t end_cut,
                          const std::string& range) {
@@ -818,12 +821,13 @@ class FlowRunner {
             size_t next = 0;
             bool open = true;
           };
+          PartitionFeed feed(parts);
           std::vector<Run> runs(parts.size());
           auto refill = [&](size_t p) -> Status {
             Run& run = runs[p];
             while (run.open && run.next >= run.rows.size()) {
               QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
-                                   parts[p]->Pop(&stats->stall_micros));
+                                   feed.Next(p, &stats->stall_micros));
               if (!item.has_value()) {
                 run.open = false;
                 break;
@@ -863,19 +867,24 @@ class FlowRunner {
 
   /// Unordered merge: forwards one batch per open partition per round, in
   /// partition-index order — deterministic, which the inline-load sink's
-  /// cross-attempt skip logic depends on.
+  /// cross-attempt skip logic depends on. The deterministic *emission*
+  /// order is decoupled from consumption via a PartitionFeed: while the
+  /// round waits for a starved partition, ready batches from the other
+  /// partitions are drained into local buffers, so skewed partitioning
+  /// never deadlocks the bounded dataflow.
   void SpawnRoundRobinMerge(StageSet* stages,
                             std::vector<BatchChannelPtr> parts,
                             BatchChannelPtr out, const std::string& range) {
     stages->Spawn(
         "merge" + range, [parts, out](StageStats* stats) -> Status {
+          PartitionFeed feed(parts);
           std::vector<bool> open(parts.size(), true);
           size_t remaining = parts.size();
           while (remaining > 0) {
             for (size_t p = 0; p < parts.size(); ++p) {
               if (!open[p]) continue;
               QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
-                                   parts[p]->Pop(&stats->stall_micros));
+                                   feed.Next(p, &stats->stall_micros));
               if (!item.has_value()) {
                 open[p] = false;
                 --remaining;
@@ -928,8 +937,10 @@ class FlowRunner {
         if (acc.empty()) return Status::OK();
         if (config_.injector != nullptr) {
           // Streaming cannot know the final output count up front, so load
-          // progress is reported with an unknown total: only
-          // at_fraction == 0 load specs can fire mid-stream.
+          // progress is reported with an unknown total: the injector fires
+          // at_fraction > 0 load specs on the first flush after rows
+          // flowed (see FailureInjector::Check; EXPERIMENTS.md notes the
+          // phased-vs-streaming comparability caveat).
           QOX_RETURN_IF_ERROR(config_.injector->Check(
               instance_id_, attempt, FailureSpec::kAtLoad, seen,
               /*rows_total=*/0));

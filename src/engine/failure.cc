@@ -87,9 +87,14 @@ Status FailureInjector::Check(int instance, int attempt, int op_index,
     if (target != instance) continue;
     if (spec.on_attempt != attempt) continue;
     if (spec.at_op != op_index) continue;
+    // An unknown denominator (rows_total == 0, e.g. a streaming sink that
+    // cannot know its final output count) treats any progress as "far
+    // enough": at_fraction > 0 specs fire on the first check after rows
+    // were seen, at_fraction == 0 specs on the first check regardless.
+    const bool unknown_total = rows_total == 0;
     const double fraction =
-        rows_total == 0
-            ? 0.0
+        unknown_total
+            ? (rows_done > 0 ? 1.0 : 0.0)
             : static_cast<double>(rows_done) / static_cast<double>(rows_total);
     if (fraction + 1e-12 < spec.at_fraction) continue;
     planned.fired = true;
@@ -99,9 +104,13 @@ Status FailureInjector::Check(int instance, int attempt, int op_index,
         : op_index == FailureSpec::kAtLoad
             ? "load"
             : "transform op " + std::to_string(op_index);
+    const std::string position =
+        unknown_total && rows_done > 0
+            ? std::to_string(rows_done) + " rows (total unknown)"
+            : std::to_string(fraction * 100.0) + "%";
     return Status::InjectedFailure(std::string(FailureKindName(spec.kind)) +
                                    " failure during " + where + " at " +
-                                   std::to_string(fraction * 100.0) + "%");
+                                   position);
   }
   return Status::OK();
 }

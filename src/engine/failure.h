@@ -86,8 +86,10 @@ class FailureInjector {
   /// `instance`: redundant-instance id (0 for non-redundant execution).
   /// `attempt`: 1-based attempt number of this instance.
   /// `op_index`: -1 extraction, k transform op k, FailureSpec::kAtLoad load.
-  /// `rows_done` / `rows_total`: progress within the phase (rows_total may
-  /// be 0 when unknown; then only at_fraction == 0 specs can fire).
+  /// `rows_done` / `rows_total`: progress within the phase. rows_total may
+  /// be 0 when the denominator is unknown (e.g. a streaming sink); then
+  /// at_fraction == 0 specs fire on the first check and at_fraction > 0
+  /// specs fire on the first check after any rows were seen.
   Status Check(int instance, int attempt, int op_index, size_t rows_done,
                size_t rows_total);
 

@@ -3,6 +3,62 @@
 #include "common/clock.h"
 
 namespace qox {
+namespace {
+
+/// Message prefix marking a status as a poison echo (see PoisonEcho).
+constexpr char kPoisonEchoPrefix[] = "dataflow poisoned by: ";
+
+}  // namespace
+
+PartitionFeed::PartitionFeed(std::vector<BatchChannelPtr> parts)
+    : parts_(std::move(parts)),
+      notifier_(std::make_shared<ChannelNotifier>()),
+      buf_(parts_.size()),
+      channel_open_(parts_.size(), true) {
+  for (const BatchChannelPtr& part : parts_) part->set_notifier(notifier_);
+}
+
+Result<std::optional<RowBatch>> PartitionFeed::Next(size_t p,
+                                                    int64_t* wait_micros) {
+  // Snapshot-sweep-wait: any channel event after the sweep also postdates
+  // the snapshot, so AwaitChange cannot miss it.
+  while (buf_[p].empty() && channel_open_[p]) {
+    const uint64_t seen = notifier_->version();
+    QOX_RETURN_IF_ERROR(Sweep());
+    if (!buf_[p].empty() || !channel_open_[p]) break;
+    notifier_->AwaitChange(seen, wait_micros);
+  }
+  if (buf_[p].empty()) return std::optional<RowBatch>();  // exhausted
+  std::optional<RowBatch> batch(std::move(buf_[p].front()));
+  buf_[p].pop_front();
+  return batch;
+}
+
+Status PartitionFeed::Sweep() {
+  for (size_t q = 0; q < parts_.size(); ++q) {
+    while (channel_open_[q]) {
+      RowBatch batch;
+      QOX_ASSIGN_OR_RETURN(const ChannelPoll poll, parts_[q]->TryPop(&batch));
+      if (poll == ChannelPoll::kItem) {
+        buf_[q].push_back(std::move(batch));
+        continue;
+      }
+      if (poll == ChannelPoll::kClosed) channel_open_[q] = false;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status StageSet::PoisonEcho(const Status& cause) {
+  if (IsPoisonEcho(cause)) return cause;
+  return Status::Cancelled(kPoisonEchoPrefix + cause.ToString());
+}
+
+bool StageSet::IsPoisonEcho(const Status& status) {
+  return status.code() == StatusCode::kCancelled &&
+         status.message().rfind(kPoisonEchoPrefix, 0) == 0;
+}
 
 StageSet::~StageSet() {
   if (joined_) return;
@@ -17,7 +73,7 @@ StageSet::~StageSet() {
 BatchChannelPtr StageSet::MakeChannel(size_t capacity) {
   auto channel = std::make_shared<BatchChannel>(capacity);
   std::lock_guard<std::mutex> lock(mu_);
-  if (!first_failure_.ok()) channel->Poison(first_failure_);
+  if (!first_failure_.ok()) channel->Poison(PoisonEcho(first_failure_));
   channels_.push_back(channel);
   return channel;
 }
@@ -43,13 +99,11 @@ void StageSet::Spawn(std::string name, std::function<Status(StageStats*)> body) 
     if (local.busy_micros < 0) local.busy_micros = 0;
     bool primary = false;
     if (!status.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        // A stage that failed on its own (not by echoing the recorded
-        // poison status) is a primary failure.
-        primary = first_failure_.ok() ||
-                  first_failure_.message() != status.message();
-      }
+      // A stage that failed on its own is primary; one that merely
+      // returned the tagged poison it popped from a channel is an echo.
+      // The explicit tag (not message comparison) keeps two independent
+      // failures with identical messages both classified as primary.
+      primary = !IsPoisonEcho(status);
       FailAll(status);
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -66,7 +120,10 @@ void StageSet::FailAll(const Status& status) {
     if (first_failure_.ok()) first_failure_ = status;
     channels = channels_;
   }
-  for (const BatchChannelPtr& channel : channels) channel->Poison(status);
+  // Channels carry the tagged echo, not the raw cause: stages unblocked by
+  // the poison return a status recognizable as secondary.
+  const Status echo = PoisonEcho(status);
+  for (const BatchChannelPtr& channel : channels) channel->Poison(echo);
 }
 
 Status StageSet::Join(std::vector<StageStats>* stats) {

@@ -8,11 +8,14 @@
 // and guarantees clean unwinding when any stage fails.
 //
 // Error protocol: a stage body returns a Status. The first non-OK outcome
-// poisons EVERY channel in the set, which wakes every stage blocked on a
-// Push or Pop with that status; those stages return it in turn (they are
-// "secondary" failures). Join() then reports one winning status: injected
-// failures beat everything (the retry machinery must see the true cause),
-// then the first primary error, then any secondary echo.
+// poisons EVERY channel in the set with an explicitly tagged *echo* of the
+// cause (PoisonEcho), which wakes every stage blocked on a Push or Pop;
+// those stages return the echo in turn and are classified as "secondary"
+// failures by the tag — never by comparing messages, so two stages failing
+// independently with identical text are both recorded as primary. Join()
+// then reports one winning status: injected failures beat everything (the
+// retry machinery must see the true cause), then the first primary error,
+// then any secondary echo.
 //
 // Accounting: each stage gets a StageStats slot. The stage body records
 // rows/batches and its channel waits (Push/Pop expose their blocked time);
@@ -22,6 +25,7 @@
 #ifndef QOX_ENGINE_STREAMING_H_
 #define QOX_ENGINE_STREAMING_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -37,6 +41,48 @@ namespace qox {
 
 using BatchChannel = Channel<RowBatch>;
 using BatchChannelPtr = std::shared_ptr<BatchChannel>;
+
+/// Any-ready demultiplexer over a set of per-partition channels.
+///
+/// A merge that pops its inputs in a fixed order head-of-line blocks:
+/// under partition skew the starved partition's channel stays empty while
+/// the hot partition's bounded channel fills, the hot producer stalls on
+/// Push, the partitioner stalls behind it, and the starved partition never
+/// receives data or end-of-stream — the dataflow deadlocks. The feed
+/// breaks the cycle: Next(p) drains *every* ready channel into
+/// per-partition local buffers while it waits for partition p, so
+/// producers always make progress no matter which partition the consumer
+/// wants next. Per-partition order is preserved and the consumer still
+/// chooses the interleave, so deterministic merges stay deterministic.
+///
+/// The local buffers are unbounded: under total skew the feed can buffer a
+/// hot partition's entire output while waiting for a starved partition's
+/// end-of-stream — the same worst case as the phased executor's
+/// materialized merge. Channel capacity still bounds memory whenever the
+/// consumer keeps up.
+class PartitionFeed {
+ public:
+  /// Attaches a shared notifier to every channel; construct the feed
+  /// before polling (producers may already be running — items pushed
+  /// before attachment are simply found by the first poll).
+  explicit PartitionFeed(std::vector<BatchChannelPtr> parts);
+
+  /// Blocking: the next batch from partition `p`, or nullopt once `p` is
+  /// exhausted (channel closed and both queue and local buffer drained).
+  /// Fails with the poison status if any channel is poisoned. Time blocked
+  /// waiting (on *any* channel activity) accumulates into `wait_micros`.
+  Result<std::optional<RowBatch>> Next(size_t p, int64_t* wait_micros);
+
+ private:
+  /// Non-blocking: moves every ready batch into the local buffers and
+  /// marks channels that reached end-of-stream.
+  Status Sweep();
+
+  std::vector<BatchChannelPtr> parts_;
+  std::shared_ptr<ChannelNotifier> notifier_;
+  std::vector<std::deque<RowBatch>> buf_;
+  std::vector<bool> channel_open_;  ///< false once closed and drained
+};
 
 class StageSet {
  public:
@@ -61,6 +107,15 @@ class StageSet {
   /// (may be null). Returns the winning status per the error protocol.
   /// Must be called after all Spawn/MakeChannel calls.
   Status Join(std::vector<StageStats>* stats);
+
+  /// The tagged status channels are poisoned with when `cause` fails a
+  /// stage: a distinct code + message prefix, so a stage that merely
+  /// returns what it popped from a poisoned channel is recognizable as a
+  /// secondary (echo) failure. Idempotent — an echo is not re-wrapped.
+  static Status PoisonEcho(const Status& cause);
+
+  /// True iff `status` is a PoisonEcho-tagged echo.
+  static bool IsPoisonEcho(const Status& status);
 
  private:
   /// Poisons every registered channel with `status` (first failure wins).

@@ -72,13 +72,18 @@ TEST(FailureInjectorTest, ExtractionAndLoadPositions) {
       injector.Check(0, 1, FailureSpec::kAtLoad, 1, 100).IsInjectedFailure());
 }
 
-TEST(FailureInjectorTest, UnknownTotalOnlyFiresZeroFraction) {
+TEST(FailureInjectorTest, UnknownTotalFiresMidFractionOnceRowsSeen) {
+  // rows_total == 0 means the denominator is unknown (streaming sinks):
+  // a mid-fraction spec must not fire before any rows flowed, but fires on
+  // the first check afterwards — otherwise at_fraction > 0 load specs
+  // silently never fire in streaming mode.
   FailureInjector injector;
   FailureSpec spec;
   spec.at_op = 0;
   spec.at_fraction = 0.5;
   injector.AddFailure(spec);
-  EXPECT_TRUE(injector.Check(0, 1, 0, 10, 0).ok());  // total unknown
+  EXPECT_TRUE(injector.Check(0, 1, 0, 0, 0).ok());  // no rows yet
+  EXPECT_TRUE(injector.Check(0, 1, 0, 10, 0).IsInjectedFailure());
   FailureSpec zero;
   zero.at_op = 1;
   zero.at_fraction = 0.0;

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "engine/executor.h"
 #include "engine/ops/filter_op.h"
 #include "engine/ops/function_op.h"
 #include "engine/ops/sort_op.h"
+#include "engine/streaming.h"
 #include "storage/faulty_store.h"
 #include "storage/recovery_store.h"
 #include "test_util.h"
@@ -325,6 +328,148 @@ TEST(StreamingExecutorTest, StageStatsCoverTheDataflow) {
   EXPECT_EQ(m.rows_loaded, target->NumRows().value());
   // The Summary line advertises the mode.
   EXPECT_NE(m.Summary().find("streaming"), std::string::npos);
+}
+
+TEST(StreamingExecutorTest, FullySkewedHashPartitionsDoNotDeadlock) {
+  // Regression: every row hashes to ONE partition. A merge popping the
+  // partition channels in fixed order head-of-line blocks on the starved
+  // partitions; once the hot partition accumulates ~2*channel_capacity
+  // batches its bounded channels fill, the partitioner stalls behind them,
+  // and the starved partitions never see end-of-stream — deadlock. The
+  // any-ready PartitionFeed must keep the dataflow moving. Row count is
+  // chosen >> channel_capacity * batch_size so the skew saturates the
+  // channels, and the parallel range covers only streaming (non-blocking)
+  // operators — a blocking branch would mask the head-of-line topology.
+  std::vector<Row> rows;
+  for (size_t i = 0; i < 4000; ++i) {
+    rows.push_back(testing_util::SimpleRow(/*id=*/42, "a",
+                                           static_cast<double>(i % 100)));
+  }
+  const DataStorePtr source = testing_util::MakeSource(SimpleSchema(), rows);
+
+  for (const bool ordered : {false, true}) {
+    ExecutionConfig config;
+    config.num_threads = 4;
+    config.batch_size = 16;
+    config.parallel.partitions = 4;
+    config.parallel.scheme = PartitionScheme::kHash;
+    config.parallel.hash_column = "id";
+    config.parallel.range_begin = 0;
+    config.parallel.range_end = 2;
+    config.ordered_merge = ordered;
+    const std::vector<Row> expected = RunPhased(source, config);
+
+    auto target = std::make_shared<MemTable>("tgt", BoundSchema());
+    config.streaming = true;
+    config.channel_capacity = 2;
+    const Result<RunMetrics> metrics =
+        Executor::Run(MakeFlow(source, target), config);
+    ASSERT_TRUE(metrics.ok()) << metrics.status();
+    const std::vector<Row> got = target->ReadAll().value().rows();
+    if (ordered) {
+      EXPECT_EQ(expected, got);
+    } else {
+      EXPECT_TRUE(SameMultiset(expected, got));
+    }
+  }
+}
+
+TEST(PartitionFeedTest, AnyReadyDrainAvoidsHeadOfLineDeadlock) {
+  // The deadlock shape in miniature: the producer must push 8 batches into
+  // the hot channel (capacity 1) before it will ever close the starved
+  // one, while the consumer waits on the starved channel first. Next()
+  // must drain the hot channel into its local buffer in the background —
+  // a head-of-line blocking Pop would hang here.
+  const Schema schema = SimpleSchema();
+  auto hot = std::make_shared<BatchChannel>(1);
+  auto cold = std::make_shared<BatchChannel>(1);
+  PartitionFeed feed({hot, cold});
+  std::thread producer([&] {
+    for (int i = 0; i < 8; ++i) {
+      RowBatch batch(schema);
+      batch.Append(testing_util::SimpleRow(i, "a", 1.0));
+      EXPECT_TRUE(hot->Push(std::move(batch)).ok());
+    }
+    hot->Close();
+    cold->Close();
+  });
+  int64_t wait = 0;
+  Result<std::optional<RowBatch>> starved = feed.Next(1, &wait);
+  ASSERT_TRUE(starved.ok());
+  EXPECT_FALSE(starved.value().has_value());  // exhausted, no data
+  producer.join();
+  // The hot partition's batches come out complete and in order.
+  for (int i = 0; i < 8; ++i) {
+    Result<std::optional<RowBatch>> got = feed.Next(0, &wait);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got.value().has_value());
+    EXPECT_EQ(got.value()->row(0).value(0).Compare(Value::Int64(i)), 0);
+  }
+  EXPECT_FALSE(feed.Next(0, &wait).value().has_value());
+}
+
+TEST(StreamingExecutorTest, MidLoadInjectedFailureFiresAndRetries) {
+  // A load spec at fraction > 0: the streaming sink reports an unknown
+  // rows_total, so the injector fires it on the first flush after rows
+  // reached the sink (it used to never fire, making phased-vs-streaming
+  // load-failure experiments silently incomparable).
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(400));
+  const std::vector<Row> expected = RunPhased(source);
+
+  FailureInjector injector;
+  FailureSpec spec;
+  spec.at_op = FailureSpec::kAtLoad;
+  spec.at_fraction = 0.5;
+  spec.on_attempt = 1;
+  injector.AddFailure(spec);
+
+  auto target = std::make_shared<MemTable>("tgt", BoundSchema());
+  ExecutionConfig config;
+  config.streaming = true;
+  config.batch_size = 64;
+  config.injector = &injector;
+  config.retry.max_attempts = 2;
+  config.retry.initial_backoff_micros = 0;
+  const Result<RunMetrics> metrics =
+      Executor::Run(MakeFlow(source, target), config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics.value().attempts, 2u);
+  EXPECT_EQ(metrics.value().failures_injected, 1u);
+  EXPECT_EQ(expected, target->ReadAll().value().rows());
+}
+
+TEST(StageSetTest, PoisonEchoIsTaggedNotMessageMatched) {
+  // Echo classification is by explicit tag: a raw status is never an
+  // echo, even if its text coincides with the recorded failure, and
+  // wrapping is idempotent.
+  const Status cause = Status::IoError("disk exploded");
+  const Status echo = StageSet::PoisonEcho(cause);
+  EXPECT_TRUE(StageSet::IsPoisonEcho(echo));
+  EXPECT_FALSE(StageSet::IsPoisonEcho(cause));
+  EXPECT_EQ(StageSet::PoisonEcho(echo), echo);
+  EXPECT_NE(echo.message().find("disk exploded"), std::string::npos);
+  EXPECT_FALSE(StageSet::IsPoisonEcho(Status::Cancelled("disk exploded")));
+}
+
+TEST(StageSetTest, BlockedStageUnwindsWithEchoAndPrimaryWins) {
+  // A consumer blocked on a channel is woken by another stage's failure;
+  // Join must report the raw primary cause, not the kCancelled echo the
+  // consumer returned.
+  StageSet stages;
+  BatchChannelPtr ch = stages.MakeChannel(1);
+  stages.Spawn("consumer", [ch](StageStats* stats) -> Status {
+    QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
+                         ch->Pop(&stats->stall_micros));
+    (void)item;
+    return Status::OK();
+  });
+  stages.Spawn("producer", [](StageStats*) -> Status {
+    return Status::IoError("primary cause");
+  });
+  const Status winner = stages.Join(nullptr);
+  EXPECT_EQ(winner.code(), StatusCode::kIoError);
+  EXPECT_EQ(winner.message(), "primary cause");
 }
 
 TEST(StreamingExecutorTest, EmptySourceProducesEmptyTarget) {
