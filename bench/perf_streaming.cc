@@ -48,9 +48,12 @@ ExecutionConfig MakeConfig(size_t workers, bool streaming, bool has_delta) {
 }
 
 /// Best-of-kRepeats wall micros + loaded rows for one configuration.
+/// Streaming runs also keep the best run's per-stage accounting (keyed by
+/// plan node id) so the JSON can show where channel pressure sat.
 struct Sample {
   int64_t wall_micros = 0;
   int64_t rows_loaded = 0;
+  std::vector<StageStats> stages;
   bool ok = false;
 };
 
@@ -70,6 +73,7 @@ Sample Measure(SalesScenario* scenario, const LogicalFlow& flow,
     if (!best.ok || metrics.value().total_micros < best.wall_micros) {
       best.wall_micros = metrics.value().total_micros;
       best.rows_loaded = static_cast<int64_t>(metrics.value().rows_loaded);
+      best.stages = metrics.value().stage_stats;
       best.ok = true;
     }
   }
@@ -80,6 +84,26 @@ double RowsPerSec(const Sample& sample) {
   if (!sample.ok || sample.wall_micros <= 0) return 0.0;
   return static_cast<double>(sample.rows_loaded) * 1e6 /
          static_cast<double>(sample.wall_micros);
+}
+
+/// Per-stage accounting of the best streaming run as a JSON array: which
+/// plan node each stage executed, its busy/stall/backpressure split, and
+/// its output channel's high-water mark (how full the backpressure window
+/// actually got).
+void AppendStageJson(std::ostringstream& json,
+                     const std::vector<StageStats>& stages) {
+  json << "[";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageStats& stage = stages[i];
+    if (i > 0) json << ",";
+    json << "{\"node\":" << stage.node_id << ",\"name\":\"" << stage.name
+         << "\",\"busy_us\":" << stage.busy_micros
+         << ",\"stall_us\":" << stage.stall_micros
+         << ",\"backpressure_us\":" << stage.backpressure_micros
+         << ",\"high_water\":" << stage.channel_high_water
+         << ",\"rows\":" << stage.rows << "}";
+  }
+  json << "]";
 }
 
 int RunBench() {
@@ -126,7 +150,9 @@ int RunBench() {
            << static_cast<int64_t>(RowsPerSec(streaming)) << ",\"speedup\":"
            << static_cast<double>(phased.wall_micros) /
                   static_cast<double>(streaming.wall_micros)
-           << "}";
+           << ",\"streaming_stages\":";
+      AppendStageJson(json, streaming.stages);
+      json << "}";
     }
     json << "]}";
   }

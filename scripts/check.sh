@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the repo twice via the QOX_SANITIZE CMake knob and
 # runs the tier-1 suite under AddressSanitizer, then the concurrency-heavy
-# engine_* tests under ThreadSanitizer (the streaming executor, channels,
-# and thread pool are where data races would live).
+# engine_* and plan-labeled tests under ThreadSanitizer (the streaming
+# executor, channels, thread pool, and the planner equivalence sweep —
+# which drives both schedulers — are where data races would live).
 #
-# Usage:  scripts/check.sh [--asan-only|--tsan-only]
+# Usage:  scripts/check.sh [--asan-only|--tsan-only|--fast]
+#
+#   --fast   skip the sanitizer trees entirely: one plain build + ctest
+#            (the quick pre-commit loop; the full gate stays the default).
 #
 # Build trees land in build-asan/ and build-tsan/ next to build/ so the
 # regular (unsanitized) tree stays untouched. Exits non-zero on the first
@@ -17,13 +21,17 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 MODE="${1:-all}"
 
 run_suite() {
-  local sanitizer="$1"     # address | thread
-  local build_dir="$2"     # build-asan | build-tsan
+  local sanitizer="$1"     # address | thread | none
+  local build_dir="$2"     # build | build-asan | build-tsan
   local label_regex="$3"   # ctest -L filter over binary-name labels ('' = all)
 
   echo "==> [${sanitizer}] configuring ${build_dir}"
-  cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" \
-        -DQOX_SANITIZE="${sanitizer}" > /dev/null
+  if [[ "${sanitizer}" == "none" ]]; then
+    cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" > /dev/null
+  else
+    cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" \
+          -DQOX_SANITIZE="${sanitizer}" > /dev/null
+  fi
   echo "==> [${sanitizer}] building"
   cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}" > /dev/null
   echo "==> [${sanitizer}] running ctest ${label_regex:+-L ${label_regex}}"
@@ -34,16 +42,21 @@ run_suite() {
 case "${MODE}" in
   all)
     run_suite address build-asan ""
-    run_suite thread build-tsan "^engine_"
+    run_suite thread build-tsan "^engine_|plan"
     ;;
   --asan-only)
     run_suite address build-asan ""
     ;;
   --tsan-only)
-    run_suite thread build-tsan "^engine_"
+    run_suite thread build-tsan "^engine_|plan"
+    ;;
+  --fast)
+    run_suite none build ""
+    echo "==> fast check passed (sanitizer trees skipped)"
+    exit 0
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan-only|--tsan-only]" >&2
+    echo "usage: scripts/check.sh [--asan-only|--tsan-only|--fast]" >&2
     exit 2
     ;;
 esac

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 #include <sstream>
 #include <vector>
 
+#include "engine/plan.h"
 #include "graph/graph_metrics.h"
 
 namespace qox {
@@ -50,53 +50,34 @@ double EffectiveSpeedup(const PhysicalDesign& design,
 /// RP writes, and the ordered merge serialize. On top ride the per-stage
 /// spawn/fill startup and the per-row channel transfer overhead — the
 /// prices streaming pays that phased execution does not.
+///
+/// The drain structure (CostChunks and channel borders) comes from the
+/// lowered ExecutionPlan, so the model prices exactly the stage graph the
+/// streaming scheduler spawns.
 double StreamingTotalSeconds(const PhysicalDesign& design,
+                             const ExecutionPlan& plan,
                              const CostModelParams& params,
                              const PhaseEstimate& est,
                              const std::vector<double>& op_seconds,
                              const std::vector<double>& rows_at_cut) {
   const size_t n = op_seconds.size();
-  const bool parallel = design.parallel.partitions > 1;
-  const size_t rb = parallel ? std::min(design.parallel.range_begin, n) : 0;
-  const size_t re = parallel ? std::min(design.parallel.range_end, n) : 0;
-
-  std::set<size_t> barriers;
-  for (const size_t cut : design.recovery_points) {
-    if (cut <= n) barriers.insert(cut);
-  }
-  for (size_t i = 0; i < n; ++i) {
-    if (design.flow.ops()[i].blocking) barriers.insert(i + 1);
-  }
-  barriers.insert(n);
-  // Stage borders: every barrier plus the partitioned range's edges (the
-  // engine splits each segment into sequential / partitioned chunks there).
-  std::set<size_t> borders(barriers.begin(), barriers.end());
-  borders.insert(0);
-  if (parallel && rb < re) {
-    borders.insert(rb);
-    borders.insert(re);
-  }
-
   double total = 0.0;
   double wall = est.extract_s;  // extract overlaps the first section
-  if (barriers.count(0) > 0) {  // RP at cut 0 drains extract by itself
+  if (plan.drains_after_extract()) {  // RP at cut 0 drains extract by itself
     total += wall;
     wall = 0.0;
   }
   size_t stages = 2;  // extract + load/collect sink
-  const std::vector<size_t> border_list(borders.begin(), borders.end());
-  for (size_t k = 0; k + 1 < border_list.size(); ++k) {
-    const size_t a = border_list[k];
-    const size_t b = border_list[k + 1];
+  for (const ExecutionPlan::CostChunk& chunk : plan.cost_chunks()) {
     double stage_s = 0.0;
-    for (size_t i = a; i < b; ++i) stage_s += op_seconds[i];
+    for (size_t i = chunk.begin; i < chunk.end; ++i) stage_s += op_seconds[i];
     wall = std::max(wall, stage_s);
     ++stages;
-    if (parallel && a >= rb && b <= re && rb < re) {
+    if (chunk.parallel) {
       stages += design.parallel.partitions + 1;  // partitioner + merge
     }
-    if (barriers.count(b) > 0) {  // section ends here
-      if (b == n) wall = std::max(wall, est.load_s);
+    if (chunk.drains_at_end) {  // section ends here
+      if (chunk.end == n) wall = std::max(wall, est.load_s);
       total += wall;
       wall = 0.0;
     }
@@ -104,7 +85,7 @@ double StreamingTotalSeconds(const PhysicalDesign& design,
   if (n == 0) total = std::max(est.extract_s, est.load_s);
 
   double channel_s = 0.0;  // each border is a channel edge rows cross
-  for (const size_t b : borders) {
+  for (const size_t b : plan.channel_borders()) {
     channel_s += rows_at_cut[b] * params.stream_channel_ns_per_row / 1e9;
   }
   double total_s = total + est.rp_s + est.merge_s + channel_s +
@@ -119,10 +100,31 @@ double StreamingTotalSeconds(const PhysicalDesign& design,
 
 }  // namespace
 
+ExecutionPlan CostModel::PlanFor(const PhysicalDesign& design) {
+  PlanInput input;
+  input.num_ops = design.flow.num_ops();
+  input.blocking.reserve(input.num_ops);
+  for (const LogicalOp& op : design.flow.ops()) {
+    input.blocking.push_back(op.blocking);
+  }
+  input.parallel = design.parallel;
+  input.parallel.partitions = std::max<size_t>(1, design.parallel.partitions);
+  // Cuts beyond the chain would be rejected by the executor at run time;
+  // for estimation we simply ignore them so lowering stays total.
+  for (const size_t cut : design.recovery_points) {
+    if (cut <= input.num_ops) input.recovery_points.push_back(cut);
+  }
+  input.redundancy = std::max<size_t>(1, design.redundancy);
+  input.streaming = design.streaming;
+  input.channel_capacity = design.channel_capacity;
+  return ExecutionPlan::Lower(input).ValueOr(ExecutionPlan());
+}
+
 PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
                                         double input_rows) const {
   const std::vector<LogicalOp>& ops = design.flow.ops();
   const std::vector<double> rows = RowsAtCuts(ops, input_rows);
+  const ExecutionPlan plan = PlanFor(design);
   PhaseEstimate est;
   est.extract_s = input_rows * params_.extract_ns_per_row / 1e9;
 
@@ -144,8 +146,7 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
                    rows[re] * params_.merge_ns_per_row) /
                   1e9;
   }
-  for (const size_t cut : design.recovery_points) {
-    if (cut > ops.size()) continue;
+  for (const size_t cut : plan.rp_cuts()) {
     est.rp_s += rows[cut] * params_.bytes_per_row * params_.rp_ns_per_byte /
                     1e9 +
                 params_.rp_fixed_us / 1e6;
@@ -167,7 +168,8 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
   }
   est.total_s = body + est.load_s;
   if (design.streaming) {
-    est.total_s = StreamingTotalSeconds(design, params_, est, op_seconds, rows);
+    est.total_s =
+        StreamingTotalSeconds(design, plan, params_, est, op_seconds, rows);
   }
   return est;
 }
@@ -191,16 +193,15 @@ double CostModel::EstimateRecoverability(const PhysicalDesign& design,
     unit_sum += ops[i].cost_per_row * rows[i];
   }
   // The RP write happens AT the cut, so its time belongs to the segment
-  // before the durable point, not to the post-last-RP tail.
-  const auto has_rp_at = [&](size_t cut) {
-    return std::find(design.recovery_points.begin(),
-                     design.recovery_points.end(),
-                     cut) != design.recovery_points.end();
-  };
+  // before the durable point, not to the post-last-RP tail. The durable
+  // cuts come from the lowered plan (sorted, deduplicated, clamped to the
+  // chain) — the same hard barriers the executors persist at.
+  const ExecutionPlan plan = PlanFor(design);
+  const auto has_rp_at = [&](size_t cut) { return plan.rp_at(cut); };
   // Spread the total rp_s over the cuts proportionally to their volume.
   double rp_volume_sum = 0.0;
-  for (const size_t cut : design.recovery_points) {
-    if (cut < rows.size()) rp_volume_sum += rows[cut] + 1e-9;
+  for (const size_t cut : plan.rp_cuts()) {
+    rp_volume_sum += rows[cut] + 1e-9;
   }
   const auto rp_share_s = [&](size_t cut) {
     if (rp_volume_sum <= 0) return 0.0;
@@ -360,8 +361,9 @@ Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
       rows *= op.selectivity;
       at_cut.push_back(rows);
     }
-    for (const size_t cut : design.recovery_points) {
-      if (cut < at_cut.size()) rp_rows += at_cut[cut];
+    const ExecutionPlan plan = PlanFor(design);
+    for (const size_t cut : plan.rp_cuts()) {
+      rp_rows += at_cut[cut];
     }
   }
   const double storage_cost = rp_rows * params_.bytes_per_row / 1e8;

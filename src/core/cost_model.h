@@ -125,6 +125,15 @@ class CostModel {
   PhaseEstimate EstimatePhases(const PhysicalDesign& design,
                                double input_rows) const;
 
+  /// The ExecutionPlan the model prices: the same lowering the executors
+  /// schedule (engine/plan.h), built from the design's structural facts.
+  /// Barriers, sections, and recovery cuts used by the streaming and RP
+  /// laws all come from here — one source of truth shared with the engine.
+  /// Recovery points beyond the chain (rejected by the executor at run
+  /// time) are dropped, and duplicate cuts deduplicate, so estimation over
+  /// pathological designs stays total and rank-preserving.
+  static ExecutionPlan PlanFor(const PhysicalDesign& design);
+
   /// Probability one attempt of duration `exec_s` completes without a
   /// system failure at the given rate.
   static double AttemptSuccessProbability(double exec_s,

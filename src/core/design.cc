@@ -236,6 +236,7 @@ ExecutionConfig PhysicalDesign::ToExecutionConfig(
   config.retry = retry;
   config.injector = injector;
   config.streaming = streaming;
+  config.channel_capacity = channel_capacity;
   return config;
 }
 

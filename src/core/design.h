@@ -191,6 +191,9 @@ struct PhysicalDesign {
   /// law (overlapped max-of-stages instead of sum, see cost_model.h) and
   /// maps to ExecutionConfig::streaming.
   bool streaming = false;
+  /// Bounded capacity, in batches, of every streaming channel (maps to
+  /// ExecutionConfig::channel_capacity and the plan's edge capacities).
+  size_t channel_capacity = 8;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

@@ -5,8 +5,20 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "core/cost_model.h"
+#include "engine/plan.h"
 
 namespace qox {
+
+bool PlanStageSpec::operator==(const PlanStageSpec& other) const {
+  return id == other.id && kind == other.kind && label == other.label &&
+         begin == other.begin && end == other.end &&
+         partition == other.partition && section == other.section;
+}
+
+bool PlanEdgeSpec::operator==(const PlanEdgeSpec& other) const {
+  return from == other.from && to == other.to && capacity == other.capacity;
+}
 
 bool OpSpec::operator==(const OpSpec& other) const {
   return name == other.name && kind == other.kind &&
@@ -27,7 +39,10 @@ bool DesignSpec::operator==(const DesignSpec& other) const {
          redundancy == other.redundancy &&
          loads_per_day == other.loads_per_day &&
          provenance_columns == other.provenance_columns &&
-         audit_rejects == other.audit_rejects;
+         audit_rejects == other.audit_rejects &&
+         streaming == other.streaming &&
+         channel_capacity == other.channel_capacity &&
+         plan_stages == other.plan_stages && plan_edges == other.plan_edges;
 }
 
 DesignSpec SpecOf(const PhysicalDesign& design) {
@@ -62,6 +77,30 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
   spec.loads_per_day = design.loads_per_day;
   spec.provenance_columns = design.provenance_columns;
   spec.audit_rejects = design.audit_rejects;
+  spec.streaming = design.streaming;
+  spec.channel_capacity = design.channel_capacity;
+  // The lowered stage graph rides along as descriptive metadata. PlanFor
+  // is the same lowering the executors schedule, so the exported plan is
+  // exactly what would run.
+  const ExecutionPlan plan = CostModel::PlanFor(design);
+  for (const PlanNode& node : plan.nodes()) {
+    PlanStageSpec stage;
+    stage.id = node.id;
+    stage.kind = PlanNodeKindName(node.kind);
+    stage.label = node.label;
+    stage.begin = node.begin;
+    stage.end = node.end;
+    stage.partition = node.partition;
+    stage.section = node.section;
+    spec.plan_stages.push_back(std::move(stage));
+  }
+  for (const PlanEdge& edge : plan.edges()) {
+    PlanEdgeSpec edge_spec;
+    edge_spec.from = edge.from;
+    edge_spec.to = edge.to;
+    edge_spec.capacity = edge.capacity;
+    spec.plan_edges.push_back(edge_spec);
+  }
   return spec;
 }
 
@@ -310,7 +349,9 @@ std::string ExportDesignXml(const DesignSpec& spec) {
   oss << "<physical_design threads=\"" << spec.threads << "\" redundancy=\""
       << spec.redundancy << "\" loads_per_day=\"" << spec.loads_per_day
       << "\" provenance_columns=\"" << (spec.provenance_columns ? 1 : 0)
-      << "\" audit_rejects=\"" << (spec.audit_rejects ? 1 : 0) << "\">\n";
+      << "\" audit_rejects=\"" << (spec.audit_rejects ? 1 : 0)
+      << "\" streaming=\"" << (spec.streaming ? 1 : 0)
+      << "\" channel_capacity=\"" << spec.channel_capacity << "\">\n";
   oss << "  <flow id=\"" << XmlEscape(spec.flow_id) << "\" source=\""
       << XmlEscape(spec.source) << "\" target=\"" << XmlEscape(spec.target)
       << "\">\n";
@@ -336,6 +377,24 @@ std::string ExportDesignXml(const DesignSpec& spec) {
     oss << "    <cut position=\"" << cut << "\"/>\n";
   }
   oss << "  </recovery_points>\n";
+  if (!spec.plan_stages.empty() || !spec.plan_edges.empty()) {
+    oss << "  <execution_plan>\n";
+    for (const PlanStageSpec& stage : spec.plan_stages) {
+      oss << "    <stage id=\"" << stage.id << "\" kind=\""
+          << XmlEscape(stage.kind) << "\" label=\"" << XmlEscape(stage.label)
+          << "\" begin=\"" << stage.begin << "\" end=\"" << stage.end
+          << "\" partition=\"" << stage.partition << "\" section=\""
+          << (stage.section == static_cast<size_t>(-1)
+                  ? std::string("none")
+                  : std::to_string(stage.section))
+          << "\"/>\n";
+    }
+    for (const PlanEdgeSpec& edge : spec.plan_edges) {
+      oss << "    <edge from=\"" << edge.from << "\" to=\"" << edge.to
+          << "\" capacity=\"" << edge.capacity << "\"/>\n";
+    }
+    oss << "  </execution_plan>\n";
+  }
   oss << "</physical_design>\n";
   return oss.str();
 }
@@ -361,6 +420,9 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
   spec.provenance_columns =
       AttributeOr(root, "provenance_columns", "0") == "1";
   spec.audit_rejects = AttributeOr(root, "audit_rejects", "0") == "1";
+  spec.streaming = AttributeOr(root, "streaming", "0") == "1";
+  QOX_ASSIGN_OR_RETURN(spec.channel_capacity,
+                       ParseSize(AttributeOr(root, "channel_capacity", "8")));
 
   const XmlNode* flow = root.FirstChild("flow");
   if (flow == nullptr) return Status::Invalid("missing <flow> element");
@@ -412,6 +474,44 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
                            RequiredAttribute(child, "position"));
       QOX_ASSIGN_OR_RETURN(const size_t cut, ParseSize(position));
       spec.recovery_points.push_back(cut);
+    }
+  }
+  if (const XmlNode* plan = root.FirstChild("execution_plan")) {
+    for (const XmlNode& child : plan->children) {
+      if (child.tag == "stage") {
+        PlanStageSpec stage;
+        QOX_ASSIGN_OR_RETURN(const std::string id,
+                             RequiredAttribute(child, "id"));
+        QOX_ASSIGN_OR_RETURN(stage.id, ParseSize(id));
+        QOX_ASSIGN_OR_RETURN(stage.kind, RequiredAttribute(child, "kind"));
+        // Kinds are closed vocabulary; reject documents from the future.
+        QOX_RETURN_IF_ERROR(ParsePlanNodeKind(stage.kind).status());
+        stage.label = AttributeOr(child, "label", "");
+        QOX_ASSIGN_OR_RETURN(stage.begin,
+                             ParseSize(AttributeOr(child, "begin", "0")));
+        QOX_ASSIGN_OR_RETURN(stage.end,
+                             ParseSize(AttributeOr(child, "end", "0")));
+        QOX_ASSIGN_OR_RETURN(stage.partition,
+                             ParseSize(AttributeOr(child, "partition", "0")));
+        const std::string section = AttributeOr(child, "section", "none");
+        if (section == "none") {
+          stage.section = static_cast<size_t>(-1);
+        } else {
+          QOX_ASSIGN_OR_RETURN(stage.section, ParseSize(section));
+        }
+        spec.plan_stages.push_back(std::move(stage));
+      } else if (child.tag == "edge") {
+        PlanEdgeSpec edge;
+        QOX_ASSIGN_OR_RETURN(const std::string from,
+                             RequiredAttribute(child, "from"));
+        QOX_ASSIGN_OR_RETURN(edge.from, ParseSize(from));
+        QOX_ASSIGN_OR_RETURN(const std::string to,
+                             RequiredAttribute(child, "to"));
+        QOX_ASSIGN_OR_RETURN(edge.to, ParseSize(to));
+        QOX_ASSIGN_OR_RETURN(edge.capacity,
+                             ParseSize(AttributeOr(child, "capacity", "8")));
+        spec.plan_edges.push_back(edge);
+      }
     }
   }
   return spec;

@@ -20,6 +20,32 @@
 
 namespace qox {
 
+/// One node of the lowered ExecutionPlan (engine/plan.h) as exported
+/// metadata: enough for an external tool to reconstruct the stage graph
+/// without re-running the planner.
+struct PlanStageSpec {
+  size_t id = 0;
+  std::string kind;  ///< PlanNodeKindName ("extract", "transform", ...)
+  std::string label;
+  size_t begin = 0;  ///< op range [begin, end); cut position for barriers
+  size_t end = 0;
+  size_t partition = 0;
+  /// Section index, or size_t(-1) for nodes outside sections (serialized
+  /// as section="none").
+  size_t section = static_cast<size_t>(-1);
+
+  bool operator==(const PlanStageSpec& other) const;
+};
+
+/// One channel edge of the lowered plan.
+struct PlanEdgeSpec {
+  size_t from = 0;
+  size_t to = 0;
+  size_t capacity = 8;
+
+  bool operator==(const PlanEdgeSpec& other) const;
+};
+
 /// Structural description of one operator (no factory).
 struct OpSpec {
   std::string name;
@@ -52,6 +78,16 @@ struct DesignSpec {
   size_t loads_per_day = 24;
   bool provenance_columns = false;
   bool audit_rejects = false;
+  bool streaming = false;
+  size_t channel_capacity = 8;
+
+  /// The lowered ExecutionPlan (stage nodes + channel edges), exported as
+  /// read-only metadata. SpecOf fills it by lowering the design; import
+  /// reads it back verbatim. It is descriptive — re-imported designs are
+  /// re-lowered from the structural fields, and the planner equivalence
+  /// tests keep the two views consistent.
+  std::vector<PlanStageSpec> plan_stages;
+  std::vector<PlanEdgeSpec> plan_edges;
 
   bool operator==(const DesignSpec& other) const;
 };

@@ -66,15 +66,20 @@ void WaitBackoff(const RetryPolicy& policy, size_t failed_attempt, Rng* rng,
   }
 }
 
-/// Per-instance flow execution: extraction + transform chain with recovery
-/// semantics. Produces the rows at the final cut (pre-load).
+/// Per-instance flow execution: a scheduler over the lowered ExecutionPlan
+/// with recovery semantics. Produces the rows at the final cut (pre-load).
+/// Phased mode runs the plan's sections in order, materializing at every
+/// barrier; streaming mode spawns one stage thread per plan node and wires
+/// one bounded channel per edge.
 class FlowRunner {
  public:
   FlowRunner(const FlowSpec& flow, const ExecutionConfig& config,
+             const ExecutionPlan& plan,
              const std::vector<Schema>& cut_schemas, ThreadPool* pool,
              int instance_id, std::atomic<bool>* cancelled)
       : flow_(flow),
         config_(config),
+        plan_(plan),
         cut_schemas_(cut_schemas),
         pool_(pool),
         instance_id_(instance_id),
@@ -157,22 +162,15 @@ class FlowRunner {
  private:
   size_t NumOps() const { return flow_.transforms.size(); }
 
-  bool HasRp(size_t cut) const {
-    return std::find(config_.recovery_points.begin(),
-                     config_.recovery_points.end(),
-                     cut) != config_.recovery_points.end();
-  }
-
   /// Latest cut strictly below `below` with a complete recovery point, or
   /// -1 (from scratch). Pass NumOps() + 1 for "the latest anywhere"; pass a
-  /// cut that failed verification to find the next older fallback.
+  /// cut that failed verification to find the next older fallback. The
+  /// candidate cuts are the plan's (deduplicated, sorted) barrier cuts.
   int FindResumeCut(int below) const {
     if (config_.rp_store == nullptr) return -1;
     int best = -1;
-    for (const size_t cut : config_.recovery_points) {
-      if (static_cast<int>(cut) <= best || static_cast<int>(cut) >= below) {
-        continue;
-      }
+    for (const size_t cut : plan_.rp_cuts()) {
+      if (static_cast<int>(cut) >= below) break;
       if (config_.rp_store->Has(
               {flow_.id, CutPointId(instance_id_, cut)})) {
         best = static_cast<int>(cut);
@@ -404,33 +402,6 @@ class FlowRunner {
     return merged;
   }
 
-  /// Runs ops [begin, end), splitting into sequential/parallel exec units
-  /// by the parallel range.
-  Result<std::vector<Row>> RunSegment(size_t begin, size_t end,
-                                      std::vector<Row> rows, int attempt) {
-    const bool parallel_on = config_.parallel.partitions > 1;
-    const size_t rb = config_.parallel.range_begin;
-    const size_t re = std::min(config_.parallel.range_end, NumOps());
-    size_t pos = begin;
-    while (pos < end) {
-      if (parallel_on && pos >= rb && pos < re) {
-        const size_t next = std::min(end, re);
-        QOX_ASSIGN_OR_RETURN(rows,
-                             RunParallelUnit(pos, next, std::move(rows),
-                                             attempt));
-        pos = next;
-      } else {
-        const size_t next =
-            (parallel_on && pos < rb) ? std::min(end, rb) : end;
-        QOX_ASSIGN_OR_RETURN(rows,
-                             RunSequentialUnit(pos, next, std::move(rows),
-                                               attempt));
-        pos = next;
-      }
-    }
-    return rows;
-  }
-
   /// Resolves the resume point: loads the newest verifiable recovery point
   /// into `*rows`, falling back past corrupted points (dropping them) to
   /// older ones. Returns the cut resumed from, or -1 for a from-scratch
@@ -453,18 +424,9 @@ class FlowRunner {
     return -1;
   }
 
-  /// The recovery cut ending the segment that starts at `current_cut`
-  /// (the next configured cut strictly after it, or the chain end).
-  size_t NextCut(size_t current_cut) const {
-    size_t next_cut = NumOps();
-    for (const size_t cut : config_.recovery_points) {
-      if (cut > current_cut && cut <= NumOps()) {
-        next_cut = std::min(next_cut, cut);
-      }
-    }
-    return next_cut;
-  }
-
+  /// Phased scheduler: runs the plan's sections in order, executing each
+  /// section's units on materialized row vectors and persisting at the
+  /// recovery-point barrier ending the section.
   Status RunAttempt(int attempt, int resume_cut, std::vector<Row>* out) {
     attempt_start_micros_ = NowMicros();
     durable_elapsed_micros_ = 0;
@@ -481,19 +443,26 @@ class FlowRunner {
     if (!resumed) {
       QOX_ASSIGN_OR_RETURN(rows, Extract(attempt));
       current_cut = 0;
-      if (HasRp(0)) QOX_RETURN_IF_ERROR(WriteRp(0, rows));
+      if (plan_.rp_after_extract()) QOX_RETURN_IF_ERROR(WriteRp(0, rows));
     }
-    // Transform segment by segment between recovery-point cuts. The
-    // transform phase is timed exclusively: recovery-point writes have
+    // Resume cuts are always barrier cuts, i.e. section boundaries, so a
+    // resumed attempt skips whole sections and never enters one mid-way.
+    // The transform phase is timed exclusively: recovery-point writes have
     // their own counter so the phases are additive.
-    while (current_cut < NumOps()) {
-      const size_t next_cut = NextCut(current_cut);
+    for (const PlanSection& section : plan_.sections()) {
+      if (section.end_cut <= current_cut) continue;
       const StopWatch segment_timer;
-      QOX_ASSIGN_OR_RETURN(
-          rows, RunSegment(current_cut, next_cut, std::move(rows), attempt));
+      for (const PlanUnit& unit : section.units) {
+        QOX_ASSIGN_OR_RETURN(
+            rows, unit.parallel
+                      ? RunParallelUnit(unit.begin, unit.end, std::move(rows),
+                                        attempt)
+                      : RunSequentialUnit(unit.begin, unit.end,
+                                          std::move(rows), attempt));
+      }
       metrics_.transform_micros += segment_timer.ElapsedMicros();
-      current_cut = next_cut;
-      if (HasRp(current_cut) && current_cut <= NumOps()) {
+      current_cut = section.end_cut;
+      if (section.rp_at_end) {
         QOX_RETURN_IF_ERROR(WriteRp(current_cut, rows));
       }
     }
@@ -559,7 +528,10 @@ class FlowRunner {
 
   /// Source stage: scans the source, streaming batches into `out`.
   void SpawnExtractStage(StageSet* stages, BatchChannelPtr out, int attempt) {
-    stages->Spawn("extract", [this, out, attempt](StageStats* stats) -> Status {
+    const size_t node_id = plan_.extract_node();
+    stages->Spawn("extract", [this, out, attempt,
+                              node_id](StageStats* stats) -> Status {
+      stats->node_id = static_cast<int64_t>(node_id);
       QOX_ASSIGN_OR_RETURN(const size_t total, flow_.source->NumRows());
       if (config_.injector != nullptr) {
         QOX_RETURN_IF_ERROR(config_.injector->Check(
@@ -594,11 +566,15 @@ class FlowRunner {
   }
 
   /// Source stage variant: replays recovery-point rows into the dataflow.
+  /// Stands in for the extract node, so it reports under its plan id.
   void SpawnReplayStage(StageSet* stages, BatchChannelPtr out,
                         std::vector<Row> rows, size_t cut) {
     auto replay = std::make_shared<std::vector<Row>>(std::move(rows));
+    const size_t node_id = plan_.extract_node();
     stages->Spawn(
-        "replay", [this, out, replay, cut](StageStats* stats) -> Status {
+        "replay",
+        [this, out, replay, cut, node_id](StageStats* stats) -> Status {
+          stats->node_id = static_cast<int64_t>(node_id);
           RowBatch acc(cut_schemas_[cut]);
           for (Row& row : *replay) {
             QOX_RETURN_IF_ERROR(EmitRow(std::move(row), &acc, out.get(), stats));
@@ -614,11 +590,12 @@ class FlowRunner {
   /// Recovery-point barrier: materializes the full cut, persists it, then
   /// re-emits downstream. Returns the barrier's output channel.
   BatchChannelPtr SpawnBarrierStage(StageSet* stages, BatchChannelPtr in,
-                                    size_t cut) {
+                                    size_t cut, size_t node_id) {
     BatchChannelPtr out = stages->MakeChannel(config_.channel_capacity);
     stages->Spawn(
-        "rp.cut" + std::to_string(cut),
-        [this, in, out, cut](StageStats* stats) -> Status {
+        plan_.nodes()[node_id].label,
+        [this, in, out, cut, node_id](StageStats* stats) -> Status {
+          stats->node_id = static_cast<int64_t>(node_id);
           std::vector<Row> rows;
           while (true) {
             QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
@@ -650,12 +627,12 @@ class FlowRunner {
   /// Finish.
   BatchChannelPtr SpawnTransformStage(StageSet* stages, BatchChannelPtr in,
                                       size_t begin, size_t end, int attempt,
-                                      size_t expected_rows) {
+                                      size_t expected_rows, size_t node_id) {
     BatchChannelPtr out = stages->MakeChannel(config_.channel_capacity);
-    const std::string name = "transform[" + std::to_string(begin) + "," +
-                             std::to_string(end) + ")";
-    stages->Spawn(name, [this, in, out, begin, end, attempt, expected_rows](
-                            StageStats* stats) -> Status {
+    stages->Spawn(plan_.nodes()[node_id].label,
+                  [this, in, out, begin, end, attempt, expected_rows,
+                   node_id](StageStats* stats) -> Status {
+      stats->node_id = static_cast<int64_t>(node_id);
       QOX_ASSIGN_OR_RETURN(std::unique_ptr<Pipeline> pipeline,
                            MakePipeline(begin, end, attempt, expected_rows));
       RowBatch acc(cut_schemas_[end]);
@@ -688,12 +665,12 @@ class FlowRunner {
   /// per-partition sorted runs when ordered_merge is set, else a
   /// deterministic round-robin batch interleave.
   Result<BatchChannelPtr> SpawnParallelUnit(StageSet* stages,
-                                            BatchChannelPtr in, size_t begin,
-                                            size_t end, int attempt,
+                                            BatchChannelPtr in,
+                                            const PlanUnit& unit, int attempt,
                                             size_t expected_rows) {
+    const size_t begin = unit.begin;
+    const size_t end = unit.end;
     const size_t num_parts = config_.parallel.partitions;
-    const std::string range =
-        "[" + std::to_string(begin) + "," + std::to_string(end) + ")";
     size_t hash_col = 0;
     if (config_.parallel.scheme == PartitionScheme::kHash) {
       QOX_ASSIGN_OR_RETURN(hash_col, cut_schemas_[begin].FieldIndex(
@@ -705,8 +682,10 @@ class FlowRunner {
       part_in.push_back(stages->MakeChannel(config_.channel_capacity));
     }
     stages->Spawn(
-        "partition" + range,
-        [this, in, part_in, begin, hash_col](StageStats* stats) -> Status {
+        plan_.nodes()[unit.router].label,
+        [this, in, part_in, begin, hash_col,
+         router_id = unit.router](StageStats* stats) -> Status {
+          stats->node_id = static_cast<int64_t>(router_id);
           const PartitionScheme scheme = config_.parallel.scheme;
           const size_t num_parts = part_in.size();
           std::vector<RowBatch> acc;
@@ -744,9 +723,11 @@ class FlowRunner {
     for (size_t p = 0; p < num_parts; ++p) {
       part_out.push_back(stages->MakeChannel(config_.channel_capacity));
       stages->Spawn(
-          "part" + std::to_string(p) + range,
+          plan_.nodes()[unit.branches[p]].label,
           [this, inp = part_in[p], outp = part_out[p], begin, end, attempt,
-           per_part_rows, ordered](StageStats* stats) -> Status {
+           per_part_rows, ordered,
+           branch_id = unit.branches[p]](StageStats* stats) -> Status {
+            stats->node_id = static_cast<int64_t>(branch_id);
             QOX_ASSIGN_OR_RETURN(
                 std::unique_ptr<Pipeline> pipeline,
                 MakePipeline(begin, end, attempt, per_part_rows));
@@ -796,9 +777,9 @@ class FlowRunner {
     }
     BatchChannelPtr out = stages->MakeChannel(config_.channel_capacity);
     if (ordered) {
-      SpawnOrderedMerge(stages, part_out, out, end, range);
+      SpawnOrderedMerge(stages, part_out, out, end, unit.merge);
     } else {
-      SpawnRoundRobinMerge(stages, part_out, out, range);
+      SpawnRoundRobinMerge(stages, part_out, out, unit.merge);
     }
     return out;
   }
@@ -812,10 +793,11 @@ class FlowRunner {
   /// partition skew otherwise).
   void SpawnOrderedMerge(StageSet* stages, std::vector<BatchChannelPtr> parts,
                          BatchChannelPtr out, size_t end_cut,
-                         const std::string& range) {
+                         size_t node_id) {
     stages->Spawn(
-        "merge" + range,
-        [this, parts, out, end_cut](StageStats* stats) -> Status {
+        plan_.nodes()[node_id].label,
+        [this, parts, out, end_cut, node_id](StageStats* stats) -> Status {
+          stats->node_id = static_cast<int64_t>(node_id);
           struct Run {
             std::vector<Row> rows;
             size_t next = 0;
@@ -874,9 +856,11 @@ class FlowRunner {
   /// never deadlocks the bounded dataflow.
   void SpawnRoundRobinMerge(StageSet* stages,
                             std::vector<BatchChannelPtr> parts,
-                            BatchChannelPtr out, const std::string& range) {
+                            BatchChannelPtr out, size_t node_id) {
     stages->Spawn(
-        "merge" + range, [parts, out](StageStats* stats) -> Status {
+        plan_.nodes()[node_id].label,
+        [parts, out, node_id](StageStats* stats) -> Status {
+          stats->node_id = static_cast<int64_t>(node_id);
           PartitionFeed feed(parts);
           std::vector<bool> open(parts.size(), true);
           size_t remaining = parts.size();
@@ -906,7 +890,9 @@ class FlowRunner {
   /// the voter (the caller's `*out` buffer, cleared per attempt).
   void SpawnCollectStage(StageSet* stages, BatchChannelPtr in,
                          std::vector<Row>* out) {
-    stages->Spawn("collect", [in, out](StageStats* stats) -> Status {
+    const size_t node_id = plan_.collect_node();
+    stages->Spawn("collect", [in, out, node_id](StageStats* stats) -> Status {
+      stats->node_id = static_cast<int64_t>(node_id);
       out->clear();
       while (true) {
         QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
@@ -928,7 +914,10 @@ class FlowRunner {
   /// of this attempt's arrival sequence (torn writes included — the skip
   /// is recomputed from the target's row count).
   void SpawnLoadStage(StageSet* stages, BatchChannelPtr in, int attempt) {
-    stages->Spawn("load", [this, in, attempt](StageStats* stats) -> Status {
+    const size_t node_id = plan_.load_node();
+    stages->Spawn("load", [this, in, attempt,
+                           node_id](StageStats* stats) -> Status {
+      stats->node_id = static_cast<int64_t>(node_id);
       QOX_ASSIGN_OR_RETURN(const size_t durable, flow_.target->NumRows());
       const size_t skip = durable - load_base_rows_;
       size_t seen = 0;  // rows that reached the sink this attempt
@@ -993,34 +982,8 @@ class FlowRunner {
     }
   }
 
-  /// Wires the stages covering ops [begin, end), splitting into
-  /// sequential/partitioned units exactly as the phased RunSegment does.
-  Result<BatchChannelPtr> WireSegment(StageSet* stages, BatchChannelPtr in,
-                                      size_t begin, size_t end, int attempt,
-                                      size_t expected_rows) {
-    const bool parallel_on = config_.parallel.partitions > 1;
-    const size_t rb = config_.parallel.range_begin;
-    const size_t re = std::min(config_.parallel.range_end, NumOps());
-    size_t pos = begin;
-    BatchChannelPtr cursor = std::move(in);
-    while (pos < end) {
-      if (parallel_on && pos >= rb && pos < re) {
-        const size_t next = std::min(end, re);
-        QOX_ASSIGN_OR_RETURN(cursor,
-                             SpawnParallelUnit(stages, cursor, pos, next,
-                                               attempt, expected_rows));
-        pos = next;
-      } else {
-        const size_t next = (parallel_on && pos < rb) ? std::min(end, rb) : end;
-        cursor = SpawnTransformStage(stages, cursor, pos, next, attempt,
-                                     expected_rows);
-        pos = next;
-      }
-    }
-    return cursor;
-  }
-
-  /// One streaming attempt: wires the dataflow and runs it to completion.
+  /// One streaming attempt: spawns a stage thread per plan node and wires
+  /// a bounded channel per edge, then runs the dataflow to completion.
   /// Mirrors RunAttempt's recovery semantics (resume, corruption fallback,
   /// per-cut persistence) with stages instead of phases.
   Status RunAttemptStreaming(int attempt, int resume_cut,
@@ -1045,16 +1008,28 @@ class FlowRunner {
       SpawnReplayStage(&stages, cursor, std::move(resume_rows), current_cut);
     } else {
       SpawnExtractStage(&stages, cursor, attempt);
-      if (HasRp(0)) cursor = SpawnBarrierStage(&stages, cursor, 0);
+      if (plan_.rp_after_extract()) {
+        cursor = SpawnBarrierStage(&stages, cursor, 0,
+                                   plan_.rp0_barrier_node());
+      }
     }
-    while (current_cut < NumOps()) {
-      const size_t next_cut = NextCut(current_cut);
-      QOX_ASSIGN_OR_RETURN(cursor,
-                           WireSegment(&stages, cursor, current_cut, next_cut,
-                                       attempt, expected_rows));
-      current_cut = next_cut;
-      if (HasRp(current_cut)) {
-        cursor = SpawnBarrierStage(&stages, cursor, current_cut);
+    // A resume cut is always a section boundary; skip completed sections.
+    for (const PlanSection& section : plan_.sections()) {
+      if (section.end_cut <= current_cut) continue;
+      for (const PlanUnit& unit : section.units) {
+        if (unit.parallel) {
+          QOX_ASSIGN_OR_RETURN(cursor,
+                               SpawnParallelUnit(&stages, cursor, unit,
+                                                 attempt, expected_rows));
+        } else {
+          cursor = SpawnTransformStage(&stages, cursor, unit.begin, unit.end,
+                                       attempt, expected_rows, unit.node);
+        }
+      }
+      current_cut = section.end_cut;
+      if (section.rp_at_end) {
+        cursor = SpawnBarrierStage(&stages, cursor, current_cut,
+                                   section.barrier_node);
       }
     }
     if (StreamingInlineLoad()) {
@@ -1073,6 +1048,7 @@ class FlowRunner {
 
   const FlowSpec& flow_;
   const ExecutionConfig& config_;
+  const ExecutionPlan& plan_;
   const std::vector<Schema>& cut_schemas_;
   ThreadPool* pool_;
   const int instance_id_;
@@ -1144,6 +1120,126 @@ Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
   return Status::OK();
 }
 
+/// Builds the planner input from flow + config. Blocking flags come from
+/// freshly instantiated operators, so the plan's soft barriers match the
+/// chain that actually executes.
+PlanInput MakePlanInput(const FlowSpec& flow, const ExecutionConfig& config) {
+  PlanInput input;
+  input.num_ops = flow.transforms.size();
+  input.blocking.reserve(flow.transforms.size());
+  for (const OperatorFactory& factory : flow.transforms) {
+    input.blocking.push_back(factory ? factory()->IsBlocking() : false);
+  }
+  input.parallel = config.parallel;
+  input.recovery_points = config.recovery_points;
+  input.redundancy = config.redundancy;
+  input.streaming = config.streaming;
+  input.channel_capacity = config.channel_capacity;
+  input.ordered_merge = config.ordered_merge;
+  return input;
+}
+
+/// Scheduler dispatch, redundancy 1: a single FlowRunner with retries.
+Status RunSingleInstance(const FlowSpec& flow, const ExecutionConfig& config,
+                         const ExecutionPlan& plan,
+                         const std::vector<Schema>& cut_schemas,
+                         ThreadPool* pool, std::vector<Row>* output,
+                         bool* loaded_inline, RunMetrics* metrics) {
+  std::atomic<bool> cancelled{false};
+  FlowRunner runner(flow, config, plan, cut_schemas, pool, /*instance_id=*/0,
+                    &cancelled);
+  QOX_RETURN_IF_ERROR(runner.RunToOutput(output));
+  *loaded_inline = runner.loaded_inline();
+  *metrics = runner.metrics();
+  metrics->rows_rejected = runner.rejected();
+  return Status::OK();
+}
+
+/// Scheduler dispatch, n-modular redundancy: k instances race over the
+/// same plan; a majority vote over the output fingerprints accepts a
+/// result and cancels the stragglers.
+Status RunRedundantInstances(const FlowSpec& flow,
+                             const ExecutionConfig& config,
+                             const ExecutionPlan& plan,
+                             const std::vector<Schema>& cut_schemas,
+                             ThreadPool* pool, std::vector<Row>* output,
+                             RunMetrics* metrics) {
+  const size_t k = config.redundancy;
+  const size_t majority = k / 2 + 1;
+  std::atomic<bool> cancelled{false};
+  struct InstanceSlot {
+    std::unique_ptr<FlowRunner> runner;
+    std::vector<Row> output;
+    Status status = Status::OK();
+    bool done = false;
+  };
+  std::vector<InstanceSlot> slots(k);
+  std::mutex vote_mu;
+  std::condition_variable vote_cv;
+  size_t done_count = 0;
+  for (size_t i = 0; i < k; ++i) {
+    slots[i].runner = std::make_unique<FlowRunner>(
+        flow, config, plan, cut_schemas, pool, static_cast<int>(i),
+        &cancelled);
+  }
+  std::vector<std::thread> instance_threads;
+  instance_threads.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    instance_threads.emplace_back([&, i] {
+      InstanceSlot& slot = slots[i];
+      slot.status = slot.runner->RunToOutput(&slot.output);
+      std::lock_guard<std::mutex> lock(vote_mu);
+      slot.done = true;
+      ++done_count;
+      vote_cv.notify_all();
+    });
+  }
+  // Wait until a fingerprint reaches majority or all instances finished.
+  int accepted_instance = -1;
+  {
+    std::unique_lock<std::mutex> lock(vote_mu);
+    while (true) {
+      std::map<size_t, std::vector<size_t>> votes;  // fingerprint -> ids
+      for (size_t i = 0; i < k; ++i) {
+        if (slots[i].done && slots[i].status.ok()) {
+          votes[FingerprintRows(slots[i].output)].push_back(i);
+        }
+      }
+      for (const auto& [fp, ids] : votes) {
+        if (ids.size() >= majority) {
+          accepted_instance = static_cast<int>(ids.front());
+          break;
+        }
+      }
+      if (accepted_instance >= 0 || done_count == k) break;
+      vote_cv.wait(lock);
+    }
+  }
+  cancelled.store(true);  // stop stragglers
+  for (std::thread& t : instance_threads) t.join();
+  if (accepted_instance < 0) {
+    // No majority: report the first hard error, else a vote failure.
+    for (const InstanceSlot& slot : slots) {
+      if (!slot.status.ok() && !slot.status.IsInjectedFailure() &&
+          slot.status.code() != StatusCode::kCancelled) {
+        return slot.status;
+      }
+    }
+    return Status::Internal("redundancy vote failed: no majority among " +
+                            std::to_string(k) + " instances");
+  }
+  *output = std::move(slots[accepted_instance].output);
+  *metrics = slots[accepted_instance].runner->metrics();
+  metrics->rows_rejected = slots[accepted_instance].runner->rejected();
+  // Failures that killed minority instances still count.
+  size_t failures = 0;
+  for (const InstanceSlot& slot : slots) {
+    failures += slot.runner->metrics().failures_injected;
+  }
+  metrics->failures_injected = failures;
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::vector<Schema>> Executor::BindChain(const FlowSpec& flow,
@@ -1212,110 +1308,40 @@ Result<std::vector<Schema>> Executor::BindChain(const FlowSpec& flow,
   return schemas;
 }
 
+Result<ExecutionPlan> Executor::LowerPlan(const FlowSpec& flow,
+                                          const ExecutionConfig& config) {
+  QOX_RETURN_IF_ERROR(BindChain(flow, config).status());
+  return ExecutionPlan::Lower(MakePlanInput(flow, config));
+}
+
 Result<RunMetrics> Executor::Run(const FlowSpec& flow,
                                  const ExecutionConfig& config) {
   const StopWatch total_timer;
   const size_t rp_bytes_before =
       config.rp_store != nullptr ? config.rp_store->total_bytes_written() : 0;
+  // Validate, lower to the shared ExecutionPlan IR, then dispatch the plan
+  // to the per-instance schedulers (phased or streaming, per config).
   QOX_ASSIGN_OR_RETURN(const std::vector<Schema> cut_schemas,
                        BindChain(flow, config));
+  QOX_ASSIGN_OR_RETURN(const ExecutionPlan plan,
+                       ExecutionPlan::Lower(MakePlanInput(flow, config)));
   ThreadPool pool(config.num_threads);
-  std::atomic<bool> cancelled{false};
 
   RunMetrics metrics;
-  metrics.threads = config.num_threads;
-  metrics.partitions = config.parallel.partitions;
-  metrics.redundancy = config.redundancy;
-
   std::vector<Row> accepted_output;
   bool loaded_inline = false;
   if (config.redundancy <= 1) {
-    FlowRunner runner(flow, config, cut_schemas, &pool, /*instance_id=*/0,
-                      &cancelled);
-    QOX_RETURN_IF_ERROR(runner.RunToOutput(&accepted_output));
-    loaded_inline = runner.loaded_inline();
-    metrics = runner.metrics();
-    metrics.threads = config.num_threads;
-    metrics.partitions = config.parallel.partitions;
-    metrics.redundancy = 1;
-    metrics.rows_rejected = runner.rejected();
+    QOX_RETURN_IF_ERROR(RunSingleInstance(flow, config, plan, cut_schemas,
+                                          &pool, &accepted_output,
+                                          &loaded_inline, &metrics));
   } else {
-    // n-modular redundancy: k instances race; accept on majority vote.
-    const size_t k = config.redundancy;
-    const size_t majority = k / 2 + 1;
-    struct InstanceSlot {
-      std::unique_ptr<FlowRunner> runner;
-      std::vector<Row> output;
-      Status status = Status::OK();
-      bool done = false;
-    };
-    std::vector<InstanceSlot> slots(k);
-    std::mutex vote_mu;
-    std::condition_variable vote_cv;
-    size_t done_count = 0;
-    for (size_t i = 0; i < k; ++i) {
-      slots[i].runner = std::make_unique<FlowRunner>(
-          flow, config, cut_schemas, &pool, static_cast<int>(i), &cancelled);
-    }
-    std::vector<std::thread> instance_threads;
-    instance_threads.reserve(k);
-    for (size_t i = 0; i < k; ++i) {
-      instance_threads.emplace_back([&, i] {
-        InstanceSlot& slot = slots[i];
-        slot.status = slot.runner->RunToOutput(&slot.output);
-        std::lock_guard<std::mutex> lock(vote_mu);
-        slot.done = true;
-        ++done_count;
-        vote_cv.notify_all();
-      });
-    }
-    // Wait until a fingerprint reaches majority or all instances finished.
-    int accepted_instance = -1;
-    {
-      std::unique_lock<std::mutex> lock(vote_mu);
-      while (true) {
-        std::map<size_t, std::vector<size_t>> votes;  // fingerprint -> ids
-        for (size_t i = 0; i < k; ++i) {
-          if (slots[i].done && slots[i].status.ok()) {
-            votes[FingerprintRows(slots[i].output)].push_back(i);
-          }
-        }
-        for (const auto& [fp, ids] : votes) {
-          if (ids.size() >= majority) {
-            accepted_instance = static_cast<int>(ids.front());
-            break;
-          }
-        }
-        if (accepted_instance >= 0 || done_count == k) break;
-        vote_cv.wait(lock);
-      }
-    }
-    cancelled.store(true);  // stop stragglers
-    for (std::thread& t : instance_threads) t.join();
-    if (accepted_instance < 0) {
-      // No majority: report the first hard error, else a vote failure.
-      for (const InstanceSlot& slot : slots) {
-        if (!slot.status.ok() && !slot.status.IsInjectedFailure() &&
-            slot.status.code() != StatusCode::kCancelled) {
-          return slot.status;
-        }
-      }
-      return Status::Internal("redundancy vote failed: no majority among " +
-                              std::to_string(k) + " instances");
-    }
-    accepted_output = std::move(slots[accepted_instance].output);
-    metrics = slots[accepted_instance].runner->metrics();
-    metrics.threads = config.num_threads;
-    metrics.partitions = config.parallel.partitions;
-    metrics.redundancy = k;
-    metrics.rows_rejected = slots[accepted_instance].runner->rejected();
-    // Failures that killed minority instances still count.
-    size_t failures = 0;
-    for (const InstanceSlot& slot : slots) {
-      failures += slot.runner->metrics().failures_injected;
-    }
-    metrics.failures_injected = failures;
+    QOX_RETURN_IF_ERROR(RunRedundantInstances(flow, config, plan, cut_schemas,
+                                              &pool, &accepted_output,
+                                              &metrics));
   }
+  metrics.threads = config.num_threads;
+  metrics.partitions = config.parallel.partitions;
+  metrics.redundancy = config.redundancy;
 
   if (!loaded_inline) {
     QOX_RETURN_IF_ERROR(LoadWithRetry(flow, config, accepted_output,

@@ -38,6 +38,7 @@
 #include "engine/failure.h"
 #include "engine/operator.h"
 #include "engine/pipeline.h"
+#include "engine/plan.h"
 #include "engine/retry_policy.h"
 #include "engine/run_metrics.h"
 #include "engine/thread_pool.h"
@@ -45,25 +46,6 @@
 #include "storage/recovery_store.h"
 
 namespace qox {
-
-/// How rows are distributed across partitioned branches.
-enum class PartitionScheme {
-  kRoundRobin,
-  kHash,  ///< by hash of `hash_column` (keeps keyed ops partition-local)
-};
-
-/// Which slice of the transform chain runs partitioned.
-struct ParallelSpec {
-  size_t partitions = 1;  ///< 1 = no parallelism
-  PartitionScheme scheme = PartitionScheme::kRoundRobin;
-  std::string hash_column;  ///< required for kHash
-  /// Global op range [range_begin, range_end) executed partitioned; ops
-  /// outside the range run sequentially. Defaults cover the whole chain
-  /// ("4PF-f"); narrowing them yields the paper's "parallelize parts of the
-  /// flow" ("4PF-p").
-  size_t range_begin = 0;
-  size_t range_end = static_cast<size_t>(-1);
-};
 
 /// One executable flow: source, transform chain, target.
 struct FlowSpec {
@@ -129,6 +111,8 @@ class Executor {
  public:
   /// Runs the flow to completion (including retries / voting). On success
   /// the target contains the flow output and metrics describe the run.
+  /// Internally: validate (BindChain), lower to an ExecutionPlan, then
+  /// dispatch the plan to the phased or streaming scheduler.
   static Result<RunMetrics> Run(const FlowSpec& flow,
                                 const ExecutionConfig& config);
 
@@ -137,6 +121,13 @@ class Executor {
   /// cut position (size = transforms + 1).
   static Result<std::vector<Schema>> BindChain(const FlowSpec& flow,
                                                const ExecutionConfig& config);
+
+  /// Validates and lowers the flow + config into the ExecutionPlan the
+  /// schedulers (and plan dumps / tests) consume. Blocking flags are
+  /// derived from the bound operators, so the plan's soft barriers match
+  /// what actually executes.
+  static Result<ExecutionPlan> LowerPlan(const FlowSpec& flow,
+                                         const ExecutionConfig& config);
 
  private:
   class Impl;

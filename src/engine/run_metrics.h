@@ -56,6 +56,10 @@ struct ParallelUnitStats {
 /// the stall/backpressure split shows which neighbor was the bottleneck.
 struct StageStats {
   std::string name;                ///< "extract", "transform[0,3)", "load", ...
+  /// Id of the ExecutionPlan node this stage executed (see engine/plan.h),
+  /// or -1 when the stage predates plan lowering. The recovery-point
+  /// replay source reports under the extract node's id.
+  int64_t node_id = -1;
   int64_t busy_micros = 0;         ///< actually processing rows
   int64_t stall_micros = 0;        ///< blocked popping an empty input channel
   int64_t backpressure_micros = 0; ///< blocked pushing a full output channel

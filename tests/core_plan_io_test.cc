@@ -93,6 +93,59 @@ TEST(PlanIoTest, XmlLooksLikeXml) {
   EXPECT_NE(xml.find("</physical_design>"), std::string::npos);
 }
 
+TEST(PlanIoTest, StreamingKnobsRoundTrip) {
+  PhysicalDesign design = MakeDesign();
+  design.streaming = true;
+  design.channel_capacity = 3;
+  const DesignSpec original = SpecOf(design);
+  EXPECT_TRUE(original.streaming);
+  EXPECT_EQ(original.channel_capacity, 3u);
+  const std::string xml = ExportDesignXml(original);
+  EXPECT_NE(xml.find("streaming=\"1\""), std::string::npos);
+  EXPECT_NE(xml.find("channel_capacity=\"3\""), std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value().streaming);
+  EXPECT_EQ(parsed.value().channel_capacity, 3u);
+  EXPECT_TRUE(parsed.value() == original);
+}
+
+TEST(PlanIoTest, LoweredPlanExportedAndReimported) {
+  const DesignSpec original = SpecOf(MakeDesign());
+  // The lowered stage graph rides along: extract, a partitioned unit
+  // (router + 4 branches + merge), barriers for cuts {0, 2}, and the NMR
+  // sink (collect + replica group + load).
+  ASSERT_FALSE(original.plan_stages.empty());
+  ASSERT_FALSE(original.plan_edges.empty());
+  const auto count_kind = [&](const std::string& kind) {
+    size_t count = 0;
+    for (const PlanStageSpec& stage : original.plan_stages) {
+      if (stage.kind == kind) ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(count_kind("extract"), 1u);
+  EXPECT_EQ(count_kind("partition_branch"), 4u);
+  EXPECT_EQ(count_kind("rp_barrier"), 2u);
+  EXPECT_EQ(count_kind("replica_group"), 1u);
+
+  const std::string xml = ExportDesignXml(original);
+  EXPECT_NE(xml.find("<execution_plan>"), std::string::npos);
+  EXPECT_NE(xml.find("<stage id=\"0\" kind=\"extract\""), std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value().plan_stages == original.plan_stages);
+  EXPECT_TRUE(parsed.value().plan_edges == original.plan_edges);
+}
+
+TEST(PlanIoTest, UnknownStageKindRejected) {
+  const std::string xml =
+      "<physical_design><flow id=\"f\" source=\"s\" target=\"t\"/>"
+      "<execution_plan><stage id=\"0\" kind=\"quantum\"/></execution_plan>"
+      "</physical_design>";
+  EXPECT_FALSE(ParseDesignXml(xml).ok());
+}
+
 TEST(PlanIoTest, MalformedDocumentsError) {
   EXPECT_FALSE(ParseDesignXml("").ok());
   EXPECT_FALSE(ParseDesignXml("<physical_design>").ok());  // unterminated

@@ -1,0 +1,240 @@
+// ExecutionPlan lowering: node taxonomy, section and unit structure,
+// recovery-cut normalization, the cost-chunk drain structure, validation
+// errors, and the DOT/JSON renderings.
+
+#include "engine/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qox {
+namespace {
+
+PlanInput SimpleInput(size_t num_ops) {
+  PlanInput input;
+  input.num_ops = num_ops;
+  return input;
+}
+
+ExecutionPlan MustLower(const PlanInput& input) {
+  Result<ExecutionPlan> plan = ExecutionPlan::Lower(input);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return plan.TakeValue();
+}
+
+size_t CountKind(const ExecutionPlan& plan, PlanNodeKind kind) {
+  size_t count = 0;
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.kind == kind) ++count;
+  }
+  return count;
+}
+
+TEST(PlanNodeKindTest, NamesRoundTrip) {
+  for (const PlanNodeKind kind :
+       {PlanNodeKind::kExtract, PlanNodeKind::kTransform,
+        PlanNodeKind::kPartitionRouter, PlanNodeKind::kPartitionBranch,
+        PlanNodeKind::kMerge, PlanNodeKind::kRpBarrier, PlanNodeKind::kCollect,
+        PlanNodeKind::kReplicaGroup, PlanNodeKind::kLoad}) {
+    const Result<PlanNodeKind> parsed =
+        ParsePlanNodeKind(PlanNodeKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << PlanNodeKindName(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(ParsePlanNodeKind("warp_drive").ok());
+}
+
+TEST(ExecutionPlanTest, SequentialChainLowersToThreeNodes) {
+  const ExecutionPlan plan = MustLower(SimpleInput(3));
+  ASSERT_EQ(plan.nodes().size(), 3u);  // extract, transform[0,3), load
+  EXPECT_EQ(plan.nodes()[0].kind, PlanNodeKind::kExtract);
+  EXPECT_EQ(plan.nodes()[1].kind, PlanNodeKind::kTransform);
+  EXPECT_EQ(plan.nodes()[1].begin, 0u);
+  EXPECT_EQ(plan.nodes()[1].end, 3u);
+  EXPECT_EQ(plan.nodes()[2].kind, PlanNodeKind::kLoad);
+  EXPECT_EQ(plan.sink_node(), plan.load_node());
+  ASSERT_EQ(plan.sections().size(), 1u);
+  EXPECT_EQ(plan.sections()[0].begin_cut, 0u);
+  EXPECT_EQ(plan.sections()[0].end_cut, 3u);
+  EXPECT_FALSE(plan.sections()[0].rp_at_end);
+  ASSERT_EQ(plan.sections()[0].units.size(), 1u);
+  EXPECT_FALSE(plan.sections()[0].units[0].parallel);
+  // Ids are topological indexes; edges mirror into inputs/outputs.
+  for (size_t i = 0; i < plan.nodes().size(); ++i) {
+    EXPECT_EQ(plan.nodes()[i].id, i);
+  }
+  ASSERT_EQ(plan.edges().size(), 2u);
+  EXPECT_EQ(plan.nodes()[0].outputs, std::vector<size_t>{1});
+  EXPECT_EQ(plan.nodes()[2].inputs, std::vector<size_t>{1});
+}
+
+TEST(ExecutionPlanTest, EmptyChainConnectsExtractToLoad) {
+  const ExecutionPlan plan = MustLower(SimpleInput(0));
+  ASSERT_EQ(plan.nodes().size(), 2u);
+  EXPECT_TRUE(plan.sections().empty());
+  EXPECT_TRUE(plan.cost_chunks().empty());
+  EXPECT_TRUE(plan.drains_after_extract());  // nothing to overlap with
+}
+
+TEST(ExecutionPlanTest, PartialParallelRangeSplitsUnits) {
+  PlanInput input = SimpleInput(4);
+  input.parallel.partitions = 3;
+  input.parallel.range_begin = 1;
+  input.parallel.range_end = 3;
+  const ExecutionPlan plan = MustLower(input);
+
+  ASSERT_EQ(plan.sections().size(), 1u);
+  const PlanSection& section = plan.sections()[0];
+  ASSERT_EQ(section.units.size(), 3u);  // [0,1) seq, [1,3) par, [3,4) seq
+  EXPECT_FALSE(section.units[0].parallel);
+  EXPECT_EQ(section.units[0].begin, 0u);
+  EXPECT_EQ(section.units[0].end, 1u);
+  EXPECT_TRUE(section.units[1].parallel);
+  EXPECT_EQ(section.units[1].begin, 1u);
+  EXPECT_EQ(section.units[1].end, 3u);
+  EXPECT_EQ(section.units[1].branches.size(), 3u);
+  EXPECT_FALSE(section.units[2].parallel);
+
+  EXPECT_EQ(CountKind(plan, PlanNodeKind::kPartitionRouter), 1u);
+  EXPECT_EQ(CountKind(plan, PlanNodeKind::kPartitionBranch), 3u);
+  EXPECT_EQ(CountKind(plan, PlanNodeKind::kMerge), 1u);
+
+  // The router fans out to every branch; the merge fans back in.
+  const PlanUnit& par = section.units[1];
+  EXPECT_EQ(plan.nodes()[par.router].outputs.size(), 3u);
+  EXPECT_EQ(plan.nodes()[par.merge].inputs.size(), 3u);
+  for (const size_t branch : par.branches) {
+    EXPECT_EQ(plan.nodes()[branch].kind, PlanNodeKind::kPartitionBranch);
+  }
+}
+
+TEST(ExecutionPlanTest, RecoveryCutsSortedDedupedAndSectioned) {
+  PlanInput input = SimpleInput(4);
+  input.recovery_points = {2, 0, 2, 4};
+  const ExecutionPlan plan = MustLower(input);
+
+  EXPECT_EQ(plan.rp_cuts(), (std::vector<size_t>{0, 2, 4}));
+  EXPECT_TRUE(plan.rp_after_extract());
+  EXPECT_TRUE(plan.drains_after_extract());
+  EXPECT_NE(plan.rp0_barrier_node(), ExecutionPlan::kNoNode);
+  EXPECT_TRUE(plan.rp_at(2));
+  EXPECT_FALSE(plan.rp_at(3));
+
+  // Cut 0 gets its own barrier before the sections; the cut at n ends the
+  // last section rather than opening an empty one.
+  ASSERT_EQ(plan.sections().size(), 2u);
+  EXPECT_EQ(plan.sections()[0].begin_cut, 0u);
+  EXPECT_EQ(plan.sections()[0].end_cut, 2u);
+  EXPECT_TRUE(plan.sections()[0].rp_at_end);
+  EXPECT_NE(plan.sections()[0].barrier_node, ExecutionPlan::kNoNode);
+  EXPECT_EQ(plan.sections()[1].begin_cut, 2u);
+  EXPECT_EQ(plan.sections()[1].end_cut, 4u);
+  EXPECT_TRUE(plan.sections()[1].rp_at_end);
+  EXPECT_EQ(CountKind(plan, PlanNodeKind::kRpBarrier), 3u);
+}
+
+TEST(ExecutionPlanTest, RedundancyAddsCollectAndReplicaGroup) {
+  PlanInput input = SimpleInput(2);
+  input.redundancy = 3;
+  const ExecutionPlan plan = MustLower(input);
+  ASSERT_NE(plan.collect_node(), ExecutionPlan::kNoNode);
+  ASSERT_NE(plan.replica_group_node(), ExecutionPlan::kNoNode);
+  EXPECT_EQ(plan.sink_node(), plan.collect_node());
+  EXPECT_EQ(plan.nodes()[plan.replica_group_node()].partition, 3u);
+  // collect -> replica group -> load.
+  EXPECT_EQ(plan.nodes()[plan.replica_group_node()].inputs,
+            std::vector<size_t>{plan.collect_node()});
+  EXPECT_EQ(plan.nodes()[plan.load_node()].inputs,
+            std::vector<size_t>{plan.replica_group_node()});
+}
+
+// The cost-chunk structure must reproduce the cost model's historical
+// barrier/border derivation: barriers at recovery cuts, after blocking
+// ops, and at n; borders additionally at 0 and the parallel range edges;
+// a chunk is parallel iff it lies fully inside the clamped range.
+TEST(ExecutionPlanTest, CostChunksMatchHandDerivedBarriers) {
+  PlanInput input = SimpleInput(6);
+  input.blocking = {false, true, false, false, true, false};
+  input.recovery_points = {3};
+  input.parallel.partitions = 4;
+  input.parallel.range_begin = 2;
+  input.parallel.range_end = 5;
+  const ExecutionPlan plan = MustLower(input);
+
+  // barriers = {3} rp, {2, 5} blocking, {6} end.
+  // borders  = {0, 2, 3, 5, 6}  (range edges 2 and 5 already present).
+  const std::vector<size_t> expect_borders = {0, 2, 3, 5, 6};
+  EXPECT_EQ(plan.channel_borders(), expect_borders);
+
+  const std::set<size_t> barriers = {2, 3, 5, 6};
+  ASSERT_EQ(plan.cost_chunks().size(), 4u);
+  for (size_t i = 0; i < plan.cost_chunks().size(); ++i) {
+    const ExecutionPlan::CostChunk& chunk = plan.cost_chunks()[i];
+    EXPECT_EQ(chunk.begin, expect_borders[i]);
+    EXPECT_EQ(chunk.end, expect_borders[i + 1]);
+    EXPECT_EQ(chunk.drains_at_end, barriers.count(chunk.end) > 0)
+        << "chunk [" << chunk.begin << "," << chunk.end << ")";
+    EXPECT_EQ(chunk.parallel, chunk.begin >= 2 && chunk.end <= 5)
+        << "chunk [" << chunk.begin << "," << chunk.end << ")";
+  }
+}
+
+TEST(ExecutionPlanTest, LoweringValidatesStructuralImpossibilities) {
+  PlanInput zero_partitions = SimpleInput(2);
+  zero_partitions.parallel.partitions = 0;
+  EXPECT_FALSE(ExecutionPlan::Lower(zero_partitions).ok());
+
+  PlanInput zero_redundancy = SimpleInput(2);
+  zero_redundancy.redundancy = 0;
+  EXPECT_FALSE(ExecutionPlan::Lower(zero_redundancy).ok());
+
+  PlanInput cut_beyond = SimpleInput(2);
+  cut_beyond.recovery_points = {3};
+  EXPECT_FALSE(ExecutionPlan::Lower(cut_beyond).ok());
+
+  PlanInput bad_blocking = SimpleInput(2);
+  bad_blocking.blocking = {true};
+  EXPECT_FALSE(ExecutionPlan::Lower(bad_blocking).ok());
+}
+
+TEST(ExecutionPlanTest, EdgeCapacityTracksChannelCapacity) {
+  PlanInput input = SimpleInput(2);
+  input.channel_capacity = 3;
+  const ExecutionPlan plan = MustLower(input);
+  for (const PlanEdge& edge : plan.edges()) {
+    EXPECT_EQ(edge.capacity, 3u);
+  }
+
+  input.channel_capacity = 0;  // clamps to 1, like the streaming executor
+  const ExecutionPlan clamped = MustLower(input);
+  for (const PlanEdge& edge : clamped.edges()) {
+    EXPECT_EQ(edge.capacity, 1u);
+  }
+}
+
+TEST(ExecutionPlanTest, DotAndJsonRenderTheGraph) {
+  PlanInput input = SimpleInput(3);
+  input.recovery_points = {1};
+  input.parallel.partitions = 2;
+  input.parallel.range_begin = 1;
+  const ExecutionPlan plan = MustLower(input);
+
+  const std::string dot = plan.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_section0"), std::string::npos);
+  EXPECT_NE(dot.find("extract"), std::string::npos);
+  EXPECT_NE(dot.find("rp.cut1"), std::string::npos);
+
+  const std::string json = plan.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one line, for logs
+  EXPECT_NE(json.find("\"nodes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"edges\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sections\":"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"partition_router\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qox
