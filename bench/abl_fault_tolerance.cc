@@ -1,25 +1,38 @@
-// Ablation — fault tolerance: storage-fault probability x retry policy.
+// Ablation — fault tolerance: storage-fault probability x retry policy,
+// and row-error containment policy x poison rate.
 //
-// Question: as transient storage faults become more frequent, what do the
+// Question 1: as transient storage faults become more frequent, what do the
 // retry knobs (attempt budget, backoff) and recovery points buy, and what
 // do they cost? Every cell runs the same flow with the source wrapped in a
 // FaultyStore injecting per-batch transient scan faults, and reports the
 // observed attempts, per-run retries, backoff wait, recovery (lost work +
 // RP read) time, and end-to-end wall time.
+//
+// Question 2: as the fraction of poisoned rows grows, what does each
+// containment policy (fail-fast / skip / quarantine, with and without an
+// error budget) cost, and does the cost model's data-quality term track
+// the measured quarantine volume and budget aborts? Emits one BENCH JSON
+// line (prefix "{\"bench\":\"abl_quarantine\"") with measured and
+// predicted values per cell.
 
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/cost_model.h"
+#include "core/design.h"
 #include "engine/executor.h"
 #include "engine/ops/filter_op.h"
 #include "engine/ops/function_op.h"
 #include "engine/ops/sort_op.h"
+#include "storage/dead_letter_store.h"
 #include "storage/faulty_store.h"
 #include "storage/mem_table.h"
 
@@ -172,6 +185,117 @@ BENCHMARK(BM_AblFaultTolerance)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// --------------------------------------------------------------------------
+// Quarantine ablation: containment policy x poison-row rate.
+// --------------------------------------------------------------------------
+
+/// The same flow as above, expressed as a PhysicalDesign so the cost
+/// model's data-quality term can be evaluated against the measured run.
+PhysicalDesign MakeDesign(ErrorPolicy policy, const ErrorBudget& budget) {
+  std::vector<LogicalOp> ops;
+  ops.push_back(
+      MakeFilter("flt", {Predicate::NotNull("amount")}, /*selectivity=*/1.0));
+  ops.push_back(MakeFunction(
+      "fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}));
+  ops.push_back(MakeSort("sort", {{"id", false}}));
+  auto target = std::make_shared<MemTable>("wh", TargetSchema());
+  PhysicalDesign design;
+  design.flow = LogicalFlow("ablq_flow", BaseSource(), std::move(ops),
+                            std::move(target));
+  // Poison strikes at op 0 (the filter), so every policy decision happens
+  // at full input volume — the cleanest cell for model validation.
+  design.error_policies = {policy, ErrorPolicy::kFailFast,
+                           ErrorPolicy::kFailFast};
+  design.error_budget = budget;
+  return design;
+}
+
+struct QuarantineCell {
+  double poison_rate = 0.0;
+  std::string policy;
+  std::string outcome;
+  size_t contained = 0;
+  size_t dlq_records = 0;
+  int64_t total_micros = 0;
+  double predicted_quarantine_volume = 0.0;
+  double predicted_abort_probability = 0.0;
+};
+std::map<int, QuarantineCell>& QuarantineCells() {
+  static auto* const cells = new std::map<int, QuarantineCell>();
+  return *cells;
+}
+
+void BM_AblQuarantine(benchmark::State& state) {
+  struct PolicyCell {
+    std::string name;
+    ErrorPolicy policy;
+    ErrorBudget budget;
+  };
+  std::vector<PolicyCell> policies;
+  policies.push_back({"fail_fast", ErrorPolicy::kFailFast, ErrorBudget{}});
+  policies.push_back({"skip", ErrorPolicy::kSkip, ErrorBudget{}});
+  policies.push_back({"quarantine", ErrorPolicy::kQuarantine, ErrorBudget{}});
+  {
+    // A budget sized to half the expected containment at the highest rate:
+    // the cell that should abort, validating the model's abort-probability
+    // term from the other side.
+    ErrorBudget tight;
+    tight.max_rows = static_cast<size_t>(kRows * 0.05 / 2);
+    policies.push_back({"quarantine+budget", ErrorPolicy::kQuarantine, tight});
+  }
+  const std::vector<double> poison_rates = {0.001, 0.01, 0.05};
+
+  for (auto _ : state) {
+    int cell_idx = 0;
+    for (const double rate : poison_rates) {
+      for (const PolicyCell& policy : policies) {
+        const PhysicalDesign design = MakeDesign(policy.policy, policy.budget);
+
+        FailureInjector injector;
+        const size_t poisoned = static_cast<size_t>(kRows * rate);
+        for (size_t i = 0; i < poisoned; ++i) {
+          // Evenly spaced poisoned ids across the key space.
+          injector.AddPoison(
+              {0, static_cast<int64_t>(i * (kRows / poisoned))});
+        }
+        auto dlq = DeadLetterStore::InMemory("dlq");
+        ExecutionConfig config = design.ToExecutionConfig(nullptr, &injector);
+        config.dead_letter = dlq;
+
+        QuarantineCell cell;
+        cell.poison_rate = rate;
+        cell.policy = policy.name;
+        const Result<RunMetrics> metrics =
+            Executor::Run(design.flow.ToFlowSpec(), config);
+        if (metrics.ok()) {
+          cell.outcome = "ok";
+          cell.contained = metrics.value().rows_skipped +
+                           metrics.value().rows_quarantined;
+          cell.total_micros = metrics.value().total_micros;
+        } else {
+          cell.outcome = StatusCodeName(metrics.status().code());
+        }
+        cell.dlq_records = dlq->NumRecords().value();
+
+        CostModelParams params;
+        params.row_error_rate = rate;
+        const CostModel model(params);
+        cell.predicted_quarantine_volume =
+            model.EstimateQuarantineVolume(design, kRows);
+        cell.predicted_abort_probability =
+            model.EstimateBudgetAbortProbability(design, kRows);
+        QuarantineCells()[cell_idx++] = cell;
+      }
+    }
+    state.SetIterationTime(1e-3);
+  }
+}
+
+BENCHMARK(BM_AblQuarantine)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 void PrintFigure() {
   bench::Table table({"fault_p", "policy", "outcome", "attempts", "retries",
                       "backoff_ms", "recovery_ms", "total_ms"});
@@ -187,6 +311,42 @@ void PrintFigure() {
       "FaultyStore, RP at cut 0 where noted)");
 }
 
+void PrintQuarantineFigure() {
+  bench::Table table({"poison_rate", "policy", "outcome", "contained",
+                      "dlq_records", "total_ms", "pred_quarantine",
+                      "pred_abort_p"});
+  std::ostringstream json;
+  json << "{\"bench\":\"abl_quarantine\",\"rows\":" << kRows
+       << ",\"results\":[";
+  bool first = true;
+  for (const auto& [idx, cell] : QuarantineCells()) {
+    table.AddRow({bench::Seconds(cell.poison_rate, 3), cell.policy,
+                  cell.outcome, std::to_string(cell.contained),
+                  std::to_string(cell.dlq_records),
+                  bench::Ms(cell.total_micros),
+                  bench::Seconds(cell.predicted_quarantine_volume, 1),
+                  bench::Seconds(cell.predicted_abort_probability, 3)});
+    if (!first) json << ",";
+    first = false;
+    json << "{\"poison_rate\":" << cell.poison_rate << ",\"policy\":\""
+         << cell.policy << "\",\"outcome\":\"" << cell.outcome
+         << "\",\"contained\":" << cell.contained
+         << ",\"dlq_records\":" << cell.dlq_records
+         << ",\"total_micros\":" << cell.total_micros
+         << ",\"predicted_quarantine_volume\":"
+         << cell.predicted_quarantine_volume
+         << ",\"predicted_abort_probability\":"
+         << cell.predicted_abort_probability << "}";
+  }
+  json << "]}";
+  table.Print(
+      "Ablation: row-error containment — poison-row rate x policy "
+      "(20k rows, poison injected at the filter op; predicted columns "
+      "from the cost model's data-quality term at row_error_rate = "
+      "poison_rate)");
+  std::cout << json.str() << std::endl;
+}
+
 }  // namespace
 }  // namespace qox
 
@@ -194,5 +354,6 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   qox::PrintFigure();
+  qox::PrintQuarantineFigure();
   return 0;
 }

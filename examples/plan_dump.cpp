@@ -79,6 +79,19 @@ int main(int argc, char** argv) {
     d.recovery_points = {flow.num_ops() / 2};
     designs.push_back(d);
   }
+  {
+    PhysicalDesign d;  // DLQ: quarantine at the lookup, skip at the filter,
+    d.flow = flow;     // bounded by a flow-level error budget
+    d.error_policies.assign(flow.num_ops(), ErrorPolicy::kFailFast);
+    for (size_t i = 0; i < flow.num_ops(); ++i) {
+      const std::string& kind = flow.ops()[i].kind;
+      if (kind == "lookup") d.error_policies[i] = ErrorPolicy::kQuarantine;
+      if (kind == "filter") d.error_policies[i] = ErrorPolicy::kSkip;
+    }
+    d.error_budget.max_rows = 1000;
+    d.error_budget.max_fraction = 0.05;
+    designs.push_back(d);
+  }
 
   for (const PhysicalDesign& design : designs) {
     const ExecutionPlan plan = CostModel::PlanFor(design);

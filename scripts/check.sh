@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the repo twice via the QOX_SANITIZE CMake knob and
 # runs the tier-1 suite under AddressSanitizer, then the concurrency-heavy
-# engine_* and plan-labeled tests under ThreadSanitizer (the streaming
-# executor, channels, thread pool, and the planner equivalence sweep —
-# which drives both schedulers — are where data races would live).
+# engine_* / plan-labeled / robustness-labeled tests under ThreadSanitizer
+# (the streaming executor, channels, thread pool, the planner equivalence
+# sweep — which drives both schedulers — and the fault-containment suites,
+# whose chaos sweep quarantines concurrently from every pipeline, are where
+# data races would live).
 #
 # Usage:  scripts/check.sh [--asan-only|--tsan-only|--fast]
 #
 #   --fast   skip the sanitizer trees entirely: one plain build + ctest
-#            (the quick pre-commit loop; the full gate stays the default).
+#            with a reduced chaos sweep (QOX_CHAOS_SEEDS=8 instead of the
+#            default 32) — the quick pre-commit loop; the full gate stays
+#            the default.
 #
 # Build trees land in build-asan/ and build-tsan/ next to build/ so the
 # regular (unsanitized) tree stays untouched. Exits non-zero on the first
@@ -41,17 +45,19 @@ run_suite() {
 
 case "${MODE}" in
   all)
+    # ASan covers every suite (robustness label included); TSan re-runs the
+    # concurrency-heavy subset plus the robustness suites.
     run_suite address build-asan ""
-    run_suite thread build-tsan "^engine_|plan"
+    run_suite thread build-tsan "^engine_|plan|robustness"
     ;;
   --asan-only)
     run_suite address build-asan ""
     ;;
   --tsan-only)
-    run_suite thread build-tsan "^engine_|plan"
+    run_suite thread build-tsan "^engine_|plan|robustness"
     ;;
   --fast)
-    run_suite none build ""
+    QOX_CHAOS_SEEDS="${QOX_CHAOS_SEEDS:-8}" run_suite none build ""
     echo "==> fast check passed (sanitizer trees skipped)"
     exit 0
     ;;

@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline_exceeded";
     case StatusCode::kCorruptedData:
       return "corrupted_data";
+    case StatusCode::kErrorBudgetExceeded:
+      return "error_budget_exceeded";
   }
   return "unknown";
 }

@@ -42,6 +42,11 @@ enum class StatusCode {
   /// Retrying the same read cannot help; the caller must fall back to an
   /// older copy or recompute.
   kCorruptedData,
+  /// The flow's row-level error budget was exhausted: more rows were
+  /// skipped/quarantined than the configured ceiling allows. Permanent —
+  /// re-running the identical flow re-quarantines the identical rows, so
+  /// the executor must not burn retry attempts on it.
+  kErrorBudgetExceeded,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "io_error").
@@ -97,6 +102,9 @@ class Status {
   }
   static Status CorruptedData(std::string msg) {
     return Status(StatusCode::kCorruptedData, std::move(msg));
+  }
+  static Status ErrorBudgetExceeded(std::string msg) {
+    return Status(StatusCode::kErrorBudgetExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

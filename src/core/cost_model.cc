@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -31,6 +32,43 @@ std::vector<double> RowsAtCuts(const std::vector<LogicalOp>& ops,
     rows.push_back(rows.back() * op.selectivity);
   }
   return rows;
+}
+
+/// Expected row-error volume per containment class for one run: walks the
+/// chain with volume shrinking by selectivity and charges rows_at[i] *
+/// row_error_rate to op i's policy class. Error rates are small by
+/// assumption, so the extra shrink from contained rows is ignored —
+/// second-order for ranking purposes.
+struct ContainmentVolumes {
+  double skipped = 0.0;
+  double quarantined = 0.0;
+  double fail_fast = 0.0;  ///< errors at kFailFast ops: each aborts the run
+};
+
+ContainmentVolumes EstimateContainment(const PhysicalDesign& design,
+                                       double input_rows,
+                                       double row_error_rate) {
+  ContainmentVolumes volumes;
+  if (row_error_rate <= 0.0) return volumes;
+  const std::vector<double> rows = RowsAtCuts(design.flow.ops(), input_rows);
+  for (size_t i = 0; i < design.flow.num_ops(); ++i) {
+    const double errors = rows[i] * row_error_rate;
+    const ErrorPolicy policy = i < design.error_policies.size()
+                                   ? design.error_policies[i]
+                                   : ErrorPolicy::kFailFast;
+    switch (policy) {
+      case ErrorPolicy::kSkip:
+        volumes.skipped += errors;
+        break;
+      case ErrorPolicy::kQuarantine:
+        volumes.quarantined += errors;
+        break;
+      case ErrorPolicy::kFailFast:
+        volumes.fail_fast += errors;
+        break;
+    }
+  }
+  return volumes;
 }
 
 double EffectiveSpeedup(const PhysicalDesign& design,
@@ -117,6 +155,16 @@ ExecutionPlan CostModel::PlanFor(const PhysicalDesign& design) {
   input.redundancy = std::max<size_t>(1, design.redundancy);
   input.streaming = design.streaming;
   input.channel_capacity = design.channel_capacity;
+  // Containment knobs ride along so plan dumps and exported metadata show
+  // the policies the executors would enforce. Pathological values are
+  // clamped (like out-of-range cuts above) to keep estimation total.
+  input.error_policies = design.error_policies;
+  if (input.error_policies.size() > input.num_ops) {
+    input.error_policies.resize(input.num_ops);
+  }
+  input.error_budget = design.error_budget;
+  input.error_budget.max_fraction =
+      std::min(1.0, std::max(0.0, design.error_budget.max_fraction));
   return ExecutionPlan::Lower(input).ValueOr(ExecutionPlan());
 }
 
@@ -160,6 +208,15 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
     est.transform_s +=
         (rows.front() - rows.back()) * 0.5 * params_.transform_ns_per_unit /
         1e9;
+  }
+  // Containment handling cost on the expected error volume (zero with a
+  // clean-input model, so the seed predictions are untouched).
+  if (params_.row_error_rate > 0.0) {
+    const ContainmentVolumes volumes =
+        EstimateContainment(design, input_rows, params_.row_error_rate);
+    est.transform_s += (volumes.skipped * params_.skip_ns_per_row +
+                        volumes.quarantined * params_.quarantine_ns_per_row) /
+                       1e9;
   }
   double body = est.extract_s + est.transform_s + est.merge_s + est.rp_s;
   if (design.redundancy > 1) {
@@ -240,9 +297,49 @@ double CostModel::EstimateRecoverability(const PhysicalDesign& design,
   return expected;
 }
 
+double CostModel::EstimateQuarantineVolume(const PhysicalDesign& design,
+                                           double input_rows) const {
+  return EstimateContainment(design, input_rows, params_.row_error_rate)
+      .quarantined;
+}
+
+double CostModel::EstimateBudgetAbortProbability(const PhysicalDesign& design,
+                                                 double input_rows) const {
+  if (design.error_budget.unlimited()) return 0.0;
+  const ContainmentVolumes volumes =
+      EstimateContainment(design, input_rows, params_.row_error_rate);
+  const double expected = volumes.skipped + volumes.quarantined;
+  if (expected <= 0.0) return 0.0;
+  double ceiling =
+      design.error_budget.max_rows == std::numeric_limits<size_t>::max()
+          ? input_rows
+          : static_cast<double>(design.error_budget.max_rows);
+  ceiling = std::min(ceiling, design.error_budget.max_fraction * input_rows);
+  // Contained count ~ Poisson(expected); the tail beyond the ceiling via a
+  // normal approximation — smooth and ordinal, which is all ranking needs.
+  const double sigma = std::sqrt(std::max(1.0, expected));
+  const double tail =
+      0.5 * std::erfc((ceiling - expected) / (sigma * std::sqrt(2.0)));
+  return std::min(1.0, std::max(0.0, tail));
+}
+
 double CostModel::EstimateReliability(const PhysicalDesign& design,
                                       const PhaseEstimate& phases,
                                       const WorkloadParams& workload) const {
+  // Data-quality survival. Row errors are data-determined: every retry and
+  // every replica hits the identical rows, so neither recovery points nor
+  // redundancy lifts this term — a fail-fast op on dirty input aborts
+  // permanently (P[zero errors] = exp(-expected)), and a breached error
+  // budget aborts permanently by construction (kErrorBudgetExceeded is not
+  // transient). 1.0 under the default clean-input model.
+  double dq_survival = 1.0;
+  if (params_.row_error_rate > 0.0) {
+    const ContainmentVolumes volumes = EstimateContainment(
+        design, workload.rows_per_run, params_.row_error_rate);
+    dq_survival =
+        std::exp(-volumes.fail_fast) *
+        (1.0 - EstimateBudgetAbortProbability(design, workload.rows_per_run));
+  }
   const double p_fail =
       1.0 - AttemptSuccessProbability(phases.total_s,
                                       workload.failure_rate_per_s);
@@ -260,7 +357,7 @@ double CostModel::EstimateReliability(const PhysicalDesign& design,
       success += comb * std::pow(1.0 - p_fail, static_cast<double>(j)) *
                  std::pow(p_fail, static_cast<double>(k - j));
     }
-    return std::min(1.0, success);
+    return std::min(1.0, success) * dq_survival;
   }
   // Retries within the time window: a retry costs the expected rework —
   // cheap with recovery points, a full rerun without — plus the retry
@@ -280,7 +377,8 @@ double CostModel::EstimateReliability(const PhysicalDesign& design,
       std::max<size_t>(1, design.retry.max_attempts) - 1);
   const double retries_allowed = std::min(
       std::min(16.0, budget), std::floor(slack / std::max(1e-6, retry_cost)));
-  return 1.0 - std::pow(p_fail, 1.0 + std::max(0.0, retries_allowed));
+  return (1.0 - std::pow(p_fail, 1.0 + std::max(0.0, retries_allowed))) *
+         dq_survival;
 }
 
 double CostModel::EstimateFreshness(const PhysicalDesign& design,
@@ -369,14 +467,29 @@ Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
   const double storage_cost = rp_rows * params_.bytes_per_row / 1e8;
   v.Set(QoxMetric::kCost, machine_seconds + storage_cost);
 
-  // Robustness: structural — presence of data-quality handling.
+  // Robustness: structural — presence of data-quality handling. Row-level
+  // containment absorbs anomalies the quality operators don't (a malformed
+  // value no filter anticipated skips or quarantines instead of aborting),
+  // and quarantining beats skipping because the rows remain recoverable.
   size_t quality_ops = 0;
   for (const LogicalOp& op : design.flow.ops()) {
     if (op.kind == "filter" || op.kind == "lookup") ++quality_ops;
   }
-  v.Set(QoxMetric::kRobustness,
-        0.3 + 0.7 * std::min<double>(1.0,
-                                     static_cast<double>(quality_ops) / 2.0));
+  double robustness =
+      0.3 + 0.7 * std::min<double>(1.0,
+                                   static_cast<double>(quality_ops) / 2.0);
+  bool any_skip = false;
+  bool any_quarantine = false;
+  for (const ErrorPolicy policy : design.error_policies) {
+    any_skip |= policy == ErrorPolicy::kSkip;
+    any_quarantine |= policy == ErrorPolicy::kQuarantine;
+  }
+  if (any_quarantine) {
+    robustness = std::min(1.0, robustness + 0.2);
+  } else if (any_skip) {
+    robustness = std::min(1.0, robustness + 0.1);
+  }
+  v.Set(QoxMetric::kRobustness, robustness);
 
   v.Set(QoxMetric::kTraceability, design.provenance_columns ? 0.9 : 0.2);
   v.Set(QoxMetric::kAuditability,

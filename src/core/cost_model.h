@@ -80,6 +80,16 @@ struct CostModelParams {
   /// models perfectly reliable RP storage and keeps predictions identical
   /// to the pre-fault-tolerance model.
   double rp_corruption_prob = 0.0;
+  /// Data-quality law input: expected fraction of an op's input rows that
+  /// trip a row-scoped operator error (bad value, failed lookup). 0
+  /// (default) models clean input and keeps every prediction identical to
+  /// the pre-containment model.
+  double row_error_rate = 0.0;
+  /// Per-row cost of containing a row error: skipping is accounting only;
+  /// quarantining encodes, checksums, and appends to the dead-letter
+  /// ledger.
+  double skip_ns_per_row = 120.0;
+  double quarantine_ns_per_row = 2600.0;
 };
 
 /// Workload context a prediction is made for.
@@ -155,6 +165,21 @@ class CostModel {
   /// period / 2 + execution time of one batch (day volume / loads).
   double EstimateFreshness(const PhysicalDesign& design,
                            const WorkloadParams& workload) const;
+
+  /// Expected number of rows routed to the dead-letter ledger in one run
+  /// of `input_rows` rows at the configured row_error_rate: the volume a
+  /// quarantine-enabled design must budget ledger storage and replay work
+  /// for. 0 when no op carries kQuarantine or the error rate is 0.
+  double EstimateQuarantineVolume(const PhysicalDesign& design,
+                                  double input_rows) const;
+
+  /// Probability one run aborts with kErrorBudgetExceeded: the expected
+  /// contained volume measured against the budget's effective ceiling
+  /// (min of max_rows and max_fraction * input), with the contained count
+  /// modelled as Poisson around its mean. 0 with no budget, containment,
+  /// or errors.
+  double EstimateBudgetAbortProbability(const PhysicalDesign& design,
+                                        double input_rows) const;
 
   /// Maintainability score of the logical flow, penalized by physical
   /// complexity (partitioned/redundant plumbing).

@@ -1,6 +1,7 @@
 #include "core/design.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 namespace qox {
@@ -237,6 +238,8 @@ ExecutionConfig PhysicalDesign::ToExecutionConfig(
   config.injector = injector;
   config.streaming = streaming;
   config.channel_capacity = channel_capacity;
+  config.error_policies = error_policies;
+  config.error_budget = error_budget;
   return config;
 }
 
@@ -260,6 +263,19 @@ std::string PhysicalDesign::ConfigTag() const {
     oss << (recovery_points.size() >= 3 ? "+RP++" : "+RP");
   }
   if (streaming) oss << "+S";
+  // Containment shows up only when a non-default policy is set.
+  bool any_skip = false;
+  bool any_quarantine = false;
+  for (const ErrorPolicy policy : error_policies) {
+    any_skip |= policy == ErrorPolicy::kSkip;
+    any_quarantine |= policy == ErrorPolicy::kQuarantine;
+  }
+  if (any_quarantine) {
+    oss << "+DLQ";
+  } else if (any_skip) {
+    oss << "+SKIP";
+  }
+  if (!error_budget.unlimited()) oss << "+EB";
   return oss.str();
 }
 
@@ -271,8 +287,29 @@ std::string PhysicalDesign::Describe() const {
     if (i > 0) oss << ",";
     oss << recovery_points[i];
   }
-  oss << "} redundancy=" << redundancy << " loads/day=" << loads_per_day
-      << " :: " << flow.Describe();
+  oss << "} redundancy=" << redundancy << " loads/day=" << loads_per_day;
+  bool any_contained = false;
+  for (const ErrorPolicy policy : error_policies) {
+    any_contained |= policy != ErrorPolicy::kFailFast;
+  }
+  if (any_contained) {
+    oss << " policies={";
+    for (size_t i = 0; i < error_policies.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << ErrorPolicyName(error_policies[i]);
+    }
+    oss << "}";
+  }
+  if (!error_budget.unlimited()) {
+    oss << " budget={rows=";
+    if (error_budget.max_rows == std::numeric_limits<size_t>::max()) {
+      oss << "inf";
+    } else {
+      oss << error_budget.max_rows;
+    }
+    oss << ",fraction=" << error_budget.max_fraction << "}";
+  }
+  oss << " :: " << flow.Describe();
   return oss.str();
 }
 

@@ -194,6 +194,12 @@ struct PhysicalDesign {
   /// Bounded capacity, in batches, of every streaming channel (maps to
   /// ExecutionConfig::channel_capacity and the plan's edge capacities).
   size_t channel_capacity = 8;
+  /// Row-level containment policy per op (by index; empty or short =
+  /// kFailFast, the seed behaviour). Maps to ExecutionConfig::error_policies
+  /// and is priced by the cost model's data-quality term.
+  std::vector<ErrorPolicy> error_policies;
+  /// Flow-level ceiling on contained rows (kErrorBudgetExceeded beyond it).
+  ErrorBudget error_budget;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

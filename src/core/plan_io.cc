@@ -25,7 +25,8 @@ bool OpSpec::operator==(const OpSpec& other) const {
          blocking == other.blocking &&
          cost_per_row == other.cost_per_row &&
          selectivity == other.selectivity && reads == other.reads &&
-         creates == other.creates && drops == other.drops;
+         creates == other.creates && drops == other.drops &&
+         error_policy == other.error_policy;
 }
 
 bool DesignSpec::operator==(const DesignSpec& other) const {
@@ -42,6 +43,8 @@ bool DesignSpec::operator==(const DesignSpec& other) const {
          audit_rejects == other.audit_rejects &&
          streaming == other.streaming &&
          channel_capacity == other.channel_capacity &&
+         error_budget_max_rows == other.error_budget_max_rows &&
+         error_budget_max_fraction == other.error_budget_max_fraction &&
          plan_stages == other.plan_stages && plan_edges == other.plan_edges;
 }
 
@@ -52,8 +55,14 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
       design.flow.source() != nullptr ? design.flow.source()->name() : "";
   spec.target =
       design.flow.target() != nullptr ? design.flow.target()->name() : "";
+  size_t op_index = 0;
   for (const LogicalOp& op : design.flow.ops()) {
     OpSpec op_spec;
+    op_spec.error_policy =
+        ErrorPolicyName(op_index < design.error_policies.size()
+                            ? design.error_policies[op_index]
+                            : ErrorPolicy::kFailFast);
+    ++op_index;
     op_spec.name = op.name;
     op_spec.kind = op.kind;
     op_spec.blocking = op.blocking;
@@ -79,6 +88,8 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
   spec.audit_rejects = design.audit_rejects;
   spec.streaming = design.streaming;
   spec.channel_capacity = design.channel_capacity;
+  spec.error_budget_max_rows = design.error_budget.max_rows;
+  spec.error_budget_max_fraction = design.error_budget.max_fraction;
   // The lowered stage graph rides along as descriptive metadata. PlanFor
   // is the same lowering the executors schedule, so the exported plan is
   // exactly what would run.
@@ -351,7 +362,17 @@ std::string ExportDesignXml(const DesignSpec& spec) {
       << "\" provenance_columns=\"" << (spec.provenance_columns ? 1 : 0)
       << "\" audit_rejects=\"" << (spec.audit_rejects ? 1 : 0)
       << "\" streaming=\"" << (spec.streaming ? 1 : 0)
-      << "\" channel_capacity=\"" << spec.channel_capacity << "\">\n";
+      << "\" channel_capacity=\"" << spec.channel_capacity << "\"";
+  // The budget attributes appear only when a budget is actually set, so
+  // documents from designs that never touch containment stay byte-stable.
+  if (spec.error_budget_max_rows != static_cast<size_t>(-1)) {
+    oss << " error_budget_max_rows=\"" << spec.error_budget_max_rows << "\"";
+  }
+  if (spec.error_budget_max_fraction < 1.0) {
+    oss << " error_budget_max_fraction=\"" << spec.error_budget_max_fraction
+        << "\"";
+  }
+  oss << ">\n";
   oss << "  <flow id=\"" << XmlEscape(spec.flow_id) << "\" source=\""
       << XmlEscape(spec.source) << "\" target=\"" << XmlEscape(spec.target)
       << "\">\n";
@@ -361,7 +382,11 @@ std::string ExportDesignXml(const DesignSpec& spec) {
         << "\" cost_per_row=\"" << op.cost_per_row << "\" selectivity=\""
         << op.selectivity << "\" reads=\"" << XmlEscape(ColumnList(op.reads))
         << "\" creates=\"" << XmlEscape(ColumnList(op.creates))
-        << "\" drops=\"" << XmlEscape(ColumnList(op.drops)) << "\"/>\n";
+        << "\" drops=\"" << XmlEscape(ColumnList(op.drops)) << "\"";
+    if (op.error_policy != "fail_fast") {
+      oss << " error_policy=\"" << XmlEscape(op.error_policy) << "\"";
+    }
+    oss << "/>\n";
   }
   oss << "  </flow>\n";
   oss << "  <parallel partitions=\"" << spec.partitions << "\" scheme=\""
@@ -423,6 +448,20 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
   spec.streaming = AttributeOr(root, "streaming", "0") == "1";
   QOX_ASSIGN_OR_RETURN(spec.channel_capacity,
                        ParseSize(AttributeOr(root, "channel_capacity", "8")));
+  const std::string budget_rows =
+      AttributeOr(root, "error_budget_max_rows", "max");
+  if (budget_rows == "max") {
+    spec.error_budget_max_rows = static_cast<size_t>(-1);
+  } else {
+    QOX_ASSIGN_OR_RETURN(spec.error_budget_max_rows, ParseSize(budget_rows));
+  }
+  QOX_ASSIGN_OR_RETURN(
+      spec.error_budget_max_fraction,
+      ParseDouble(AttributeOr(root, "error_budget_max_fraction", "1")));
+  if (spec.error_budget_max_fraction < 0.0 ||
+      spec.error_budget_max_fraction > 1.0) {
+    return Status::Invalid("error_budget_max_fraction must lie in [0, 1]");
+  }
 
   const XmlNode* flow = root.FirstChild("flow");
   if (flow == nullptr) return Status::Invalid("missing <flow> element");
@@ -443,6 +482,9 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
     op.reads = ParseColumnList(AttributeOr(child, "reads", ""));
     op.creates = ParseColumnList(AttributeOr(child, "creates", ""));
     op.drops = ParseColumnList(AttributeOr(child, "drops", ""));
+    op.error_policy = AttributeOr(child, "error_policy", "fail_fast");
+    // Policies are closed vocabulary; reject documents from the future.
+    QOX_RETURN_IF_ERROR(ParseErrorPolicy(op.error_policy).status());
     spec.ops.push_back(std::move(op));
   }
 

@@ -56,6 +56,9 @@ struct OpSpec {
   std::vector<std::string> reads;
   std::vector<std::string> creates;
   std::vector<std::string> drops;
+  /// Row-error containment policy (ErrorPolicyName): "fail_fast", "skip",
+  /// or "quarantine".
+  std::string error_policy = "fail_fast";
 
   bool operator==(const OpSpec& other) const;
 };
@@ -80,6 +83,9 @@ struct DesignSpec {
   bool audit_rejects = false;
   bool streaming = false;
   size_t channel_capacity = 8;
+  /// Flow-level error budget; the defaults mean unlimited (no budget).
+  size_t error_budget_max_rows = static_cast<size_t>(-1);
+  double error_budget_max_fraction = 1.0;
 
   /// The lowered ExecutionPlan (stage nodes + channel edges), exported as
   /// read-only metadata. SpecOf fills it by lowering the design; import

@@ -99,6 +99,12 @@ std::string RenderFaultToleranceReport(const RunMetrics& metrics) {
        << static_cast<double>(metrics.lost_work_micros) / 1000.0 << "ms";
     line("lost_work", ms.str());
   }
+  if (metrics.rows_skipped > 0) {
+    line("rows_skipped", std::to_string(metrics.rows_skipped));
+  }
+  if (metrics.rows_quarantined > 0) {
+    line("rows_quarantined", std::to_string(metrics.rows_quarantined));
+  }
   return oss.str();
 }
 

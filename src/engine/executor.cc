@@ -85,7 +85,8 @@ class FlowRunner {
         instance_id_(instance_id),
         cancelled_(cancelled),
         backoff_rng_(config.retry.jitter_seed +
-                     static_cast<uint64_t>(instance_id)) {
+                     static_cast<uint64_t>(instance_id)),
+        budget_state_(config.error_budget) {
     ctx_.cancelled = cancelled;
     ctx_.rejected_rows = &rejected_;
     if (config_.reject_store != nullptr) {
@@ -98,6 +99,27 @@ class FlowRunner {
         record.Append(Value::String(row.ToString()));
         audit.Append(std::move(record));
         return config_.reject_store->Append(audit);
+      };
+    }
+    if (config_.dead_letter != nullptr) {
+      quarantine_sink_ = [this](const ContainedRow& contained) -> Status {
+        QuarantineRecord record;
+        record.flow_id = flow_.id;
+        const size_t node =
+            plan_.NodeForOp(static_cast<size_t>(contained.op_index));
+        record.node_id = node == ExecutionPlan::kNoNode
+                             ? -1
+                             : static_cast<int64_t>(node);
+        record.op_index = contained.op_index;
+        record.op_name = contained.op_name;
+        record.instance = instance_id_;
+        record.attempt = current_attempt_.load();
+        record.row_index =
+            quarantine_seq_.fetch_add(1, std::memory_order_relaxed);
+        record.status_code = StatusCodeName(contained.cause.code());
+        record.status_message = contained.cause.message();
+        record.payload = EncodeQuarantinePayload(contained.row);
+        return config_.dead_letter->Quarantine(record);
       };
     }
   }
@@ -135,13 +157,22 @@ class FlowRunner {
               ? NowMicros() + policy.attempt_deadline_micros
               : 0;
       const StopWatch attempt_timer;
+      // Budget accounting is per attempt: a retried attempt re-contains the
+      // same rows, so carrying counts across attempts would double-charge.
+      budget_state_.Reset();
       const int resume_cut =
           FindResumeCut(static_cast<int>(NumOps()) + 1);
       const Status st =
           config_.streaming
               ? RunAttemptStreaming(static_cast<int>(attempt), resume_cut, out)
               : RunAttempt(static_cast<int>(attempt), resume_cut, out);
-      if (st.ok()) return Status::OK();
+      if (st.ok()) {
+        // Containment counters are reported for the successful attempt only
+        // (failed attempts' contained rows were rework, not output).
+        metrics_.rows_skipped += budget_state_.skipped();
+        metrics_.rows_quarantined += budget_state_.quarantined();
+        return Status::OK();
+      }
       if (st.IsInjectedFailure()) ++metrics_.failures_injected;
       // Only transient failures consume the retry budget; permanent errors
       // (bad schema, corrupted data, real I/O errors) fail the run at once.
@@ -161,6 +192,16 @@ class FlowRunner {
 
  private:
   size_t NumOps() const { return flow_.transforms.size(); }
+
+  /// Points a pipeline at the flow's shared containment state. Every
+  /// pipeline construction site — phased sequential/parallel units and
+  /// streaming stages — goes through here, which is what makes both
+  /// schedulers enforce identical containment semantics.
+  void WireContainment(PipelineConfig* pc) {
+    pc->error_policies = &config_.error_policies;
+    pc->error_budget = &budget_state_;
+    pc->quarantine_sink = quarantine_sink_;
+  }
 
   /// Latest cut strictly below `below` with a complete recovery point, or
   /// -1 (from scratch). Pass NumOps() + 1 for "the latest anywhere"; pass a
@@ -257,6 +298,7 @@ class FlowRunner {
     pc.injector = config_.injector;
     pc.expected_input_rows = rows.size();
     pc.deadline_micros = attempt_deadline_micros_;
+    WireContainment(&pc);
     QOX_ASSIGN_OR_RETURN(
         std::unique_ptr<Pipeline> pipeline,
         Pipeline::Create(cut_schemas_[begin], std::move(ops), &ctx_, pc));
@@ -323,6 +365,7 @@ class FlowRunner {
         pc.injector = config_.injector;
         pc.expected_input_rows = parts[p].size();
         pc.deadline_micros = attempt_deadline_micros_;
+        WireContainment(&pc);
         Result<std::unique_ptr<Pipeline>> pipeline = Pipeline::Create(
             cut_schemas_[begin], std::move(ops), &ctx_, pc);
         if (!pipeline.ok()) {
@@ -445,6 +488,8 @@ class FlowRunner {
       current_cut = 0;
       if (plan_.rp_after_extract()) QOX_RETURN_IF_ERROR(WriteRp(0, rows));
     }
+    // Denominator for the error budget's end-of-attempt fraction check.
+    const size_t attempt_input_rows = rows.size();
     // Resume cuts are always barrier cuts, i.e. section boundaries, so a
     // resumed attempt skips whole sections and never enters one mid-way.
     // The transform phase is timed exclusively: recovery-point writes have
@@ -466,6 +511,9 @@ class FlowRunner {
         QOX_RETURN_IF_ERROR(WriteRp(current_cut, rows));
       }
     }
+    // Transforms have drained: enforce the budget's fractional ceiling
+    // before the output leaves the attempt (i.e. before load).
+    QOX_RETURN_IF_ERROR(budget_state_.CheckFraction(attempt_input_rows));
     *out = std::move(rows);
     return Status::OK();
   }
@@ -518,6 +566,7 @@ class FlowRunner {
     pc.injector = config_.injector;
     pc.expected_input_rows = expected_rows;
     pc.deadline_micros = attempt_deadline_micros_;
+    WireContainment(&pc);
     return Pipeline::Create(cut_schemas_[begin], std::move(ops), &ctx_, pc);
   }
 
@@ -1043,7 +1092,11 @@ class FlowRunner {
     for (StageStats& s : stage_stats) {
       metrics_.stage_stats.push_back(std::move(s));
     }
-    return st;
+    QOX_RETURN_IF_ERROR(st);
+    // The fractional budget check runs at the same logical point as phased
+    // mode (transforms drained); with an inline-load sink the rows are
+    // already durable by now — a caveat EXPERIMENTS.md documents.
+    return budget_state_.CheckFraction(expected_rows);
   }
 
   const FlowSpec& flow_;
@@ -1058,6 +1111,11 @@ class FlowRunner {
   std::atomic<size_t> rejected_{0};
   std::atomic<int64_t> current_attempt_{1};
   Rng backoff_rng_;
+  /// Shared containment state: charged concurrently by every pipeline of
+  /// the current attempt, reset at attempt start.
+  ErrorBudgetState budget_state_;
+  QuarantineSink quarantine_sink_;  ///< null when no dead_letter configured
+  std::atomic<int64_t> quarantine_seq_{0};
   int64_t attempt_start_micros_ = 0;
   int64_t durable_elapsed_micros_ = 0;
   int64_t attempt_deadline_micros_ = 0;
@@ -1136,6 +1194,8 @@ PlanInput MakePlanInput(const FlowSpec& flow, const ExecutionConfig& config) {
   input.streaming = config.streaming;
   input.channel_capacity = config.channel_capacity;
   input.ordered_merge = config.ordered_merge;
+  input.error_policies = config.error_policies;
+  input.error_budget = config.error_budget;
   return input;
 }
 
@@ -1304,6 +1364,15 @@ Result<std::vector<Schema>> Executor::BindChain(const FlowSpec& flow,
   if (config.reject_store != nullptr &&
       config.reject_store->schema() != RejectStoreSchema()) {
     return Status::Invalid("reject_store must have RejectStoreSchema()");
+  }
+  if (config.error_policies.size() > flow.transforms.size()) {
+    return Status::Invalid(
+        "error policies cover " + std::to_string(config.error_policies.size()) +
+        " ops but the chain has " + std::to_string(flow.transforms.size()));
+  }
+  if (config.error_budget.max_fraction < 0.0 ||
+      config.error_budget.max_fraction > 1.0) {
+    return Status::Invalid("error budget max_fraction must lie in [0, 1]");
   }
   return schemas;
 }

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/error_policy.h"
 #include "engine/failure.h"
 #include "engine/operator.h"
 #include "engine/pipeline.h"
@@ -43,6 +44,7 @@
 #include "engine/run_metrics.h"
 #include "engine/thread_pool.h"
 #include "storage/data_store.h"
+#include "storage/dead_letter_store.h"
 #include "storage/recovery_store.h"
 
 namespace qox {
@@ -101,6 +103,24 @@ struct ExecutionConfig {
   /// Bounded capacity, in batches, of every streaming channel (the
   /// backpressure window between adjacent stages). Values < 1 act as 1.
   size_t channel_capacity = 8;
+  /// Row-level containment policy per transform op (by global index).
+  /// Empty, or shorter than the chain, means kFailFast for the uncovered
+  /// ops — the historical all-or-nothing behaviour. Both schedulers
+  /// enforce identical semantics (containment lives in the shared
+  /// Pipeline).
+  std::vector<ErrorPolicy> error_policies;
+  /// Flow-level ceiling on contained rows. Exceeding it aborts the run
+  /// with the PERMANENT status kErrorBudgetExceeded (no retry attempts are
+  /// consumed: re-running re-contains the identical rows). max_rows is
+  /// checked online; max_fraction once per attempt after the transforms
+  /// drain. Accounting resets at every attempt start.
+  ErrorBudget error_budget;
+  /// Dead-letter ledger receiving kQuarantine rows with provenance
+  /// (storage/dead_letter_store.h). Null = quarantined rows are counted
+  /// and dropped (degraded to kSkip semantics, without replayability).
+  /// Retried attempts re-quarantine their rows (each record names its
+  /// attempt); consumers dedupe via CanonicalLedger.
+  DeadLetterStorePtr dead_letter;
 };
 
 /// Schema of the reject/audit store:

@@ -39,6 +39,25 @@ void FailureInjector::AddFailure(const FailureSpec& spec) {
   planned_.push_back(Planned{spec, false});
 }
 
+void FailureInjector::AddPoison(const PoisonSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  poison_[spec.at_op].insert(spec.id_value);
+  has_poison_.store(true, std::memory_order_release);
+}
+
+Status FailureInjector::CheckRow(int op_index, const Row& row) const {
+  if (!HasPoison()) return Status::OK();
+  if (row.num_values() == 0 || row.value(0).type() != DataType::kInt64) {
+    return Status::OK();
+  }
+  const auto it = poison_.find(op_index);
+  if (it == poison_.end()) return Status::OK();
+  const int64_t id = row.value(0).int64_value();
+  if (it->second.count(id) == 0) return Status::OK();
+  return Status::Invalid("poison row id=" + std::to_string(id) +
+                         " at transform op " + std::to_string(op_index));
+}
+
 void FailureInjector::ArmRandom(size_t count, int num_ops, Rng* rng) {
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < count; ++i) {
@@ -143,6 +162,8 @@ void FailureInjector::Clear() {
   planned_.clear();
   timed_.clear();
   triggered_ = 0;
+  poison_.clear();
+  has_poison_.store(false, std::memory_order_release);
 }
 
 }  // namespace qox

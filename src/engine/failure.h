@@ -12,12 +12,16 @@
 #ifndef QOX_ENGINE_FAILURE_H_
 #define QOX_ENGINE_FAILURE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/row.h"
 #include "common/status.h"
 
 namespace qox {
@@ -62,12 +66,41 @@ struct FailureSpec {
   static constexpr int kAtLoad = 1 << 20;
 };
 
+/// One poisoned row: a content-keyed data error. Unlike FailureSpecs,
+/// poison models a property of the *data*, not of time: it matches rows by
+/// their first column (an int64 id) arriving at a specific transform op,
+/// fires on every attempt and in both execution modes, and is never
+/// consumed. The pipeline screens rows against the schedule before each
+/// operator and handles matches per that op's ErrorPolicy — content keying
+/// (rather than row ordinals) keeps the schedule identical across phased
+/// and streaming execution, whose row orders diverge downstream of merges.
+struct PoisonSpec {
+  /// Global transform-op index at which the row turns poisonous.
+  int at_op = 0;
+  /// Matches rows whose column 0 is Int64(id_value).
+  int64_t id_value = 0;
+};
+
 class FailureInjector {
  public:
   FailureInjector() = default;
 
   /// Registers a planned failure.
   void AddFailure(const FailureSpec& spec);
+
+  /// Registers a poisoned row. Poison must be registered before execution
+  /// starts: CheckRow reads the schedule without locking.
+  void AddPoison(const PoisonSpec& spec);
+
+  /// Cheap hot-path gate: true when any poison is registered.
+  bool HasPoison() const {
+    return has_poison_.load(std::memory_order_acquire);
+  }
+
+  /// Returns kInvalidArgument when `row` (by its column-0 int64 id) is
+  /// poisoned at transform op `op_index`, OK otherwise. Unlike Check, this
+  /// never consumes anything: poison re-fires on every attempt.
+  Status CheckRow(int op_index, const Row& row) const;
 
   /// Arms `count` randomly placed one-shot failures over the transform
   /// chain of `num_ops` operators, fractions sampled uniformly. Each fires
@@ -122,6 +155,10 @@ class FailureInjector {
   std::vector<TimedFailure> timed_;
   int64_t clock_start_micros_ = 0;
   size_t triggered_ = 0;
+  /// Poisoned ids per op. Written only by AddPoison/Clear (before/between
+  /// runs); read lock-free by CheckRow on the pipeline hot path.
+  std::map<int, std::set<int64_t>> poison_;
+  std::atomic<bool> has_poison_{false};
 };
 
 }  // namespace qox

@@ -76,6 +76,14 @@ class Operator {
 
   /// Consumes `input`, appending any produced rows to `*output`. `*output`
   /// carries the Bind() output schema. Blocking operators buffer here.
+  ///
+  /// Row-error contract: an operator that can fail on *individual* rows
+  /// (returning a containable status — kInvalidArgument, kNotFound,
+  /// kOutOfRange) must be stateless across Push calls and must leave no
+  /// side effects behind a failed Push: the pipeline discards the failed
+  /// call's output and replays the batch row by row when the op's
+  /// ErrorPolicy allows containment. Blocking operators (which buffer
+  /// state) must never report row-scoped errors from Push.
   virtual Status Push(const RowBatch& input, RowBatch* output) = 0;
 
   /// Emits rows buffered by blocking operators. Called exactly once, after

@@ -56,6 +56,70 @@ Status Pipeline::CheckInterrupts(size_t op_ordinal,
   return Status::OK();
 }
 
+ErrorPolicy Pipeline::PolicyFor(size_t op_ordinal) const {
+  if (config_.error_policies == nullptr) return ErrorPolicy::kFailFast;
+  const size_t global =
+      static_cast<size_t>(config_.op_index_offset) + op_ordinal;
+  if (global >= config_.error_policies->size()) return ErrorPolicy::kFailFast;
+  return (*config_.error_policies)[global];
+}
+
+Status Pipeline::Contain(size_t op_ordinal, const Row& row,
+                         const Status& cause) {
+  const ErrorPolicy policy = PolicyFor(op_ordinal);
+  ++op_stats_[op_ordinal].rows_contained;
+  if (policy == ErrorPolicy::kQuarantine && config_.quarantine_sink) {
+    ContainedRow contained;
+    contained.op_index =
+        config_.op_index_offset + static_cast<int>(op_ordinal);
+    contained.op_name = ops_[op_ordinal]->name();
+    contained.row = row;
+    contained.cause = cause;
+    QOX_RETURN_IF_ERROR(config_.quarantine_sink(contained));
+  }
+  if (config_.error_budget != nullptr) {
+    return config_.error_budget->Charge(
+        policy, config_.op_index_offset + static_cast<int>(op_ordinal));
+  }
+  return Status::OK();
+}
+
+Status Pipeline::ApplyOp(size_t op_ordinal, const RowBatch& input,
+                         RowBatch* out) {
+  const StopWatch timer;
+  Status st = ops_[op_ordinal]->Push(input, out);
+  if (!st.ok() && IsRowContainable(st) &&
+      PolicyFor(op_ordinal) != ErrorPolicy::kFailFast) {
+    // A containable batch failure is replayed row by row so only the
+    // failing rows are contained. Safe because the failed Push's output
+    // batch is discarded here (nothing reached downstream) and operators
+    // that report row-scoped errors are stateless per the Push contract
+    // (blocking operators never row-error).
+    *out = RowBatch(schemas_[op_ordinal + 1]);
+    st = Status::OK();
+    RowBatch one(schemas_[op_ordinal]);
+    for (const Row& row : input.rows()) {
+      one.Clear();
+      one.Append(row);
+      RowBatch row_out(schemas_[op_ordinal + 1]);
+      const Status row_st = ops_[op_ordinal]->Push(one, &row_out);
+      if (row_st.ok()) {
+        for (Row& emitted : row_out.rows()) out->Append(std::move(emitted));
+      } else if (IsRowContainable(row_st)) {
+        QOX_RETURN_IF_ERROR(Contain(op_ordinal, row, row_st));
+      } else {
+        st = row_st;
+        break;
+      }
+    }
+  }
+  op_stats_[op_ordinal].micros += timer.ElapsedMicros();
+  op_stats_[op_ordinal].rows_in += input.num_rows();
+  QOX_RETURN_IF_ERROR(st);
+  op_stats_[op_ordinal].rows_out += out->num_rows();
+  return Status::OK();
+}
+
 Status Pipeline::PushFrom(size_t from, const RowBatch& batch) {
   if (from >= ops_.size()) {
     output_.insert(output_.end(), batch.rows().begin(), batch.rows().end());
@@ -67,15 +131,38 @@ Status Pipeline::PushFrom(size_t from, const RowBatch& batch) {
   const RowBatch* current = &batch;
   RowBatch owned;
   for (size_t i = from; i < ops_.size(); ++i) {
+    // Poison screening: rows the injector marks poisonous at this op are
+    // contained (or, under kFailFast, abort the attempt) before entering.
+    if (config_.injector != nullptr && config_.injector->HasPoison()) {
+      const int global_op = config_.op_index_offset + static_cast<int>(i);
+      bool any_poisoned = false;
+      for (const Row& row : current->rows()) {
+        if (!config_.injector->CheckRow(global_op, row).ok()) {
+          any_poisoned = true;
+          break;
+        }
+      }
+      if (any_poisoned) {
+        RowBatch kept(schemas_[i]);
+        kept.Reserve(current->num_rows());
+        for (const Row& row : current->rows()) {
+          const Status row_st = config_.injector->CheckRow(global_op, row);
+          if (row_st.ok()) {
+            kept.Append(row);
+            continue;
+          }
+          if (PolicyFor(i) == ErrorPolicy::kFailFast) return row_st;
+          QOX_RETURN_IF_ERROR(Contain(i, row, row_st));
+        }
+        if (kept.empty()) return Status::OK();  // whole batch contained
+        owned = std::move(kept);
+        current = &owned;
+      }
+    }
     rows_entered_[i] += current->num_rows();
     QOX_RETURN_IF_ERROR(CheckInterrupts(i, rows_entered_[i]));
     RowBatch out(schemas_[i + 1]);
-    const StopWatch timer;
-    const Status st = ops_[i]->Push(*current, &out);
-    op_stats_[i].micros += timer.ElapsedMicros();
-    op_stats_[i].rows_in += current->num_rows();
-    QOX_RETURN_IF_ERROR(st);
-    op_stats_[i].rows_out += out.num_rows();
+    QOX_RETURN_IF_ERROR(ApplyOp(i, *current, &out));
     if (out.empty()) return Status::OK();  // blocked or fully filtered
     owned = std::move(out);
     current = &owned;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/error_policy.h"
 #include "engine/failure.h"
 #include "engine/operator.h"
 
@@ -37,6 +38,17 @@ struct PipelineConfig {
   /// Watchdog: absolute NowMicros() deadline of the enclosing attempt; the
   /// pipeline aborts with kDeadlineExceeded once past it. 0 = unbounded.
   int64_t deadline_micros = 0;
+  /// Row-level containment policies, indexed by GLOBAL transform-op index
+  /// (op_index_offset + ordinal). Null, or shorter than the chain, means
+  /// kFailFast for the uncovered ops — the seed behaviour.
+  const std::vector<ErrorPolicy>* error_policies = nullptr;
+  /// Shared per-attempt budget accounting; charged for every contained
+  /// row. May be null (containment then proceeds unbounded).
+  ErrorBudgetState* error_budget = nullptr;
+  /// Receives rows contained under kQuarantine (must be thread-safe). May
+  /// be null: quarantined rows are then dropped like kSkip but still
+  /// counted as quarantined.
+  QuarantineSink quarantine_sink;
 };
 
 class Pipeline {
@@ -71,6 +83,20 @@ class Pipeline {
   Status PushFrom(size_t from, const RowBatch& batch);
 
   Status CheckInterrupts(size_t op_ordinal, size_t rows_about_to_enter);
+
+  /// Containment policy of op `op_ordinal` (local index; policies are
+  /// looked up at the global index).
+  ErrorPolicy PolicyFor(size_t op_ordinal) const;
+
+  /// Contains one failing row per the op's policy: counts it, routes it to
+  /// the quarantine sink (kQuarantine), and charges the error budget.
+  /// Returns non-OK when the budget is exhausted or the sink fails.
+  Status Contain(size_t op_ordinal, const Row& row, const Status& cause);
+
+  /// Pushes `input` through op `op_ordinal` into `*out`. A containable
+  /// batch failure under kSkip/kQuarantine is replayed row by row, with
+  /// the failing rows contained instead of aborting.
+  Status ApplyOp(size_t op_ordinal, const RowBatch& input, RowBatch* out);
 
   std::vector<OperatorPtr> ops_;
   /// schemas_[i] = input schema of op i; schemas_[n] = output schema.

@@ -47,6 +47,22 @@ bool ExecutionPlan::rp_at(size_t cut) const {
   return std::binary_search(rp_cuts_.begin(), rp_cuts_.end(), cut);
 }
 
+size_t ExecutionPlan::NodeForOp(size_t op_index) const {
+  if (op_index >= input_.num_ops) return kNoNode;
+  for (const PlanNode& node : nodes_) {
+    const bool runs_ops = node.kind == PlanNodeKind::kTransform ||
+                          node.kind == PlanNodeKind::kPartitionBranch;
+    if (!runs_ops || node.partition != 0) continue;
+    if (node.begin <= op_index && op_index < node.end) return node.id;
+  }
+  return kNoNode;
+}
+
+ErrorPolicy ExecutionPlan::PolicyForOp(size_t op_index) const {
+  if (op_index >= input_.error_policies.size()) return ErrorPolicy::kFailFast;
+  return input_.error_policies[op_index];
+}
+
 size_t ExecutionPlan::AddNode(PlanNodeKind kind, std::string label,
                               size_t begin, size_t end, size_t partition,
                               size_t section) {
@@ -98,6 +114,15 @@ Result<ExecutionPlan> ExecutionPlan::Lower(const PlanInput& input) {
       return Status::Invalid("recovery point cut " + std::to_string(cut) +
                              " beyond chain length " + std::to_string(n));
     }
+  }
+  if (input.error_policies.size() > n) {
+    return Status::Invalid("error policies cover " +
+                           std::to_string(input.error_policies.size()) +
+                           " ops but the chain has " + std::to_string(n));
+  }
+  if (input.error_budget.max_fraction < 0.0 ||
+      input.error_budget.max_fraction > 1.0) {
+    return Status::Invalid("error budget max_fraction must lie in [0, 1]");
   }
 
   ExecutionPlan plan;
@@ -301,11 +326,28 @@ std::string ExecutionPlan::ToDot() const {
   }
   for (const PlanNode& node : nodes_) {
     oss << "  n" << node.id << " [label=\"" << node.label << "\\n#"
-        << node.id << "\" shape=" << DotShape(node.kind);
+        << node.id;
+    // Containment policies render on the nodes that enforce them.
+    if (node.kind == PlanNodeKind::kTransform ||
+        node.kind == PlanNodeKind::kPartitionBranch) {
+      for (size_t op = node.begin; op < node.end; ++op) {
+        const ErrorPolicy policy = PolicyForOp(op);
+        if (policy == ErrorPolicy::kFailFast) continue;
+        oss << "\\nop" << op << ":" << ErrorPolicyName(policy);
+      }
+    }
+    oss << "\" shape=" << DotShape(node.kind);
     if (node.kind == PlanNodeKind::kRpBarrier) {
       oss << " style=filled fillcolor=lightgrey";
     }
     oss << "];\n";
+  }
+  if (!input_.error_budget.unlimited()) {
+    oss << "  label=\"error_budget: max_rows="
+        << (input_.error_budget.max_rows == static_cast<size_t>(-1)
+                ? std::string("inf")
+                : std::to_string(input_.error_budget.max_rows))
+        << " max_fraction=" << input_.error_budget.max_fraction << "\";\n";
   }
   for (const PlanEdge& edge : edges_) {
     oss << "  n" << edge.from << " -> n" << edge.to << ";\n";
@@ -319,7 +361,25 @@ std::string ExecutionPlan::ToJson() const {
   oss << "{\"num_ops\":" << input_.num_ops << ",\"streaming\":"
       << (input_.streaming ? "true" : "false") << ",\"redundancy\":"
       << input_.redundancy << ",\"channel_capacity\":"
-      << input_.channel_capacity << ",\"nodes\":[";
+      << input_.channel_capacity;
+  if (!input_.error_policies.empty()) {
+    oss << ",\"error_policies\":[";
+    for (size_t i = 0; i < input_.error_policies.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << "\"" << ErrorPolicyName(input_.error_policies[i]) << "\"";
+    }
+    oss << "]";
+  }
+  if (!input_.error_budget.unlimited()) {
+    oss << ",\"error_budget\":{\"max_rows\":";
+    if (input_.error_budget.max_rows == static_cast<size_t>(-1)) {
+      oss << -1;
+    } else {
+      oss << input_.error_budget.max_rows;
+    }
+    oss << ",\"max_fraction\":" << input_.error_budget.max_fraction << "}";
+  }
+  oss << ",\"nodes\":[";
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const PlanNode& node = nodes_[i];
     if (i > 0) oss << ",";

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/error_policy.h"
 
 namespace qox {
 
@@ -77,6 +78,14 @@ struct PlanInput {
   bool streaming = false;
   size_t channel_capacity = 8;
   bool ordered_merge = true;
+  /// Per-op row-error containment policy (by global index). Empty or
+  /// shorter than the chain = kFailFast for the uncovered ops. Longer than
+  /// the chain is a lowering error. Carried on the plan so dumps, the XML
+  /// interchange format, and the cost model all see the same containment
+  /// configuration the schedulers enforce.
+  std::vector<ErrorPolicy> error_policies;
+  /// Flow-level ceiling on contained (skipped + quarantined) rows.
+  ErrorBudget error_budget;
 };
 
 enum class PlanNodeKind {
@@ -202,6 +211,17 @@ class ExecutionPlan {
   size_t sink_node() const {
     return collect_node_ != kNoNode ? collect_node_ : load_node_;
   }
+
+  /// The plan node executing transform op `op_index`: the kTransform node
+  /// covering it, or — when the op runs partitioned — the partition-0
+  /// kPartitionBranch (the representative branch; all branches share the op
+  /// range). kNoNode when op_index is outside the chain. Quarantine
+  /// provenance records carry this id.
+  size_t NodeForOp(size_t op_index) const;
+
+  /// The containment policy in force for op `op_index` (kFailFast for ops
+  /// beyond the configured policy vector).
+  ErrorPolicy PolicyForOp(size_t op_index) const;
 
   /// Streaming-overlap structure for the cost model's performance law.
   const std::vector<CostChunk>& cost_chunks() const { return cost_chunks_; }

@@ -1,0 +1,82 @@
+#include "engine/quarantine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "engine/pipeline.h"
+
+namespace qox {
+
+Result<ReplayStats> ReplayQuarantine(const FlowSpec& flow,
+                                     const ExecutionConfig& config,
+                                     const DeadLetterStore& dead_letter) {
+  QOX_ASSIGN_OR_RETURN(const std::vector<Schema> cut_schemas,
+                       Executor::BindChain(flow, config));
+  QOX_ASSIGN_OR_RETURN(const std::vector<QuarantineRecord> records,
+                       dead_letter.ReadAll());
+  ReplayStats stats;
+  stats.records_read = records.size();
+
+  // Deduplicate on (op_index, payload) and order payloads canonically per
+  // op, so replay is deterministic regardless of which executor, attempt,
+  // or instance wrote the ledger.
+  std::map<size_t, std::set<std::string>> payloads_by_op;
+  const size_t num_ops = flow.transforms.size();
+  for (const QuarantineRecord& record : records) {
+    if (record.op_index < 0 ||
+        static_cast<size_t>(record.op_index) >= num_ops) {
+      return Status::Invalid(
+          "quarantine record names transform op " +
+          std::to_string(record.op_index) + " but the chain has " +
+          std::to_string(num_ops) + " ops");
+    }
+    const bool fresh = payloads_by_op[static_cast<size_t>(record.op_index)]
+                           .insert(record.payload)
+                           .second;
+    if (!fresh) ++stats.deduplicated;
+  }
+
+  std::atomic<size_t> rejected{0};
+  OperatorContext ctx;
+  ctx.rejected_rows = &rejected;
+  for (const auto& [op_index, payloads] : payloads_by_op) {
+    RowBatch batch(cut_schemas[op_index]);
+    batch.Reserve(payloads.size());
+    for (const std::string& payload : payloads) {
+      QOX_ASSIGN_OR_RETURN(
+          Row row, DecodeQuarantinePayload(payload, cut_schemas[op_index]));
+      batch.Append(std::move(row));
+    }
+    stats.replayed += batch.num_rows();
+
+    std::vector<OperatorPtr> ops;
+    ops.reserve(num_ops - op_index);
+    for (size_t i = op_index; i < num_ops; ++i) {
+      ops.push_back(flow.transforms[i]());
+    }
+    PipelineConfig pc;
+    pc.op_index_offset = static_cast<int>(op_index);
+    pc.expected_input_rows = batch.num_rows();
+    QOX_ASSIGN_OR_RETURN(
+        std::unique_ptr<Pipeline> pipeline,
+        Pipeline::Create(cut_schemas[op_index], std::move(ops), &ctx, pc));
+    QOX_RETURN_IF_ERROR(pipeline->Push(batch));
+    QOX_RETURN_IF_ERROR(pipeline->Finish());
+    std::vector<Row> produced = pipeline->TakeOutput();
+    if (produced.empty()) continue;
+    RowBatch load(cut_schemas.back());
+    load.Reserve(produced.size());
+    for (Row& row : produced) load.Append(std::move(row));
+    QOX_RETURN_IF_ERROR(flow.target->Append(load));
+    stats.rows_loaded += load.num_rows();
+  }
+  stats.rows_rejected = rejected.load();
+  return stats;
+}
+
+}  // namespace qox

@@ -33,6 +33,8 @@ std::string RunMetrics::Summary() const {
   if (merge_micros > 0) oss << " merge=" << merge_micros / 1000.0 << "ms";
   oss << " rows_in=" << rows_extracted << " rows_out=" << rows_loaded
       << " rejected=" << rows_rejected << " attempts=" << attempts;
+  if (rows_skipped > 0) oss << " skipped=" << rows_skipped;
+  if (rows_quarantined > 0) oss << " quarantined=" << rows_quarantined;
   if (failures_injected > 0) {
     oss << " failures=" << failures_injected
         << " resumed_from_rp=" << resumed_from_rp

@@ -21,12 +21,16 @@ struct OpStats {
   std::string kind;  ///< operator kind ("filter", "delta", ...)
   size_t rows_in = 0;
   size_t rows_out = 0;
+  /// Rows this op errored on that were contained (skipped or quarantined)
+  /// instead of aborting the attempt (see engine/error_policy.h).
+  size_t rows_contained = 0;
   int64_t micros = 0;
 
   /// Merges another instance's stats (partitioned execution sums clones).
   void Merge(const OpStats& other) {
     rows_in += other.rows_in;
     rows_out += other.rows_out;
+    rows_contained += other.rows_contained;
     micros += other.micros;
   }
 };
@@ -87,6 +91,11 @@ struct RunMetrics {
   size_t rows_extracted = 0;
   size_t rows_loaded = 0;
   size_t rows_rejected = 0;  ///< filtered/unresolved rows routed aside
+  /// Row-level containment (engine/error_policy.h), counted on the
+  /// successful attempt only: rows dropped under ErrorPolicy::kSkip and
+  /// rows routed to the dead-letter store under ErrorPolicy::kQuarantine.
+  size_t rows_skipped = 0;
+  size_t rows_quarantined = 0;
   size_t rp_bytes_written = 0;
   size_t rp_points_written = 0;
 

@@ -1,0 +1,156 @@
+#include "storage/dead_letter_store.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "storage/mem_table.h"
+#include "storage/recovery_store.h"
+
+namespace qox {
+namespace {
+
+/// The checksummed serialization of a record: every field, in schema
+/// order, CSV-encoded into one line.
+std::string ChecksumInput(const QuarantineRecord& r) {
+  return CsvEncodeLine({r.flow_id, std::to_string(r.node_id),
+                        std::to_string(r.op_index), r.op_name,
+                        std::to_string(r.instance), std::to_string(r.attempt),
+                        std::to_string(r.row_index), r.status_code,
+                        r.status_message, r.payload});
+}
+
+int64_t ChecksumOf(const QuarantineRecord& r) {
+  const std::string input = ChecksumInput(r);
+  return static_cast<int64_t>(Fnv1a64(input.data(), input.size()));
+}
+
+}  // namespace
+
+Schema DeadLetterStoreSchema() {
+  return Schema({{"flow_id", DataType::kString, false},
+                 {"node_id", DataType::kInt64, false},
+                 {"op_index", DataType::kInt64, false},
+                 {"op_name", DataType::kString, false},
+                 {"instance", DataType::kInt64, false},
+                 {"attempt", DataType::kInt64, false},
+                 {"row_index", DataType::kInt64, false},
+                 {"status_code", DataType::kString, false},
+                 {"status_message", DataType::kString, false},
+                 {"payload", DataType::kString, false},
+                 {"checksum", DataType::kInt64, false}});
+}
+
+std::string EncodeQuarantinePayload(const Row& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.num_values());
+  for (const Value& value : row.values()) cells.push_back(value.ToString());
+  return CsvEncodeLine(cells);
+}
+
+Result<Row> DecodeQuarantinePayload(const std::string& payload,
+                                    const Schema& schema) {
+  const std::vector<std::string> cells = CsvDecodeLine(payload);
+  if (cells.size() != schema.num_fields()) {
+    return Status::CorruptedData(
+        "quarantine payload has " + std::to_string(cells.size()) +
+        " cells, schema expects " + std::to_string(schema.num_fields()));
+  }
+  Row row;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    QOX_ASSIGN_OR_RETURN(Value value,
+                         Value::Parse(cells[i], schema.field(i).type));
+    row.Append(std::move(value));
+  }
+  return row;
+}
+
+std::vector<std::string> CanonicalLedger(
+    const std::vector<QuarantineRecord>& records) {
+  std::set<std::string> lines;
+  for (const QuarantineRecord& r : records) {
+    lines.insert(CsvEncodeLine({std::to_string(r.op_index), r.op_name,
+                                r.status_code, r.payload}));
+  }
+  return std::vector<std::string>(lines.begin(), lines.end());
+}
+
+Result<std::shared_ptr<DeadLetterStore>> DeadLetterStore::Wrap(
+    DataStorePtr inner) {
+  if (inner == nullptr) {
+    return Status::Invalid("DeadLetterStore requires a non-null inner store");
+  }
+  if (inner->schema() != DeadLetterStoreSchema()) {
+    return Status::Invalid("dead-letter inner store '" + inner->name() +
+                           "' does not carry DeadLetterStoreSchema()");
+  }
+  return std::shared_ptr<DeadLetterStore>(
+      new DeadLetterStore(std::move(inner)));
+}
+
+std::shared_ptr<DeadLetterStore> DeadLetterStore::InMemory(
+    const std::string& name) {
+  return std::shared_ptr<DeadLetterStore>(new DeadLetterStore(
+      std::make_shared<MemTable>(name, DeadLetterStoreSchema())));
+}
+
+Status DeadLetterStore::Quarantine(const QuarantineRecord& record) {
+  RowBatch batch(DeadLetterStoreSchema());
+  Row row;
+  row.Append(Value::String(record.flow_id));
+  row.Append(Value::Int64(record.node_id));
+  row.Append(Value::Int64(record.op_index));
+  row.Append(Value::String(record.op_name));
+  row.Append(Value::Int64(record.instance));
+  row.Append(Value::Int64(record.attempt));
+  row.Append(Value::Int64(record.row_index));
+  row.Append(Value::String(record.status_code));
+  row.Append(Value::String(record.status_message));
+  row.Append(Value::String(record.payload));
+  row.Append(Value::Int64(ChecksumOf(record)));
+  batch.Append(std::move(row));
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_->Append(batch);
+}
+
+Result<std::vector<QuarantineRecord>> DeadLetterStore::ReadAll() const {
+  RowBatch all(DeadLetterStoreSchema());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QOX_ASSIGN_OR_RETURN(all, inner_->ReadAll());
+  }
+  std::vector<QuarantineRecord> records;
+  records.reserve(all.num_rows());
+  for (size_t i = 0; i < all.num_rows(); ++i) {
+    const Row& row = all.row(i);
+    if (row.num_values() != DeadLetterStoreSchema().num_fields()) {
+      return Status::CorruptedData("dead-letter record " + std::to_string(i) +
+                                   " has wrong arity");
+    }
+    QuarantineRecord r;
+    r.flow_id = row.value(0).string_value();
+    r.node_id = row.value(1).int64_value();
+    r.op_index = row.value(2).int64_value();
+    r.op_name = row.value(3).string_value();
+    r.instance = row.value(4).int64_value();
+    r.attempt = row.value(5).int64_value();
+    r.row_index = row.value(6).int64_value();
+    r.status_code = row.value(7).string_value();
+    r.status_message = row.value(8).string_value();
+    r.payload = row.value(9).string_value();
+    if (row.value(10).int64_value() != ChecksumOf(r)) {
+      return Status::CorruptedData(
+          "dead-letter record " + std::to_string(i) + " (op '" + r.op_name +
+          "') failed checksum verification");
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<size_t> DeadLetterStore::NumRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_->NumRows();
+}
+
+}  // namespace qox

@@ -1,0 +1,105 @@
+// DeadLetterStore: a checksummed quarantine ledger over any DataStore.
+//
+// When an operator errors on an individual row under ErrorPolicy::
+// kQuarantine, the executor wraps the row with provenance — which plan
+// node and operator rejected it, on which instance/attempt, and why — and
+// appends it here instead of aborting the flow (the "error table" /
+// "reject link" of commercial ETL tools). Each record carries an FNV-1a
+// checksum over all of its fields, verified on read like recovery points:
+// a quarantine ledger that silently rots would make the later replay
+// silently wrong, which is worse than failing loudly.
+//
+// The payload column holds the failing row CSV-encoded *as it entered the
+// failing operator* (all upstream transforms applied), so ReplayQuarantine
+// (engine/quarantine.h) can re-run just the suffix of a repaired flow over
+// it without re-extracting anything.
+
+#ifndef QOX_STORAGE_DEAD_LETTER_STORE_H_
+#define QOX_STORAGE_DEAD_LETTER_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/data_store.h"
+
+namespace qox {
+
+/// One quarantined row plus its provenance.
+struct QuarantineRecord {
+  std::string flow_id;
+  /// ExecutionPlan node id of the failing operator (-1 when unknown).
+  int64_t node_id = -1;
+  /// Global index of the failing operator in the transform chain.
+  int64_t op_index = 0;
+  std::string op_name;
+  /// Redundant-instance id (0 for non-redundant runs).
+  int64_t instance = 0;
+  /// 1-based attempt during which the row was quarantined.
+  int64_t attempt = 1;
+  /// Containment sequence number within the run (diagnostic only; differs
+  /// across executors and attempts — cross-mode comparisons must use
+  /// CanonicalLedger instead).
+  int64_t row_index = 0;
+  /// StatusCodeName of the row error ("invalid_argument", "not_found").
+  std::string status_code;
+  std::string status_message;
+  /// The failing row, CSV-encoded against the failing op's input schema.
+  std::string payload;
+};
+
+/// Schema of the underlying ledger store (one column per QuarantineRecord
+/// field plus the trailing int64 checksum).
+Schema DeadLetterStoreSchema();
+
+/// CSV-encodes a row for the payload column.
+std::string EncodeQuarantinePayload(const Row& row);
+
+/// Decodes a payload back into a row of `schema` (the failing op's input
+/// schema). Errors when the arity or any cell fails to parse.
+Result<Row> DecodeQuarantinePayload(const std::string& payload,
+                                    const Schema& schema);
+
+/// The canonical, mode-independent view of a ledger: one line per distinct
+/// (op_index, op_name, status_code, payload), sorted. Attempt, instance and
+/// row_index legitimately differ between the phased and streaming executors
+/// and across retries (a retried attempt re-quarantines the same rows), so
+/// ledger equality and replay deduplication are defined over this
+/// projection.
+std::vector<std::string> CanonicalLedger(
+    const std::vector<QuarantineRecord>& records);
+
+class DeadLetterStore {
+ public:
+  /// Wraps `inner`, which must carry DeadLetterStoreSchema(). Append-path
+  /// calls are serialized internally: partition branches and streaming
+  /// stages quarantine concurrently.
+  static Result<std::shared_ptr<DeadLetterStore>> Wrap(DataStorePtr inner);
+
+  /// A fresh in-memory ledger (MemTable-backed), for tests and defaults.
+  static std::shared_ptr<DeadLetterStore> InMemory(const std::string& name);
+
+  /// Checksums and appends one record.
+  Status Quarantine(const QuarantineRecord& record);
+
+  /// Reads the whole ledger, verifying every record's checksum. Returns
+  /// kCorruptedData naming the first record that fails verification.
+  Result<std::vector<QuarantineRecord>> ReadAll() const;
+
+  Result<size_t> NumRecords() const;
+
+  const DataStorePtr& inner() const { return inner_; }
+
+ private:
+  explicit DeadLetterStore(DataStorePtr inner) : inner_(std::move(inner)) {}
+
+  const DataStorePtr inner_;
+  mutable std::mutex mu_;
+};
+
+using DeadLetterStorePtr = std::shared_ptr<DeadLetterStore>;
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_DEAD_LETTER_STORE_H_

@@ -36,6 +36,7 @@ Status FaultyStore::Scan(
 
 Status FaultyStore::Append(const RowBatch& batch) {
   bool fault = false;
+  double torn_fraction = plan_.torn_fraction;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++append_calls_;
@@ -46,17 +47,21 @@ Status FaultyStore::Append(const RowBatch& batch) {
                rng_.Bernoulli(plan_.append_fault_probability)) {
       fault = true;
     }
+    if (fault && torn_fraction < 0.0) torn_fraction = rng_.NextDouble();
   }
   if (!fault) return inner_->Append(batch);
   append_faults_.fetch_add(1);
   if (plan_.torn_writes && batch.num_rows() > 1) {
-    // Persist the first half of the batch before failing: the partial
-    // write a crashed appender leaves behind.
+    // Persist a prefix of the batch before failing: the partial write a
+    // crashed appender leaves behind.
+    if (torn_fraction > 1.0) torn_fraction = 1.0;
+    const size_t torn_rows = static_cast<size_t>(
+        static_cast<double>(batch.num_rows()) * torn_fraction);
     RowBatch torn(batch.schema());
-    for (size_t i = 0; i < batch.num_rows() / 2; ++i) {
+    for (size_t i = 0; i < torn_rows && i < batch.num_rows(); ++i) {
       torn.Append(batch.row(i));
     }
-    QOX_RETURN_IF_ERROR(inner_->Append(torn));
+    if (!torn.empty()) QOX_RETURN_IF_ERROR(inner_->Append(torn));
   }
   return MakeFault("append");
 }

@@ -40,11 +40,17 @@ struct FaultPlan {
   /// Permanent faults surface as kIoError (not retryable); transient
   /// faults (the default) as kUnavailable.
   bool permanent = false;
-  /// Torn writes: a failing Append durably persists the first half of the
-  /// batch to the inner store before reporting the fault, modelling a
-  /// partial write. Callers must re-derive durable progress (e.g. from
-  /// NumRows()) instead of assuming append atomicity.
+  /// Torn writes: a failing Append durably persists a prefix of the batch
+  /// to the inner store before reporting the fault, modelling a partial
+  /// write. Callers must re-derive durable progress (e.g. from NumRows())
+  /// instead of assuming append atomicity.
   bool torn_writes = false;
+  /// Fraction of the failing batch the torn write persists, in [0, 1].
+  /// The default persists floor(n/2) rows (the historical behaviour). Any
+  /// negative value samples the fraction uniformly per fault from the
+  /// store's seeded Rng, so arbitrary durable prefixes are exercised while
+  /// staying reproducible.
+  double torn_fraction = 0.5;
 };
 
 class FaultyStore : public DataStore {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "test_util.h"
 
 namespace qox {
@@ -108,6 +110,70 @@ TEST(PlanIoTest, StreamingKnobsRoundTrip) {
   EXPECT_TRUE(parsed.value().streaming);
   EXPECT_EQ(parsed.value().channel_capacity, 3u);
   EXPECT_TRUE(parsed.value() == original);
+}
+
+TEST(PlanIoTest, ContainmentKnobsRoundTrip) {
+  PhysicalDesign design = MakeDesign();
+  design.error_policies = {ErrorPolicy::kFailFast, ErrorPolicy::kQuarantine,
+                           ErrorPolicy::kSkip};
+  design.error_budget.max_rows = 250;
+  design.error_budget.max_fraction = 0.02;
+  const DesignSpec original = SpecOf(design);
+  ASSERT_EQ(original.ops.size(), 3u);
+  EXPECT_EQ(original.ops[0].error_policy, "fail_fast");
+  EXPECT_EQ(original.ops[1].error_policy, "quarantine");
+  EXPECT_EQ(original.ops[2].error_policy, "skip");
+  EXPECT_EQ(original.error_budget_max_rows, 250u);
+  EXPECT_EQ(original.error_budget_max_fraction, 0.02);
+
+  const std::string xml = ExportDesignXml(original);
+  EXPECT_NE(xml.find("error_policy=\"quarantine\""), std::string::npos);
+  EXPECT_NE(xml.find("error_budget_max_rows=\"250\""), std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value() == original);
+}
+
+TEST(PlanIoTest, DefaultContainmentStaysOutOfTheDocument) {
+  // A design with no containment configured must export byte-identically
+  // to the pre-containment format: no error_policy attributes, no budget
+  // attributes (so existing exported documents stay stable).
+  const std::string xml = ExportDesignXml(SpecOf(MakeDesign()));
+  EXPECT_EQ(xml.find("error_policy"), std::string::npos);
+  EXPECT_EQ(xml.find("error_budget"), std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().ops[0].error_policy, "fail_fast");
+  EXPECT_EQ(parsed.value().error_budget_max_rows,
+            std::numeric_limits<size_t>::max());
+  EXPECT_EQ(parsed.value().error_budget_max_fraction, 1.0);
+}
+
+TEST(PlanIoTest, UnlimitedBudgetSentinelRoundTrips) {
+  PhysicalDesign design = MakeDesign();
+  design.error_policies = {ErrorPolicy::kSkip};
+  design.error_budget.max_rows = 10;  // fraction stays at the default
+  const DesignSpec original = SpecOf(design);
+  const std::string xml = ExportDesignXml(original);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().error_budget_max_rows, 10u);
+  EXPECT_EQ(parsed.value().error_budget_max_fraction, 1.0);
+  EXPECT_TRUE(parsed.value() == original);
+}
+
+TEST(PlanIoTest, BadContainmentAttributesRejected) {
+  EXPECT_FALSE(ParseDesignXml("<physical_design>"
+                              "<flow id=\"f\" source=\"s\" target=\"t\">"
+                              "<operator name=\"op\" kind=\"filter\" "
+                              "error_policy=\"retry_forever\"/>"
+                              "</flow></physical_design>")
+                   .ok());
+  EXPECT_FALSE(ParseDesignXml("<physical_design "
+                              "error_budget_max_fraction=\"1.5\">"
+                              "<flow id=\"f\" source=\"s\" target=\"t\"/>"
+                              "</physical_design>")
+                   .ok());
 }
 
 TEST(PlanIoTest, LoweredPlanExportedAndReimported) {

@@ -213,6 +213,39 @@ TEST_F(FaultToleranceTest, TornWriteOnLoadDoesNotDuplicateRows) {
   EXPECT_TRUE(SameMultiset(loaded, input));
 }
 
+TEST_F(FaultToleranceTest, ArbitraryTornPrefixesNeverDuplicateRows) {
+  // Sampled torn fractions: every retried load must re-derive durable
+  // progress from the target and skip exactly the torn prefix, whatever
+  // its size — in both execution modes.
+  const std::vector<Row> input = SimpleRows(300);
+  for (const bool streaming : {false, true}) {
+    for (const uint64_t seed : {3u, 7u, 19u, 23u}) {
+      SCOPED_TRACE((streaming ? "streaming seed " : "phased seed ") +
+                   std::to_string(seed));
+      auto inner = std::make_shared<MemTable>("wh", SimpleSchema());
+      FaultPlan plan;
+      plan.append_fault_probability = 0.4;
+      plan.torn_writes = true;
+      plan.torn_fraction = -1.0;  // sampled durable prefix per fault
+      auto faulty_target = std::make_shared<FaultyStore>(inner, plan, seed);
+
+      FlowSpec flow;  // no transforms: the load path is the subject
+      flow.id = "torn_prefix_flow";
+      flow.source = MakeSource(SimpleSchema(), input);
+      flow.target = faulty_target;
+      ExecutionConfig config;
+      config.streaming = streaming;
+      config.batch_size = 16;
+      config.retry.max_attempts = 64;  // every attempt makes progress, but
+      config.retry.initial_backoff_micros = 10;  // faults keep coming
+      config.retry.max_backoff_micros = 200;
+      const Result<RunMetrics> metrics = Executor::Run(flow, config);
+      ASSERT_TRUE(metrics.ok()) << metrics.status();
+      EXPECT_TRUE(SameMultiset(inner->ReadAll().value().rows(), input));
+    }
+  }
+}
+
 TEST_F(FaultToleranceTest, PermanentStorageErrorFailsFast) {
   const std::vector<Row> input = SimpleRows(50);
   FaultPlan plan;

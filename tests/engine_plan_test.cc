@@ -200,6 +200,42 @@ TEST(ExecutionPlanTest, LoweringValidatesStructuralImpossibilities) {
   EXPECT_FALSE(ExecutionPlan::Lower(bad_blocking).ok());
 }
 
+TEST(ExecutionPlanTest, LoweringValidatesContainmentKnobs) {
+  PlanInput too_many_policies = SimpleInput(2);
+  too_many_policies.error_policies.assign(3, ErrorPolicy::kSkip);
+  EXPECT_FALSE(ExecutionPlan::Lower(too_many_policies).ok());
+
+  PlanInput shorter_is_fine = SimpleInput(2);
+  shorter_is_fine.error_policies.assign(1, ErrorPolicy::kQuarantine);
+  EXPECT_TRUE(ExecutionPlan::Lower(shorter_is_fine).ok());
+
+  PlanInput bad_fraction = SimpleInput(2);
+  bad_fraction.error_budget.max_fraction = 1.5;
+  EXPECT_FALSE(ExecutionPlan::Lower(bad_fraction).ok());
+}
+
+TEST(ExecutionPlanTest, PolicyForOpAndNodeForOpCoverTheChain) {
+  PlanInput input = SimpleInput(3);
+  input.error_policies = {ErrorPolicy::kFailFast, ErrorPolicy::kQuarantine};
+  input.parallel.partitions = 2;
+  input.parallel.range_begin = 1;
+  input.parallel.range_end = 3;
+  const ExecutionPlan plan = MustLower(input);
+  EXPECT_EQ(plan.PolicyForOp(0), ErrorPolicy::kFailFast);
+  EXPECT_EQ(plan.PolicyForOp(1), ErrorPolicy::kQuarantine);
+  EXPECT_EQ(plan.PolicyForOp(2), ErrorPolicy::kFailFast);  // past the list
+  // Every op maps to a covering transform/branch node (partition 0 as the
+  // representative branch for the parallel range).
+  for (size_t op = 0; op < 3; ++op) {
+    const size_t node = plan.NodeForOp(op);
+    ASSERT_NE(node, ExecutionPlan::kNoNode);
+    EXPECT_LE(plan.nodes()[node].begin, op);
+    EXPECT_GT(plan.nodes()[node].end, op);
+    EXPECT_EQ(plan.nodes()[node].partition, 0u);
+  }
+  EXPECT_EQ(plan.NodeForOp(7), ExecutionPlan::kNoNode);
+}
+
 TEST(ExecutionPlanTest, EdgeCapacityTracksChannelCapacity) {
   PlanInput input = SimpleInput(2);
   input.channel_capacity = 3;
@@ -234,6 +270,34 @@ TEST(ExecutionPlanTest, DotAndJsonRenderTheGraph) {
   EXPECT_NE(json.find("\"edges\":"), std::string::npos);
   EXPECT_NE(json.find("\"sections\":"), std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"partition_router\""), std::string::npos);
+}
+
+TEST(ExecutionPlanTest, ContainmentAnnotationsRenderInDotAndJson) {
+  PlanInput input = SimpleInput(3);
+  input.error_policies = {ErrorPolicy::kFailFast, ErrorPolicy::kQuarantine,
+                          ErrorPolicy::kSkip};
+  input.error_budget.max_rows = 100;
+  input.error_budget.max_fraction = 0.1;
+  const ExecutionPlan plan = MustLower(input);
+
+  const std::string dot = plan.ToDot();
+  EXPECT_NE(dot.find("op1:quarantine"), std::string::npos);
+  EXPECT_NE(dot.find("op2:skip"), std::string::npos);
+  EXPECT_EQ(dot.find("op0:"), std::string::npos);  // fail_fast: unannotated
+  EXPECT_NE(dot.find("error_budget"), std::string::npos);
+
+  const std::string json = plan.ToJson();
+  EXPECT_NE(json.find("\"error_policies\":[\"fail_fast\",\"quarantine\","
+                      "\"skip\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"error_budget\":{\"max_rows\":100,"
+                      "\"max_fraction\":0.1"),
+            std::string::npos);
+
+  // A plan without containment renders exactly as before: no annotations.
+  const ExecutionPlan bare = MustLower(SimpleInput(3));
+  EXPECT_EQ(bare.ToDot().find("error_budget"), std::string::npos);
+  EXPECT_EQ(bare.ToJson().find("error_policies"), std::string::npos);
 }
 
 }  // namespace

@@ -6,19 +6,20 @@ namespace qox {
 namespace {
 
 TEST(OpStatsTest, MergeSums) {
-  OpStats a{"flt", "filter", 100, 90, 500};
-  const OpStats b{"flt", "filter", 50, 40, 250};
+  OpStats a{"flt", "filter", 100, 90, 3, 500};
+  const OpStats b{"flt", "filter", 50, 40, 2, 250};
   a.Merge(b);
   EXPECT_EQ(a.rows_in, 150u);
   EXPECT_EQ(a.rows_out, 130u);
+  EXPECT_EQ(a.rows_contained, 5u);
   EXPECT_EQ(a.micros, 750);
 }
 
 TEST(RunMetricsTest, AccumulateOpMergesByName) {
   RunMetrics m;
-  m.AccumulateOp({"flt", "filter", 10, 9, 100});
-  m.AccumulateOp({"fn", "function", 9, 9, 50});
-  m.AccumulateOp({"flt", "filter", 10, 8, 100});
+  m.AccumulateOp({"flt", "filter", 10, 9, 0, 100});
+  m.AccumulateOp({"fn", "function", 9, 9, 0, 50});
+  m.AccumulateOp({"flt", "filter", 10, 8, 0, 100});
   ASSERT_EQ(m.op_stats.size(), 2u);
   EXPECT_EQ(m.op_stats[0].rows_in, 20u);
   EXPECT_EQ(m.op_stats[0].micros, 200);

@@ -249,6 +249,45 @@ TEST(StreamingExecutorTest, InjectedExtractFailureRetries) {
   EXPECT_EQ(expected, target->ReadAll().value().rows());
 }
 
+TEST(StreamingExecutorTest, OnAttemptNumberingMatchesPhasedAcrossRestarts) {
+  // Regression: a one-shot FailureSpec armed for a given attempt must fire
+  // on exactly that attempt of the streaming executor too — restarted
+  // dataflows continue the flow's attempt numbering rather than restarting
+  // it, so a multi-failure schedule consumes attempts 1..k in lockstep
+  // with phased mode.
+  const DataStorePtr source =
+      testing_util::MakeSource(SimpleSchema(), SimpleRows(300));
+  const auto run = [&](bool streaming) {
+    FailureInjector injector;
+    for (int attempt = 1; attempt <= 2; ++attempt) {
+      FailureSpec spec;
+      spec.at_op = attempt - 1;  // a different op each time
+      spec.at_fraction = 0.5;
+      spec.on_attempt = attempt;
+      injector.AddFailure(spec);
+    }
+    auto target = std::make_shared<MemTable>("tgt", BoundSchema());
+    ExecutionConfig config;
+    config.streaming = streaming;
+    config.batch_size = 32;
+    config.injector = &injector;
+    config.retry.max_attempts = 4;
+    config.retry.initial_backoff_micros = 0;
+    const Result<RunMetrics> metrics =
+        Executor::Run(MakeFlow(source, target), config);
+    EXPECT_TRUE(metrics.ok()) << metrics.status();
+    EXPECT_EQ(injector.triggered_count(), 2u);  // both one-shots consumed
+    return metrics.value();
+  };
+  const RunMetrics phased = run(false);
+  const RunMetrics streaming = run(true);
+  // Attempts 1 and 2 failed, attempt 3 completed — in both modes.
+  EXPECT_EQ(phased.attempts, 3u);
+  EXPECT_EQ(streaming.attempts, phased.attempts);
+  EXPECT_EQ(streaming.failures_injected, phased.failures_injected);
+  EXPECT_EQ(streaming.TotalRetries(), phased.TotalRetries());
+}
+
 TEST(StreamingExecutorTest, ExhaustedRetriesSurfaceInjectedFailure) {
   const DataStorePtr source =
       testing_util::MakeSource(SimpleSchema(), SimpleRows(200));

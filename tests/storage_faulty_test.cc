@@ -114,6 +114,71 @@ TEST(FaultyStoreTest, TornWritePersistsHalfTheBatch) {
   EXPECT_EQ(inner->NumRows().value(), 5u);  // first half landed durably
 }
 
+TEST(FaultyStoreTest, TornFractionControlsTheDurablePrefix) {
+  const auto durable_rows = [](double fraction, size_t batch_rows) {
+    auto inner = MakeTable(0);
+    FaultPlan plan;
+    plan.append_fail_on_call = 1;
+    plan.torn_writes = true;
+    plan.torn_fraction = fraction;
+    FaultyStore store(inner, plan, /*seed=*/1);
+    EXPECT_EQ(store.Append(MakeBatch(batch_rows)).code(),
+              StatusCode::kUnavailable);
+    return inner->NumRows().value();
+  };
+  EXPECT_EQ(durable_rows(0.0, 10), 0u);   // nothing lands
+  EXPECT_EQ(durable_rows(0.25, 10), 2u);  // floor(10 * 0.25)
+  EXPECT_EQ(durable_rows(0.5, 10), 5u);   // the historical default
+  EXPECT_EQ(durable_rows(1.0, 10), 10u);  // fully durable, still reported
+                                          // as failed (lost ack)
+}
+
+TEST(FaultyStoreTest, TornPrefixSurvivesOnlyAsAPrefix) {
+  // The durable rows must be exactly the leading rows of the batch, in
+  // order — a torn write never reorders or samples rows.
+  auto inner = MakeTable(0);
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  plan.torn_writes = true;
+  plan.torn_fraction = 0.3;
+  FaultyStore store(inner, plan, /*seed=*/9);
+  const RowBatch batch = MakeBatch(10);
+  EXPECT_FALSE(store.Append(batch).ok());
+  const std::vector<Row> durable = inner->ReadAll().value().rows();
+  ASSERT_EQ(durable.size(), 3u);
+  for (size_t i = 0; i < durable.size(); ++i) {
+    EXPECT_EQ(durable[i], batch.rows()[i]);
+  }
+}
+
+TEST(FaultyStoreTest, NegativeTornFractionSamplesReproducibly) {
+  const auto durable_rows = [](uint64_t seed) {
+    std::vector<size_t> prefixes;
+    auto inner = MakeTable(0);
+    FaultPlan plan;
+    plan.append_fault_probability = 1.0;
+    plan.torn_writes = true;
+    plan.torn_fraction = -1.0;
+    FaultyStore store(inner, plan, seed);
+    size_t previous = 0;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_FALSE(store.Append(MakeBatch(100)).ok());
+      const size_t now = inner->NumRows().value();
+      prefixes.push_back(now - previous);
+      previous = now;
+    }
+    return prefixes;
+  };
+  const std::vector<size_t> a = durable_rows(21);
+  EXPECT_EQ(a, durable_rows(21));   // same seed, same sampled prefixes
+  EXPECT_NE(a, durable_rows(22));   // a different fault schedule
+  // The prefixes really vary: sampling exercises arbitrary tear points,
+  // not just the fixed-fraction midpoint.
+  bool varied = false;
+  for (size_t prefix : a) varied |= prefix != a[0];
+  EXPECT_TRUE(varied);
+}
+
 TEST(FaultyStoreTest, SameSeedSameFaultSchedule) {
   const auto schedule = [](uint64_t seed) {
     FaultPlan plan;
