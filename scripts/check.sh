@@ -10,9 +10,9 @@
 # Usage:  scripts/check.sh [--asan-only|--tsan-only|--fast]
 #
 #   --fast   skip the sanitizer trees entirely: one plain build + ctest
-#            with a reduced chaos sweep (QOX_CHAOS_SEEDS=8 instead of the
-#            default 32) — the quick pre-commit loop; the full gate stays
-#            the default.
+#            with reduced sweeps (QOX_CHAOS_SEEDS=8 instead of the default
+#            32, QOX_CRASH_SEEDS=4 instead of 16) — the quick pre-commit
+#            loop; the full gate stays the default.
 #
 # Build trees land in build-asan/ and build-tsan/ next to build/ so the
 # regular (unsanitized) tree stays untouched. Exits non-zero on the first
@@ -45,19 +45,22 @@ run_suite() {
 
 case "${MODE}" in
   all)
-    # ASan covers every suite (robustness label included); TSan re-runs the
-    # concurrency-heavy subset plus the robustness suites.
+    # ASan covers every suite (robustness and crash labels included); TSan
+    # re-runs the concurrency-heavy subset plus the robustness and crash
+    # suites (the supervisor forks from the single-threaded gtest runner;
+    # children thread freely after exec-free fork, which TSan supports).
     run_suite address build-asan ""
-    run_suite thread build-tsan "^engine_|plan|robustness"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash"
     ;;
   --asan-only)
     run_suite address build-asan ""
     ;;
   --tsan-only)
-    run_suite thread build-tsan "^engine_|plan|robustness"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash"
     ;;
   --fast)
-    QOX_CHAOS_SEEDS="${QOX_CHAOS_SEEDS:-8}" run_suite none build ""
+    QOX_CHAOS_SEEDS="${QOX_CHAOS_SEEDS:-8}" \
+    QOX_CRASH_SEEDS="${QOX_CRASH_SEEDS:-4}" run_suite none build ""
     echo "==> fast check passed (sanitizer trees skipped)"
     exit 0
     ;;

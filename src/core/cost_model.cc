@@ -15,7 +15,8 @@ std::string PhaseEstimate::ToString() const {
   std::ostringstream oss;
   oss << "total=" << total_s << "s extract=" << extract_s
       << "s transform=" << transform_s << "s load=" << load_s
-      << "s rp=" << rp_s << "s merge=" << merge_s << "s";
+      << "s rp=" << rp_s << "s merge=" << merge_s
+      << "s journal=" << journal_s << "s";
   return oss.str();
 }
 
@@ -218,7 +219,28 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
                         volumes.quarantined * params_.quarantine_ns_per_row) /
                        1e9;
   }
-  double body = est.extract_s + est.transform_s + est.merge_s + est.rp_s;
+  // Flow-journal durability: a journaled run appends a fixed set of
+  // lifecycle records (load_base, attempt_start, budget, attempt_end,
+  // flow_commit) plus one rp_commit per recovery cut; the sync policy
+  // decides which of those appends pay an fsync.
+  if (design.journaled) {
+    const double rps = static_cast<double>(plan.rp_cuts().size());
+    double synced = 0.0;
+    switch (design.journal_sync) {
+      case JournalSync::kAlways:
+        synced = 5.0 + rps;
+        break;
+      case JournalSync::kCommit:
+        synced = 3.0 + rps;  // commit-flagged records only
+        break;
+      case JournalSync::kNone:
+        synced = 0.0;
+        break;
+    }
+    est.journal_s = synced * params_.journal_sync_us / 1e6;
+  }
+  double body = est.extract_s + est.transform_s + est.merge_s + est.rp_s +
+                est.journal_s;
   if (design.redundancy > 1) {
     body *= 1.0 + params_.redundancy_contention *
                       static_cast<double>(design.redundancy - 1);
@@ -226,7 +248,8 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
   est.total_s = body + est.load_s;
   if (design.streaming) {
     est.total_s =
-        StreamingTotalSeconds(design, plan, params_, est, op_seconds, rows);
+        StreamingTotalSeconds(design, plan, params_, est, op_seconds, rows) +
+        est.journal_s;
   }
   return est;
 }
@@ -381,6 +404,25 @@ double CostModel::EstimateReliability(const PhysicalDesign& design,
          dq_survival;
 }
 
+double CostModel::EstimateRestartCost(const PhysicalDesign& design,
+                                      const PhaseEstimate& phases,
+                                      const WorkloadParams& workload) const {
+  if (workload.crash_rate_per_s <= 0.0) return 0.0;
+  // Crashes arrive Poisson over the run: E[crashes] = rate * T (the rate
+  // regime of interest is rate * T << 1, where this is also the crash
+  // probability). Each crash pays the supervised-restart machinery plus
+  // rework. A journaled design resumes from its durable prefix — the same
+  // expected-rework integral as recoverability — while an unjournaled one
+  // re-executes the whole run (its recovery points died with the process's
+  // in-memory store registry).
+  const double expected_crashes =
+      workload.crash_rate_per_s * std::max(0.0, phases.total_s);
+  const double rework = design.journaled
+                            ? EstimateRecoverability(design, phases)
+                            : phases.total_s;
+  return expected_crashes * (params_.restart_fixed_s + rework);
+}
+
 double CostModel::EstimateFreshness(const PhysicalDesign& design,
                                     const WorkloadParams& workload) const {
   const double loads =
@@ -499,6 +541,10 @@ Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
   // residual risk is an unrecovered failure mid-run.
   v.Set(QoxMetric::kConsistency, std::min(1.0, 0.5 + 0.5 * reliability));
   v.Set(QoxMetric::kFlexibility, std::sqrt(std::max(0.0, maintainability)));
+  // Crash-recovery term: exactly 0 for crash-free engagements
+  // (crash_rate_per_s == 0), so rankings there are unchanged.
+  v.Set(QoxMetric::kRestartOverhead,
+        EstimateRestartCost(design, phases, workload));
   return v;
 }
 

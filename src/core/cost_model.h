@@ -90,6 +90,13 @@ struct CostModelParams {
   /// ledger.
   double skip_ns_per_row = 120.0;
   double quarantine_ns_per_row = 2600.0;
+  /// Crash-recovery law inputs. restart_fixed_s is the per-incarnation
+  /// machinery cost of a supervised restart (fork, lease check, journal
+  /// replay, recovery-point adoption). journal_sync_us prices one fsync'd
+  /// flow-journal append; journaled designs pay it per durable record
+  /// (JournalSync::kAlways) or per commit record (kCommit).
+  double restart_fixed_s = 0.02;
+  double journal_sync_us = 900.0;
 };
 
 /// Workload context a prediction is made for.
@@ -98,6 +105,11 @@ struct WorkloadParams {
   double loads_per_day = 24;
   /// System failure rate, failures per second of execution (1 / MTBF).
   double failure_rate_per_s = 0.0;
+  /// Process-death rate (SIGKILL, OOM kill, node loss), crashes per second
+  /// of execution. Unlike failure_rate_per_s, a crash kills the process
+  /// mid-run: recovery needs a supervised restart, and only a journaled
+  /// design resumes from its durable prefix instead of from scratch.
+  double crash_rate_per_s = 0.0;
   /// The ETL time window, seconds (availability denominator).
   double time_window_s = 3600.0;
 };
@@ -109,6 +121,9 @@ struct PhaseEstimate {
   double load_s = 0.0;
   double rp_s = 0.0;
   double merge_s = 0.0;
+  /// Flow-journal durability overhead (fsync'd appends); 0 for
+  /// non-journaled designs.
+  double journal_s = 0.0;
   double total_s = 0.0;
 
   std::string ToString() const;
@@ -165,6 +180,17 @@ class CostModel {
   /// period / 2 + execution time of one batch (day volume / loads).
   double EstimateFreshness(const PhysicalDesign& design,
                            const WorkloadParams& workload) const;
+
+  /// Expected extra wall time per run spent recovering from process
+  /// crashes: E[crashes] = crash_rate * T, each costing the fixed
+  /// supervised-restart overhead plus rework — the expected rework back to
+  /// the last durable cut for a journaled design (the journal's resume
+  /// state makes every committed recovery point a restart point), or a
+  /// full rerun for an unjournaled one (a dead process forgets everything).
+  /// 0 when the workload models no crashes.
+  double EstimateRestartCost(const PhysicalDesign& design,
+                             const PhaseEstimate& phases,
+                             const WorkloadParams& workload) const;
 
   /// Expected number of rows routed to the dead-letter ledger in one run
   /// of `input_rows` rows at the configured row_error_rate: the volume a

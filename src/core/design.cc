@@ -263,6 +263,7 @@ std::string PhysicalDesign::ConfigTag() const {
     oss << (recovery_points.size() >= 3 ? "+RP++" : "+RP");
   }
   if (streaming) oss << "+S";
+  if (journaled) oss << "+J";
   // Containment shows up only when a non-default policy is set.
   bool any_skip = false;
   bool any_quarantine = false;
@@ -288,6 +289,9 @@ std::string PhysicalDesign::Describe() const {
     oss << recovery_points[i];
   }
   oss << "} redundancy=" << redundancy << " loads/day=" << loads_per_day;
+  if (journaled) {
+    oss << " journal=" << JournalSyncName(journal_sync);
+  }
   bool any_contained = false;
   for (const ErrorPolicy policy : error_policies) {
     any_contained |= policy != ErrorPolicy::kFailFast;

@@ -200,6 +200,16 @@ struct PhysicalDesign {
   std::vector<ErrorPolicy> error_policies;
   /// Flow-level ceiling on contained rows (kErrorBudgetExceeded beyond it).
   ErrorBudget error_budget;
+  /// Crash safety: journal the flow's lifecycle (attempts, RP commits,
+  /// budget, commit) to a durable FlowJournal so a supervised restart
+  /// resumes from the durable prefix instead of from scratch. The journal
+  /// itself is runtime state (ExecutionConfig::journal, opened by the
+  /// supervisor or caller); this knob is the design-level intent the cost
+  /// model prices: restart rework drops to the recoverability integral,
+  /// and every fsync'd append adds journal_sync latency.
+  bool journaled = false;
+  /// Which journal appends pay an fsync (ignored unless journaled).
+  JournalSync journal_sync = JournalSync::kAlways;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

@@ -13,7 +13,7 @@ const std::vector<QoxMetric>& AllQoxMetrics() {
           QoxMetric::kAvailability,   QoxMetric::kCost,
           QoxMetric::kRobustness,     QoxMetric::kTraceability,
           QoxMetric::kAuditability,   QoxMetric::kConsistency,
-          QoxMetric::kFlexibility,
+          QoxMetric::kFlexibility,    QoxMetric::kRestartOverhead,
       };
   return *kAll;
 }
@@ -46,6 +46,8 @@ const char* QoxMetricName(QoxMetric metric) {
       return "consistency";
     case QoxMetric::kFlexibility:
       return "flexibility";
+    case QoxMetric::kRestartOverhead:
+      return "restart_overhead";
   }
   return "unknown";
 }
@@ -62,6 +64,7 @@ const char* QoxMetricUnit(QoxMetric metric) {
     case QoxMetric::kPerformance:
     case QoxMetric::kRecoverability:
     case QoxMetric::kFreshness:
+    case QoxMetric::kRestartOverhead:
       return "s";
     case QoxMetric::kReliability:
     case QoxMetric::kAvailability:
@@ -80,6 +83,7 @@ bool HigherIsBetter(QoxMetric metric) {
     case QoxMetric::kRecoverability:
     case QoxMetric::kFreshness:
     case QoxMetric::kCost:
+    case QoxMetric::kRestartOverhead:
       return false;
     default:
       return true;

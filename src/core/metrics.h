@@ -59,6 +59,10 @@ enum class QoxMetric {
   /// Ease of accommodating requirement change; design-level score [0,1]
   /// (higher).
   kFlexibility,
+  /// Expected extra wall time per run spent on crash restarts and journal
+  /// durability (supervised re-execution), seconds (lower). Exactly 0
+  /// when the workload models no process deaths (crash_rate_per_s == 0).
+  kRestartOverhead,
 };
 
 /// All metrics, in a stable order (iteration, reports).

@@ -45,6 +45,8 @@ bool DesignSpec::operator==(const DesignSpec& other) const {
          channel_capacity == other.channel_capacity &&
          error_budget_max_rows == other.error_budget_max_rows &&
          error_budget_max_fraction == other.error_budget_max_fraction &&
+         journaled == other.journaled &&
+         journal_sync == other.journal_sync &&
          plan_stages == other.plan_stages && plan_edges == other.plan_edges;
 }
 
@@ -90,6 +92,8 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
   spec.channel_capacity = design.channel_capacity;
   spec.error_budget_max_rows = design.error_budget.max_rows;
   spec.error_budget_max_fraction = design.error_budget.max_fraction;
+  spec.journaled = design.journaled;
+  spec.journal_sync = JournalSyncName(design.journal_sync);
   // The lowered stage graph rides along as descriptive metadata. PlanFor
   // is the same lowering the executors schedule, so the exported plan is
   // exactly what would run.
@@ -372,6 +376,11 @@ std::string ExportDesignXml(const DesignSpec& spec) {
     oss << " error_budget_max_fraction=\"" << spec.error_budget_max_fraction
         << "\"";
   }
+  // Journal attributes appear only for journaled designs (same
+  // byte-stability contract as the budget attributes above).
+  if (spec.journaled) {
+    oss << " journaled=\"1\" journal_sync=\"" << spec.journal_sync << "\"";
+  }
   oss << ">\n";
   oss << "  <flow id=\"" << XmlEscape(spec.flow_id) << "\" source=\""
       << XmlEscape(spec.source) << "\" target=\"" << XmlEscape(spec.target)
@@ -458,6 +467,11 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
   QOX_ASSIGN_OR_RETURN(
       spec.error_budget_max_fraction,
       ParseDouble(AttributeOr(root, "error_budget_max_fraction", "1")));
+  spec.journaled = AttributeOr(root, "journaled", "0") == "1";
+  spec.journal_sync = AttributeOr(root, "journal_sync", "always");
+  // Validate the policy name now so a bad document fails at parse time,
+  // not when somebody later maps the spec onto a design.
+  QOX_RETURN_IF_ERROR(ParseJournalSync(spec.journal_sync).status());
   if (spec.error_budget_max_fraction < 0.0 ||
       spec.error_budget_max_fraction > 1.0) {
     return Status::Invalid("error_budget_max_fraction must lie in [0, 1]");

@@ -86,6 +86,10 @@ struct DesignSpec {
   /// Flow-level error budget; the defaults mean unlimited (no budget).
   size_t error_budget_max_rows = static_cast<size_t>(-1);
   double error_budget_max_fraction = 1.0;
+  /// Crash safety: durable flow journal + its sync policy
+  /// (JournalSyncName: "none", "commit", "always").
+  bool journaled = false;
+  std::string journal_sync = "always";
 
   /// The lowered ExecutionPlan (stage nodes + channel edges), exported as
   /// read-only metadata. SpecOf fills it by lowering the design; import

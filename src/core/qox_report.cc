@@ -1,5 +1,6 @@
 #include "core/qox_report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -104,6 +105,51 @@ std::string RenderFaultToleranceReport(const RunMetrics& metrics) {
   }
   if (metrics.rows_quarantined > 0) {
     line("rows_quarantined", std::to_string(metrics.rows_quarantined));
+  }
+  return oss.str();
+}
+
+std::string RenderCrashRecoveryReport(const SupervisorReport& report,
+                                      double predicted_restart_s) {
+  std::ostringstream oss;
+  const auto line = [&oss](const std::string& key, const std::string& value) {
+    oss << std::left << std::setw(28) << key << value << "\n";
+  };
+  const auto seconds = [](double s) {
+    std::ostringstream v;
+    v << std::fixed << std::setprecision(3) << s << "s";
+    return v.str();
+  };
+  line("converged", report.success ? "yes" : "no");
+  if (!report.final_status.ok()) {
+    line("final_status", report.final_status.ToString());
+  }
+  line("incarnations", std::to_string(report.incarnations));
+  if (report.crashes > 0) {
+    line("crashes", std::to_string(report.crashes));
+  }
+  if (report.lease_takeover) {
+    line("lease_takeover", "yes");
+  }
+  const FlowJournalState& journal = report.journal_state;
+  // The final journal state is post-compaction for converged flows (the
+  // per-attempt records are dropped); the supervisor's high-water mark
+  // preserves the real count.
+  line("journal.attempts",
+       std::to_string(
+           std::max(journal.attempts_started, report.attempts_observed)));
+  if (!journal.rp_commits.empty()) {
+    line("journal.rp_commits", std::to_string(journal.rp_commits.size()));
+  }
+  if (!journal.replay.empty()) {
+    line("journal.replay_groups", std::to_string(journal.replay.size()));
+  }
+  line("journal.committed", journal.committed ? "yes" : "no");
+  const double measured_s =
+      static_cast<double>(report.total_micros) / 1e6;
+  line("wall_time", seconds(measured_s));
+  if (predicted_restart_s >= 0.0) {
+    line("predicted_restart", seconds(predicted_restart_s));
   }
   return oss.str();
 }

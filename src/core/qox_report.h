@@ -15,6 +15,7 @@
 #include "core/design.h"
 #include "core/metrics.h"
 #include "engine/run_metrics.h"
+#include "engine/supervisor.h"
 
 namespace qox {
 
@@ -63,6 +64,16 @@ std::string RenderComparison(const std::vector<ComparisonRow>& rows);
 /// as retry.<cause> rows. Empty counters are omitted, so a clean run
 /// renders only the attempts line.
 std::string RenderFaultToleranceReport(const RunMetrics& metrics);
+
+/// Crash-recovery evidence of a supervised run: incarnations forked,
+/// crashes absorbed, lease takeover, convergence verdict, the journal's
+/// view of the flow (attempts, durable RP commits, replay groups,
+/// committed), wall time, and — when the caller has a cost-model
+/// prediction (EstimateRestartCost) — the predicted restart overhead next
+/// to the measured one, the abl_crash_recovery comparison. Pass a negative
+/// `predicted_restart_s` to omit the prediction rows.
+std::string RenderCrashRecoveryReport(const SupervisorReport& report,
+                                      double predicted_restart_s = -1.0);
 
 }  // namespace qox
 

@@ -86,7 +86,8 @@ class FlowRunner {
         cancelled_(cancelled),
         backoff_rng_(config.retry.jitter_seed +
                      static_cast<uint64_t>(instance_id)),
-        budget_state_(config.error_budget) {
+        budget_state_(config.error_budget),
+        journal_(instance_id == 0 ? config.journal.get() : nullptr) {
     ctx_.cancelled = cancelled;
     ctx_.rejected_rows = &rejected_;
     if (config_.reject_store != nullptr) {
@@ -144,11 +145,20 @@ class FlowRunner {
         config_.redundancy > 1 ? 1 : std::max<size_t>(1, policy.max_attempts);
     metrics_.streaming = config_.streaming;
     if (StreamingInlineLoad()) {
-      // Baseline for cross-attempt incremental restart: rows beyond this
-      // count are ours, durably loaded by an earlier (failed) attempt.
-      QOX_ASSIGN_OR_RETURN(load_base_rows_, flow_.target->NumRows());
+      if (config_.resume.has_load_base) {
+        // Cross-process resume: the baseline journaled before the flow's
+        // first load. Re-reading the target here would count rows a dead
+        // incarnation durably landed as pre-existing and re-append them.
+        load_base_rows_ = config_.resume.load_base_rows;
+      } else {
+        // Baseline for cross-attempt incremental restart: rows beyond this
+        // count are ours, durably loaded by an earlier (failed) attempt.
+        QOX_ASSIGN_OR_RETURN(load_base_rows_, flow_.target->NumRows());
+      }
     }
-    size_t attempt = 1;
+    // Attempt numbering continues where dead incarnations stopped, so the
+    // retry budget spans process boundaries.
+    size_t attempt = config_.resume.prior_attempts + 1;
     while (true) {
       metrics_.attempts = attempt;
       current_attempt_.store(static_cast<int64_t>(attempt));
@@ -162,6 +172,10 @@ class FlowRunner {
       budget_state_.Reset();
       const int resume_cut =
           FindResumeCut(static_cast<int>(NumOps()) + 1);
+      if (journal_ != nullptr) {
+        QOX_RETURN_IF_ERROR(journal_->RecordAttemptStart(
+            attempt, config_.streaming, resume_cut));
+      }
       const Status st =
           config_.streaming
               ? RunAttemptStreaming(static_cast<int>(attempt), resume_cut, out)
@@ -171,9 +185,20 @@ class FlowRunner {
         // (failed attempts' contained rows were rework, not output).
         metrics_.rows_skipped += budget_state_.skipped();
         metrics_.rows_quarantined += budget_state_.quarantined();
+        if (journal_ != nullptr) {
+          QOX_RETURN_IF_ERROR(journal_->RecordBudget(
+              attempt, budget_state_.skipped(), budget_state_.quarantined()));
+          QOX_RETURN_IF_ERROR(journal_->RecordAttemptEnd(attempt, "ok"));
+        }
         return Status::OK();
       }
       if (st.IsInjectedFailure()) ++metrics_.failures_injected;
+      if (journal_ != nullptr) {
+        // Best effort on the failure path: the attempt's verdict must not
+        // be masked by a journal I/O error.
+        (void)journal_->RecordAttemptEnd(attempt,
+                                         StatusCodeName(st.code()));
+      }
       // Only transient failures consume the retry budget; permanent errors
       // (bad schema, corrupted data, real I/O errors) fail the run at once.
       if (!IsTransient(st) || attempt >= max_attempts) return st;
@@ -229,6 +254,12 @@ class FlowRunner {
     // Everything up to here is durable: a subsequent failure loses only
     // the work after this point.
     durable_elapsed_micros_ = NowMicros() - attempt_start_micros_;
+    if (journal_ != nullptr) {
+      // WAL the sealed point so a successor process can re-adopt it: a
+      // fresh RecoveryPointStore starts logically empty.
+      QOX_RETURN_IF_ERROR(journal_->RecordRpCommit(
+          CutPointId(instance_id_, cut), cut, rows.size()));
+    }
     return Status::OK();
   }
 
@@ -1125,6 +1156,8 @@ class FlowRunner {
   /// Streaming inline load: target row count before the first attempt.
   size_t load_base_rows_ = 0;
   bool loaded_inline_ = false;
+  /// Durable lifecycle WAL; null when not journaling (or instance > 0).
+  FlowJournal* journal_ = nullptr;
 };
 
 /// Loads `rows` into the target with transient-failure retry: rows already
@@ -1138,8 +1171,21 @@ Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
   const RetryPolicy& policy = config.retry;
   const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
   Rng backoff_rng(policy.jitter_seed ^ 0x10adULL);
-  QOX_ASSIGN_OR_RETURN(const size_t base_rows, flow.target->NumRows());
+  size_t base_rows = 0;
   size_t loaded = 0;
+  if (config.resume.has_load_base) {
+    // Cross-process resume: the journaled pre-flow baseline. Rows beyond
+    // it are a durable prefix of THIS flow's (deterministic) output,
+    // landed by a dead incarnation — skip them instead of re-appending.
+    base_rows = config.resume.load_base_rows;
+    QOX_ASSIGN_OR_RETURN(const size_t rows_now, flow.target->NumRows());
+    if (rows_now > base_rows) {
+      loaded = std::min(rows.size(), rows_now - base_rows);
+    }
+  } else {
+    QOX_ASSIGN_OR_RETURN(base_rows, flow.target->NumRows());
+  }
+  const size_t already_loaded = loaded;
   size_t attempt = 1;
   while (loaded < rows.size()) {
     const size_t n = std::min(config.batch_size, rows.size() - loaded);
@@ -1174,7 +1220,7 @@ Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
     ++attempt;
   }
   metrics->load_micros += timer.ElapsedMicros();
-  metrics->rows_loaded += rows.size();
+  metrics->rows_loaded += rows.size() - already_loaded;
   return Status::OK();
 }
 
@@ -1196,6 +1242,10 @@ PlanInput MakePlanInput(const FlowSpec& flow, const ExecutionConfig& config) {
   input.ordered_merge = config.ordered_merge;
   input.error_policies = config.error_policies;
   input.error_budget = config.error_budget;
+  input.journaled = config.journal != nullptr;
+  if (config.journal != nullptr) {
+    input.journal_sync = config.journal->sync_policy();
+  }
   return input;
 }
 
@@ -1384,8 +1434,18 @@ Result<ExecutionPlan> Executor::LowerPlan(const FlowSpec& flow,
 }
 
 Result<RunMetrics> Executor::Run(const FlowSpec& flow,
-                                 const ExecutionConfig& config) {
+                                 const ExecutionConfig& original_config) {
   const StopWatch total_timer;
+  ExecutionConfig config = original_config;
+  if (config.journal != nullptr && !config.resume.has_load_base) {
+    // First incarnation of a journaled flow: seal the pre-load target row
+    // count before any work, so every successor can tell durable flow
+    // output apart from pre-existing target rows.
+    QOX_ASSIGN_OR_RETURN(const size_t base, flow.target->NumRows());
+    QOX_RETURN_IF_ERROR(config.journal->RecordLoadBase(base));
+    config.resume.has_load_base = true;
+    config.resume.load_base_rows = base;
+  }
   const size_t rp_bytes_before =
       config.rp_store != nullptr ? config.rp_store->total_bytes_written() : 0;
   // Validate, lower to the shared ExecutionPlan IR, then dispatch the plan
@@ -1421,6 +1481,13 @@ Result<RunMetrics> Executor::Run(const FlowSpec& flow,
   }
   if (config.rp_store != nullptr) {
     QOX_RETURN_IF_ERROR(config.rp_store->DropFlow(flow.id));
+  }
+  if (config.journal != nullptr) {
+    // The commit record is the last durability boundary: a crash anywhere
+    // before it re-runs the (idempotent) tail — the durable-prefix skip
+    // appends nothing and post_success hooks must tolerate re-execution.
+    QOX_RETURN_IF_ERROR(config.journal->RecordFlowCommit());
+    QOX_RETURN_IF_ERROR(config.journal->Compact());
   }
   metrics.total_micros = total_timer.ElapsedMicros();
   if (config.rp_store != nullptr) {

@@ -37,6 +37,7 @@
 
 #include "engine/error_policy.h"
 #include "engine/failure.h"
+#include "engine/flow_journal.h"
 #include "engine/operator.h"
 #include "engine/pipeline.h"
 #include "engine/plan.h"
@@ -121,6 +122,17 @@ struct ExecutionConfig {
   /// Retried attempts re-quarantine their rows (each record names its
   /// attempt); consumers dedupe via CanonicalLedger.
   DeadLetterStorePtr dead_letter;
+  /// Durable write-ahead flow journal (engine/flow_journal.h). When set,
+  /// the executor records attempt/RP-commit/budget/flow-commit lifecycle
+  /// events so a supervisor can resume the flow in a new process after a
+  /// SIGKILL. Null = no journaling (the seed behavior). With redundancy,
+  /// only instance 0 journals.
+  FlowJournalPtr journal;
+  /// Cross-process resume state, reconstructed from the journal by
+  /// FlowSupervisor (engine/supervisor.h): prior attempts consumed by dead
+  /// incarnations (the retry budget spans processes) and the target-row
+  /// baseline for the durable-prefix load skip. Default = fresh run.
+  FlowResume resume;
 };
 
 /// Schema of the reject/audit store:

@@ -42,6 +42,7 @@
 
 #include "common/status.h"
 #include "engine/error_policy.h"
+#include "storage/journal_file.h"
 
 namespace qox {
 
@@ -86,6 +87,13 @@ struct PlanInput {
   std::vector<ErrorPolicy> error_policies;
   /// Flow-level ceiling on contained (skipped + quarantined) rows.
   ErrorBudget error_budget;
+  /// Crash-safety knobs: whether the run writes a durable FlowJournal and
+  /// under which fsync policy (storage/journal_file.h). Carried on the
+  /// plan — not interpreted by lowering — so the XML interchange format
+  /// and the cost model's restart term see the same journaling
+  /// configuration the executor runs under.
+  bool journaled = false;
+  JournalSync journal_sync = JournalSync::kAlways;
 };
 
 enum class PlanNodeKind {

@@ -37,6 +37,11 @@ struct ReplayStats {
   size_t rows_loaded = 0;
   /// Rows the suffix rejected into the OperatorContext reject path.
   size_t rows_rejected = 0;
+  /// Journaled mode only: groups skipped because a previous process
+  /// incarnation already applied them (the durable dedup), and rows of a
+  /// torn group found already durable in the target and not re-appended.
+  size_t groups_already_applied = 0;
+  size_t rows_already_durable = 0;
 };
 
 /// Replays every record of `dead_letter` through `flow`'s transform suffix
@@ -47,9 +52,18 @@ struct ReplayStats {
 /// groups run in ascending op_index and rows within a group in canonical
 /// (sorted payload) order. `config` is used for validation and batch
 /// sizing only; retries, redundancy and injectors do not apply.
+///
+/// `journal` (optional) makes replay idempotent ACROSS PROCESS RESTARTS:
+/// each group's dedup key and pre-append target baseline are journaled
+/// around its load, so a rerun after a mid-replay kill skips fully
+/// applied groups and appends only the missing suffix of a torn one
+/// (replay determinism is what makes the durable prefix identifiable).
+/// Without a journal the dedup state is in-memory only — idempotent within
+/// one call, but a restart mid-replay could double-apply a suffix.
 Result<ReplayStats> ReplayQuarantine(const FlowSpec& flow,
                                      const ExecutionConfig& config,
-                                     const DeadLetterStore& dead_letter);
+                                     const DeadLetterStore& dead_letter,
+                                     FlowJournal* journal = nullptr);
 
 }  // namespace qox
 

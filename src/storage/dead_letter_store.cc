@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/crash_point.h"
 #include "common/strings.h"
 #include "storage/mem_table.h"
 #include "storage/recovery_store.h"
@@ -110,6 +111,7 @@ Status DeadLetterStore::Quarantine(const QuarantineRecord& record) {
   row.Append(Value::Int64(ChecksumOf(record)));
   batch.Append(std::move(row));
   std::lock_guard<std::mutex> lock(mu_);
+  QOX_CRASH_POINT("dlq.quarantine");
   return inner_->Append(batch);
 }
 

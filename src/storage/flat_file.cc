@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/crash_point.h"
 #include "common/strings.h"
 
 namespace qox {
@@ -85,9 +86,11 @@ Status FlatFile::Append(const RowBatch& batch) {
     return Status::Invalid("append to '" + name_ + "': schema mismatch");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  QOX_CRASH_POINT("flat.append");
   std::ofstream out(path_, std::ios::app);
   if (!out) return Status::IoError("cannot open '" + path_ + "' for append");
   size_t bytes = 0;
+  size_t written = 0;
   for (const Row& row : batch.rows()) {
     std::vector<std::string> cells;
     cells.reserve(row.num_values());
@@ -95,9 +98,17 @@ Status FlatFile::Append(const RowBatch& batch) {
     const std::string line = CsvEncodeLine(cells);
     out << line << "\n";
     bytes += line.size() + 1;
+    if (++written == (batch.num_rows() + 1) / 2) {
+      // The torn-batch crash site: flush the first half so a kill here
+      // leaves a durable prefix of the batch at a row boundary — the case
+      // the executor's durable-prefix resync must absorb.
+      out.flush();
+      QOX_CRASH_POINT("flat.mid_append");
+    }
   }
-  if (sync_every_append_) out.flush();
+  out.flush();
   if (!out) return Status::IoError("write to '" + path_ + "' failed");
+  QOX_CRASH_POINT("flat.appended");
   bytes_written_ += bytes;
   return Status::OK();
 }

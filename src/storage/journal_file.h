@@ -1,0 +1,108 @@
+// JournalFile: a durable, checksummed, append-only record log — the
+// storage substrate of the engine's FlowJournal (engine/flow_journal.h).
+//
+// One journal is one text segment of line-framed records. Each line is a
+// CSV record `seq,type,field...,checksum` where `seq` increases by one per
+// record and `checksum` is the FNV-1a 64 hash of everything before it. On
+// Open the segment is scanned front to back; the first line that is torn
+// (no terminating newline), fails its checksum, or breaks the sequence is
+// treated as the torn tail of an interrupted append: the file is truncated
+// back to the last valid record boundary and the valid prefix becomes the
+// recovered record list. Appends write the full line with a single
+// write(2) and fsync according to the segment's sync policy, so a SIGKILL
+// at any instant loses at most the in-flight record. Rewrite() compacts
+// the segment by writing a replacement to a temp file, fsyncing it, and
+// atomically renaming it over the log (the crash-safe segment rotation).
+
+#ifndef QOX_STORAGE_JOURNAL_FILE_H_
+#define QOX_STORAGE_JOURNAL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qox {
+
+/// When appends reach the platter. kAlways fsyncs every record, kCommit
+/// only records appended with commit=true (attempt starts, RP commits,
+/// flow commits — the records resume correctness depends on), kNone never
+/// (the OS flushes eventually; a crash may lose a valid-looking suffix,
+/// which recovery handles like any torn tail).
+enum class JournalSync {
+  kNone,
+  kCommit,
+  kAlways,
+};
+
+/// Canonical lowercase name ("none", "commit", "always").
+const char* JournalSyncName(JournalSync sync);
+
+/// Parses a sync-policy name. Error for unknown names.
+Result<JournalSync> ParseJournalSync(const std::string& name);
+
+/// One recovered or appended record.
+struct JournalRecord {
+  uint64_t seq = 0;
+  std::string type;
+  std::vector<std::string> fields;
+};
+
+class JournalFile {
+ public:
+  /// Opens (creating if absent) the segment at `path`, recovers the valid
+  /// record prefix, and truncates any torn tail in place.
+  static Result<std::unique_ptr<JournalFile>> Open(std::string path,
+                                                   JournalSync sync);
+
+  ~JournalFile();
+  JournalFile(const JournalFile&) = delete;
+  JournalFile& operator=(const JournalFile&) = delete;
+
+  /// Appends one record (next sequence number assigned internally) with a
+  /// single write; fsyncs per the sync policy (`commit` marks the record
+  /// as a commit record under JournalSync::kCommit).
+  Status Append(const std::string& type, const std::vector<std::string>& fields,
+                bool commit = false);
+
+  /// Atomically replaces the whole segment with `records` (re-sequenced
+  /// from 1): write temp file, fsync, rename over the log. A crash before
+  /// the rename leaves the old segment intact; after it, the new one.
+  Status Rewrite(const std::vector<JournalRecord>& records);
+
+  /// Everything currently in the segment, in order (recovered + appended).
+  const std::vector<JournalRecord>& records() const { return records_; }
+
+  /// Bytes of torn tail discarded by Open (0 for a clean segment).
+  size_t truncated_bytes() const { return truncated_bytes_; }
+
+  JournalSync sync_policy() const { return sync_; }
+  const std::string& path() const { return path_; }
+
+  /// fsync calls issued so far (journal-overhead accounting for the cost
+  /// model's restart term and the abl_crash_recovery bench).
+  size_t syncs() const;
+
+ private:
+  JournalFile(std::string path, JournalSync sync)
+      : path_(std::move(path)), sync_(sync) {}
+
+  Status OpenFd();
+  Status AppendLineLocked(const std::string& line, bool sync_now);
+
+  const std::string path_;
+  const JournalSync sync_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 1;
+  std::vector<JournalRecord> records_;
+  size_t truncated_bytes_ = 0;
+  size_t syncs_ = 0;
+};
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_JOURNAL_FILE_H_

@@ -1,0 +1,82 @@
+#include "storage/lease_file.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace qox {
+
+namespace {
+
+/// True when `pid` names a process that exists right now (signal 0 probes
+/// existence; EPERM still means "exists").
+bool PidAlive(pid_t pid) {
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+}  // namespace
+
+Result<pid_t> LeaseFile::HolderPid(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no lease at '" + path + "'");
+  long long pid = 0;
+  if (!(in >> pid) || pid <= 0) {
+    return Status::NotFound("lease at '" + path + "' is unreadable");
+  }
+  return static_cast<pid_t>(pid);
+}
+
+Result<std::unique_ptr<LeaseFile>> LeaseFile::Acquire(std::string path,
+                                                      std::string owner) {
+  bool took_over = false;
+  const Result<pid_t> holder = HolderPid(path);
+  if (holder.ok()) {
+    const pid_t pid = holder.value();
+    if (pid != ::getpid() && PidAlive(pid)) {
+      return Status::FailedPrecondition(
+          "lease '" + path + "' held by live process " + std::to_string(pid));
+    }
+    // Holder is this process (re-acquire) or dead (stale): take over.
+    took_over = pid != ::getpid();
+  }
+  // Publish atomically so a reader never sees a half-written lease.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IoError("cannot create lease '" + tmp + "'");
+    out << ::getpid() << " " << owner << "\n";
+    out.flush();
+    if (!out) return Status::IoError("cannot write lease '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("cannot publish lease '" + path +
+                           "': " + ec.message());
+  }
+  return std::unique_ptr<LeaseFile>(
+      new LeaseFile(std::move(path), took_over));
+}
+
+Status LeaseFile::Release() {
+  if (released_) return Status::OK();
+  released_ = true;
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+  if (ec) {
+    return Status::IoError("cannot release lease '" + path_ +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+LeaseFile::~LeaseFile() { (void)Release(); }
+
+}  // namespace qox

@@ -1,0 +1,61 @@
+// LeaseFile: single-writer ownership of a flow's scratch directory.
+//
+// A supervisor takes the lease before touching the journal so two
+// supervisors cannot re-execute the same flow concurrently (double
+// supervision would double-apply the durable-prefix skip math). The lease
+// is a small file naming the holder pid; acquisition fails while that pid
+// is alive and takes over silently when it is dead — the stale lease a
+// SIGKILLed supervisor necessarily leaves behind. Forked child workers do
+// not touch the lease: it is keyed to the supervising process.
+
+#ifndef QOX_STORAGE_LEASE_FILE_H_
+#define QOX_STORAGE_LEASE_FILE_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace qox {
+
+class LeaseFile {
+ public:
+  /// Acquires the lease at `path` for the calling process. Returns
+  /// kFailedPrecondition naming the holder when another live process holds
+  /// it; silently takes over a stale lease (holder pid no longer exists).
+  /// `owner` is a diagnostic tag written next to the pid.
+  static Result<std::unique_ptr<LeaseFile>> Acquire(std::string path,
+                                                    std::string owner);
+
+  /// Releases on destruction (best effort — a killed holder releases by
+  /// dying, which is what makes takeover safe).
+  ~LeaseFile();
+  LeaseFile(const LeaseFile&) = delete;
+  LeaseFile& operator=(const LeaseFile&) = delete;
+
+  /// Explicitly releases (removes) the lease file.
+  Status Release();
+
+  /// True when acquisition displaced a stale lease left by a dead holder.
+  bool took_over() const { return took_over_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Reads the holder pid of the lease at `path`; NotFound when no lease
+  /// exists or it is unreadable. Diagnostic.
+  static Result<pid_t> HolderPid(const std::string& path);
+
+ private:
+  LeaseFile(std::string path, bool took_over)
+      : path_(std::move(path)), took_over_(took_over) {}
+
+  const std::string path_;
+  const bool took_over_;
+  bool released_ = false;
+};
+
+}  // namespace qox
+
+#endif  // QOX_STORAGE_LEASE_FILE_H_

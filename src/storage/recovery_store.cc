@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/crash_point.h"
 #include "common/strings.h"
 
 namespace qox {
@@ -82,12 +83,14 @@ Status RecoveryPointStore::Save(const RecoveryPointId& id,
   }
   // Atomic publish: rename tmp over the data file, seal the commit marker
   // (row count + content checksum), then record completeness.
+  QOX_CRASH_POINT("rp.publish");
   std::error_code ec;
   std::filesystem::rename(tmp_path, path, ec);
   if (ec) {
     return Status::IoError("cannot publish recovery point '" + path +
                            "': " + ec.message());
   }
+  QOX_CRASH_POINT("rp.published");
   {
     const std::string marker_tmp = MarkerPath(id) + ".tmp";
     std::ofstream marker(marker_tmp, std::ios::trunc);
@@ -104,6 +107,7 @@ Status RecoveryPointStore::Save(const RecoveryPointId& id,
                              "': " + ec.message());
     }
   }
+  QOX_CRASH_POINT("rp.sealed");
   (void)schema;  // schema travels with the flow; file stores values only
   total_bytes_written_.fetch_add(bytes);
   std::lock_guard<std::mutex> lock(mu_);
@@ -114,6 +118,29 @@ Status RecoveryPointStore::Save(const RecoveryPointId& id,
   info.checksum = checksum;
   info.complete = true;
   return Status::OK();
+}
+
+Result<bool> RecoveryPointStore::Adopt(const RecoveryPointId& id) {
+  std::ifstream marker(MarkerPath(id));
+  if (!marker) return false;  // never sealed (crash before the marker)
+  size_t rows = 0;
+  uint64_t checksum = 0;
+  if (!(marker >> rows >> checksum)) {
+    // Zero-length or truncated marker: the seal itself was torn. Same
+    // verdict as a checksum mismatch — fall back, don't error.
+    return false;
+  }
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(DataPath(id), ec);
+  if (ec) return false;  // marker without data: nothing to resume from
+  std::lock_guard<std::mutex> lock(mu_);
+  RecoveryPointInfo& info = points_[KeyOf(id)];
+  info.id = id;
+  info.num_rows = rows;
+  info.bytes = static_cast<size_t>(bytes);
+  info.checksum = checksum;
+  info.complete = true;
+  return true;
 }
 
 bool RecoveryPointStore::Has(const RecoveryPointId& id) const {

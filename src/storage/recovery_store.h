@@ -64,6 +64,17 @@ class RecoveryPointStore {
   /// True if a complete recovery point exists.
   bool Has(const RecoveryPointId& id) const;
 
+  /// Re-registers a point persisted by an earlier process incarnation by
+  /// reading its on-disk commit marker (a fresh store starts logically
+  /// empty, so cross-process resume must adopt explicitly). Returns true
+  /// when the point was adopted. A missing, zero-length, truncated, or
+  /// unparseable marker — what a crash between the data rename and the
+  /// marker seal leaves behind — is treated exactly like a checksum
+  /// mismatch: the point is simply not adopted (false), so resume falls
+  /// back to an older point instead of erroring. A marker that lies about
+  /// the data bytes is still caught by Load's checksum verification.
+  Result<bool> Adopt(const RecoveryPointId& id);
+
   /// Loads a complete recovery point. NotFound if absent or incomplete;
   /// kCorruptedData if the on-disk bytes no longer match the checksum
   /// sealed into the commit marker (bit rot, torn overwrite, tampering) —

@@ -298,6 +298,51 @@ TEST(CostModelTest, PredictCoversAllMetrics) {
   }
 }
 
+TEST(CostModelTest, RestartTermRewardsJournalingUnderCrashes) {
+  const CostModel model;
+  WorkloadParams workload = BaseWorkload();
+  // Crash-free engagements pay exactly nothing, so rankings there are
+  // unchanged by the crash-recovery extension.
+  workload.crash_rate_per_s = 0.0;
+  PhysicalDesign bare = BaseDesign();
+  EXPECT_DOUBLE_EQ(model.Predict(bare, workload)
+                       .value()
+                       .Get(QoxMetric::kRestartOverhead)
+                       .value(),
+                   0.0);
+
+  workload.crash_rate_per_s = 0.01;
+  PhysicalDesign journaled = BaseDesign();
+  journaled.journaled = true;
+  journaled.recovery_points = {1};
+  const double bare_restart = model.Predict(bare, workload)
+                                  .value()
+                                  .Get(QoxMetric::kRestartOverhead)
+                                  .value();
+  const double journaled_restart = model.Predict(journaled, workload)
+                                       .value()
+                                       .Get(QoxMetric::kRestartOverhead)
+                                       .value();
+  // Without a journal a crash re-executes the whole run; with one, rework
+  // drops to the recoverability integral — strictly cheaper.
+  EXPECT_GT(bare_restart, 0.0);
+  EXPECT_LT(journaled_restart, bare_restart);
+
+  // The fsync tax is priced on the other side of the trade: journaling
+  // adds journal_s to the run body, kAlways more than kNone (which pays
+  // no fsyncs at all).
+  PhysicalDesign unsynced = journaled;
+  unsynced.journal_sync = JournalSync::kNone;
+  const double rows = workload.rows_per_run;
+  const PhaseEstimate journaled_est = model.EstimatePhases(journaled, rows);
+  const PhaseEstimate unsynced_est = model.EstimatePhases(unsynced, rows);
+  const PhaseEstimate bare_est = model.EstimatePhases(bare, rows);
+  EXPECT_GT(journaled_est.journal_s, 0.0);
+  EXPECT_DOUBLE_EQ(unsynced_est.journal_s, 0.0);
+  EXPECT_DOUBLE_EQ(bare_est.journal_s, 0.0);
+  EXPECT_GT(journaled_est.total_s, unsynced_est.total_s);
+}
+
 TEST(CostModelTest, ProvenanceTradesTraceabilityForTime) {
   // Sec. 3.5: enriching the flow for provenance hurts performance but
   // gains traceability.

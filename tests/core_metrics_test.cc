@@ -11,7 +11,7 @@ TEST(QoxMetricTest, AllMetricsHaveUniqueNames) {
     EXPECT_TRUE(names.insert(QoxMetricName(metric)).second)
         << QoxMetricName(metric);
   }
-  EXPECT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.size(), 14u);
 }
 
 TEST(QoxMetricTest, ParseRoundTrips) {

@@ -112,6 +112,34 @@ TEST(PlanIoTest, StreamingKnobsRoundTrip) {
   EXPECT_TRUE(parsed.value() == original);
 }
 
+TEST(PlanIoTest, JournalKnobsRoundTrip) {
+  PhysicalDesign design = MakeDesign();
+  design.journaled = true;
+  design.journal_sync = JournalSync::kCommit;
+  const DesignSpec original = SpecOf(design);
+  EXPECT_TRUE(original.journaled);
+  EXPECT_EQ(original.journal_sync, "commit");
+  const std::string xml = ExportDesignXml(original);
+  EXPECT_NE(xml.find("journaled=\"1\""), std::string::npos);
+  EXPECT_NE(xml.find("journal_sync=\"commit\""), std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value().journaled);
+  EXPECT_TRUE(parsed.value() == original);
+
+  // Non-journaled designs export byte-identically to the pre-journal
+  // format, and a garbled sync policy is rejected at parse time.
+  const std::string plain_xml = ExportDesignXml(SpecOf(MakeDesign()));
+  EXPECT_EQ(plain_xml.find("journal"), std::string::npos);
+  const std::string bad = [&xml] {
+    std::string s = xml;
+    const size_t at = s.find("journal_sync=\"commit\"");
+    return s.replace(at, std::string("journal_sync=\"commit\"").size(),
+                     "journal_sync=\"sometimes\"");
+  }();
+  EXPECT_FALSE(ParseDesignXml(bad).ok());
+}
+
 TEST(PlanIoTest, ContainmentKnobsRoundTrip) {
   PhysicalDesign design = MakeDesign();
   design.error_policies = {ErrorPolicy::kFailFast, ErrorPolicy::kQuarantine,

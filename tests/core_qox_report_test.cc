@@ -130,5 +130,43 @@ TEST(QoxReportTest, FaultToleranceReportSurfacesCounters) {
   EXPECT_EQ(clean_report.find("backoff"), std::string::npos);
 }
 
+TEST(QoxReportTest, CrashRecoveryReportSurfacesSupervisionOutcome) {
+  SupervisorReport sup;
+  sup.success = true;
+  sup.final_status = Status::OK();
+  sup.incarnations = 3;
+  sup.crashes = 2;
+  sup.lease_takeover = true;
+  sup.journal_state.committed = true;
+  sup.journal_state.attempts_started = 3;
+  sup.journal_state.rp_commits["i0.cut2"] = {"i0.cut2", 2, 80};
+  sup.total_micros = 1234567;
+  const std::string report =
+      RenderCrashRecoveryReport(sup, /*predicted_restart_s=*/0.25);
+  EXPECT_NE(report.find("converged"), std::string::npos);
+  EXPECT_NE(report.find("incarnations"), std::string::npos);
+  EXPECT_NE(report.find("crashes"), std::string::npos);
+  EXPECT_NE(report.find("lease_takeover"), std::string::npos);
+  EXPECT_NE(report.find("journal.rp_commits"), std::string::npos);
+  EXPECT_NE(report.find("journal.committed"), std::string::npos);
+  EXPECT_NE(report.find("1.235s"), std::string::npos);
+  EXPECT_NE(report.find("predicted_restart"), std::string::npos);
+
+  // A crash-free, prediction-free report stays minimal: no crash, lease,
+  // rp, or prediction rows.
+  SupervisorReport quiet;
+  quiet.success = true;
+  quiet.final_status = Status::OK();
+  quiet.incarnations = 1;
+  quiet.journal_state.committed = true;
+  quiet.journal_state.attempts_started = 1;
+  const std::string quiet_report = RenderCrashRecoveryReport(quiet);
+  EXPECT_NE(quiet_report.find("converged"), std::string::npos);
+  EXPECT_EQ(quiet_report.find("crashes"), std::string::npos);
+  EXPECT_EQ(quiet_report.find("lease_takeover"), std::string::npos);
+  EXPECT_EQ(quiet_report.find("rp_commits"), std::string::npos);
+  EXPECT_EQ(quiet_report.find("predicted_restart"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace qox

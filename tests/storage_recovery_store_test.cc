@@ -175,6 +175,96 @@ TEST_F(RecoveryStoreTest, DropRemovesMarkerFile) {
   }
 }
 
+TEST_F(RecoveryStoreTest, AdoptRegistersPointFromSurvivingMarker) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(6)).ok());
+  // A fresh store over the same directory models a restarted process: the
+  // registry is in memory, so the point is logically gone until adopted.
+  auto fresh = RecoveryPointStore::Open(dir_).value();
+  EXPECT_FALSE(fresh->Has(id));
+  const Result<bool> adopted = fresh->Adopt(id);
+  ASSERT_TRUE(adopted.ok()) << adopted.status();
+  EXPECT_TRUE(adopted.value());
+  EXPECT_TRUE(fresh->Has(id));
+  const Result<RowBatch> loaded = fresh->Load(id, TestSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().num_rows(), 6u);
+}
+
+TEST_F(RecoveryStoreTest, AdoptMissingMarkerIsFallbackNotError) {
+  auto fresh = RecoveryPointStore::Open(dir_).value();
+  const Result<bool> adopted = fresh->Adopt({"flow1", "never_saved"});
+  ASSERT_TRUE(adopted.ok()) << adopted.status();
+  EXPECT_FALSE(adopted.value());
+}
+
+TEST_F(RecoveryStoreTest, AdoptZeroLengthMarkerIsFallbackNotError) {
+  // Regression: a SIGKILL between creating the marker file and the atomic
+  // rename publishing its contents can leave a zero-length marker. Adopt
+  // must treat it exactly like a checksum mismatch — fall back to an older
+  // point (return false) — not surface an error that aborts recovery.
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(6)).ok());
+  std::string marker_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().ends_with(".commit")) {
+      marker_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(marker_path.empty());
+  std::filesystem::resize_file(marker_path, 0);
+  auto fresh = RecoveryPointStore::Open(dir_).value();
+  const Result<bool> adopted = fresh->Adopt(id);
+  ASSERT_TRUE(adopted.ok()) << adopted.status();
+  EXPECT_FALSE(adopted.value());
+  EXPECT_FALSE(fresh->Has(id));
+}
+
+TEST_F(RecoveryStoreTest, AdoptUnparseableMarkerIsFallbackNotError) {
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(6)).ok());
+  std::string marker_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().ends_with(".commit")) {
+      marker_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(marker_path.empty());
+  {
+    std::ofstream marker(marker_path, std::ios::trunc);
+    marker << "not a row count";
+  }
+  auto fresh = RecoveryPointStore::Open(dir_).value();
+  const Result<bool> adopted = fresh->Adopt(id);
+  ASSERT_TRUE(adopted.ok()) << adopted.status();
+  EXPECT_FALSE(adopted.value());
+}
+
+TEST_F(RecoveryStoreTest, AdoptedPointWithLyingMarkerStillFailsLoad) {
+  // Adopt trusts the marker's self-description; Load's checksum is what
+  // actually protects the data. Corrupt the data after adoption and the
+  // corruption still surfaces where it always did.
+  const RecoveryPointId id{"flow1", "cut0"};
+  ASSERT_TRUE(store_->Save(id, TestSchema(), MakeRows(10)).ok());
+  std::string data_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().ends_with(".rp.csv")) {
+      data_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(data_path.empty());
+  {
+    std::fstream file(data_path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(3);
+    file.put('#');
+  }
+  auto fresh = RecoveryPointStore::Open(dir_).value();
+  ASSERT_TRUE(fresh->Adopt(id).value());
+  EXPECT_EQ(fresh->Load(id, TestSchema()).status().code(),
+            StatusCode::kCorruptedData);
+}
+
 TEST_F(RecoveryStoreTest, ValuesWithCommasSurvive) {
   const RecoveryPointId id{"f", "commas"};
   std::vector<Row> rows{
