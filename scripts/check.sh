@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the repo twice via the QOX_SANITIZE CMake knob and
 # runs the tier-1 suite under AddressSanitizer, then the concurrency-heavy
-# engine_* / plan-labeled / robustness-labeled tests under ThreadSanitizer
-# (the streaming executor, channels, thread pool, the planner equivalence
-# sweep — which drives both schedulers — and the fault-containment suites,
-# whose chaos sweep quarantines concurrently from every pipeline, are where
-# data races would live).
+# engine_* / plan / robustness / crash / resource-labeled tests under
+# ThreadSanitizer (the streaming executor, channels, thread pool, the
+# planner equivalence sweep — which drives both schedulers — the
+# fault-containment suites, whose chaos sweep quarantines concurrently from
+# every pipeline, and the resource suites, whose blocking operators spill
+# concurrently against a shared MemoryBudget, are where data races would
+# live).
 #
 # Usage:  scripts/check.sh [--asan-only|--tsan-only|--fast]
 #
 #   --fast   skip the sanitizer trees entirely: one plain build + ctest
 #            with reduced sweeps (QOX_CHAOS_SEEDS=8 instead of the default
-#            32, QOX_CRASH_SEEDS=4 instead of 16) — the quick pre-commit
-#            loop; the full gate stays the default.
+#            32, QOX_CRASH_SEEDS=4 and QOX_RESOURCE_SEEDS=4 instead of 16)
+#            — the quick pre-commit loop; the full gate stays the default.
 #
 # Build trees land in build-asan/ and build-tsan/ next to build/ so the
 # regular (unsanitized) tree stays untouched. Exits non-zero on the first
@@ -50,17 +52,18 @@ case "${MODE}" in
     # suites (the supervisor forks from the single-threaded gtest runner;
     # children thread freely after exec-free fork, which TSan supports).
     run_suite address build-asan ""
-    run_suite thread build-tsan "^engine_|plan|robustness|crash"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource"
     ;;
   --asan-only)
     run_suite address build-asan ""
     ;;
   --tsan-only)
-    run_suite thread build-tsan "^engine_|plan|robustness|crash"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource"
     ;;
   --fast)
     QOX_CHAOS_SEEDS="${QOX_CHAOS_SEEDS:-8}" \
-    QOX_CRASH_SEEDS="${QOX_CRASH_SEEDS:-4}" run_suite none build ""
+    QOX_CRASH_SEEDS="${QOX_CRASH_SEEDS:-4}" \
+    QOX_RESOURCE_SEEDS="${QOX_RESOURCE_SEEDS:-4}" run_suite none build ""
     echo "==> fast check passed (sanitizer trees skipped)"
     exit 0
     ;;

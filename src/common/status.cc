@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "corrupted_data";
     case StatusCode::kErrorBudgetExceeded:
       return "error_budget_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

@@ -47,6 +47,13 @@ enum class StatusCode {
   /// re-running the identical flow re-quarantines the identical rows, so
   /// the executor must not burn retry attempts on it.
   kErrorBudgetExceeded,
+  /// A finite resource ran out: disk full (ENOSPC), a storage quota, or a
+  /// ledger/byte cap. Not transient by default — immediately retrying the
+  /// identical write hits the identical full disk — but unlike kIoError
+  /// the condition is expected to clear with time or operator action, so
+  /// the engine's ResourcePolicy may reclassify it (pause-and-retry) or
+  /// degrade around it (shed-to-quarantine) instead of failing the flow.
+  kResourceExhausted,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "io_error").
@@ -105,6 +112,9 @@ class Status {
   }
   static Status ErrorBudgetExceeded(std::string msg) {
     return Status(StatusCode::kErrorBudgetExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,7 +16,7 @@ std::string PhaseEstimate::ToString() const {
   oss << "total=" << total_s << "s extract=" << extract_s
       << "s transform=" << transform_s << "s load=" << load_s
       << "s rp=" << rp_s << "s merge=" << merge_s
-      << "s journal=" << journal_s << "s";
+      << "s spill=" << spill_s << "s journal=" << journal_s << "s";
   return oss.str();
 }
 
@@ -127,7 +127,7 @@ double StreamingTotalSeconds(const PhysicalDesign& design,
   for (const size_t b : plan.channel_borders()) {
     channel_s += rows_at_cut[b] * params.stream_channel_ns_per_row / 1e9;
   }
-  double total_s = total + est.rp_s + est.merge_s + channel_s +
+  double total_s = total + est.rp_s + est.merge_s + est.spill_s + channel_s +
                    static_cast<double>(stages) *
                        params.stream_stage_startup_us / 1e6;
   if (design.redundancy > 1) {
@@ -219,6 +219,21 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
                         volumes.quarantined * params_.quarantine_ns_per_row) /
                        1e9;
   }
+  // Resource-pressure law: with a finite memory budget, every blocking
+  // op whose working set overflows the budget writes the overflow to a
+  // checksummed spill run and reads it back during merge/replay. The
+  // working set is the buffered input for sort/delta and the group table
+  // (post-selectivity volume) for group.
+  if (design.memory_budget_bytes > 0) {
+    const double budget = static_cast<double>(design.memory_budget_bytes);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!ops[i].blocking) continue;
+      const double ws = (ops[i].kind == "group" ? rows[i + 1] : rows[i]) *
+                        params_.bytes_per_row;
+      const double overflow = std::max(0.0, ws - budget);
+      est.spill_s += overflow * 2.0 * params_.spill_ns_per_byte / 1e9;
+    }
+  }
   // Flow-journal durability: a journaled run appends a fixed set of
   // lifecycle records (load_base, attempt_start, budget, attempt_end,
   // flow_commit) plus one rp_commit per recovery cut; the sync policy
@@ -240,7 +255,7 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
     est.journal_s = synced * params_.journal_sync_us / 1e6;
   }
   double body = est.extract_s + est.transform_s + est.merge_s + est.rp_s +
-                est.journal_s;
+                est.spill_s + est.journal_s;
   if (design.redundancy > 1) {
     body *= 1.0 + params_.redundancy_contention *
                       static_cast<double>(design.redundancy - 1);
@@ -363,6 +378,13 @@ double CostModel::EstimateReliability(const PhysicalDesign& design,
         std::exp(-volumes.fail_fast) *
         (1.0 - EstimateBudgetAbortProbability(design, workload.rows_per_run));
   }
+  // Resource survival: under kFailFlow a disk-pressure fault kills the run
+  // outright (kResourceExhausted is not transient, so retries don't save
+  // it); the degrading policies ride it out.
+  if (workload.disk_fault_rate > 0.0 &&
+      design.resource_policy == ResourcePolicy::kFailFlow) {
+    dq_survival *= 1.0 - std::min(1.0, workload.disk_fault_rate);
+  }
   const double p_fail =
       1.0 - AttemptSuccessProbability(phases.total_s,
                                       workload.failure_rate_per_s);
@@ -423,6 +445,34 @@ double CostModel::EstimateRestartCost(const PhysicalDesign& design,
   return expected_crashes * (params_.restart_fixed_s + rework);
 }
 
+double CostModel::EstimateResourceDelay(const PhysicalDesign& design,
+                                        const PhaseEstimate& phases,
+                                        const WorkloadParams& workload) const {
+  const double p = std::min(1.0, std::max(0.0, workload.disk_fault_rate));
+  if (p <= 0.0) return 0.0;
+  switch (design.resource_policy) {
+    case ResourcePolicy::kFailFlow:
+      // The run dies; the reschedule pays the restart machinery plus the
+      // rework back to the last durable cut (full rerun without RPs).
+      return p * (params_.restart_fixed_s +
+                  EstimateRecoverability(design, phases));
+    case ResourcePolicy::kPauseRetry:
+      // The run waits out the pressure and resumes from its durable
+      // prefix: one mean backoff plus the same rework integral.
+      return p * (design.retry.MeanBackoffSeconds() +
+                  EstimateRecoverability(design, phases));
+    case ResourcePolicy::kShedToQuarantine: {
+      // The fault strikes uniformly during the load, so on average half
+      // the output volume is re-encoded into the dead-letter ledger
+      // instead of the warehouse.
+      const std::vector<double> rows =
+          RowsAtCuts(design.flow.ops(), workload.rows_per_run);
+      return p * 0.5 * rows.back() * params_.quarantine_ns_per_row / 1e9;
+    }
+  }
+  return 0.0;
+}
+
 double CostModel::EstimateFreshness(const PhysicalDesign& design,
                                     const WorkloadParams& workload) const {
   const double loads =
@@ -481,8 +531,9 @@ Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
   // expected failure rework.
   const double p_fail = 1.0 - AttemptSuccessProbability(
                                   phases.total_s, workload.failure_rate_per_s);
-  const double busy =
-      phases.total_s + p_fail * EstimateRecoverability(design, phases);
+  const double busy = phases.total_s +
+                      p_fail * EstimateRecoverability(design, phases) +
+                      EstimateResourceDelay(design, phases, workload);
   v.Set(QoxMetric::kAvailability,
         std::max(0.0, std::min(1.0, 1.0 - busy /
                                          std::max(1e-9,

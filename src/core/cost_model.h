@@ -97,6 +97,11 @@ struct CostModelParams {
   /// (JournalSync::kAlways) or per commit record (kCommit).
   double restart_fixed_s = 0.02;
   double journal_sync_us = 900.0;
+  /// Resource-pressure law input: cost per byte moved through a spill run
+  /// (checksummed write plus the read-back during merge/replay). Charged
+  /// on the working-set overflow of every blocking op when the design sets
+  /// a finite memory_budget_bytes.
+  double spill_ns_per_byte = 30.0;
 };
 
 /// Workload context a prediction is made for.
@@ -112,6 +117,11 @@ struct WorkloadParams {
   double crash_rate_per_s = 0.0;
   /// The ETL time window, seconds (availability denominator).
   double time_window_s = 3600.0;
+  /// Probability one run encounters a disk-pressure fault (ENOSPC, EIO)
+  /// on its write path. The design's ResourcePolicy decides what that
+  /// costs: a rerun (kFailFlow), a backoff + resume (kPauseRetry), or a
+  /// shed batch re-encoded into the dead-letter ledger (kShed).
+  double disk_fault_rate = 0.0;
 };
 
 /// Per-phase time prediction, seconds.
@@ -121,6 +131,9 @@ struct PhaseEstimate {
   double load_s = 0.0;
   double rp_s = 0.0;
   double merge_s = 0.0;
+  /// Spill I/O tax: working-set overflow of blocking ops written to and
+  /// read back from disk runs; 0 for unbudgeted designs.
+  double spill_s = 0.0;
   /// Flow-journal durability overhead (fsync'd appends); 0 for
   /// non-journaled designs.
   double journal_s = 0.0;
@@ -191,6 +204,16 @@ class CostModel {
   double EstimateRestartCost(const PhysicalDesign& design,
                              const PhaseEstimate& phases,
                              const WorkloadParams& workload) const;
+
+  /// Expected extra wall time per run lost to resource-exhaustion
+  /// degradation at the workload's disk_fault_rate, priced per the
+  /// design's ResourcePolicy: kFailFlow pays a restart plus rework back to
+  /// the last durable cut, kPauseRetry pays the policy's mean backoff plus
+  /// the same rework, kShed pays re-encoding the unloadable remainder into
+  /// the dead-letter ledger. 0 when the workload models no disk faults.
+  double EstimateResourceDelay(const PhysicalDesign& design,
+                               const PhaseEstimate& phases,
+                               const WorkloadParams& workload) const;
 
   /// Expected number of rows routed to the dead-letter ledger in one run
   /// of `input_rows` rows at the configured row_error_rate: the volume a

@@ -240,6 +240,8 @@ ExecutionConfig PhysicalDesign::ToExecutionConfig(
   config.channel_capacity = channel_capacity;
   config.error_policies = error_policies;
   config.error_budget = error_budget;
+  config.memory_budget_bytes = memory_budget_bytes;
+  config.resource_policy = resource_policy;
   return config;
 }
 
@@ -277,6 +279,7 @@ std::string PhysicalDesign::ConfigTag() const {
     oss << "+SKIP";
   }
   if (!error_budget.unlimited()) oss << "+EB";
+  if (memory_budget_bytes > 0) oss << "+M";
   return oss.str();
 }
 
@@ -312,6 +315,10 @@ std::string PhysicalDesign::Describe() const {
       oss << error_budget.max_rows;
     }
     oss << ",fraction=" << error_budget.max_fraction << "}";
+  }
+  if (memory_budget_bytes > 0) {
+    oss << " mem_budget=" << memory_budget_bytes
+        << " resource_policy=" << ResourcePolicyName(resource_policy);
   }
   oss << " :: " << flow.Describe();
   return oss.str();

@@ -210,6 +210,15 @@ struct PhysicalDesign {
   bool journaled = false;
   /// Which journal appends pay an fsync (ignored unless journaled).
   JournalSync journal_sync = JournalSync::kAlways;
+  /// Memory budget for blocking-operator state, bytes. 0 = unlimited (the
+  /// seed behaviour). A finite budget makes sort/group/lookup spill to
+  /// checksummed disk runs once their working set exceeds it; the cost
+  /// model prices the extra spill I/O (see cost_model.h).
+  size_t memory_budget_bytes = 0;
+  /// How the flow degrades when a resource is exhausted (spill disk full,
+  /// target ENOSPC): fail fast, pause-and-retry with backoff, or shed the
+  /// unloadable remainder to the dead-letter ledger.
+  ResourcePolicy resource_policy = ResourcePolicy::kFailFlow;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

@@ -47,6 +47,8 @@ bool DesignSpec::operator==(const DesignSpec& other) const {
          error_budget_max_fraction == other.error_budget_max_fraction &&
          journaled == other.journaled &&
          journal_sync == other.journal_sync &&
+         memory_budget_bytes == other.memory_budget_bytes &&
+         resource_policy == other.resource_policy &&
          plan_stages == other.plan_stages && plan_edges == other.plan_edges;
 }
 
@@ -94,6 +96,8 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
   spec.error_budget_max_fraction = design.error_budget.max_fraction;
   spec.journaled = design.journaled;
   spec.journal_sync = JournalSyncName(design.journal_sync);
+  spec.memory_budget_bytes = design.memory_budget_bytes;
+  spec.resource_policy = ResourcePolicyName(design.resource_policy);
   // The lowered stage graph rides along as descriptive metadata. PlanFor
   // is the same lowering the executors schedule, so the exported plan is
   // exactly what would run.
@@ -381,6 +385,12 @@ std::string ExportDesignXml(const DesignSpec& spec) {
   if (spec.journaled) {
     oss << " journaled=\"1\" journal_sync=\"" << spec.journal_sync << "\"";
   }
+  // Resource-pressure attributes appear only for budgeted designs (same
+  // byte-stability contract again).
+  if (spec.memory_budget_bytes > 0) {
+    oss << " memory_budget_bytes=\"" << spec.memory_budget_bytes
+        << "\" resource_policy=\"" << XmlEscape(spec.resource_policy) << "\"";
+  }
   oss << ">\n";
   oss << "  <flow id=\"" << XmlEscape(spec.flow_id) << "\" source=\""
       << XmlEscape(spec.source) << "\" target=\"" << XmlEscape(spec.target)
@@ -472,6 +482,11 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
   // Validate the policy name now so a bad document fails at parse time,
   // not when somebody later maps the spec onto a design.
   QOX_RETURN_IF_ERROR(ParseJournalSync(spec.journal_sync).status());
+  QOX_ASSIGN_OR_RETURN(
+      spec.memory_budget_bytes,
+      ParseSize(AttributeOr(root, "memory_budget_bytes", "0")));
+  spec.resource_policy = AttributeOr(root, "resource_policy", "fail_flow");
+  QOX_RETURN_IF_ERROR(ParseResourcePolicy(spec.resource_policy).status());
   if (spec.error_budget_max_fraction < 0.0 ||
       spec.error_budget_max_fraction > 1.0) {
     return Status::Invalid("error_budget_max_fraction must lie in [0, 1]");

@@ -90,6 +90,11 @@ struct DesignSpec {
   /// (JournalSyncName: "none", "commit", "always").
   bool journaled = false;
   std::string journal_sync = "always";
+  /// Resource pressure: memory budget for blocking-operator state (0 =
+  /// unlimited) and the degradation policy on resource exhaustion
+  /// (ResourcePolicyName: "fail_flow", "pause_retry", "shed").
+  size_t memory_budget_bytes = 0;
+  std::string resource_policy = "fail_flow";
 
   /// The lowered ExecutionPlan (stage nodes + channel edges), exported as
   /// read-only metadata. SpecOf fills it by lowering the design; import

@@ -1,14 +1,19 @@
 #include "engine/executor.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <map>
 #include <thread>
 
 #include "common/clock.h"
+#include "engine/memory_budget.h"
 #include "engine/streaming.h"
+#include "storage/spill_manager.h"
 
 namespace qox {
 
@@ -87,9 +92,16 @@ class FlowRunner {
         backoff_rng_(config.retry.jitter_seed +
                      static_cast<uint64_t>(instance_id)),
         budget_state_(config.error_budget),
+        memory_budget_(config.memory_budget_bytes),
+        spill_(config.spill_dir + "/i" + std::to_string(instance_id)),
         journal_(instance_id == 0 ? config.journal.get() : nullptr) {
     ctx_.cancelled = cancelled;
     ctx_.rejected_rows = &rejected_;
+    ctx_.memory_budget = &memory_budget_;
+    ctx_.spill = &spill_;
+    if (config_.spill_write_fault) {
+      spill_.SetWriteFault(config_.spill_write_fault);
+    }
     if (config_.reject_store != nullptr) {
       ctx_.reject_sink = [this](const Row& row) -> Status {
         RowBatch audit(RejectStoreSchema());
@@ -156,6 +168,11 @@ class FlowRunner {
         QOX_ASSIGN_OR_RETURN(load_base_rows_, flow_.target->NumRows());
       }
     }
+    if (!memory_budget_.unlimited() && journal_ != nullptr) {
+      // Durable before any spill write: a SIGKILL mid-spill must leave the
+      // successor a pointer to the orphaned `.spill.tmp` files.
+      QOX_RETURN_IF_ERROR(journal_->RecordSpillDir(spill_.dir()));
+    }
     // Attempt numbering continues where dead incarnations stopped, so the
     // retry budget spans process boundaries.
     size_t attempt = config_.resume.prior_attempts + 1;
@@ -170,6 +187,9 @@ class FlowRunner {
       // Budget accounting is per attempt: a retried attempt re-contains the
       // same rows, so carrying counts across attempts would double-charge.
       budget_state_.Reset();
+      // Memory accounting likewise: a failed attempt's operators may die
+      // before releasing their charges.
+      memory_budget_.ResetUsage();
       const int resume_cut =
           FindResumeCut(static_cast<int>(NumOps()) + 1);
       if (journal_ != nullptr) {
@@ -180,11 +200,20 @@ class FlowRunner {
           config_.streaming
               ? RunAttemptStreaming(static_cast<int>(attempt), resume_cut, out)
               : RunAttempt(static_cast<int>(attempt), resume_cut, out);
+      // Spill runs are strictly intra-attempt temporaries: delete them on
+      // every exit from an attempt, successful or not (best effort on the
+      // failure path — a dangling file must not mask the attempt verdict;
+      // the restart sweep catches what this misses).
+      (void)spill_.RemoveAll();
       if (st.ok()) {
         // Containment counters are reported for the successful attempt only
         // (failed attempts' contained rows were rework, not output).
         metrics_.rows_skipped += budget_state_.skipped();
         metrics_.rows_quarantined += budget_state_.quarantined();
+        metrics_.mem_high_water_bytes = memory_budget_.high_water();
+        metrics_.spill_runs = spill_.runs_created();
+        metrics_.spill_rows = spill_.rows_spilled();
+        metrics_.spill_bytes = spill_.bytes_spilled();
         if (journal_ != nullptr) {
           QOX_RETURN_IF_ERROR(journal_->RecordBudget(
               attempt, budget_state_.skipped(), budget_state_.quarantined()));
@@ -201,7 +230,15 @@ class FlowRunner {
       }
       // Only transient failures consume the retry budget; permanent errors
       // (bad schema, corrupted data, real I/O errors) fail the run at once.
-      if (!IsTransient(st) || attempt >= max_attempts) return st;
+      // Under ResourcePolicy::kPauseRetry, resource exhaustion (disk full
+      // at a spill or write boundary) is reclassified transient: pause for
+      // the backoff — modelling "wait for the operator to free space" —
+      // and retry.
+      const bool retryable =
+          IsTransient(st) ||
+          (config_.resource_policy == ResourcePolicy::kPauseRetry &&
+           st.code() == StatusCode::kResourceExhausted);
+      if (!retryable || attempt >= max_attempts) return st;
       ++metrics_.retries_by_cause[StatusCodeName(st.code())];
       // Lost work = rework: the part of the attempt NOT durably saved by
       // a recovery point written during it.
@@ -226,6 +263,27 @@ class FlowRunner {
     pc->error_policies = &config_.error_policies;
     pc->error_budget = &budget_state_;
     pc->quarantine_sink = quarantine_sink_;
+  }
+
+  /// Sheds one load row under ResourcePolicy::kShedToQuarantine: routes it
+  /// to the dead-letter ledger (count-and-drop when none is configured)
+  /// and charges the flow error budget — shedding buys availability with
+  /// completeness, and the budget caps how much completeness it may spend.
+  Status ShedRow(const Row& row, const Status& cause) {
+    if (quarantine_sink_) {
+      ContainedRow contained;
+      contained.op_index = static_cast<int>(NumOps());  // the load boundary
+      contained.op_name = "load";
+      contained.row = row;
+      contained.cause = cause;
+      QOX_RETURN_IF_ERROR(quarantine_sink_(contained));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stage_mu_);
+      ++metrics_.rows_shed;
+    }
+    return budget_state_.Charge(ErrorPolicy::kQuarantine,
+                                static_cast<int>(NumOps()));
   }
 
   /// Latest cut strictly below `below` with a complete recovery point, or
@@ -1000,23 +1058,48 @@ class FlowRunner {
       stats->node_id = static_cast<int64_t>(node_id);
       QOX_ASSIGN_OR_RETURN(const size_t durable, flow_.target->NumRows());
       const size_t skip = durable - load_base_rows_;
-      size_t seen = 0;  // rows that reached the sink this attempt
+      size_t seen = 0;      // rows that reached the sink this attempt
+      size_t appended = 0;  // rows durably landed in the target this attempt
       RowBatch acc(cut_schemas_.back());
       auto flush = [&]() -> Status {
         if (acc.empty()) return Status::OK();
+        Status st = Status::OK();
         if (config_.injector != nullptr) {
           // Streaming cannot know the final output count up front, so load
           // progress is reported with an unknown total: the injector fires
           // at_fraction > 0 load specs on the first flush after rows
           // flowed (see FailureInjector::Check; EXPERIMENTS.md notes the
           // phased-vs-streaming comparability caveat).
-          QOX_RETURN_IF_ERROR(config_.injector->Check(
-              instance_id_, attempt, FailureSpec::kAtLoad, seen,
-              /*rows_total=*/0));
+          st = config_.injector->Check(instance_id_, attempt,
+                                       FailureSpec::kAtLoad, seen,
+                                       /*rows_total=*/0);
         }
-        QOX_RETURN_IF_ERROR(flow_.target->Append(acc));
-        acc.Clear();
-        return Status::OK();
+        if (st.ok()) st = flow_.target->Append(acc);
+        if (st.ok()) {
+          appended += acc.num_rows();
+          acc.Clear();
+          return Status::OK();
+        }
+        if (st.code() == StatusCode::kResourceExhausted &&
+            config_.resource_policy == ResourcePolicy::kShedToQuarantine) {
+          // Degrade instead of failing: whatever prefix of the batch the
+          // target durably landed (torn writes included) stays; the
+          // remainder is shed to the dead-letter ledger with provenance
+          // and the stream continues.
+          QOX_ASSIGN_OR_RETURN(const size_t rows_now,
+                               flow_.target->NumRows());
+          const size_t flow_durable = rows_now - load_base_rows_;
+          const size_t landed = flow_durable > skip + appended
+                                    ? flow_durable - (skip + appended)
+                                    : 0;
+          for (size_t i = landed; i < acc.num_rows(); ++i) {
+            QOX_RETURN_IF_ERROR(ShedRow(acc.row(i), st));
+          }
+          appended += landed;
+          acc.Clear();
+          return Status::OK();
+        }
+        return st;
       };
       while (true) {
         QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
@@ -1145,6 +1228,12 @@ class FlowRunner {
   /// Shared containment state: charged concurrently by every pipeline of
   /// the current attempt, reset at attempt start.
   ErrorBudgetState budget_state_;
+  /// Byte accountant shared by every pipeline of this instance; usage is
+  /// reset at attempt start (the high-water mark spans the run).
+  MemoryBudget memory_budget_;
+  /// Spill-run registry for this instance (its own subdirectory, so
+  /// redundant instances never collide on run names).
+  SpillManager spill_;
   QuarantineSink quarantine_sink_;  ///< null when no dead_letter configured
   std::atomic<int64_t> quarantine_seq_{0};
   int64_t attempt_start_micros_ = 0;
@@ -1186,8 +1275,10 @@ Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
     QOX_ASSIGN_OR_RETURN(base_rows, flow.target->NumRows());
   }
   const size_t already_loaded = loaded;
+  size_t shed = 0;  // rows diverted to the dead-letter ledger, not landed
   size_t attempt = 1;
   while (loaded < rows.size()) {
+    const size_t batch_begin = loaded;
     const size_t n = std::min(config.batch_size, rows.size() - loaded);
     Status st = Status::OK();
     if (config.injector != nullptr) {
@@ -1205,7 +1296,53 @@ Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
       }
     }
     if (st.IsInjectedFailure()) ++metrics->failures_injected;
-    if (!IsTransient(st) || attempt >= max_attempts) {
+    if (st.code() == StatusCode::kResourceExhausted &&
+        config.resource_policy == ResourcePolicy::kShedToQuarantine) {
+      // Degraded load: keep whatever prefix of the batch the target
+      // durably landed, shed the remainder to the dead-letter ledger with
+      // provenance, and move on. The flow error budget caps the shedding.
+      QOX_ASSIGN_OR_RETURN(const size_t rows_now, flow.target->NumRows());
+      if (rows_now > base_rows) {
+        loaded = std::max(loaded, rows_now - base_rows);
+      }
+      for (size_t i = loaded; i < batch_begin + n; ++i) {
+        if (config.dead_letter != nullptr) {
+          QuarantineRecord record;
+          record.flow_id = flow.id;
+          record.op_index = static_cast<int64_t>(flow.transforms.size());
+          record.op_name = "load";
+          record.attempt = static_cast<int64_t>(attempt);
+          record.row_index = static_cast<int64_t>(i);
+          record.status_code = StatusCodeName(st.code());
+          record.status_message = st.message();
+          record.payload = EncodeQuarantinePayload(rows[i]);
+          QOX_RETURN_IF_ERROR(config.dead_letter->Quarantine(record));
+        }
+        ++metrics->rows_shed;
+        ++metrics->rows_quarantined;
+        ++shed;
+      }
+      loaded = batch_begin + n;
+      if (metrics->rows_skipped + metrics->rows_quarantined >
+          config.error_budget.max_rows) {
+        metrics->load_micros += timer.ElapsedMicros();
+        return Status::ErrorBudgetExceeded(
+            "error budget exhausted: " +
+            std::to_string(metrics->rows_skipped +
+                           metrics->rows_quarantined) +
+            " rows contained (max " +
+            std::to_string(config.error_budget.max_rows) +
+            "), last shed at the load boundary");
+      }
+      continue;
+    }
+    // kPauseRetry reclassifies resource exhaustion as transient: back off
+    // (waiting for the operator to free disk) and retry the batch.
+    const bool retryable =
+        IsTransient(st) ||
+        (config.resource_policy == ResourcePolicy::kPauseRetry &&
+         st.code() == StatusCode::kResourceExhausted);
+    if (!retryable || attempt >= max_attempts) {
       metrics->load_micros += timer.ElapsedMicros();
       return st;
     }
@@ -1220,7 +1357,7 @@ Status LoadWithRetry(const FlowSpec& flow, const ExecutionConfig& config,
     ++attempt;
   }
   metrics->load_micros += timer.ElapsedMicros();
-  metrics->rows_loaded += rows.size() - already_loaded;
+  metrics->rows_loaded += rows.size() - already_loaded - shed;
   return Status::OK();
 }
 
@@ -1437,6 +1574,24 @@ Result<RunMetrics> Executor::Run(const FlowSpec& flow,
                                  const ExecutionConfig& original_config) {
   const StopWatch total_timer;
   ExecutionConfig config = original_config;
+  if (config.memory_budget_bytes == 0) {
+    // The QOX_MEM_BUDGET environment override lets any experiment or test
+    // run memory-bounded without touching its config plumbing.
+    config.memory_budget_bytes = MemoryBudgetFromEnv();
+  }
+  if (config.memory_budget_bytes > 0 && config.spill_dir.empty()) {
+    config.spill_dir = std::filesystem::temp_directory_path().string() +
+                       "/qox_spill_" + flow.id + "." +
+                       std::to_string(::getpid());
+  }
+  if (config.journal != nullptr) {
+    // Sweep spill directories a dead incarnation journaled: a SIGKILL
+    // mid-spill leaves `.spill` / `.spill.tmp` orphans behind, and they
+    // must not accumulate across supervised restarts.
+    for (const std::string& dir : config.journal->state().spill_dirs) {
+      QOX_RETURN_IF_ERROR(SpillManager::CleanupDir(dir).status());
+    }
+  }
   if (config.journal != nullptr && !config.resume.has_load_base) {
     // First incarnation of a journaled flow: seal the pre-load target row
     // count before any work, so every successor can tell durable flow

@@ -133,6 +133,25 @@ struct ExecutionConfig {
   /// incarnations (the retry budget spans processes) and the target-row
   /// baseline for the durable-prefix load skip. Default = fresh run.
   FlowResume resume;
+  /// Per-flow byte budget for blocking-operator working sets
+  /// (engine/memory_budget.h). 0 = unlimited, unless the QOX_MEM_BUDGET
+  /// environment variable overrides it at Run(). When finite, sort /
+  /// group / lookup spill to checksummed files under `spill_dir` instead
+  /// of growing, and results stay byte-identical to the unbudgeted run.
+  size_t memory_budget_bytes = 0;
+  /// How the flow degrades when a write boundary reports
+  /// kResourceExhausted (disk full, dead-letter cap): fail fast, treat it
+  /// as transient and retry with backoff, or shed the affected load rows
+  /// to the dead-letter ledger and continue.
+  ResourcePolicy resource_policy = ResourcePolicy::kFailFlow;
+  /// Directory for spill runs. Empty = a per-flow-instance directory
+  /// under the system temp dir. Recorded in the flow journal so a
+  /// supervisor restart deletes a dead incarnation's leftovers.
+  std::string spill_dir;
+  /// Test hook: fault injected before every physical spill write/finalize
+  /// (the disk-pressure analogue of FailureInjector, which covers store
+  /// boundaries but not operator-internal spill I/O). May be empty.
+  std::function<Status()> spill_write_fault;
 };
 
 /// Schema of the reject/audit store:

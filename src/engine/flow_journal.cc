@@ -46,6 +46,15 @@ void FlowJournal::Apply(const JournalRecord& record, FlowJournalState* state) {
     state->replay[f[0]] = group;
   } else if (record.type == "replay_end" && f.size() >= 1) {
     state->replay[f[0]].done = true;
+  } else if (record.type == "spill_dir" && f.size() >= 1) {
+    bool known = false;
+    for (const std::string& dir : state->spill_dirs) {
+      if (dir == f[0]) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) state->spill_dirs.push_back(f[0]);
   }
   // Unknown record types: skipped (newer writers, older readers).
 }
@@ -134,6 +143,12 @@ Status FlowJournal::RecordReplayEnd(const std::string& key) {
   return AppendAndApply("replay_end", {key}, /*commit=*/true);
 }
 
+Status FlowJournal::RecordSpillDir(const std::string& dir) {
+  // Durable before the first spill write: a SIGKILL mid-spill must leave
+  // behind the pointer the sweeping successor needs.
+  return AppendAndApply("spill_dir", {dir}, /*commit=*/true);
+}
+
 Status FlowJournal::Compact() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<JournalRecord> keep;
@@ -158,6 +173,12 @@ Status FlowJournal::Compact() {
     for (const auto& [point_id, rp] : state_.rp_commits) {
       add("rp_commit", {point_id, std::to_string(rp.cut),
                         std::to_string(rp.rows)});
+    }
+    // Spill dirs may still hold a dead incarnation's orphans until a
+    // restart sweeps them; after a commit the attempt-end cleanup already
+    // emptied them, so the pointer can be dropped.
+    for (const std::string& dir : state_.spill_dirs) {
+      add("spill_dir", {dir});
     }
   }
   for (const auto& [key, group] : state_.replay) {

@@ -25,6 +25,7 @@
 //   flow_commit    —                             load + post_success done
 //   replay_start   key op rows target_base       quarantine replay group
 //   replay_end     key                           group fully applied
+//   spill_dir      dir                           spill runs live under dir
 
 #ifndef QOX_ENGINE_FLOW_JOURNAL_H_
 #define QOX_ENGINE_FLOW_JOURNAL_H_
@@ -72,6 +73,10 @@ struct FlowJournalState {
   };
   /// Quarantine-replay dedup state, keyed by the group's content key.
   std::map<std::string, ReplayGroup> replay;
+  /// Directories a budgeted incarnation spilled under (deduplicated, in
+  /// first-seen order). A supervised restart sweeps them for orphaned
+  /// `.spill` / `.spill.tmp` files left by a SIGKILL mid-spill.
+  std::vector<std::string> spill_dirs;
 };
 
 /// Cross-process resume state handed to Executor::Run by a supervisor.
@@ -110,6 +115,7 @@ class FlowJournal {
   Status RecordReplayStart(const std::string& key, int64_t op_index,
                            size_t rows, size_t target_base);
   Status RecordReplayEnd(const std::string& key);
+  Status RecordSpillDir(const std::string& dir);
 
   /// Compacts the segment after a flow commit: drops the per-attempt and
   /// rp_commit noise (the RPs are gone once the flow committed) and keeps

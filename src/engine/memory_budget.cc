@@ -1,0 +1,38 @@
+#include "engine/memory_budget.h"
+
+#include <cstdlib>
+
+namespace qox {
+
+Result<size_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) return Status::Invalid("empty byte size");
+  size_t multiplier = 1;
+  std::string digits = text;
+  const char suffix = digits.back();
+  if (suffix == 'k' || suffix == 'K') {
+    multiplier = 1024;
+  } else if (suffix == 'm' || suffix == 'M') {
+    multiplier = 1024 * 1024;
+  } else if (suffix == 'g' || suffix == 'G') {
+    multiplier = 1024 * 1024 * 1024;
+  }
+  if (multiplier != 1) digits.pop_back();
+  if (digits.empty()) return Status::Invalid("malformed byte size: " + text);
+  size_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::Invalid("malformed byte size: " + text);
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  return value * multiplier;
+}
+
+size_t MemoryBudgetFromEnv() {
+  const char* raw = std::getenv("QOX_MEM_BUDGET");
+  if (raw == nullptr || raw[0] == '\0') return 0;
+  const Result<size_t> parsed = ParseByteSize(raw);
+  return parsed.ok() ? parsed.value() : 0;
+}
+
+}  // namespace qox

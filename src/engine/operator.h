@@ -21,7 +21,9 @@
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
+#include "engine/memory_budget.h"
 #include "engine/run_metrics.h"
+#include "storage/spill_manager.h"
 
 namespace qox {
 
@@ -37,6 +39,23 @@ struct OperatorContext {
 
   /// Rejected-row counter (always maintained).
   std::atomic<size_t>* rejected_rows = nullptr;
+
+  /// Flow-level byte accountant. Blocking operators (sort, group, the
+  /// lookup build side) charge their buffered working set here and spill
+  /// when a reservation is refused. May be null (unbudgeted — the seed
+  /// behaviour: buffer everything in RAM).
+  MemoryBudget* memory_budget = nullptr;
+
+  /// Where refused working sets spill. Null when memory_budget is null;
+  /// when a budget is set the executor always provides a manager.
+  SpillManager* spill = nullptr;
+
+  /// True when the operator should enforce the byte budget (both pieces
+  /// wired and a finite limit configured).
+  bool BudgetEnforced() const {
+    return memory_budget != nullptr && !memory_budget->unlimited() &&
+           spill != nullptr;
+  }
 
   bool IsCancelled() const {
     return cancelled != nullptr && cancelled->load(std::memory_order_relaxed);

@@ -46,46 +46,109 @@ Result<Schema> GroupOp::Bind(const Schema& input) {
     agg_indices_.push_back(idx);
     out_fields.push_back({agg.as, DataType::kDouble, true});
   }
+  input_schema_ = input;
   groups_.clear();
   group_order_.clear();
+  charged_ = 0;
+  spilling_ = false;
+  spill_writer_.reset();
   return Schema(std::move(out_fields));
+}
+
+Status GroupOp::Open(OperatorContext* ctx) {
+  ctx_ = ctx;
+  enforce_ = ctx != nullptr && ctx->BudgetEnforced();
+  return Status::OK();
+}
+
+Row GroupOp::MakeKey(const Row& row) const {
+  Row key;
+  for (const size_t idx : group_indices_) key.Append(row.value(idx));
+  return key;
+}
+
+size_t GroupOp::GroupBytes(const Row& key) const {
+  return key.ByteSize() + aggregates_.size() * sizeof(AggState);
+}
+
+void GroupOp::AggregateRow(const Row& row, bool charge_forced) {
+  Row key = MakeKey(row);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    if (enforce_ && charge_forced) {
+      // Replay path: Finish must rebuild the whole group state, so new
+      // groups overrun the budget by force — visible in the high-water
+      // mark rather than hidden from it.
+      const size_t bytes = GroupBytes(key);
+      ctx_->memory_budget->ForceReserve(bytes);
+      charged_ += bytes;
+    }
+    group_order_.push_back(key);
+    it = groups_.emplace(std::move(key),
+                         std::vector<AggState>(aggregates_.size()))
+             .first;
+  }
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    AggState& state = it->second[i];
+    ++state.row_count;
+    if (aggregates_[i].kind == AggKind::kCount) continue;
+    const Value& v = row.value(agg_indices_[i]);
+    if (v.is_null()) continue;
+    const Result<double> d = v.AsDouble();
+    if (!d.ok()) continue;
+    if (state.count == 0) {
+      state.min = d.value();
+      state.max = d.value();
+    } else {
+      state.min = std::min(state.min, d.value());
+      state.max = std::max(state.max, d.value());
+    }
+    state.sum += d.value();
+    ++state.count;
+  }
 }
 
 Status GroupOp::Push(const RowBatch& input, RowBatch* output) {
   (void)output;
   for (const Row& row : input.rows()) {
-    Row key;
-    for (const size_t idx : group_indices_) key.Append(row.value(idx));
-    auto it = groups_.find(key);
-    if (it == groups_.end()) {
-      group_order_.push_back(key);
-      it = groups_.emplace(std::move(key),
-                           std::vector<AggState>(aggregates_.size()))
-               .first;
+    if (spilling_) {
+      QOX_RETURN_IF_ERROR(spill_writer_->Append(row));
+      continue;
     }
-    for (size_t i = 0; i < aggregates_.size(); ++i) {
-      AggState& state = it->second[i];
-      ++state.row_count;
-      if (aggregates_[i].kind == AggKind::kCount) continue;
-      const Value& v = row.value(agg_indices_[i]);
-      if (v.is_null()) continue;
-      const Result<double> d = v.AsDouble();
-      if (!d.ok()) continue;
-      if (state.count == 0) {
-        state.min = d.value();
-        state.max = d.value();
-      } else {
-        state.min = std::min(state.min, d.value());
-        state.max = std::max(state.max, d.value());
+    if (enforce_) {
+      const Row key = MakeKey(row);
+      if (groups_.find(key) == groups_.end()) {
+        const size_t bytes = GroupBytes(key);
+        if (!ctx_->memory_budget->TryReserve(bytes)) {
+          // Budget refused a new group: freeze the live table and spill
+          // every subsequent raw row, preserving arrival order so Finish's
+          // replay updates each group in exactly the unbudgeted order.
+          QOX_ASSIGN_OR_RETURN(
+              spill_writer_, ctx_->spill->CreateRun(name_, input_schema_));
+          spilling_ = true;
+          QOX_RETURN_IF_ERROR(spill_writer_->Append(row));
+          continue;
+        }
+        charged_ += bytes;
       }
-      state.sum += d.value();
-      ++state.count;
     }
+    AggregateRow(row, /*charge_forced=*/false);
   }
   return Status::OK();
 }
 
 Status GroupOp::Finish(RowBatch* output) {
+  if (spilling_) {
+    QOX_ASSIGN_OR_RETURN(const SpillFile run, spill_writer_->Finalize());
+    spill_writer_.reset();
+    SpillReader reader(run);
+    while (true) {
+      QOX_ASSIGN_OR_RETURN(std::optional<Row> row, reader.Next());
+      if (!row.has_value()) break;
+      AggregateRow(*row, /*charge_forced=*/true);
+    }
+    spilling_ = false;
+  }
   for (const Row& key : group_order_) {
     const std::vector<AggState>& states = groups_.at(key);
     Row out = key;
@@ -119,6 +182,10 @@ Status GroupOp::Finish(RowBatch* output) {
   }
   groups_.clear();
   group_order_.clear();
+  if (enforce_ && charged_ > 0) {
+    ctx_->memory_budget->Release(charged_);
+    charged_ = 0;
+  }
   return Status::OK();
 }
 

@@ -1,14 +1,25 @@
 // GroupOp: blocking hash aggregation ("grouper" in the paper's pipelining
 // example {filter, sorter, filter, filter, function, grouper}).
+//
+// Under a MemoryBudget the hash table is charged per group. When a new
+// group is refused, the operator stops aggregating live and appends every
+// subsequent raw input row to one spill run; Finish replays the run
+// through the same aggregation loop in arrival order. Per-group update
+// order is then live-phase rows followed by spill-phase rows — exactly the
+// arrival order — so floating-point sums match the unbudgeted run bit for
+// bit. Finish transiently rebuilds the full group state (the documented
+// memory bound for this operator: the output itself must fit).
 
 #ifndef QOX_ENGINE_OPS_GROUP_OP_H_
 #define QOX_ENGINE_OPS_GROUP_OP_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/operator.h"
+#include "storage/spill_manager.h"
 
 namespace qox {
 
@@ -45,6 +56,7 @@ class GroupOp : public Operator {
   const char* kind() const override { return "group"; }
   const std::string& name() const override { return name_; }
   Result<Schema> Bind(const Schema& input) override;
+  Status Open(OperatorContext* ctx) override;
   Status Push(const RowBatch& input, RowBatch* output) override;
   Status Finish(RowBatch* output) override;
   bool IsBlocking() const override { return true; }
@@ -62,11 +74,21 @@ class GroupOp : public Operator {
     size_t row_count = 0;  ///< all rows (kCount)
   };
 
+  Row MakeKey(const Row& row) const;
+  size_t GroupBytes(const Row& key) const;
+  void AggregateRow(const Row& row, bool charge_forced);
+
   const std::string name_;
   const std::vector<std::string> group_columns_;
   const std::vector<Aggregate> aggregates_;
   std::vector<size_t> group_indices_;
   std::vector<size_t> agg_indices_;
+  Schema input_schema_;
+  OperatorContext* ctx_ = nullptr;
+  bool enforce_ = false;
+  size_t charged_ = 0;
+  bool spilling_ = false;
+  std::unique_ptr<SpillWriter> spill_writer_;
   // Key = group-column row; value = one state per aggregate.
   std::unordered_map<Row, std::vector<AggState>, RowHash> groups_;
   std::vector<Row> group_order_;  // first-seen order for determinism

@@ -1,5 +1,9 @@
 #include "engine/ops/lookup_op.h"
 
+#include <algorithm>
+#include <optional>
+#include <utility>
+
 namespace qox {
 
 LookupOp::LookupOp(std::string name, DataStorePtr dimension,
@@ -39,22 +43,149 @@ Result<Schema> LookupOp::Bind(const Schema& input) {
   return schema;
 }
 
+namespace {
+// Dimension scan granularity at Open(): small enough that one transient
+// batch never rivals a sane budget, big enough to amortize the scan.
+constexpr size_t kDimScanBatch = 1024;
+}  // namespace
+
 Status LookupOp::Open(OperatorContext* ctx) {
   ctx_ = ctx;
   table_.clear();
-  QOX_ASSIGN_OR_RETURN(const RowBatch dim_rows, dimension_->ReadAll());
-  table_.reserve(dim_rows.num_rows());
-  for (const Row& row : dim_rows.rows()) {
-    table_.emplace(row.value(dim_key_index_), row);
+  partitions_.clear();
+  partitioned_ = false;
+  charged_ = 0;
+  const bool enforce = ctx != nullptr && ctx->BudgetEnforced();
+  // The dimension is streamed, never materialized whole: rows build the
+  // in-memory table while the budget admits them; the first refused
+  // reservation repartitions that table into spill runs and the rest of
+  // the scan is routed straight to the partition writers, so the build's
+  // working set stays within the budget plus one scan batch.
+  std::vector<std::unique_ptr<SpillWriter>> writers;
+  ValueHash hasher;
+  size_t rows_seen = 0;
+  QOX_RETURN_IF_ERROR(dimension_->Scan(
+      kDimScanBatch, [&](RowBatch& batch) -> Status {
+        for (Row& row : batch.rows()) {
+          ++rows_seen;
+          const Value& key = row.value(dim_key_index_);
+          if (!partitioned_) {
+            // First occurrence of a key wins, matching what emplace on a
+            // whole-dimension build (and on partition load) would keep.
+            if (table_.find(key) != table_.end()) continue;
+            const size_t row_bytes = key.ByteSize() + row.ByteSize();
+            if (!enforce || ctx_->memory_budget->TryReserve(row_bytes)) {
+              if (enforce) charged_ += row_bytes;
+              Value key_copy = key;
+              table_.emplace(std::move(key_copy), std::move(row));
+              continue;
+            }
+            QOX_RETURN_IF_ERROR(StartPartitions(rows_seen, &writers));
+          }
+          const size_t p = hasher(key) % writers.size();
+          QOX_RETURN_IF_ERROR(writers[p]->Append(row));
+          partitions_[p].bytes += key.ByteSize() + row.ByteSize();
+        }
+        return Status::OK();
+      }));
+  for (size_t p = 0; p < writers.size(); ++p) {
+    QOX_ASSIGN_OR_RETURN(partitions_[p].file, writers[p]->Finalize());
   }
   return Status::OK();
+}
+
+Status LookupOp::StartPartitions(
+    size_t rows_seen, std::vector<std::unique_ptr<SpillWriter>>* writers) {
+  // Size partitions to roughly half the budget each, so one cached
+  // partition table plus the flowing batches fit. The full build size is
+  // estimated from the rows admitted so far (the scan is still running);
+  // the fan-out is capped to keep run counts (and file handles) sane for
+  // pathological budgets.
+  const size_t budget = ctx_->memory_budget->limit();
+  const size_t target = std::max<size_t>(1, budget / 2);
+  size_t est_total = charged_;
+  const Result<size_t> total_rows = dimension_->NumRows();
+  if (total_rows.ok() && rows_seen > 0 && total_rows.value() > rows_seen) {
+    est_total = charged_ * (total_rows.value() / rows_seen + 1);
+  }
+  const size_t k = std::min<size_t>(
+      16, std::max<size_t>(2, (est_total + target - 1) / target));
+  partitioned_ = true;
+  partitions_.resize(k);
+  writers->resize(k);
+  for (size_t p = 0; p < k; ++p) {
+    QOX_ASSIGN_OR_RETURN(
+        (*writers)[p],
+        ctx_->spill->CreateRun(name_ + ".part" + std::to_string(p),
+                               dimension_->schema()));
+  }
+  // Drain the in-memory table into the partition files and hand the
+  // charge back: from here on the build side lives on disk.
+  ValueHash hasher;
+  for (auto& entry : table_) {
+    const size_t p = hasher(entry.first) % k;
+    QOX_RETURN_IF_ERROR((*writers)[p]->Append(entry.second));
+    partitions_[p].bytes += entry.first.ByteSize() + entry.second.ByteSize();
+  }
+  table_.clear();
+  if (charged_ > 0) {
+    ctx_->memory_budget->Release(charged_);
+    charged_ = 0;
+  }
+  return Status::OK();
+}
+
+Status LookupOp::EnsurePartition(size_t p) {
+  Partition& part = partitions_[p];
+  if (part.loaded) return Status::OK();
+  while (!ctx_->memory_budget->TryReserve(part.bytes)) {
+    bool evicted = false;
+    for (Partition& other : partitions_) {
+      if (!other.loaded) continue;
+      other.table.clear();
+      other.loaded = false;
+      ctx_->memory_budget->Release(other.bytes);
+      charged_ -= other.bytes;
+      evicted = true;
+      break;
+    }
+    if (!evicted) {
+      // Nothing left to evict: one partition alone exceeds the budget.
+      // Overrun rather than deadlock (visible in the high-water mark).
+      ctx_->memory_budget->ForceReserve(part.bytes);
+      break;
+    }
+  }
+  charged_ += part.bytes;
+  SpillReader reader(part.file);
+  while (true) {
+    QOX_ASSIGN_OR_RETURN(std::optional<Row> row, reader.Next());
+    if (!row.has_value()) break;
+    Value key = row->value(dim_key_index_);
+    part.table.emplace(std::move(key), std::move(*row));
+  }
+  part.loaded = true;
+  return Status::OK();
+}
+
+Result<const Row*> LookupOp::Probe(const Value& key) {
+  if (key.is_null()) return static_cast<const Row*>(nullptr);
+  if (!partitioned_) {
+    const auto it = table_.find(key);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+  const size_t p = ValueHash{}(key) % partitions_.size();
+  QOX_RETURN_IF_ERROR(EnsurePartition(p));
+  const Table& table = partitions_[p].table;
+  const auto it = table.find(key);
+  return it == table.end() ? nullptr : &it->second;
 }
 
 Status LookupOp::Push(const RowBatch& input, RowBatch* output) {
   for (const Row& row : input.rows()) {
     const Value& key = row.value(input_key_index_);
-    const auto it = key.is_null() ? table_.end() : table_.find(key);
-    if (it == table_.end()) {
+    QOX_ASSIGN_OR_RETURN(const Row* match, Probe(key));
+    if (match == nullptr) {
       switch (miss_policy_) {
         case LookupMissPolicy::kReject:
           if (ctx_ != nullptr) QOX_RETURN_IF_ERROR(ctx_->Reject(row));
@@ -74,9 +205,23 @@ Status LookupOp::Push(const RowBatch& input, RowBatch* output) {
     }
     Row out = row;
     for (const size_t idx : append_indices_) {
-      out.Append(it->second.value(idx));
+      out.Append(match->value(idx));
     }
     output->Append(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status LookupOp::Finish(RowBatch* output) {
+  (void)output;
+  table_.clear();
+  for (Partition& part : partitions_) {
+    part.table.clear();
+    part.loaded = false;
+  }
+  if (ctx_ != nullptr && ctx_->memory_budget != nullptr && charged_ > 0) {
+    ctx_->memory_budget->Release(charged_);
+    charged_ = 0;
   }
   return Status::OK();
 }

@@ -2,11 +2,22 @@
 //
 // Models the paper's "lookup operation (for finding corresponding codes
 // from store sites and for verifying the moving information as well)".
-// The dimension is loaded into a hash table at Open(); each input row is
+// The dimension is scanned into a hash table at Open(); each input row is
 // probed by its key column and the requested dimension columns are
 // appended. The miss policy implements verification: unresolved codes can
 // be rejected (routed to the reject sink), padded with NULLs, or treated
 // as a hard error.
+//
+// Under a MemoryBudget the build streams the dimension scan: rows are
+// admitted to the in-memory table row by row, and the first refused
+// reservation hash-partitions the table into spill runs, with the rest of
+// the scan routed straight to the partition writers — the build never
+// materializes a dimension larger than the budget. Probing stays strictly
+// in input order (so output is byte-identical to the unbudgeted run) and
+// loads the partition a key hashes to on demand, evicting cached
+// partitions when the budget refuses the load. An undersized budget
+// therefore trades memory for partition-reload I/O — the thrash the cost
+// model's spill tax prices.
 
 #ifndef QOX_ENGINE_OPS_LOOKUP_OP_H_
 #define QOX_ENGINE_OPS_LOOKUP_OP_H_
@@ -43,6 +54,7 @@ class LookupOp : public Operator {
   Result<Schema> Bind(const Schema& input) override;
   Status Open(OperatorContext* ctx) override;
   Status Push(const RowBatch& input, RowBatch* output) override;
+  Status Finish(RowBatch* output) override;
   double CostPerRow() const override { return 2.0; }
   double Selectivity() const override {
     return miss_policy_ == LookupMissPolicy::kReject ? estimated_hit_rate_
@@ -59,6 +71,26 @@ class LookupOp : public Operator {
   }
 
  private:
+  using Table = std::unordered_map<Value, Row, ValueHash>;
+
+  /// One build-side hash partition spilled at Open().
+  struct Partition {
+    SpillFile file;
+    size_t bytes = 0;  ///< in-memory table charge when loaded
+    bool loaded = false;
+    Table table;
+  };
+
+  /// Switches the mid-scan build to partitioned mode: picks a fan-out,
+  /// opens one spill writer per partition, and drains the in-memory table
+  /// into them (releasing its budget charge).
+  Status StartPartitions(size_t rows_seen,
+                         std::vector<std::unique_ptr<SpillWriter>>* writers);
+  Status EnsurePartition(size_t p);
+  /// Probes `key` in the (possibly partitioned) build side; the returned
+  /// pointer is valid until the next EnsurePartition call.
+  Result<const Row*> Probe(const Value& key);
+
   const std::string name_;
   const DataStorePtr dimension_;
   const std::string input_key_;
@@ -71,7 +103,10 @@ class LookupOp : public Operator {
   size_t input_key_index_ = 0;
   size_t dim_key_index_ = 0;
   std::vector<size_t> append_indices_;
-  std::unordered_map<Value, Row, ValueHash> table_;
+  Table table_;
+  size_t charged_ = 0;
+  bool partitioned_ = false;
+  std::vector<Partition> partitions_;
   OperatorContext* ctx_ = nullptr;
 };
 

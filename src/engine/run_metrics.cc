@@ -35,6 +35,14 @@ std::string RunMetrics::Summary() const {
       << " rejected=" << rows_rejected << " attempts=" << attempts;
   if (rows_skipped > 0) oss << " skipped=" << rows_skipped;
   if (rows_quarantined > 0) oss << " quarantined=" << rows_quarantined;
+  if (rows_shed > 0) oss << " shed=" << rows_shed;
+  if (spill_runs > 0) {
+    oss << " spill=" << spill_runs << " runs/" << spill_rows << " rows/"
+        << spill_bytes << "B";
+  }
+  if (mem_high_water_bytes > 0) {
+    oss << " mem_hw=" << mem_high_water_bytes << "B";
+  }
   if (failures_injected > 0) {
     oss << " failures=" << failures_injected
         << " resumed_from_rp=" << resumed_from_rp

@@ -99,6 +99,17 @@ struct RunMetrics {
   size_t rp_bytes_written = 0;
   size_t rp_points_written = 0;
 
+  // --- resource pressure ----------------------------------------------------
+  /// Peak bytes charged to the flow's MemoryBudget. Operators only charge
+  /// when a finite budget is enforced, so unbudgeted runs report 0.
+  size_t mem_high_water_bytes = 0;
+  size_t spill_runs = 0;   ///< spill files written by blocking operators
+  size_t spill_rows = 0;   ///< rows round-tripped through spill files
+  size_t spill_bytes = 0;  ///< bytes written to spill files
+  /// Rows shed to the dead-letter ledger at the load boundary under
+  /// ResourcePolicy::kShedToQuarantine (subset of rows_quarantined).
+  size_t rows_shed = 0;
+
   // --- reliability ---------------------------------------------------------
   size_t attempts = 0;          ///< 1 when no failure occurred
   size_t failures_injected = 0; ///< failures that interrupted an attempt

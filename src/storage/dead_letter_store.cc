@@ -26,7 +26,71 @@ int64_t ChecksumOf(const QuarantineRecord& r) {
   return static_cast<int64_t>(Fnv1a64(input.data(), input.size()));
 }
 
+/// Bytes a record counts against the ledger cap: its checksummed
+/// serialization (stable across backends, unlike on-disk size).
+size_t RecordBytes(const QuarantineRecord& r) {
+  return ChecksumInput(r).size();
+}
+
+/// The ledger row for a record, checksum column included.
+Row EncodeRecordRow(const QuarantineRecord& record) {
+  Row row;
+  row.Append(Value::String(record.flow_id));
+  row.Append(Value::Int64(record.node_id));
+  row.Append(Value::Int64(record.op_index));
+  row.Append(Value::String(record.op_name));
+  row.Append(Value::Int64(record.instance));
+  row.Append(Value::Int64(record.attempt));
+  row.Append(Value::Int64(record.row_index));
+  row.Append(Value::String(record.status_code));
+  row.Append(Value::String(record.status_message));
+  row.Append(Value::String(record.payload));
+  row.Append(Value::Int64(ChecksumOf(record)));
+  return row;
+}
+
+/// Decodes and checksum-verifies a whole ledger batch.
+Result<std::vector<QuarantineRecord>> DecodeLedger(const RowBatch& all) {
+  std::vector<QuarantineRecord> records;
+  records.reserve(all.num_rows());
+  for (size_t i = 0; i < all.num_rows(); ++i) {
+    const Row& row = all.row(i);
+    if (row.num_values() != DeadLetterStoreSchema().num_fields()) {
+      return Status::CorruptedData("dead-letter record " + std::to_string(i) +
+                                   " has wrong arity");
+    }
+    QuarantineRecord r;
+    r.flow_id = row.value(0).string_value();
+    r.node_id = row.value(1).int64_value();
+    r.op_index = row.value(2).int64_value();
+    r.op_name = row.value(3).string_value();
+    r.instance = row.value(4).int64_value();
+    r.attempt = row.value(5).int64_value();
+    r.row_index = row.value(6).int64_value();
+    r.status_code = row.value(7).string_value();
+    r.status_message = row.value(8).string_value();
+    r.payload = row.value(9).string_value();
+    if (row.value(10).int64_value() != ChecksumOf(r)) {
+      return Status::CorruptedData(
+          "dead-letter record " + std::to_string(i) + " (op '" + r.op_name +
+          "') failed checksum verification");
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
 }  // namespace
+
+const char* DeadLetterOverflowPolicyName(DeadLetterOverflowPolicy policy) {
+  switch (policy) {
+    case DeadLetterOverflowPolicy::kEvictOldest:
+      return "evict_oldest";
+    case DeadLetterOverflowPolicy::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
 
 Schema DeadLetterStoreSchema() {
   return Schema({{"flow_id", DataType::kString, false},
@@ -78,6 +142,11 @@ std::vector<std::string> CanonicalLedger(
 
 Result<std::shared_ptr<DeadLetterStore>> DeadLetterStore::Wrap(
     DataStorePtr inner) {
+  return Wrap(std::move(inner), DeadLetterCap{});
+}
+
+Result<std::shared_ptr<DeadLetterStore>> DeadLetterStore::Wrap(
+    DataStorePtr inner, DeadLetterCap cap) {
   if (inner == nullptr) {
     return Status::Invalid("DeadLetterStore requires a non-null inner store");
   }
@@ -86,33 +155,103 @@ Result<std::shared_ptr<DeadLetterStore>> DeadLetterStore::Wrap(
                            "' does not carry DeadLetterStoreSchema()");
   }
   return std::shared_ptr<DeadLetterStore>(
-      new DeadLetterStore(std::move(inner)));
+      new DeadLetterStore(std::move(inner), cap));
 }
 
 std::shared_ptr<DeadLetterStore> DeadLetterStore::InMemory(
     const std::string& name) {
+  return InMemory(name, DeadLetterCap{});
+}
+
+std::shared_ptr<DeadLetterStore> DeadLetterStore::InMemory(
+    const std::string& name, DeadLetterCap cap) {
   return std::shared_ptr<DeadLetterStore>(new DeadLetterStore(
-      std::make_shared<MemTable>(name, DeadLetterStoreSchema())));
+      std::make_shared<MemTable>(name, DeadLetterStoreSchema()), cap));
 }
 
 Status DeadLetterStore::Quarantine(const QuarantineRecord& record) {
   RowBatch batch(DeadLetterStoreSchema());
-  Row row;
-  row.Append(Value::String(record.flow_id));
-  row.Append(Value::Int64(record.node_id));
-  row.Append(Value::Int64(record.op_index));
-  row.Append(Value::String(record.op_name));
-  row.Append(Value::Int64(record.instance));
-  row.Append(Value::Int64(record.attempt));
-  row.Append(Value::Int64(record.row_index));
-  row.Append(Value::String(record.status_code));
-  row.Append(Value::String(record.status_message));
-  row.Append(Value::String(record.payload));
-  row.Append(Value::Int64(ChecksumOf(record)));
-  batch.Append(std::move(row));
+  batch.Append(EncodeRecordRow(record));
   std::lock_guard<std::mutex> lock(mu_);
+  if (cap_.max_bytes > 0) {
+    if (!bytes_initialized_) {
+      // Pre-existing ledger contents count against the cap.
+      QOX_ASSIGN_OR_RETURN(RowBatch all, inner_->ReadAll());
+      QOX_ASSIGN_OR_RETURN(std::vector<QuarantineRecord> existing,
+                           DecodeLedger(all));
+      bytes_used_ = 0;
+      for (const QuarantineRecord& r : existing) bytes_used_ += RecordBytes(r);
+      bytes_initialized_ = true;
+    }
+    const size_t incoming = RecordBytes(record);
+    if (bytes_used_ + incoming > cap_.max_bytes) {
+      if (cap_.policy == DeadLetterOverflowPolicy::kAbort) {
+        return Status::ResourceExhausted(
+            "dead-letter ledger '" + inner_->name() + "' full: " +
+            std::to_string(bytes_used_) + " + " + std::to_string(incoming) +
+            " bytes exceeds cap of " + std::to_string(cap_.max_bytes));
+      }
+      QOX_RETURN_IF_ERROR(EvictForLocked(incoming));
+    }
+    bytes_used_ += incoming;
+  }
   QOX_CRASH_POINT("dlq.quarantine");
   return inner_->Append(batch);
+}
+
+Status DeadLetterStore::EvictForLocked(size_t incoming_bytes) {
+  if (incoming_bytes > cap_.max_bytes) {
+    return Status::ResourceExhausted(
+        "dead-letter record of " + std::to_string(incoming_bytes) +
+        " bytes cannot fit cap of " + std::to_string(cap_.max_bytes) +
+        " even with an empty ledger");
+  }
+  QOX_ASSIGN_OR_RETURN(RowBatch all, inner_->ReadAll());
+  QOX_ASSIGN_OR_RETURN(std::vector<QuarantineRecord> records,
+                       DecodeLedger(all));
+  size_t total = 0;
+  for (const QuarantineRecord& r : records) total += RecordBytes(r);
+  // Evict whole attempt-groups, oldest first, until the new record fits.
+  // A half-evicted attempt would make that attempt's replay silently
+  // partial, which is worse than losing the attempt outright.
+  while (!records.empty() && total + incoming_bytes > cap_.max_bytes) {
+    int64_t oldest = records.front().attempt;
+    for (const QuarantineRecord& r : records) {
+      if (r.attempt < oldest) oldest = r.attempt;
+    }
+    std::vector<QuarantineRecord> keep;
+    keep.reserve(records.size());
+    for (QuarantineRecord& r : records) {
+      if (r.attempt == oldest) {
+        total -= RecordBytes(r);
+      } else {
+        keep.push_back(std::move(r));
+      }
+    }
+    records = std::move(keep);
+    ++groups_evicted_;
+  }
+  RowBatch survivors(DeadLetterStoreSchema());
+  survivors.Reserve(records.size());
+  for (const QuarantineRecord& r : records) {
+    survivors.Append(EncodeRecordRow(r));
+  }
+  QOX_RETURN_IF_ERROR(inner_->Truncate());
+  if (!survivors.empty()) {
+    QOX_RETURN_IF_ERROR(inner_->Append(survivors));
+  }
+  bytes_used_ = total;
+  return Status::OK();
+}
+
+size_t DeadLetterStore::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+size_t DeadLetterStore::groups_evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_evicted_;
 }
 
 Result<std::vector<QuarantineRecord>> DeadLetterStore::ReadAll() const {
@@ -121,33 +260,7 @@ Result<std::vector<QuarantineRecord>> DeadLetterStore::ReadAll() const {
     std::lock_guard<std::mutex> lock(mu_);
     QOX_ASSIGN_OR_RETURN(all, inner_->ReadAll());
   }
-  std::vector<QuarantineRecord> records;
-  records.reserve(all.num_rows());
-  for (size_t i = 0; i < all.num_rows(); ++i) {
-    const Row& row = all.row(i);
-    if (row.num_values() != DeadLetterStoreSchema().num_fields()) {
-      return Status::CorruptedData("dead-letter record " + std::to_string(i) +
-                                   " has wrong arity");
-    }
-    QuarantineRecord r;
-    r.flow_id = row.value(0).string_value();
-    r.node_id = row.value(1).int64_value();
-    r.op_index = row.value(2).int64_value();
-    r.op_name = row.value(3).string_value();
-    r.instance = row.value(4).int64_value();
-    r.attempt = row.value(5).int64_value();
-    r.row_index = row.value(6).int64_value();
-    r.status_code = row.value(7).string_value();
-    r.status_message = row.value(8).string_value();
-    r.payload = row.value(9).string_value();
-    if (row.value(10).int64_value() != ChecksumOf(r)) {
-      return Status::CorruptedData(
-          "dead-letter record " + std::to_string(i) + " (op '" + r.op_name +
-          "') failed checksum verification");
-    }
-    records.push_back(std::move(r));
-  }
-  return records;
+  return DecodeLedger(all);
 }
 
 Result<size_t> DeadLetterStore::NumRecords() const {

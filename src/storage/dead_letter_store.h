@@ -70,6 +70,28 @@ Result<Row> DecodeQuarantinePayload(const std::string& payload,
 std::vector<std::string> CanonicalLedger(
     const std::vector<QuarantineRecord>& records);
 
+/// What a capped ledger does when an incoming record would push it past
+/// its byte budget. The quarantine ledger is itself a resource: without a
+/// cap, a pathological flow (every row failing) turns row containment into
+/// disk exhaustion — the exact failure the quarantine was containing.
+enum class DeadLetterOverflowPolicy {
+  /// Evict whole oldest attempt-groups (all records sharing the smallest
+  /// attempt number) until the new record fits. Keeps the most recent
+  /// evidence; a replay over an evicted group is knowingly incomplete.
+  kEvictOldest = 0,
+  /// Refuse the append with kResourceExhausted. The flow then degrades per
+  /// its ResourcePolicy (fail / pause / shed), never the ledger silently.
+  kAbort,
+};
+
+const char* DeadLetterOverflowPolicyName(DeadLetterOverflowPolicy policy);
+
+/// Byte budget for the ledger. max_bytes == 0 means uncapped.
+struct DeadLetterCap {
+  size_t max_bytes = 0;
+  DeadLetterOverflowPolicy policy = DeadLetterOverflowPolicy::kAbort;
+};
+
 class DeadLetterStore {
  public:
   /// Wraps `inner`, which must carry DeadLetterStoreSchema(). Append-path
@@ -77,8 +99,17 @@ class DeadLetterStore {
   /// stages quarantine concurrently.
   static Result<std::shared_ptr<DeadLetterStore>> Wrap(DataStorePtr inner);
 
+  /// Wraps `inner` with a byte cap. Pre-existing ledger contents count
+  /// against the cap (sized lazily on the first Quarantine).
+  static Result<std::shared_ptr<DeadLetterStore>> Wrap(DataStorePtr inner,
+                                                       DeadLetterCap cap);
+
   /// A fresh in-memory ledger (MemTable-backed), for tests and defaults.
   static std::shared_ptr<DeadLetterStore> InMemory(const std::string& name);
+
+  /// A fresh capped in-memory ledger.
+  static std::shared_ptr<DeadLetterStore> InMemory(const std::string& name,
+                                                   DeadLetterCap cap);
 
   /// Checksums and appends one record.
   Status Quarantine(const QuarantineRecord& record);
@@ -91,11 +122,28 @@ class DeadLetterStore {
 
   const DataStorePtr& inner() const { return inner_; }
 
+  /// Ledger bytes currently counted against the cap (serialized record
+  /// sizes, not on-disk size). 0 until the first capped Quarantine sizes
+  /// the pre-existing contents.
+  size_t bytes_used() const;
+
+  /// Attempt-groups evicted by DeadLetterOverflowPolicy::kEvictOldest.
+  size_t groups_evicted() const;
+
  private:
-  explicit DeadLetterStore(DataStorePtr inner) : inner_(std::move(inner)) {}
+  DeadLetterStore(DataStorePtr inner, DeadLetterCap cap)
+      : inner_(std::move(inner)), cap_(cap) {}
+
+  /// Frees room for `incoming_bytes` by evicting whole oldest
+  /// attempt-groups and rewriting the inner store. Caller holds mu_.
+  Status EvictForLocked(size_t incoming_bytes);
 
   const DataStorePtr inner_;
+  const DeadLetterCap cap_;
   mutable std::mutex mu_;
+  bool bytes_initialized_ = false;  // guarded by mu_
+  size_t bytes_used_ = 0;          // guarded by mu_
+  size_t groups_evicted_ = 0;      // guarded by mu_
 };
 
 using DeadLetterStorePtr = std::shared_ptr<DeadLetterStore>;

@@ -2,11 +2,43 @@
 
 namespace qox {
 
+const char* DiskFaultKindName(DiskFaultKind kind) {
+  switch (kind) {
+    case DiskFaultKind::kNone:
+      return "none";
+    case DiskFaultKind::kEnospc:
+      return "enospc";
+    case DiskFaultKind::kEio:
+      return "eio";
+    case DiskFaultKind::kShortWrite:
+      return "short_write";
+    case DiskFaultKind::kFsyncFail:
+      return "fsync_fail";
+  }
+  return "unknown";
+}
+
 Status FaultyStore::MakeFault(const std::string& operation) const {
+  const std::string suffix =
+      " during " + operation + " on '" + inner_->name() + "'";
+  switch (plan_.disk_fault) {
+    case DiskFaultKind::kEnospc:
+      return Status::ResourceExhausted("injected ENOSPC" + suffix +
+                                       ": no space left on device");
+    case DiskFaultKind::kEio:
+      return Status::IoError("injected EIO" + suffix);
+    case DiskFaultKind::kShortWrite:
+      return Status::Unavailable("injected short write" + suffix +
+                                 ": prefix persisted, remainder lost");
+    case DiskFaultKind::kFsyncFail:
+      return Status::IoError("injected fsync failure" + suffix +
+                             ": durability of prior writes unknown");
+    case DiskFaultKind::kNone:
+      break;
+  }
   const std::string msg = "injected " +
                           std::string(plan_.permanent ? "permanent" : "transient") +
-                          " storage fault during " + operation + " on '" +
-                          inner_->name() + "'";
+                          " storage fault" + suffix;
   if (plan_.permanent) return Status::IoError(msg);
   return Status::Unavailable(msg);
 }
@@ -51,7 +83,13 @@ Status FaultyStore::Append(const RowBatch& batch) {
   }
   if (!fault) return inner_->Append(batch);
   append_faults_.fetch_add(1);
-  if (plan_.torn_writes && batch.num_rows() > 1) {
+  // kShortWrite durably lands a prefix (torn-write mechanics) regardless
+  // of the torn_writes flag — that IS the fault being modelled.
+  const bool tear = plan_.disk_fault == DiskFaultKind::kShortWrite
+                        ? true
+                        : (plan_.disk_fault == DiskFaultKind::kNone &&
+                           plan_.torn_writes);
+  if (tear && batch.num_rows() > 1) {
     // Persist a prefix of the batch before failing: the partial write a
     // crashed appender leaves behind.
     if (torn_fraction > 1.0) torn_fraction = 1.0;

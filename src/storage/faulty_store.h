@@ -25,6 +25,25 @@
 
 namespace qox {
 
+/// Disk-pressure fault classes injectable at the append boundary,
+/// modelling how real write paths die. Each maps to the status the
+/// corresponding syscall failure would surface:
+///   kEnospc     write(2) → ENOSPC      → kResourceExhausted (policy-driven)
+///   kEio        write(2) → EIO         → kIoError (permanent)
+///   kShortWrite torn page / power cut  → prefix persists + kUnavailable
+///   kFsyncFail  fsync(2) error         → kIoError (data loss indeterminate:
+///               after a failed fsync the durable state is unknowable, so
+///               retrying the append blindly would risk duplication)
+enum class DiskFaultKind {
+  kNone = 0,
+  kEnospc,
+  kEio,
+  kShortWrite,
+  kFsyncFail,
+};
+
+const char* DiskFaultKindName(DiskFaultKind kind);
+
 /// When and how the wrapped store misbehaves.
 struct FaultPlan {
   /// Probability that any one scanned batch delivery fails (checked before
@@ -51,6 +70,11 @@ struct FaultPlan {
   /// store's seeded Rng, so arbitrary durable prefixes are exercised while
   /// staying reproducible.
   double torn_fraction = 0.5;
+  /// Disk-pressure fault class for append faults. kNone keeps the
+  /// classic permanent/transient behaviour above; any other kind
+  /// overrides `permanent`/`torn_writes` with that kind's own semantics
+  /// (see DiskFaultKind).
+  DiskFaultKind disk_fault = DiskFaultKind::kNone;
 };
 
 class FaultyStore : public DataStore {

@@ -1,6 +1,11 @@
 #include "storage/flat_file.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -8,6 +13,31 @@
 #include "common/strings.h"
 
 namespace qox {
+namespace {
+
+/// EINTR-safe full write, with the errno mapped to the status taxonomy
+/// (ENOSPC → kResourceExhausted, so ResourcePolicy can degrade; anything
+/// else → kIoError, permanent).
+Status WriteAllBytes(int fd, const std::string& data,
+                     const std::string& path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ENOSPC) {
+        return Status::ResourceExhausted("write to '" + path +
+                                         "' failed: no space left on device");
+      }
+      return Status::IoError("write to '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<std::shared_ptr<FlatFile>> FlatFile::Open(std::string name,
                                                  Schema schema,
@@ -29,7 +59,13 @@ Status FlatFile::WriteHeader() {
   names.reserve(schema_.num_fields());
   for (const Field& f : schema_.fields()) names.push_back(f.name);
   out << CsvEncodeLine(names) << "\n";
+  out.flush();
   if (!out) return Status::IoError("cannot write header to '" + path_ + "'");
+  out.close();
+  if (out.fail()) {
+    return Status::IoError("close after writing header to '" + path_ +
+                           "' failed");
+  }
   return Status::OK();
 }
 
@@ -87,29 +123,44 @@ Status FlatFile::Append(const RowBatch& batch) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   QOX_CRASH_POINT("flat.append");
-  std::ofstream out(path_, std::ios::app);
-  if (!out) return Status::IoError("cannot open '" + path_ + "' for append");
-  size_t bytes = 0;
+  // fd-based writes so every byte, the fsync, and the close are actually
+  // checked — an ofstream append used to swallow short writes and never
+  // synced despite sync_every_append.
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path_ + "' for append: " +
+                           std::strerror(errno));
+  }
+  // Two blobs split at the historical mid-batch row boundary, keeping the
+  // torn-batch crash site: a kill between them leaves a durable prefix of
+  // the batch — the case the executor's durable-prefix resync must absorb.
+  const size_t half_rows = (batch.num_rows() + 1) / 2;
+  std::string first_half;
+  std::string second_half;
   size_t written = 0;
   for (const Row& row : batch.rows()) {
     std::vector<std::string> cells;
     cells.reserve(row.num_values());
     for (const Value& v : row.values()) cells.push_back(v.ToString());
-    const std::string line = CsvEncodeLine(cells);
-    out << line << "\n";
-    bytes += line.size() + 1;
-    if (++written == (batch.num_rows() + 1) / 2) {
-      // The torn-batch crash site: flush the first half so a kill here
-      // leaves a durable prefix of the batch at a row boundary — the case
-      // the executor's durable-prefix resync must absorb.
-      out.flush();
-      QOX_CRASH_POINT("flat.mid_append");
-    }
+    std::string& blob = written < half_rows ? first_half : second_half;
+    blob += CsvEncodeLine(cells);
+    blob += '\n';
+    ++written;
   }
-  out.flush();
-  if (!out) return Status::IoError("write to '" + path_ + "' failed");
+  Status st = WriteAllBytes(fd, first_half, path_);
+  if (st.ok() && !batch.empty()) QOX_CRASH_POINT("flat.mid_append");
+  if (st.ok()) st = WriteAllBytes(fd, second_half, path_);
+  if (st.ok() && sync_every_append_ && ::fsync(fd) != 0) {
+    st = Status::IoError("fsync of '" + path_ +
+                         "' failed: " + std::strerror(errno));
+  }
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::IoError("close of '" + path_ +
+                         "' failed: " + std::strerror(errno));
+  }
+  QOX_RETURN_IF_ERROR(st);
   QOX_CRASH_POINT("flat.appended");
-  bytes_written_ += bytes;
+  bytes_written_ += first_half.size() + second_half.size();
   return Status::OK();
 }
 

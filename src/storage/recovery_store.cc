@@ -1,5 +1,10 @@
 #include "storage/recovery_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -11,6 +16,26 @@ namespace qox {
 namespace {
 std::string KeyOf(const RecoveryPointId& id) {
   return id.flow_id + '\0' + id.point_id;
+}
+
+/// fsync the file at `path` so a following rename publishes durable bytes,
+/// not page-cache contents a power cut could drop.
+Status SyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) {
+    st = Status::IoError("fsync of '" + path +
+                         "' failed: " + std::strerror(errno));
+  }
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::IoError("close of '" + path +
+                         "' failed: " + std::strerror(errno));
+  }
+  return st;
 }
 
 std::string SanitizeForFilename(const std::string& s) {
@@ -80,7 +105,15 @@ Status RecoveryPointStore::Save(const RecoveryPointId& id,
     }
     out.flush();
     if (!out) return Status::IoError("write to '" + tmp_path + "' failed");
+    out.close();
+    if (out.fail()) {
+      return Status::IoError("close of '" + tmp_path + "' failed");
+    }
   }
+  // The rename below is only an atomic publish if the tmp bytes are
+  // already durable; without this fsync a crash could leave a complete-
+  // looking name pointing at torn page-cache contents.
+  QOX_RETURN_IF_ERROR(SyncPath(tmp_path));
   // Atomic publish: rename tmp over the data file, seal the commit marker
   // (row count + content checksum), then record completeness.
   QOX_CRASH_POINT("rp.publish");
@@ -101,6 +134,10 @@ Status RecoveryPointStore::Save(const RecoveryPointId& id,
       return Status::IoError("write to '" + marker_tmp + "' failed");
     }
     marker.close();
+    if (marker.fail()) {
+      return Status::IoError("close of '" + marker_tmp + "' failed");
+    }
+    QOX_RETURN_IF_ERROR(SyncPath(marker_tmp));
     std::filesystem::rename(marker_tmp, MarkerPath(id), ec);
     if (ec) {
       return Status::IoError("cannot seal recovery point '" + path +

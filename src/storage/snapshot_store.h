@@ -6,6 +6,10 @@
 // SnapshotStore keeps the previous landing keyed by the business key and
 // classifies a fresh landing into inserts and updates; committing the fresh
 // landing makes it the snapshot for the next run.
+//
+// The snapshot lives entirely in memory — there are no file writes here,
+// so the disk-write audit (checked write/fsync/close returns) that covers
+// flat_file / recovery_store / the spill path does not apply.
 
 #ifndef QOX_STORAGE_SNAPSHOT_STORE_H_
 #define QOX_STORAGE_SNAPSHOT_STORE_H_

