@@ -15,6 +15,9 @@
 #            with reduced sweeps (QOX_CHAOS_SEEDS=8 instead of the default
 #            32, QOX_CRASH_SEEDS=4 and QOX_RESOURCE_SEEDS=4 instead of 16)
 #            — the quick pre-commit loop; the full gate stays the default.
+#            The unfiltered ctest pass includes the perf-labeled smoke
+#            (perf_transform --quick: columnar fast-path engagement and
+#            byte-identical output; see bench/CMakeLists.txt).
 #
 # Build trees land in build-asan/ and build-tsan/ next to build/ so the
 # regular (unsanitized) tree stays untouched. Exits non-zero on the first

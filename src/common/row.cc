@@ -52,19 +52,20 @@ std::string Row::ToString() const {
 }
 
 Status RowBatch::Validate() const {
+  const Schema& s = schema();
   for (size_t r = 0; r < rows_.size(); ++r) {
     const Row& row = rows_[r];
-    if (row.num_values() != schema_.num_fields()) {
+    if (row.num_values() != s.num_fields()) {
       return Status::Invalid("row " + std::to_string(r) + " has " +
                              std::to_string(row.num_values()) +
                              " values; schema expects " +
-                             std::to_string(schema_.num_fields()));
+                             std::to_string(s.num_fields()));
     }
-    for (size_t c = 0; c < schema_.num_fields(); ++c) {
-      if (!schema_.field(c).nullable && row.value(c).is_null()) {
+    for (size_t c = 0; c < s.num_fields(); ++c) {
+      if (!s.field(c).nullable && row.value(c).is_null()) {
         return Status::Invalid("row " + std::to_string(r) +
                                " has NULL in non-nullable column '" +
-                               schema_.field(c).name + "'");
+                               s.field(c).name + "'");
       }
     }
   }

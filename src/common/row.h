@@ -8,7 +8,9 @@
 #ifndef QOX_COMMON_ROW_H_
 #define QOX_COMMON_ROW_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/schema.h"
@@ -56,15 +58,37 @@ struct RowHash {
   size_t operator()(const Row& r) const { return r.Hash(); }
 };
 
-/// A batch of rows sharing one schema.
+/// An immutable schema handle shared between batches. All batches flowing
+/// through one pipeline cut point the same Schema instance, so building a
+/// batch never copies the field list (the old hot-path cost this replaces).
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Wraps a schema value into a shared handle (one allocation, then free to
+/// propagate across every batch built from it).
+inline SchemaPtr MakeSchemaPtr(Schema schema) {
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+/// A batch of rows sharing one schema. The schema is held by shared
+/// pointer: copying or constructing a batch bumps a refcount instead of
+/// deep-copying the Schema (field vector + name index).
 class RowBatch {
  public:
   RowBatch() = default;
-  explicit RowBatch(Schema schema) : schema_(std::move(schema)) {}
+  explicit RowBatch(Schema schema)
+      : schema_(MakeSchemaPtr(std::move(schema))) {}
   RowBatch(Schema schema, std::vector<Row> rows)
+      : schema_(MakeSchemaPtr(std::move(schema))), rows_(std::move(rows)) {}
+  explicit RowBatch(SchemaPtr schema) : schema_(std::move(schema)) {}
+  RowBatch(SchemaPtr schema, std::vector<Row> rows)
       : schema_(std::move(schema)), rows_(std::move(rows)) {}
 
-  const Schema& schema() const { return schema_; }
+  const Schema& schema() const {
+    static const Schema kEmpty;
+    return schema_ == nullptr ? kEmpty : *schema_;
+  }
+  /// The shared handle itself, for propagating to derived batches.
+  const SchemaPtr& schema_ptr() const { return schema_; }
   size_t num_rows() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
   const Row& row(size_t i) const { return rows_[i]; }
@@ -81,10 +105,11 @@ class RowBatch {
   Status Validate() const;
 
   /// Total approximate byte size of all rows (cost model / RP sizing).
+  /// The shared schema is deliberately excluded, as before the refactor.
   size_t ByteSize() const;
 
  private:
-  Schema schema_;
+  SchemaPtr schema_;
   std::vector<Row> rows_;
 };
 

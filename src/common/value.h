@@ -58,6 +58,20 @@ class Value {
   DataType type() const;
   bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
 
+  /// Cheap inline type tests for per-cell hot paths (columnar conversion):
+  /// one variant-index read instead of the out-of-line type() dispatch.
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int64() const {
+    return std::holds_alternative<int64_t>(repr_) && !is_timestamp_;
+  }
+  bool is_timestamp() const {
+    return std::holds_alternative<int64_t>(repr_) && is_timestamp_;
+  }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(repr_);
+  }
+
   /// Typed accessors. Preconditions: the value holds the requested type.
   bool bool_value() const { return std::get<bool>(repr_); }
   int64_t int64_value() const { return std::get<int64_t>(repr_); }

@@ -242,6 +242,7 @@ ExecutionConfig PhysicalDesign::ToExecutionConfig(
   config.error_budget = error_budget;
   config.memory_budget_bytes = memory_budget_bytes;
   config.resource_policy = resource_policy;
+  config.columnar = columnar;
   return config;
 }
 
@@ -280,6 +281,7 @@ std::string PhysicalDesign::ConfigTag() const {
   }
   if (!error_budget.unlimited()) oss << "+EB";
   if (memory_budget_bytes > 0) oss << "+M";
+  if (columnar) oss << "+C";
   return oss.str();
 }
 

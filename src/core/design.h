@@ -219,6 +219,12 @@ struct PhysicalDesign {
   /// target ENOSPC): fail fast, pause-and-retry with backoff, or shed the
   /// unloadable remainder to the dead-letter ledger.
   ResourcePolicy resource_policy = ResourcePolicy::kFailFlow;
+  /// Columnar batch fast path (ExecutionConfig::columnar): contiguous runs
+  /// of columnar-capable per-row transforms execute vectorized on
+  /// ColumnBatches. Output is byte-identical with the flag off (the
+  /// default); the cost model prices it as a transform throughput
+  /// multiplier (cost_model.h columnar_speedup).
+  bool columnar = false;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

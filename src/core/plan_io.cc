@@ -49,6 +49,7 @@ bool DesignSpec::operator==(const DesignSpec& other) const {
          journal_sync == other.journal_sync &&
          memory_budget_bytes == other.memory_budget_bytes &&
          resource_policy == other.resource_policy &&
+         columnar == other.columnar &&
          plan_stages == other.plan_stages && plan_edges == other.plan_edges;
 }
 
@@ -98,6 +99,7 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
   spec.journal_sync = JournalSyncName(design.journal_sync);
   spec.memory_budget_bytes = design.memory_budget_bytes;
   spec.resource_policy = ResourcePolicyName(design.resource_policy);
+  spec.columnar = design.columnar;
   // The lowered stage graph rides along as descriptive metadata. PlanFor
   // is the same lowering the executors schedule, so the exported plan is
   // exactly what would run.
@@ -391,6 +393,8 @@ std::string ExportDesignXml(const DesignSpec& spec) {
     oss << " memory_budget_bytes=\"" << spec.memory_budget_bytes
         << "\" resource_policy=\"" << XmlEscape(spec.resource_policy) << "\"";
   }
+  // Likewise: the columnar attribute appears only when the fast path is on.
+  if (spec.columnar) oss << " columnar=\"1\"";
   oss << ">\n";
   oss << "  <flow id=\"" << XmlEscape(spec.flow_id) << "\" source=\""
       << XmlEscape(spec.source) << "\" target=\"" << XmlEscape(spec.target)
@@ -487,6 +491,7 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
       ParseSize(AttributeOr(root, "memory_budget_bytes", "0")));
   spec.resource_policy = AttributeOr(root, "resource_policy", "fail_flow");
   QOX_RETURN_IF_ERROR(ParseResourcePolicy(spec.resource_policy).status());
+  spec.columnar = AttributeOr(root, "columnar", "0") == "1";
   if (spec.error_budget_max_fraction < 0.0 ||
       spec.error_budget_max_fraction > 1.0) {
     return Status::Invalid("error_budget_max_fraction must lie in [0, 1]");

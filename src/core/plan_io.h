@@ -95,6 +95,8 @@ struct DesignSpec {
   /// (ResourcePolicyName: "fail_flow", "pause_retry", "shed").
   size_t memory_budget_bytes = 0;
   std::string resource_policy = "fail_flow";
+  /// Columnar batch fast path (PhysicalDesign::columnar).
+  bool columnar = false;
 
   /// The lowered ExecutionPlan (stage nodes + channel edges), exported as
   /// read-only metadata. SpecOf fills it by lowering the design; import

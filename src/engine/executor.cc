@@ -97,6 +97,10 @@ class FlowRunner {
         journal_(instance_id == 0 ? config.journal.get() : nullptr) {
     ctx_.cancelled = cancelled;
     ctx_.rejected_rows = &rejected_;
+    ctx_.dim_cache_builds = &dim_cache_builds_;
+    ctx_.dim_cache_hits = &dim_cache_hits_;
+    ctx_.columnar_batches = &columnar_batches_;
+    ctx_.columnar_rows = &columnar_rows_;
     ctx_.memory_budget = &memory_budget_;
     ctx_.spill = &spill_;
     if (config_.spill_write_fault) {
@@ -211,6 +215,10 @@ class FlowRunner {
         metrics_.rows_skipped += budget_state_.skipped();
         metrics_.rows_quarantined += budget_state_.quarantined();
         metrics_.mem_high_water_bytes = memory_budget_.high_water();
+        metrics_.dim_cache_builds = dim_cache_builds_.load();
+        metrics_.dim_cache_hits = dim_cache_hits_.load();
+        metrics_.columnar_batches = columnar_batches_.load();
+        metrics_.columnar_rows = columnar_rows_.load();
         metrics_.spill_runs = spill_.runs_created();
         metrics_.spill_rows = spill_.rows_spilled();
         metrics_.spill_bytes = spill_.bytes_spilled();
@@ -263,6 +271,9 @@ class FlowRunner {
     pc->error_policies = &config_.error_policies;
     pc->error_budget = &budget_state_;
     pc->quarantine_sink = quarantine_sink_;
+    // The columnar flag rides along for the same reason: every pipeline of
+    // either scheduler must agree on the execution mode.
+    pc->columnar = config_.columnar;
   }
 
   /// Sheds one load row under ResourcePolicy::kShedToQuarantine: routes it
@@ -391,15 +402,18 @@ class FlowRunner {
     QOX_ASSIGN_OR_RETURN(
         std::unique_ptr<Pipeline> pipeline,
         Pipeline::Create(cut_schemas_[begin], std::move(ops), &ctx_, pc));
-    RowBatch batch(cut_schemas_[begin]);
+    // The unit owns these rows outright, so batches are handed to the
+    // pipeline by move (pass-through ops then avoid deep-copying cells).
+    const SchemaPtr in_schema = MakeSchemaPtr(cut_schemas_[begin]);
+    RowBatch batch(in_schema);
     for (size_t i = 0; i < rows.size(); ++i) {
       batch.Append(std::move(rows[i]));
       if (batch.num_rows() >= config_.batch_size) {
-        QOX_RETURN_IF_ERROR(pipeline->Push(batch));
-        batch.Clear();
+        QOX_RETURN_IF_ERROR(pipeline->Push(std::move(batch)));
+        batch = RowBatch(in_schema);
       }
     }
-    if (!batch.empty()) QOX_RETURN_IF_ERROR(pipeline->Push(batch));
+    if (!batch.empty()) QOX_RETURN_IF_ERROR(pipeline->Push(std::move(batch)));
     QOX_RETURN_IF_ERROR(pipeline->Finish());
     for (const OpStats& stats : pipeline->op_stats()) {
       metrics_.AccumulateOp(stats);
@@ -462,17 +476,20 @@ class FlowRunner {
           latch.CountDown();
           return;
         }
-        RowBatch batch(cut_schemas_[begin]);
+        const SchemaPtr part_schema = MakeSchemaPtr(cut_schemas_[begin]);
+        RowBatch batch(part_schema);
         Status st = Status::OK();
         for (Row& row : parts[p]) {
           batch.Append(std::move(row));
           if (batch.num_rows() >= config_.batch_size) {
-            st = pipeline.value()->Push(batch);
+            st = pipeline.value()->Push(std::move(batch));
             if (!st.ok()) break;
-            batch.Clear();
+            batch = RowBatch(part_schema);
           }
         }
-        if (st.ok() && !batch.empty()) st = pipeline.value()->Push(batch);
+        if (st.ok() && !batch.empty()) {
+          st = pipeline.value()->Push(std::move(batch));
+        }
         if (st.ok()) st = pipeline.value()->Finish();
         result.status = st;
         if (st.ok()) result.rows = pipeline.value()->TakeOutput();
@@ -632,7 +649,7 @@ class FlowRunner {
   /// Sends `*acc`'s rows into `out` (no-op when empty) and resets it.
   Status FlushBatch(RowBatch* acc, BatchChannel* out, StageStats* stats) {
     if (acc->empty()) return Status::OK();
-    RowBatch send(acc->schema());
+    RowBatch send(acc->schema_ptr());
     send.rows() = std::move(acc->rows());
     acc->Clear();
     stats->rows += send.num_rows();
@@ -691,7 +708,7 @@ class FlowRunner {
               QOX_RETURN_IF_ERROR(config_.injector->Check(
                   instance_id_, attempt, /*op_index=*/-1, seen, total));
             }
-            RowBatch send(batch.schema());
+            RowBatch send(batch.schema_ptr());
             send.rows() = std::move(batch.rows());
             stats->rows += send.num_rows();
             ++stats->batches;
@@ -778,7 +795,7 @@ class FlowRunner {
         QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
                              in->Pop(&stats->stall_micros));
         if (!item.has_value()) break;
-        QOX_RETURN_IF_ERROR(pipeline->Push(*item));
+        QOX_RETURN_IF_ERROR(pipeline->Push(std::move(*item)));
         for (Row& row : pipeline->TakeOutput()) {
           QOX_RETURN_IF_ERROR(EmitRow(std::move(row), &acc, out.get(), stats));
         }
@@ -891,7 +908,7 @@ class FlowRunner {
               QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
                                    inp->Pop(&stats->stall_micros));
               if (!item.has_value()) break;
-              QOX_RETURN_IF_ERROR(pipeline->Push(*item));
+              QOX_RETURN_IF_ERROR(pipeline->Push(std::move(*item)));
               QOX_RETURN_IF_ERROR(emit(pipeline->TakeOutput()));
             }
             QOX_RETURN_IF_ERROR(pipeline->Finish());
@@ -1223,6 +1240,12 @@ class FlowRunner {
   OperatorContext ctx_;
   RunMetrics metrics_;
   std::atomic<size_t> rejected_{0};
+  /// Shared-dimension-cache and columnar fast-path accounting, bumped by
+  /// operators/pipelines across all attempts of this instance.
+  std::atomic<size_t> dim_cache_builds_{0};
+  std::atomic<size_t> dim_cache_hits_{0};
+  std::atomic<size_t> columnar_batches_{0};
+  std::atomic<size_t> columnar_rows_{0};
   std::atomic<int64_t> current_attempt_{1};
   Rng backoff_rng_;
   /// Shared containment state: charged concurrently by every pipeline of

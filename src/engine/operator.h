@@ -16,8 +16,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/column_batch.h"
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
@@ -39,6 +41,17 @@ struct OperatorContext {
 
   /// Rejected-row counter (always maintained).
   std::atomic<size_t>* rejected_rows = nullptr;
+
+  /// Shared-dimension-cache accounting (engine/dimension_cache.h): lookup
+  /// builds performed by this flow vs. builds another flow already paid
+  /// for. May be null.
+  std::atomic<size_t>* dim_cache_builds = nullptr;
+  std::atomic<size_t>* dim_cache_hits = nullptr;
+
+  /// Columnar fast-path accounting: batches that entered a columnar run
+  /// and the live rows they carried. May be null.
+  std::atomic<size_t>* columnar_batches = nullptr;
+  std::atomic<size_t>* columnar_rows = nullptr;
 
   /// Flow-level byte accountant. Blocking operators (sort, group, the
   /// lookup build side) charge their buffered working set here and spill
@@ -68,6 +81,20 @@ struct OperatorContext {
     if (reject_sink) return reject_sink(row);
     return Status::OK();
   }
+};
+
+/// Per-call context of a columnar push (see Operator::PushColumnar).
+struct ColumnarPushContext {
+  /// True when the op's error policy allows containment (kSkip/
+  /// kQuarantine): rows that fail with a containable error must then be
+  /// dropped from the selection and reported in `contained` instead of
+  /// failing the push. When false the op returns its first containable
+  /// error directly (the fail-fast contract of the row path).
+  bool contain = false;
+  /// Rows dropped from the selection with a containable error, boxed as
+  /// they entered the op, in selection order. The pipeline routes them
+  /// through the same containment path as the row-mode replay.
+  std::vector<std::pair<Row, Status>> contained;
 };
 
 class Operator {
@@ -104,6 +131,38 @@ class Operator {
   /// ErrorPolicy allows containment. Blocking operators (which buffer
   /// state) must never report row-scoped errors from Push.
   virtual Status Push(const RowBatch& input, RowBatch* output) = 0;
+
+  /// Move-aware push: the caller hands over ownership of `input`, letting
+  /// pass-through operators move rows into `*output` instead of deep-
+  /// copying every cell. The default forwards to the const-ref overload
+  /// (copy semantics), so operators opt in individually. Callers must only
+  /// use this overload when they will not read `input` afterwards — in
+  /// particular the pipeline keeps the copying path whenever a containable
+  /// failure could require replaying the input row by row.
+  virtual Status Push(RowBatch&& input, RowBatch* output) {
+    return Push(static_cast<const RowBatch&>(input), output);
+  }
+
+  /// Columnar capability: true when the operator (as currently bound and
+  /// opened) implements PushColumnar. Queried by the pipeline after Open()
+  /// — capability may depend on execution-time state (e.g. a lookup that
+  /// spilled its build side is row-only).
+  virtual bool CanPushColumnar() const { return false; }
+
+  /// Vectorized push: transforms `*batch` in place — filtering edits the
+  /// selection vector, schema-changing ops append/erase/replace whole
+  /// columns so the columns match the Bind() output schema (the pipeline
+  /// re-points the batch's schema handle afterwards). Kernels must process
+  /// side effects (rejects, surrogate assignment, containment) for
+  /// SELECTED rows only, in selection order, to match the row path; pure
+  /// compute may cover all physical rows. Only called when
+  /// CanPushColumnar(); never called on blocking operators.
+  virtual Status PushColumnar(ColumnBatch* batch, ColumnarPushContext* cctx) {
+    (void)batch;
+    (void)cctx;
+    return Status::Internal("operator '" + name() +
+                            "' does not support columnar push");
+  }
 
   /// Emits rows buffered by blocking operators. Called exactly once, after
   /// the final Push.

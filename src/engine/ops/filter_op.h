@@ -71,6 +71,11 @@ class FilterOp : public Operator {
   Result<Schema> Bind(const Schema& input) override;
   Status Open(OperatorContext* ctx) override;
   Status Push(const RowBatch& input, RowBatch* output) override;
+  Status Push(RowBatch&& input, RowBatch* output) override;
+  bool CanPushColumnar() const override { return true; }
+  /// Selection-vector evaluation: conjuncts run over typed columns and
+  /// non-passing rows leave the selection (rejects routed as in row mode).
+  Status PushColumnar(ColumnBatch* batch, ColumnarPushContext* cctx) override;
   double CostPerRow() const override { return 0.6; }
   double Selectivity() const override { return estimated_selectivity_; }
 

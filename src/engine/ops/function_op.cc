@@ -124,6 +124,7 @@ FunctionOp::FunctionOp(std::string name,
 
 Result<Schema> FunctionOp::Bind(const Schema& input) {
   bound_.clear();
+  columnar_ok_ = true;
   Schema schema = input;
   for (const ColumnTransform& t : transforms_) {
     BoundStep step;
@@ -143,20 +144,35 @@ Result<Schema> FunctionOp::Bind(const Schema& input) {
       case ColumnTransform::Kind::kConcat: {
         QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
         QOX_ASSIGN_OR_RETURN(step.b_index, schema.FieldIndex(t.b));
+        step.a_type = schema.field(step.a_index).type;
+        step.b_type = schema.field(step.b_index).type;
+        const DataType produced = t.kind == ColumnTransform::Kind::kArith
+                                      ? DataType::kDouble
+                                      : DataType::kString;
         if (schema.HasField(t.out)) {
           QOX_ASSIGN_OR_RETURN(step.out_index, schema.FieldIndex(t.out));
+          // Writing into an existing column of another declared type would
+          // break type purity mid-run; keep the row path for that.
+          if (schema.field(step.out_index).type != produced) {
+            columnar_ok_ = false;
+          }
         } else {
           step.out_is_new = true;
           step.out_index = schema.num_fields();
           QOX_ASSIGN_OR_RETURN(schema,
                                schema.AddField({t.out, t.out_type, true}));
+          if (t.out_type != produced) columnar_ok_ = false;
         }
         break;
       }
       case ColumnTransform::Kind::kScale: {
         QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
+        step.a_type = schema.field(step.a_index).type;
         if (schema.HasField(t.out)) {
           QOX_ASSIGN_OR_RETURN(step.out_index, schema.FieldIndex(t.out));
+          if (schema.field(step.out_index).type != DataType::kDouble) {
+            columnar_ok_ = false;
+          }
         } else {
           step.out_is_new = true;
           step.out_index = schema.num_fields();
@@ -169,6 +185,11 @@ Result<Schema> FunctionOp::Bind(const Schema& input) {
       case ColumnTransform::Kind::kCoalesce: {
         QOX_ASSIGN_OR_RETURN(step.a_index, schema.FieldIndex(t.a));
         step.out_index = step.a_index;
+        step.a_type = schema.field(step.a_index).type;
+        if (t.kind == ColumnTransform::Kind::kCoalesce &&
+            !t.literal.is_null() && t.literal.type() != step.a_type) {
+          columnar_ok_ = false;
+        }
         break;
       }
       case ColumnTransform::Kind::kConstant: {
@@ -180,6 +201,7 @@ Result<Schema> FunctionOp::Bind(const Schema& input) {
         step.out_index = schema.num_fields();
         QOX_ASSIGN_OR_RETURN(schema,
                              schema.AddField({t.out, t.out_type, true}));
+        if (t.literal.is_null()) columnar_ok_ = false;
         break;
       }
     }
@@ -281,6 +303,247 @@ Status FunctionOp::Push(const RowBatch& input, RowBatch* output) {
       }
     }
     output->Append(Row(std::move(cells)));
+  }
+  return Status::OK();
+}
+
+Status FunctionOp::Push(RowBatch&& input, RowBatch* output) {
+  for (Row& in_row : input.rows()) {
+    std::vector<Value> cells;
+    cells.reserve(in_row.num_values() + bound_.size());
+    for (size_t i = 0; i < in_row.num_values(); ++i) {
+      cells.push_back(std::move(in_row.value(i)));
+    }
+    for (const BoundStep& step : bound_) {
+      const ColumnTransform& t = step.transform;
+      switch (t.kind) {
+        case ColumnTransform::Kind::kRename:
+          break;
+        case ColumnTransform::Kind::kDrop:
+          cells.erase(cells.begin() + static_cast<ptrdiff_t>(step.a_index));
+          break;
+        case ColumnTransform::Kind::kArith: {
+          Value v = ApplyArith(cells[step.a_index], cells[step.b_index],
+                               t.arith_op);
+          if (step.out_is_new) {
+            cells.push_back(std::move(v));
+          } else {
+            cells[step.out_index] = std::move(v);
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kScale: {
+          const Value& a = cells[step.a_index];
+          Value v = Value::Null();
+          if (!a.is_null()) {
+            const Result<double> da = a.AsDouble();
+            if (da.ok()) v = Value::Double(da.value() * t.scale);
+          }
+          if (step.out_is_new) {
+            cells.push_back(std::move(v));
+          } else {
+            cells[step.out_index] = std::move(v);
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kConcat: {
+          Value v = Value::String(cells[step.a_index].ToString() +
+                                  t.separator +
+                                  cells[step.b_index].ToString());
+          if (step.out_is_new) {
+            cells.push_back(std::move(v));
+          } else {
+            cells[step.out_index] = std::move(v);
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kUpper: {
+          Value& v = cells[step.a_index];
+          if (!v.is_null() && v.type() == DataType::kString) {
+            std::string s = v.string_value();
+            std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+              return static_cast<char>(std::toupper(c));
+            });
+            v = Value::String(std::move(s));
+          }
+          break;
+        }
+        case ColumnTransform::Kind::kConstant:
+          cells.push_back(t.literal);
+          break;
+        case ColumnTransform::Kind::kCoalesce: {
+          Value& v = cells[step.a_index];
+          if (v.is_null()) v = t.literal;
+          break;
+        }
+      }
+    }
+    output->Append(Row(std::move(cells)));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// How a declared column type reads as a number, mirroring Value::AsDouble
+// (bool -> 0/1; int64/timestamp -> cast; string/null -> no numeric view).
+enum class NumKind { kI64, kF64, kB8, kNone };
+
+NumKind NumKindOf(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return NumKind::kI64;
+    case DataType::kDouble:
+      return NumKind::kF64;
+    case DataType::kBool:
+      return NumKind::kB8;
+    default:
+      return NumKind::kNone;
+  }
+}
+
+double NumAt(const Column& c, NumKind k, size_t r) {
+  switch (k) {
+    case NumKind::kI64:
+      return static_cast<double>(c.Int64At(r));
+    case NumKind::kF64:
+      return c.DoubleAt(r);
+    case NumKind::kB8:
+      return c.BoolAt(r) ? 1.0 : 0.0;
+    case NumKind::kNone:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Status FunctionOp::PushColumnar(ColumnBatch* batch, ColumnarPushContext* cctx) {
+  (void)cctx;  // under type purity no step can fail on a row
+  const size_t n = batch->num_physical_rows();
+  for (const BoundStep& step : bound_) {
+    const ColumnTransform& t = step.transform;
+    switch (t.kind) {
+      case ColumnTransform::Kind::kRename:
+        break;  // metadata only; the pipeline re-points the schema
+      case ColumnTransform::Kind::kDrop:
+        batch->EraseColumn(step.a_index);
+        break;
+      case ColumnTransform::Kind::kArith: {
+        const Column& a = batch->column(step.a_index);
+        const Column& b = batch->column(step.b_index);
+        const NumKind ka = NumKindOf(step.a_type);
+        const NumKind kb = NumKindOf(step.b_type);
+        Column out(DataType::kDouble);
+        out.Reserve(n);
+        if (ka == NumKind::kNone || kb == NumKind::kNone) {
+          // Non-numeric operand: the row path yields NULL for every row.
+          for (size_t r = 0; r < n; ++r) out.AppendNull();
+        } else {
+          for (size_t r = 0; r < n; ++r) {
+            if (!a.IsValid(r) || !b.IsValid(r)) {
+              out.AppendNull();
+              continue;
+            }
+            const double da = NumAt(a, ka, r);
+            const double db = NumAt(b, kb, r);
+            switch (t.arith_op) {
+              case ColumnTransform::ArithOp::kAdd:
+                out.AppendDouble(da + db);
+                break;
+              case ColumnTransform::ArithOp::kSub:
+                out.AppendDouble(da - db);
+                break;
+              case ColumnTransform::ArithOp::kMul:
+                out.AppendDouble(da * db);
+                break;
+              case ColumnTransform::ArithOp::kDiv:
+                if (db == 0.0) {
+                  out.AppendNull();
+                } else {
+                  out.AppendDouble(da / db);
+                }
+                break;
+            }
+          }
+        }
+        if (step.out_is_new) {
+          batch->AppendColumn(std::move(out));
+        } else {
+          batch->ReplaceColumn(step.out_index, std::move(out));
+        }
+        break;
+      }
+      case ColumnTransform::Kind::kScale: {
+        const Column& a = batch->column(step.a_index);
+        const NumKind ka = NumKindOf(step.a_type);
+        Column out(DataType::kDouble);
+        out.Reserve(n);
+        for (size_t r = 0; r < n; ++r) {
+          if (ka == NumKind::kNone || !a.IsValid(r)) {
+            out.AppendNull();
+          } else {
+            out.AppendDouble(NumAt(a, ka, r) * t.scale);
+          }
+        }
+        if (step.out_is_new) {
+          batch->AppendColumn(std::move(out));
+        } else {
+          batch->ReplaceColumn(step.out_index, std::move(out));
+        }
+        break;
+      }
+      case ColumnTransform::Kind::kConcat: {
+        const Column& a = batch->column(step.a_index);
+        const Column& b = batch->column(step.b_index);
+        Column out(DataType::kString);
+        out.Reserve(n);
+        // Boxed ToString keeps formatting (double precision, bool words)
+        // bit-identical with the row path.
+        for (size_t r = 0; r < n; ++r) {
+          out.AppendString(a.ValueAt(r).ToString() + t.separator +
+                           b.ValueAt(r).ToString());
+        }
+        if (step.out_is_new) {
+          batch->AppendColumn(std::move(out));
+        } else {
+          batch->ReplaceColumn(step.out_index, std::move(out));
+        }
+        break;
+      }
+      case ColumnTransform::Kind::kUpper:
+        // Type purity: on a declared-string column every non-NULL cell is a
+        // string; on any other column no cell is, so the row path would not
+        // touch it. Dead (unselected) payloads are uppercased too, which is
+        // unobservable.
+        if (step.a_type == DataType::kString) {
+          batch->column(step.a_index).UpperInPlaceAscii();
+        }
+        break;
+      case ColumnTransform::Kind::kConstant: {
+        Column out(t.literal.type());
+        out.Reserve(n);
+        for (size_t r = 0; r < n; ++r) out.AppendValue(t.literal);
+        batch->AppendColumn(std::move(out));
+        break;
+      }
+      case ColumnTransform::Kind::kCoalesce: {
+        if (t.literal.is_null()) break;  // no-op either way
+        Column& a = batch->column(step.a_index);
+        Column out(a.type());
+        out.Reserve(n);
+        for (size_t r = 0; r < n; ++r) {
+          if (a.IsValid(r)) {
+            out.AppendValue(a.ValueAt(r));
+          } else {
+            out.AppendValue(t.literal);
+          }
+        }
+        batch->ReplaceColumn(step.a_index, std::move(out));
+        break;
+      }
+    }
   }
   return Status::OK();
 }

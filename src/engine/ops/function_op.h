@@ -62,6 +62,14 @@ class FunctionOp : public Operator {
   const std::string& name() const override { return name_; }
   Result<Schema> Bind(const Schema& input) override;
   Status Push(const RowBatch& input, RowBatch* output) override;
+  Status Push(RowBatch&& input, RowBatch* output) override;
+  /// Computed at Bind time: every step has a columnar kernel whose result
+  /// matches the row path under the type-purity invariant. Steps that could
+  /// leave a cell whose runtime type differs from the declared column type
+  /// (coalesce with a mismatched literal, arith/scale/concat writing into an
+  /// existing column of another type, NULL constants) keep the row path.
+  bool CanPushColumnar() const override { return columnar_ok_; }
+  Status PushColumnar(ColumnBatch* batch, ColumnarPushContext* cctx) override;
   double CostPerRow() const override {
     return 0.5 + 0.4 * static_cast<double>(transforms_.size());
   }
@@ -83,11 +91,16 @@ class FunctionOp : public Operator {
     size_t b_index = 0;
     size_t out_index = 0;  // target slot (existing or appended)
     bool out_is_new = false;
+    // Declared input types at this point of the schema evolution (drive the
+    // typed columnar kernels).
+    DataType a_type = DataType::kNull;
+    DataType b_type = DataType::kNull;
   };
 
   const std::string name_;
   const std::vector<ColumnTransform> transforms_;
   std::vector<BoundStep> bound_;
+  bool columnar_ok_ = false;
   Schema output_schema_;
 };
 

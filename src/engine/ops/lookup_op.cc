@@ -55,7 +55,77 @@ Status LookupOp::Open(OperatorContext* ctx) {
   partitions_.clear();
   partitioned_ = false;
   charged_ = 0;
+  flat_table_.reset();
+  columnar_probe_ok_ = false;
   const bool enforce = ctx != nullptr && ctx->BudgetEnforced();
+  MemoryBudget* budget = ctx != nullptr ? ctx->memory_budget : nullptr;
+
+  // Fast path: a flat table, shared across flows through the process-wide
+  // DimensionCache when the store is versioned, or built locally when not.
+  // Budget-enforced flows may only reuse a completed shared build (charged
+  // against their budget) — never start one, since an in-flight build is
+  // unbudgeted working set; on a refused reservation or a miss they keep
+  // the legacy streamed/spill build below.
+  const std::string version = dimension_->ContentVersion();
+  if (!version.empty()) {
+    DimensionCache& cache = DimensionCache::Instance();
+    if (enforce) {
+      DimensionTablePtr hit =
+          cache.TryGet(*dimension_, version, dim_key_index_);
+      if (hit != nullptr && budget->TryReserve(hit->ByteSize())) {
+        charged_ = hit->ByteSize();
+        flat_table_ = std::move(hit);
+        if (ctx_->dim_cache_hits != nullptr) {
+          ctx_->dim_cache_hits->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    } else {
+      QOX_ASSIGN_OR_RETURN(
+          DimensionCache::Acquired acquired,
+          cache.GetOrBuild(*dimension_, version, dim_key_index_));
+      if (budget != nullptr && !budget->unlimited()) {
+        // Finite budget without enforcement still gets charged (cache
+        // memory is real working set); unlimited budgets keep reporting 0
+        // high water, as documented.
+        if (budget->TryReserve(acquired.table->ByteSize())) {
+          charged_ = acquired.table->ByteSize();
+          flat_table_ = std::move(acquired.table);
+        }
+      } else {
+        flat_table_ = std::move(acquired.table);
+      }
+      if (flat_table_ != nullptr && ctx_ != nullptr) {
+        std::atomic<size_t>* counter =
+            acquired.built ? ctx_->dim_cache_builds : ctx_->dim_cache_hits;
+        if (counter != nullptr) {
+          counter->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  } else if (!enforce) {
+    // Uncacheable store: build the flat table locally so row probing and
+    // the columnar kernel still skip per-probe Value boxing.
+    QOX_ASSIGN_OR_RETURN(flat_table_,
+                         DimensionTable::Build(*dimension_, dim_key_index_));
+  }
+  if (flat_table_ != nullptr) {
+    // Columnar appends copy dimension cells into typed columns; verify the
+    // build side is type-pure once so the kernel never hits a mismatch.
+    columnar_probe_ok_ = true;
+    const Schema& dim_schema = dimension_->schema();
+    for (const Row& row : flat_table_->rows()) {
+      for (const size_t idx : append_indices_) {
+        const Value& v = row.value(idx);
+        if (!v.is_null() && v.type() != dim_schema.field(idx).type) {
+          columnar_probe_ok_ = false;
+          break;
+        }
+      }
+      if (!columnar_probe_ok_) break;
+    }
+    return Status::OK();
+  }
+
   // The dimension is streamed, never materialized whole: rows build the
   // in-memory table while the budget admits them; the first refused
   // reservation repartitions that table into spill runs and the rest of
@@ -170,6 +240,9 @@ Status LookupOp::EnsurePartition(size_t p) {
 
 Result<const Row*> LookupOp::Probe(const Value& key) {
   if (key.is_null()) return static_cast<const Row*>(nullptr);
+  if (flat_table_ != nullptr) {
+    return flat_table_->ProbeValue(key, &probe_scratch_);
+  }
   if (!partitioned_) {
     const auto it = table_.find(key);
     return it == table_.end() ? nullptr : &it->second;
@@ -212,9 +285,110 @@ Status LookupOp::Push(const RowBatch& input, RowBatch* output) {
   return Status::OK();
 }
 
+Status LookupOp::Push(RowBatch&& input, RowBatch* output) {
+  for (Row& row : input.rows()) {
+    const Value& key = row.value(input_key_index_);
+    QOX_ASSIGN_OR_RETURN(const Row* match, Probe(key));
+    if (match == nullptr) {
+      switch (miss_policy_) {
+        case LookupMissPolicy::kReject:
+          if (ctx_ != nullptr) QOX_RETURN_IF_ERROR(ctx_->Reject(row));
+          continue;
+        case LookupMissPolicy::kNull: {
+          Row out = std::move(row);
+          for (size_t i = 0; i < append_indices_.size(); ++i) {
+            out.Append(Value::Null());
+          }
+          output->Append(std::move(out));
+          continue;
+        }
+        case LookupMissPolicy::kError:
+          return Status::NotFound("lookup '" + name_ +
+                                  "': unresolved key " + key.ToString());
+      }
+    }
+    Row out = std::move(row);
+    for (const size_t idx : append_indices_) {
+      out.Append(match->value(idx));
+    }
+    output->Append(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status LookupOp::PushColumnar(ColumnBatch* batch, ColumnarPushContext* cctx) {
+  const Column& key_col = batch->column(input_key_index_);
+  const std::vector<uint32_t>& sel = batch->selection();
+  const Schema& dim_schema = dimension_->schema();
+
+  std::vector<Column> appended;
+  appended.reserve(append_indices_.size());
+  for (const size_t idx : append_indices_) {
+    Column col(dim_schema.field(idx).type);
+    col.Reserve(batch->num_physical_rows());
+    appended.push_back(std::move(col));
+  }
+
+  // One pass over physical rows: selected rows probe (misses handled per
+  // policy, in selection order, exactly as the row path); dead rows get
+  // NULL placeholders so the new columns stay aligned.
+  std::vector<uint32_t> kept;
+  kept.reserve(sel.size());
+  size_t sel_pos = 0;
+  std::string scratch;
+  for (uint32_t r = 0; r < batch->num_physical_rows(); ++r) {
+    const bool selected = sel_pos < sel.size() && sel[sel_pos] == r;
+    if (selected) ++sel_pos;
+    if (!selected) {
+      for (Column& col : appended) col.AppendNull();
+      continue;
+    }
+    const Row* match = nullptr;
+    if (key_col.IsValid(r)) {
+      scratch.clear();
+      key_col.AppendKeyBytes(r, &scratch);
+      match = flat_table_->Probe(scratch);
+    }
+    if (match == nullptr) {
+      switch (miss_policy_) {
+        case LookupMissPolicy::kReject:
+          if (ctx_ != nullptr) {
+            QOX_RETURN_IF_ERROR(ctx_->Reject(batch->RowAt(r)));
+          }
+          for (Column& col : appended) col.AppendNull();
+          continue;  // dropped from the selection
+        case LookupMissPolicy::kNull:
+          for (Column& col : appended) col.AppendNull();
+          kept.push_back(r);
+          continue;
+        case LookupMissPolicy::kError: {
+          Status miss = Status::NotFound(
+              "lookup '" + name_ + "': unresolved key " +
+              key_col.ValueAt(r).ToString());
+          if (cctx != nullptr && cctx->contain) {
+            cctx->contained.emplace_back(batch->RowAt(r), std::move(miss));
+            for (Column& col : appended) col.AppendNull();
+            continue;  // contained: dropped from the selection
+          }
+          return miss;
+        }
+      }
+    }
+    for (size_t i = 0; i < appended.size(); ++i) {
+      appended[i].AppendValue(match->value(append_indices_[i]));
+    }
+    kept.push_back(r);
+  }
+  for (Column& col : appended) batch->AppendColumn(std::move(col));
+  batch->SetSelection(std::move(kept));
+  return Status::OK();
+}
+
 Status LookupOp::Finish(RowBatch* output) {
   (void)output;
   table_.clear();
+  flat_table_.reset();
+  columnar_probe_ok_ = false;
   for (Partition& part : partitions_) {
     part.table.clear();
     part.loaded = false;

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/dimension_cache.h"
 #include "engine/operator.h"
 #include "storage/data_store.h"
 
@@ -54,6 +55,13 @@ class LookupOp : public Operator {
   Result<Schema> Bind(const Schema& input) override;
   Status Open(OperatorContext* ctx) override;
   Status Push(const RowBatch& input, RowBatch* output) override;
+  Status Push(RowBatch&& input, RowBatch* output) override;
+  /// Columnar probing needs the flat shared/local table (a spilled build is
+  /// row-only) and a type-pure build side for the appended columns.
+  bool CanPushColumnar() const override {
+    return flat_table_ != nullptr && columnar_probe_ok_;
+  }
+  Status PushColumnar(ColumnBatch* batch, ColumnarPushContext* cctx) override;
   Status Finish(RowBatch* output) override;
   double CostPerRow() const override { return 2.0; }
   double Selectivity() const override {
@@ -107,6 +115,12 @@ class LookupOp : public Operator {
   size_t charged_ = 0;
   bool partitioned_ = false;
   std::vector<Partition> partitions_;
+  /// Flat probe table (shared via DimensionCache or built locally) used
+  /// when the budget admits the whole build side; the legacy streamed/
+  /// partitioned build above remains the budget-enforced path.
+  DimensionTablePtr flat_table_;
+  bool columnar_probe_ok_ = false;
+  std::string probe_scratch_;
   OperatorContext* ctx_ = nullptr;
 };
 

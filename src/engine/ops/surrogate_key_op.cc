@@ -2,14 +2,60 @@
 
 namespace qox {
 
+int64_t SurrogateKeyRegistry::AssignLocked(const Value& natural) {
+  const int64_t key = next_key_++;
+  if (natural.is_int64() || natural.is_timestamp()) {
+    i64_index_.emplace(natural.int64_value(), key);
+  }
+  map_.emplace(natural, key);
+  return key;
+}
+
 int64_t SurrogateKeyRegistry::GetOrAssign(const Value& natural) {
   if (natural.is_null()) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(natural);
   if (it != map_.end()) return it->second;
-  const int64_t key = next_key_++;
-  map_.emplace(natural, key);
-  return key;
+  return AssignLocked(natural);
+}
+
+void SurrogateKeyRegistry::GetOrAssignBatch(const std::vector<Value>& naturals,
+                                            std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(naturals.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Value& natural : naturals) {
+    if (natural.is_null()) {
+      out->push_back(0);
+      continue;
+    }
+    const auto it = map_.find(natural);
+    if (it != map_.end()) {
+      out->push_back(it->second);
+      continue;
+    }
+    out->push_back(AssignLocked(natural));
+  }
+}
+
+void SurrogateKeyRegistry::GetOrAssignI64Batch(const int64_t* keys,
+                                               const uint8_t* nulls, size_t n,
+                                               std::vector<int64_t>* out) {
+  out->clear();
+  out->resize(n);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls != nullptr && nulls[i] != 0) {
+      (*out)[i] = 0;
+      continue;
+    }
+    const auto it = i64_index_.find(keys[i]);
+    if (it != i64_index_.end()) {
+      (*out)[i] = it->second;
+      continue;
+    }
+    (*out)[i] = AssignLocked(Value::Int64(keys[i]));
+  }
 }
 
 Result<int64_t> SurrogateKeyRegistry::Get(const Value& natural) const {
@@ -64,6 +110,74 @@ Status SurrogateKeyOp::Push(const RowBatch& input, RowBatch* output) {
     }
     output->Append(std::move(out));
   }
+  return Status::OK();
+}
+
+Status SurrogateKeyOp::Push(RowBatch&& input, RowBatch* output) {
+  for (Row& row : input.rows()) {
+    const int64_t surrogate = registry_->GetOrAssign(row.value(natural_index_));
+    Row out = std::move(row);
+    out.Append(Value::Int64(surrogate));
+    if (drop_natural_) {
+      std::vector<Value> cells;
+      cells.reserve(out.num_values() - 1);
+      for (size_t i = 0; i < out.num_values(); ++i) {
+        if (i == natural_index_) continue;
+        cells.push_back(std::move(out.value(i)));
+      }
+      out = Row(std::move(cells));
+    }
+    output->Append(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status SurrogateKeyOp::PushColumnar(ColumnBatch* batch,
+                                    ColumnarPushContext* cctx) {
+  (void)cctx;  // assignment never fails per row
+  const Column& natural = batch->column(natural_index_);
+  const std::vector<uint32_t>& sel = batch->selection();
+
+  std::vector<int64_t> surrogates;
+  if (natural.type() == DataType::kInt64 ||
+      natural.type() == DataType::kTimestamp) {
+    // Unboxed probe: gather raw payloads for the selected rows and hit the
+    // registry's int64 mirror index directly.
+    std::vector<int64_t> raw(sel.size());
+    const int64_t* data = natural.i64_data();
+    if (!natural.has_nulls()) {
+      for (size_t i = 0; i < sel.size(); ++i) raw[i] = data[sel[i]];
+      registry_->GetOrAssignI64Batch(raw.data(), nullptr, raw.size(),
+                                     &surrogates);
+    } else {
+      std::vector<uint8_t> nulls(sel.size());
+      for (size_t i = 0; i < sel.size(); ++i) {
+        raw[i] = data[sel[i]];
+        nulls[i] = natural.IsValid(sel[i]) ? 0 : 1;
+      }
+      registry_->GetOrAssignI64Batch(raw.data(), nulls.data(), raw.size(),
+                                     &surrogates);
+    }
+  } else {
+    std::vector<Value> keys;
+    keys.reserve(sel.size());
+    for (const uint32_t r : sel) keys.push_back(natural.ValueAt(r));
+    registry_->GetOrAssignBatch(keys, &surrogates);
+  }
+
+  Column out(DataType::kInt64);
+  out.Reserve(batch->num_physical_rows());
+  size_t sel_pos = 0;
+  for (uint32_t r = 0; r < batch->num_physical_rows(); ++r) {
+    if (sel_pos < sel.size() && sel[sel_pos] == r) {
+      out.AppendInt64(surrogates[sel_pos]);
+      ++sel_pos;
+    } else {
+      out.AppendInt64(0);  // dead row: placeholder, never materialized
+    }
+  }
+  batch->AppendColumn(std::move(out));
+  if (drop_natural_) batch->EraseColumn(natural_index_);
   return Status::OK();
 }
 

@@ -30,14 +30,37 @@ class SurrogateKeyRegistry {
   /// sight. NULL natural keys map to a shared "unknown" surrogate of 0.
   int64_t GetOrAssign(const Value& natural);
 
+  /// Batch form: one lock acquisition for the whole batch. `out` receives
+  /// one surrogate per input, in order; first sight assigns, exactly as a
+  /// sequence of GetOrAssign calls would.
+  void GetOrAssignBatch(const std::vector<Value>& naturals,
+                        std::vector<int64_t>* out);
+
+  /// Unboxed batch form for int64/timestamp natural keys (they share one
+  /// equality group, so raw payloads probe exactly like boxed Values): one
+  /// lock, flat int64 probes, no Value construction. `nulls`, when non-null,
+  /// flags entries that map to the unknown surrogate 0. Assignment order —
+  /// and therefore the key sequence — matches the boxed paths.
+  void GetOrAssignI64Batch(const int64_t* keys, const uint8_t* nulls,
+                           size_t n, std::vector<int64_t>* out);
+
   /// Returns the surrogate if already assigned.
   Result<int64_t> Get(const Value& natural) const;
 
   size_t size() const;
 
  private:
+  /// Assigns the next key to an unseen natural (mu_ held). Keeps the
+  /// int64-group mirror index in sync with the boxed map.
+  int64_t AssignLocked(const Value& natural);
+
   mutable std::mutex mu_;
   std::unordered_map<Value, int64_t, ValueHash> map_;
+  /// Mirror of map_'s int64/timestamp entries keyed by raw payload: the
+  /// columnar probe path hits this with inline integer hashing instead of
+  /// boxing every key. Every assignment site maintains both, so either
+  /// path sees keys first assigned by the other.
+  std::unordered_map<int64_t, int64_t> i64_index_;
   int64_t next_key_;
 };
 
@@ -56,6 +79,12 @@ class SurrogateKeyOp : public Operator {
   const std::string& name() const override { return name_; }
   Result<Schema> Bind(const Schema& input) override;
   Status Push(const RowBatch& input, RowBatch* output) override;
+  Status Push(RowBatch&& input, RowBatch* output) override;
+  bool CanPushColumnar() const override { return true; }
+  /// Batch surrogate assignment: keys for SELECTED rows only, in selection
+  /// order, under one registry lock — the registry's next_key_ sequence
+  /// stays identical to the row path's.
+  Status PushColumnar(ColumnBatch* batch, ColumnarPushContext* cctx) override;
   double CostPerRow() const override { return 1.8; }
 
   std::vector<std::string> InputColumns() const { return {natural_column_}; }

@@ -49,6 +49,12 @@ struct PipelineConfig {
   /// be null: quarantined rows are then dropped like kSkip but still
   /// counted as quarantined.
   QuarantineSink quarantine_sink;
+  /// Enables the columnar fast path: a contiguous run of columnar-capable,
+  /// non-blocking operators executes on a ColumnBatch (selection-vector
+  /// filtering, vectorized kernels), converting back to rows at the first
+  /// non-capable op. Off keeps the pure row path (the seed behaviour);
+  /// output is byte-identical either way.
+  bool columnar = false;
 };
 
 class Pipeline {
@@ -65,6 +71,9 @@ class Pipeline {
 
   /// Pushes one input batch through the whole chain.
   Status Push(const RowBatch& batch);
+  /// Ownership-transferring push: the pipeline may move rows out of
+  /// `batch` (pass-through operators then avoid deep-copying every cell).
+  Status Push(RowBatch&& batch);
 
   /// Flushes blocking operators. Must be called exactly once, last.
   Status Finish();
@@ -80,7 +89,13 @@ class Pipeline {
            OperatorContext* ctx, const PipelineConfig& config);
 
   /// Pushes `batch` through ops [from, n), appending final rows to output_.
-  Status PushFrom(size_t from, const RowBatch& batch);
+  /// When `batch_owned`, the caller hands over ownership: the chain may
+  /// move rows out of `batch` (it must not be read after the call).
+  Status PushFrom(size_t from, const RowBatch& batch, bool batch_owned);
+
+  /// Runs ops [begin, end) — a contiguous columnar-capable run — on the
+  /// column batch in place, re-pointing its schema after each op.
+  Status RunColumnar(size_t begin, size_t end, ColumnBatch* batch);
 
   Status CheckInterrupts(size_t op_ordinal, size_t rows_about_to_enter);
 
@@ -95,12 +110,22 @@ class Pipeline {
 
   /// Pushes `input` through op `op_ordinal` into `*out`. A containable
   /// batch failure under kSkip/kQuarantine is replayed row by row, with
-  /// the failing rows contained instead of aborting.
-  Status ApplyOp(size_t op_ordinal, const RowBatch& input, RowBatch* out);
+  /// the failing rows contained instead of aborting. `input_owned` lets the
+  /// op consume `input` via the move overload — exploited only under
+  /// kFailFast, since the replay path must re-read the input.
+  Status ApplyOp(size_t op_ordinal, const RowBatch& input, bool input_owned,
+                 RowBatch* out);
 
   std::vector<OperatorPtr> ops_;
   /// schemas_[i] = input schema of op i; schemas_[n] = output schema.
   std::vector<Schema> schemas_;
+  /// Shared handles onto schemas_, built once so per-batch construction on
+  /// the hot path never copies a Schema.
+  std::vector<SchemaPtr> schema_ptrs_;
+  /// columnar_ok_[i]: op i participates in columnar runs (config enables
+  /// it, the op advertises the capability after Open, and it is
+  /// non-blocking).
+  std::vector<bool> columnar_ok_;
   OperatorContext* ctx_;
   PipelineConfig config_;
   std::vector<OpStats> op_stats_;

@@ -43,6 +43,14 @@ std::string RunMetrics::Summary() const {
   if (mem_high_water_bytes > 0) {
     oss << " mem_hw=" << mem_high_water_bytes << "B";
   }
+  if (dim_cache_builds + dim_cache_hits > 0) {
+    oss << " dim_cache=" << dim_cache_builds << " builds/" << dim_cache_hits
+        << " hits";
+  }
+  if (columnar_batches > 0) {
+    oss << " columnar=" << columnar_batches << " batches/" << columnar_rows
+        << " rows";
+  }
   if (failures_injected > 0) {
     oss << " failures=" << failures_injected
         << " resumed_from_rp=" << resumed_from_rp

@@ -110,6 +110,18 @@ struct RunMetrics {
   /// ResourcePolicy::kShedToQuarantine (subset of rows_quarantined).
   size_t rows_shed = 0;
 
+  // --- shared caches & columnar fast path ----------------------------------
+  /// Lookup dimension tables this run built itself vs. took ready-made from
+  /// the process-wide DimensionCache (engine/dimension_cache.h). Concurrent
+  /// flows against the same dimension snapshot should sum to one build.
+  size_t dim_cache_builds = 0;
+  size_t dim_cache_hits = 0;
+  /// Batches that entered the pipeline's columnar fast path and the live
+  /// rows they carried (0 when ExecutionConfig::columnar is off or no op
+  /// run qualified).
+  size_t columnar_batches = 0;
+  size_t columnar_rows = 0;
+
   // --- reliability ---------------------------------------------------------
   size_t attempts = 0;          ///< 1 when no failure occurred
   size_t failures_injected = 0; ///< failures that interrupted an attempt

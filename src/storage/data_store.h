@@ -47,6 +47,14 @@ class DataStore {
   /// Removes all rows.
   virtual Status Truncate() = 0;
 
+  /// Identity of the store's current contents, for cross-flow sharing of
+  /// lookup builds (engine/dimension_cache.h): stable while the contents
+  /// are unchanged, different after any mutation, and unique across store
+  /// instances within the process. The empty default marks the store
+  /// uncacheable (every flow builds its own lookup table, the seed
+  /// behaviour).
+  virtual std::string ContentVersion() const { return ""; }
+
   /// Convenience: reads the whole store into a single batch.
   Result<RowBatch> ReadAll() const;
 };

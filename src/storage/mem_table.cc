@@ -41,13 +41,22 @@ Status MemTable::Append(const RowBatch& batch) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   rows_.insert(rows_.end(), batch.rows().begin(), batch.rows().end());
+  mutations_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status MemTable::Truncate() {
   std::lock_guard<std::mutex> lock(mu_);
   rows_.clear();
+  mutations_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
+
+std::string MemTable::ContentVersion() const {
+  return "mem:" + std::to_string(instance_id_) + ":" +
+         std::to_string(mutations_.load(std::memory_order_relaxed));
+}
+
+std::atomic<uint64_t> MemTable::next_instance_id_{1};
 
 }  // namespace qox

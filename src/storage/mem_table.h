@@ -7,6 +7,8 @@
 #ifndef QOX_STORAGE_MEM_TABLE_H_
 #define QOX_STORAGE_MEM_TABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -27,10 +29,17 @@ class MemTable : public DataStore {
               const std::function<Status(RowBatch&)>& consumer) const override;
   Status Append(const RowBatch& batch) override;
   Status Truncate() override;
+  std::string ContentVersion() const override;
 
  private:
   const std::string name_;
   const Schema schema_;
+  /// Process-unique instance id + per-instance mutation counter: versions
+  /// never collide across tables that happen to share a name (test
+  /// scenarios recreate dimensions freely).
+  const uint64_t instance_id_ = next_instance_id_.fetch_add(1);
+  std::atomic<uint64_t> mutations_{0};
+  static std::atomic<uint64_t> next_instance_id_;
   mutable std::mutex mu_;
   std::vector<Row> rows_;
 };

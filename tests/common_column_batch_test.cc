@@ -1,0 +1,170 @@
+// ColumnBatch unit tests: row/column round-trips, validity bitmaps across
+// word boundaries, selection-vector semantics, type-purity rejection, and
+// the probe-key encoding's equivalence with Value hash/compare semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/column_batch.h"
+#include "test_util.h"
+
+namespace qox {
+namespace {
+
+using testing_util::SimpleRow;
+using testing_util::SimpleRows;
+using testing_util::SimpleSchema;
+
+TEST(ColumnBatchTest, RoundTripPreservesRowsByteForByte) {
+  const Schema schema = SimpleSchema();
+  const std::vector<Row> rows = SimpleRows(200);  // NULL amounts every 8th
+  const RowBatch batch(schema, rows);
+
+  std::optional<ColumnBatch> cb = ColumnBatch::FromRowBatch(batch);
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(cb->num_columns(), schema.num_fields());
+  EXPECT_EQ(cb->num_physical_rows(), rows.size());
+  EXPECT_EQ(cb->num_rows(), rows.size());
+
+  const RowBatch back = cb->ToRowBatch();
+  ASSERT_EQ(back.num_rows(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(back.row(i) == rows[i]) << "row " << i;
+    // Row::Compare is numeric-tolerant; also pin the exact runtime types.
+    for (size_t c = 0; c < rows[i].num_values(); ++c) {
+      EXPECT_EQ(back.row(i).value(c).type(), rows[i].value(c).type())
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(ColumnBatchTest, ValidityBitmapSurvivesWordBoundaries) {
+  Column col(DataType::kInt64);
+  for (int64_t i = 0; i < 200; ++i) {
+    if (i % 3 == 0) {
+      col.AppendNull();
+    } else {
+      col.AppendInt64(i);
+    }
+  }
+  ASSERT_EQ(col.size(), 200u);
+  for (size_t i = 0; i < 200; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_FALSE(col.IsValid(i)) << i;
+      EXPECT_TRUE(col.ValueAt(i).is_null()) << i;
+    } else {
+      ASSERT_TRUE(col.IsValid(i)) << i;
+      EXPECT_EQ(col.Int64At(i), static_cast<int64_t>(i)) << i;
+    }
+  }
+}
+
+TEST(ColumnBatchTest, SelectionVectorMaterializesOnlySelectedRowsInOrder) {
+  const Schema schema = SimpleSchema();
+  const std::vector<Row> rows = SimpleRows(10);
+  std::optional<ColumnBatch> cb =
+      ColumnBatch::FromRowBatch(RowBatch(schema, rows));
+  ASSERT_TRUE(cb.has_value());
+
+  // Drop rows as a filter or a quarantining op would: edit the selection.
+  cb->SetSelection({1, 4, 7});
+  EXPECT_EQ(cb->num_rows(), 3u);
+  EXPECT_EQ(cb->num_physical_rows(), 10u);
+
+  const RowBatch out = cb->ToRowBatch();
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_TRUE(out.row(0) == rows[1]);
+  EXPECT_TRUE(out.row(1) == rows[4]);
+  EXPECT_TRUE(out.row(2) == rows[7]);
+
+  // Dropped rows remain addressable for containment sinks via RowAt.
+  EXPECT_TRUE(cb->RowAt(5) == rows[5]);
+}
+
+TEST(ColumnBatchTest, FromRowBatchRejectsMistypedCells) {
+  const Schema schema = SimpleSchema();
+  std::vector<Row> rows = SimpleRows(4);
+  rows[2].Set(2, Value::String("not a double"));  // amount declared kDouble
+  EXPECT_FALSE(ColumnBatch::FromRowBatch(RowBatch(schema, rows)).has_value());
+}
+
+TEST(ColumnBatchTest, TimestampColumnsKeepTheirRuntimeType) {
+  const Schema schema = Schema({{"ts", DataType::kTimestamp, true}});
+  std::vector<Row> rows;
+  rows.push_back(Row({Value::Timestamp(1000)}));
+  rows.push_back(Row({Value::Null()}));
+  std::optional<ColumnBatch> cb =
+      ColumnBatch::FromRowBatch(RowBatch(schema, rows));
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(cb->column(0).ValueAt(0).type(), DataType::kTimestamp);
+  EXPECT_EQ(cb->column(0).ValueAt(0).timestamp_micros(), 1000);
+
+  // A plain Int64 in a timestamp-declared column is a purity violation:
+  // boxing it back would change the runtime type, so conversion refuses.
+  rows[1] = Row({Value::Int64(7)});
+  EXPECT_FALSE(ColumnBatch::FromRowBatch(RowBatch(schema, rows)).has_value());
+}
+
+TEST(ColumnBatchTest, AppendValueEnforcesDeclaredType) {
+  Column col(DataType::kDouble);
+  EXPECT_TRUE(col.AppendValue(Value::Double(1.5)));
+  EXPECT_TRUE(col.AppendValue(Value::Null()));
+  EXPECT_FALSE(col.AppendValue(Value::Int64(2)));  // runtime type mismatch
+  EXPECT_EQ(col.size(), 2u);
+}
+
+TEST(ColumnBatchTest, KeyBytesMatchBoxedValueEncoding) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(42);
+  std::string from_column;
+  col.AppendKeyBytes(0, &from_column);
+  std::string from_value;
+  AppendValueKeyBytes(Value::Int64(42), &from_value);
+  EXPECT_EQ(from_column, from_value);
+
+  // Int64 and timestamp hash/compare identically, so they share one
+  // encoding; a double never matches an int64 probe under Value::Hash, so
+  // it must encode differently even when numerically equal.
+  std::string ts_bytes;
+  AppendValueKeyBytes(Value::Timestamp(42), &ts_bytes);
+  EXPECT_EQ(ts_bytes, from_value);
+  std::string dbl_bytes;
+  AppendValueKeyBytes(Value::Double(42.0), &dbl_bytes);
+  EXPECT_NE(dbl_bytes, from_value);
+}
+
+TEST(ColumnBatchTest, NegativeZeroKeyCanonicalizesToPositiveZero) {
+  std::string neg;
+  AppendValueKeyBytes(Value::Double(-0.0), &neg);
+  std::string pos;
+  AppendValueKeyBytes(Value::Double(0.0), &pos);
+  // -0.0 == 0.0 under Value::Compare and they hash identically, so the
+  // byte encoding must collapse them too.
+  EXPECT_EQ(neg, pos);
+}
+
+TEST(ColumnBatchTest, UpperInPlaceAsciiUppercasesPayloads) {
+  Column col(DataType::kString);
+  col.AppendString("abc");
+  col.AppendNull();
+  col.AppendString("MiXeD9!");
+  col.UpperInPlaceAscii();
+  EXPECT_EQ(col.StringAt(0), "ABC");
+  EXPECT_EQ(col.StringAt(2), "MIXED9!");
+}
+
+TEST(ColumnBatchTest, ByteSizeGrowsWithData) {
+  const Schema schema = SimpleSchema();
+  std::optional<ColumnBatch> small =
+      ColumnBatch::FromRowBatch(RowBatch(schema, SimpleRows(8)));
+  std::optional<ColumnBatch> large =
+      ColumnBatch::FromRowBatch(RowBatch(schema, SimpleRows(800)));
+  ASSERT_TRUE(small.has_value() && large.has_value());
+  EXPECT_GT(small->ByteSize(), 0u);
+  EXPECT_GT(large->ByteSize(), small->ByteSize());
+}
+
+}  // namespace
+}  // namespace qox
