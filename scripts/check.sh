@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the repo twice via the QOX_SANITIZE CMake knob and
 # runs the tier-1 suite under AddressSanitizer, then the concurrency-heavy
-# engine_* / plan / robustness / crash / resource-labeled tests under
-# ThreadSanitizer (the streaming executor, channels, thread pool, the
+# engine_* / plan / robustness / crash / resource / service-labeled tests
+# under ThreadSanitizer (the streaming executor, channels, the work-stealing
+# WorkerPool substrate and the multi-flow FlowService on top of it, the
 # planner equivalence sweep — which drives both schedulers — the
 # fault-containment suites, whose chaos sweep quarantines concurrently from
 # every pipeline, and the resource suites, whose blocking operators spill
@@ -55,13 +56,13 @@ case "${MODE}" in
     # suites (the supervisor forks from the single-threaded gtest runner;
     # children thread freely after exec-free fork, which TSan supports).
     run_suite address build-asan ""
-    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource|service"
     ;;
   --asan-only)
     run_suite address build-asan ""
     ;;
   --tsan-only)
-    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource|service"
     ;;
   --fast)
     QOX_CHAOS_SEEDS="${QOX_CHAOS_SEEDS:-8}" \

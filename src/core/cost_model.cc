@@ -72,10 +72,16 @@ ContainmentVolumes EstimateContainment(const PhysicalDesign& design,
   return volumes;
 }
 
+/// Amdahl-style speedup of the parallel range, capped by the threads the
+/// design can actually get. Solo runs get the design's full thread budget;
+/// under a shared FlowService pool `available_threads` is the flow's share
+/// of the machine, so concurrent flows degrade each other's speedup the
+/// way shared core workers do.
 double EffectiveSpeedup(const PhysicalDesign& design,
-                        const CostModelParams& params) {
-  const double ways = static_cast<double>(
-      std::min(design.parallel.partitions, std::max<size_t>(1, design.threads)));
+                        const CostModelParams& params,
+                        size_t available_threads) {
+  const double ways = static_cast<double>(std::min(
+      design.parallel.partitions, std::max<size_t>(1, available_threads)));
   if (ways <= 1.0) return 1.0;
   return std::max(1.0, ways * params.parallel_efficiency);
 }
@@ -171,6 +177,12 @@ ExecutionPlan CostModel::PlanFor(const PhysicalDesign& design) {
 
 PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
                                         double input_rows) const {
+  return EstimatePhases(design, input_rows, design.threads);
+}
+
+PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
+                                        double input_rows,
+                                        size_t available_threads) const {
   const std::vector<LogicalOp>& ops = design.flow.ops();
   const std::vector<double> rows = RowsAtCuts(ops, input_rows);
   const ExecutionPlan plan = PlanFor(design);
@@ -181,7 +193,7 @@ PhaseEstimate CostModel::EstimatePhases(const PhysicalDesign& design,
   const size_t rb = parallel ? design.parallel.range_begin : 0;
   const size_t re =
       parallel ? std::min(design.parallel.range_end, ops.size()) : 0;
-  const double speedup = EffectiveSpeedup(design, params_);
+  const double speedup = EffectiveSpeedup(design, params_, available_threads);
   std::vector<double> op_seconds(ops.size(), 0.0);
   for (size_t i = 0; i < ops.size(); ++i) {
     double op_s = ops[i].cost_per_row * rows[i] *
@@ -514,7 +526,18 @@ Result<double> CostModel::EstimateMaintainability(
 Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
                                      const WorkloadParams& workload) const {
   QoxVector v;
-  const PhaseEstimate phases = EstimatePhases(design, workload.rows_per_run);
+  // Multi-flow contention: under a shared FlowService pool the design only
+  // gets its proportional share of the thread budget. concurrent_flows == 1
+  // (the default) grants the full budget, keeping solo predictions
+  // byte-identical to the seed model.
+  const size_t available_threads =
+      workload.concurrent_flows > 1.0
+          ? std::max<size_t>(1, static_cast<size_t>(
+                                    static_cast<double>(design.threads) /
+                                    workload.concurrent_flows))
+          : design.threads;
+  const PhaseEstimate phases =
+      EstimatePhases(design, workload.rows_per_run, available_threads);
   v.Set(QoxMetric::kPerformance, phases.total_s);
   v.Set(QoxMetric::kRecoverability, EstimateRecoverability(design, phases));
   const double reliability = EstimateReliability(design, phases, workload);
@@ -525,8 +548,8 @@ Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
   v.Set(QoxMetric::kMaintainability, maintainability);
 
   // Scalability: retention of per-row efficiency at 10x volume.
-  const PhaseEstimate at_10x =
-      EstimatePhases(design, workload.rows_per_run * 10.0);
+  const PhaseEstimate at_10x = EstimatePhases(
+      design, workload.rows_per_run * 10.0, available_threads);
   const double scalability =
       at_10x.total_s > 0
           ? std::min(1.0, phases.total_s * 10.0 / at_10x.total_s)

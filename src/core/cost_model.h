@@ -127,6 +127,12 @@ struct WorkloadParams {
   /// costs: a rerun (kFailFlow), a backoff + resume (kPauseRetry), or a
   /// shed batch re-encoded into the dead-letter ledger (kShed).
   double disk_fault_rate = 0.0;
+  /// Flows sharing the machine concurrently (the FlowService admission
+  /// load). The performance law grants the design only its proportional
+  /// thread share — effective threads = max(1, threads / concurrent_flows)
+  /// — so predictions degrade the way a shared WorkerPool does. 1 (the
+  /// default) is the solo prediction, identical to the single-flow model.
+  double concurrent_flows = 1.0;
 };
 
 /// Per-phase time prediction, seconds.
@@ -167,6 +173,13 @@ class CostModel {
   /// `input_rows` rows (no failures).
   PhaseEstimate EstimatePhases(const PhysicalDesign& design,
                                double input_rows) const;
+
+  /// As above, but granting the design only `available_threads` of its
+  /// thread budget — the flow's share of a WorkerPool other flows are
+  /// running on (the FlowService's admission-control input). Passing
+  /// design.threads reproduces the solo prediction exactly.
+  PhaseEstimate EstimatePhases(const PhysicalDesign& design, double input_rows,
+                               size_t available_threads) const;
 
   /// The ExecutionPlan the model prices: the same lowering the executors
   /// schedule (engine/plan.h), built from the design's structural facts.

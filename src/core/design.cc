@@ -243,6 +243,9 @@ ExecutionConfig PhysicalDesign::ToExecutionConfig(
   config.memory_budget_bytes = memory_budget_bytes;
   config.resource_policy = resource_policy;
   config.columnar = columnar;
+  if (sla_deadline_s > 0.0) {
+    config.sla.deadline_micros = static_cast<int64_t>(sla_deadline_s * 1e6);
+  }
   return config;
 }
 

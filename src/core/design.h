@@ -225,6 +225,13 @@ struct PhysicalDesign {
   /// default); the cost model prices it as a transform throughput
   /// multiplier (cost_model.h columnar_speedup).
   bool columnar = false;
+  /// Freshness SLA expressed as an execution deadline, seconds (0 = none,
+  /// the seed behaviour). Maps to ExecutionConfig::sla.deadline_micros: a
+  /// solo run stamps the absolute deadline at start; the FlowService
+  /// stamps it at admission, orders flows EDF against it, and can reject
+  /// the design outright when its cost-model prediction makes the SLA
+  /// infeasible under current load.
+  double sla_deadline_s = 0.0;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

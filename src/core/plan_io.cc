@@ -50,6 +50,12 @@ bool DesignSpec::operator==(const DesignSpec& other) const {
          memory_budget_bytes == other.memory_budget_bytes &&
          resource_policy == other.resource_policy &&
          columnar == other.columnar &&
+         sla_deadline_s == other.sla_deadline_s &&
+         has_service == other.has_service &&
+         service_workers == other.service_workers &&
+         service_max_concurrent == other.service_max_concurrent &&
+         service_policy == other.service_policy &&
+         service_admit_only_feasible == other.service_admit_only_feasible &&
          plan_stages == other.plan_stages && plan_edges == other.plan_edges;
 }
 
@@ -100,6 +106,7 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
   spec.memory_budget_bytes = design.memory_budget_bytes;
   spec.resource_policy = ResourcePolicyName(design.resource_policy);
   spec.columnar = design.columnar;
+  spec.sla_deadline_s = design.sla_deadline_s;
   // The lowered stage graph rides along as descriptive metadata. PlanFor
   // is the same lowering the executors schedule, so the exported plan is
   // exactly what would run.
@@ -395,6 +402,11 @@ std::string ExportDesignXml(const DesignSpec& spec) {
   }
   // Likewise: the columnar attribute appears only when the fast path is on.
   if (spec.columnar) oss << " columnar=\"1\"";
+  // The SLA attribute appears only for deadline-carrying flows, so
+  // pre-service documents stay byte-stable.
+  if (spec.sla_deadline_s > 0.0) {
+    oss << " sla_deadline_s=\"" << spec.sla_deadline_s << "\"";
+  }
   oss << ">\n";
   oss << "  <flow id=\"" << XmlEscape(spec.flow_id) << "\" source=\""
       << XmlEscape(spec.source) << "\" target=\"" << XmlEscape(spec.target)
@@ -425,6 +437,15 @@ std::string ExportDesignXml(const DesignSpec& spec) {
     oss << "    <cut position=\"" << cut << "\"/>\n";
   }
   oss << "  </recovery_points>\n";
+  // Optional multi-flow service context (FlowServiceConfig). Absent for
+  // solo designs, so documents that predate the service are unchanged.
+  if (spec.has_service) {
+    oss << "  <service workers=\"" << spec.service_workers
+        << "\" max_concurrent_flows=\"" << spec.service_max_concurrent
+        << "\" policy=\"" << XmlEscape(spec.service_policy)
+        << "\" admit_only_feasible=\""
+        << (spec.service_admit_only_feasible ? 1 : 0) << "\"/>\n";
+  }
   if (!spec.plan_stages.empty() || !spec.plan_edges.empty()) {
     oss << "  <execution_plan>\n";
     for (const PlanStageSpec& stage : spec.plan_stages) {
@@ -492,6 +513,13 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
   spec.resource_policy = AttributeOr(root, "resource_policy", "fail_flow");
   QOX_RETURN_IF_ERROR(ParseResourcePolicy(spec.resource_policy).status());
   spec.columnar = AttributeOr(root, "columnar", "0") == "1";
+  // Schema evolution: documents written before the SLA / service additions
+  // simply lack these attributes and fall back to the defaults.
+  QOX_ASSIGN_OR_RETURN(spec.sla_deadline_s,
+                       ParseDouble(AttributeOr(root, "sla_deadline_s", "0")));
+  if (spec.sla_deadline_s < 0.0) {
+    return Status::Invalid("sla_deadline_s must be >= 0");
+  }
   if (spec.error_budget_max_fraction < 0.0 ||
       spec.error_budget_max_fraction > 1.0) {
     return Status::Invalid("error_budget_max_fraction must lie in [0, 1]");
@@ -551,6 +579,22 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
       QOX_ASSIGN_OR_RETURN(const size_t cut, ParseSize(position));
       spec.recovery_points.push_back(cut);
     }
+  }
+  if (const XmlNode* service = root.FirstChild("service")) {
+    spec.has_service = true;
+    QOX_ASSIGN_OR_RETURN(spec.service_workers,
+                         ParseSize(AttributeOr(*service, "workers", "4")));
+    QOX_ASSIGN_OR_RETURN(
+        spec.service_max_concurrent,
+        ParseSize(AttributeOr(*service, "max_concurrent_flows", "4")));
+    spec.service_policy = AttributeOr(*service, "policy", "edf");
+    // Policies are closed vocabulary; reject documents from the future.
+    if (spec.service_policy != "edf" && spec.service_policy != "fifo") {
+      return Status::Invalid("unknown service queue policy '" +
+                             spec.service_policy + "'");
+    }
+    spec.service_admit_only_feasible =
+        AttributeOr(*service, "admit_only_feasible", "0") == "1";
   }
   if (const XmlNode* plan = root.FirstChild("execution_plan")) {
     for (const XmlNode& child : plan->children) {

@@ -97,6 +97,22 @@ struct DesignSpec {
   std::string resource_policy = "fail_flow";
   /// Columnar batch fast path (PhysicalDesign::columnar).
   bool columnar = false;
+  /// Freshness SLA expressed as an execution deadline, seconds
+  /// (PhysicalDesign::sla_deadline_s). 0 = none; the attribute appears in
+  /// the document only when set, so pre-SLA documents stay byte-stable
+  /// and still parse (schema evolution).
+  double sla_deadline_s = 0.0;
+  /// Multi-flow service context the design is meant to be admitted under
+  /// (engine/flow_service.h FlowServiceConfig), exported as an optional
+  /// <service> element: shared-pool workers, concurrency slots, queue
+  /// policy ("edf" or "fifo"), and admission control. has_service == false
+  /// (the default) omits the element entirely — older documents without it
+  /// load unchanged.
+  bool has_service = false;
+  size_t service_workers = 4;
+  size_t service_max_concurrent = 4;
+  std::string service_policy = "edf";
+  bool service_admit_only_feasible = false;
 
   /// The lowered ExecutionPlan (stage nodes + channel edges), exported as
   /// read-only metadata. SpecOf fills it by lowering the design; import

@@ -36,26 +36,6 @@ size_t FingerprintRows(const std::vector<Row>& rows) {
 
 namespace {
 
-/// Countdown latch for waiting on a group of pool tasks without blocking
-/// the whole pool.
-class Latch {
- public:
-  explicit Latch(size_t count) : count_(count) {}
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--count_ == 0) cv_.notify_all();
-  }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ == 0; });
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t count_;
-};
-
 std::string CutPointId(int instance, size_t cut) {
   return "i" + std::to_string(instance) + ".cut" + std::to_string(cut);
 }
@@ -74,19 +54,23 @@ void WaitBackoff(const RetryPolicy& policy, size_t failed_attempt, Rng* rng,
 /// Per-instance flow execution: a scheduler over the lowered ExecutionPlan
 /// with recovery semantics. Produces the rows at the final cut (pre-load).
 /// Phased mode runs the plan's sections in order, materializing at every
-/// barrier; streaming mode spawns one stage thread per plan node and wires
-/// one bounded channel per edge.
+/// barrier; streaming mode submits one blocking stage task per plan node
+/// and wires one bounded channel per edge. All work — partition branches,
+/// streaming stages — goes through the instance's ExecContext, so it runs
+/// on whatever substrate the caller provided (a private pool for solo
+/// runs, the shared pool under a FlowService) under the flow's deadline
+/// tag.
 class FlowRunner {
  public:
   FlowRunner(const FlowSpec& flow, const ExecutionConfig& config,
              const ExecutionPlan& plan,
-             const std::vector<Schema>& cut_schemas, ThreadPool* pool,
+             const std::vector<Schema>& cut_schemas, const ExecContext& exec,
              int instance_id, std::atomic<bool>* cancelled)
       : flow_(flow),
         config_(config),
         plan_(plan),
         cut_schemas_(cut_schemas),
-        pool_(pool),
+        exec_(exec),
         instance_id_(instance_id),
         cancelled_(cancelled),
         backoff_rng_(config.retry.jitter_seed +
@@ -451,54 +435,52 @@ class FlowRunner {
       int64_t micros = 0;
     };
     std::vector<PartResult> results(num_parts);
-    Latch latch(num_parts);
-    for (size_t p = 0; p < num_parts; ++p) {
-      pool_->Submit([&, p] {
-        PartResult& result = results[p];
-        const StopWatch part_timer;
-        std::vector<OperatorPtr> ops;
-        ops.reserve(end - begin);
-        for (size_t i = begin; i < end; ++i) {
-          ops.push_back(flow_.transforms[i]());
-        }
-        PipelineConfig pc;
-        pc.instance_id = instance_id_;
-        pc.attempt = attempt;
-        pc.op_index_offset = static_cast<int>(begin);
-        pc.injector = config_.injector;
-        pc.expected_input_rows = parts[p].size();
-        pc.deadline_micros = attempt_deadline_micros_;
-        WireContainment(&pc);
-        Result<std::unique_ptr<Pipeline>> pipeline = Pipeline::Create(
-            cut_schemas_[begin], std::move(ops), &ctx_, pc);
-        if (!pipeline.ok()) {
-          result.status = pipeline.status();
-          latch.CountDown();
-          return;
-        }
-        const SchemaPtr part_schema = MakeSchemaPtr(cut_schemas_[begin]);
-        RowBatch batch(part_schema);
-        Status st = Status::OK();
-        for (Row& row : parts[p]) {
-          batch.Append(std::move(row));
-          if (batch.num_rows() >= config_.batch_size) {
-            st = pipeline.value()->Push(std::move(batch));
-            if (!st.ok()) break;
-            batch = RowBatch(part_schema);
-          }
-        }
-        if (st.ok() && !batch.empty()) {
+    // Partition branches are CPU tasks of the substrate: they fan out under
+    // the flow's deadline tag and the help-waiting BulkExecute runs queued
+    // branches on this thread too, so nested fan-out cannot deadlock a
+    // small shared pool.
+    exec_.BulkExecute(num_parts, [&](size_t p) {
+      PartResult& result = results[p];
+      const StopWatch part_timer;
+      std::vector<OperatorPtr> ops;
+      ops.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        ops.push_back(flow_.transforms[i]());
+      }
+      PipelineConfig pc;
+      pc.instance_id = instance_id_;
+      pc.attempt = attempt;
+      pc.op_index_offset = static_cast<int>(begin);
+      pc.injector = config_.injector;
+      pc.expected_input_rows = parts[p].size();
+      pc.deadline_micros = attempt_deadline_micros_;
+      WireContainment(&pc);
+      Result<std::unique_ptr<Pipeline>> pipeline = Pipeline::Create(
+          cut_schemas_[begin], std::move(ops), &ctx_, pc);
+      if (!pipeline.ok()) {
+        result.status = pipeline.status();
+        return;
+      }
+      const SchemaPtr part_schema = MakeSchemaPtr(cut_schemas_[begin]);
+      RowBatch batch(part_schema);
+      Status st = Status::OK();
+      for (Row& row : parts[p]) {
+        batch.Append(std::move(row));
+        if (batch.num_rows() >= config_.batch_size) {
           st = pipeline.value()->Push(std::move(batch));
+          if (!st.ok()) break;
+          batch = RowBatch(part_schema);
         }
-        if (st.ok()) st = pipeline.value()->Finish();
-        result.status = st;
-        if (st.ok()) result.rows = pipeline.value()->TakeOutput();
-        result.op_stats = pipeline.value()->op_stats();
-        result.micros = part_timer.ElapsedMicros();
-        latch.CountDown();
-      });
-    }
-    latch.Wait();
+      }
+      if (st.ok() && !batch.empty()) {
+        st = pipeline.value()->Push(std::move(batch));
+      }
+      if (st.ok()) st = pipeline.value()->Finish();
+      result.status = st;
+      if (st.ok()) result.rows = pipeline.value()->TakeOutput();
+      result.op_stats = pipeline.value()->op_stats();
+      result.micros = part_timer.ElapsedMicros();
+    });
     // Injected failures win over secondary cancellations so the retry
     // machinery sees the true cause.
     Status failed = Status::OK();
@@ -1182,7 +1164,7 @@ class FlowRunner {
     const size_t expected_rows =
         resumed_cut >= 0 ? resume_rows.size() : source_rows;
 
-    StageSet stages;
+    StageSet stages(exec_);
     BatchChannelPtr cursor = stages.MakeChannel(config_.channel_capacity);
     if (resumed_cut >= 0) {
       SpawnReplayStage(&stages, cursor, std::move(resume_rows), current_cut);
@@ -1234,7 +1216,9 @@ class FlowRunner {
   const ExecutionConfig& config_;
   const ExecutionPlan& plan_;
   const std::vector<Schema>& cut_schemas_;
-  ThreadPool* pool_;
+  /// Execution substrate + scheduling tag (flow deadline) for every task
+  /// this instance submits.
+  ExecContext exec_;
   const int instance_id_;
   std::atomic<bool>* cancelled_;
   OperatorContext ctx_;
@@ -1406,6 +1390,7 @@ PlanInput MakePlanInput(const FlowSpec& flow, const ExecutionConfig& config) {
   if (config.journal != nullptr) {
     input.journal_sync = config.journal->sync_policy();
   }
+  input.sla_deadline_micros = config.sla.deadline_micros;
   return input;
 }
 
@@ -1413,10 +1398,10 @@ PlanInput MakePlanInput(const FlowSpec& flow, const ExecutionConfig& config) {
 Status RunSingleInstance(const FlowSpec& flow, const ExecutionConfig& config,
                          const ExecutionPlan& plan,
                          const std::vector<Schema>& cut_schemas,
-                         ThreadPool* pool, std::vector<Row>* output,
+                         const ExecContext& exec, std::vector<Row>* output,
                          bool* loaded_inline, RunMetrics* metrics) {
   std::atomic<bool> cancelled{false};
-  FlowRunner runner(flow, config, plan, cut_schemas, pool, /*instance_id=*/0,
+  FlowRunner runner(flow, config, plan, cut_schemas, exec, /*instance_id=*/0,
                     &cancelled);
   QOX_RETURN_IF_ERROR(runner.RunToOutput(output));
   *loaded_inline = runner.loaded_inline();
@@ -1432,7 +1417,7 @@ Status RunRedundantInstances(const FlowSpec& flow,
                              const ExecutionConfig& config,
                              const ExecutionPlan& plan,
                              const std::vector<Schema>& cut_schemas,
-                             ThreadPool* pool, std::vector<Row>* output,
+                             const ExecContext& exec, std::vector<Row>* output,
                              RunMetrics* metrics) {
   const size_t k = config.redundancy;
   const size_t majority = k / 2 + 1;
@@ -1449,20 +1434,24 @@ Status RunRedundantInstances(const FlowSpec& flow,
   size_t done_count = 0;
   for (size_t i = 0; i < k; ++i) {
     slots[i].runner = std::make_unique<FlowRunner>(
-        flow, config, plan, cut_schemas, pool, static_cast<int>(i),
+        flow, config, plan, cut_schemas, exec, static_cast<int>(i),
         &cancelled);
   }
-  std::vector<std::thread> instance_threads;
-  instance_threads.reserve(k);
+  // Instance drivers are long-lived and park on retries/backoff, so they
+  // run as blocking tasks (expansion workers), never starving core workers
+  // other flows' CPU work needs.
+  TaskGroup instances(exec.pool());
   for (size_t i = 0; i < k; ++i) {
-    instance_threads.emplace_back([&, i] {
-      InstanceSlot& slot = slots[i];
-      slot.status = slot.runner->RunToOutput(&slot.output);
-      std::lock_guard<std::mutex> lock(vote_mu);
-      slot.done = true;
-      ++done_count;
-      vote_cv.notify_all();
-    });
+    exec.Post(
+        [&, i] {
+          InstanceSlot& slot = slots[i];
+          slot.status = slot.runner->RunToOutput(&slot.output);
+          std::lock_guard<std::mutex> lock(vote_mu);
+          slot.done = true;
+          ++done_count;
+          vote_cv.notify_all();
+        },
+        &instances, /*blocking=*/true);
   }
   // Wait until a fingerprint reaches majority or all instances finished.
   int accepted_instance = -1;
@@ -1486,7 +1475,7 @@ Status RunRedundantInstances(const FlowSpec& flow,
     }
   }
   cancelled.store(true);  // stop stragglers
-  for (std::thread& t : instance_threads) t.join();
+  instances.Wait();
   if (accepted_instance < 0) {
     // No majority: report the first hard error, else a vote failure.
     for (const InstanceSlot& slot : slots) {
@@ -1632,18 +1621,35 @@ Result<RunMetrics> Executor::Run(const FlowSpec& flow,
                        BindChain(flow, config));
   QOX_ASSIGN_OR_RETURN(const ExecutionPlan plan,
                        ExecutionPlan::Lower(MakePlanInput(flow, config)));
-  ThreadPool pool(config.num_threads);
+  // Execution substrate: the caller's shared pool (FlowService) or a
+  // private one sized by num_threads — the solo behavior. Either way every
+  // task of this flow carries the flow's absolute deadline, so a shared
+  // pool can order runnable work across flows EDF.
+  std::unique_ptr<WorkerPool> owned_pool;
+  WorkerPool* pool = config.worker_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<WorkerPool>(config.num_threads);
+    pool = owned_pool.get();
+  }
+  TaskTag tag;
+  tag.deadline_micros =
+      config.sla.absolute_deadline_micros > 0
+          ? config.sla.absolute_deadline_micros
+          : (config.sla.deadline_micros > 0
+                 ? NowMicros() + config.sla.deadline_micros
+                 : 0);
+  const ExecContext exec(pool, tag);
 
   RunMetrics metrics;
   std::vector<Row> accepted_output;
   bool loaded_inline = false;
   if (config.redundancy <= 1) {
     QOX_RETURN_IF_ERROR(RunSingleInstance(flow, config, plan, cut_schemas,
-                                          &pool, &accepted_output,
+                                          exec, &accepted_output,
                                           &loaded_inline, &metrics));
   } else {
     QOX_RETURN_IF_ERROR(RunRedundantInstances(flow, config, plan, cut_schemas,
-                                              &pool, &accepted_output,
+                                              exec, &accepted_output,
                                               &metrics));
   }
   metrics.threads = config.num_threads;
@@ -1668,6 +1674,9 @@ Result<RunMetrics> Executor::Run(const FlowSpec& flow,
     QOX_RETURN_IF_ERROR(config.journal->Compact());
   }
   metrics.total_micros = total_timer.ElapsedMicros();
+  if (tag.deadline_micros > 0) {
+    metrics.deadline_slack_micros = tag.deadline_micros - NowMicros();
+  }
   if (config.rp_store != nullptr) {
     metrics.rp_bytes_written =
         config.rp_store->total_bytes_written() - rp_bytes_before;

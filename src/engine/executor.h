@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "engine/error_policy.h"
+#include "engine/exec_context.h"
 #include "engine/failure.h"
 #include "engine/flow_journal.h"
 #include "engine/operator.h"
@@ -43,7 +44,7 @@
 #include "engine/plan.h"
 #include "engine/retry_policy.h"
 #include "engine/run_metrics.h"
-#include "engine/thread_pool.h"
+#include "engine/worker_pool.h"
 #include "storage/data_store.h"
 #include "storage/dead_letter_store.h"
 #include "storage/recovery_store.h"
@@ -63,9 +64,34 @@ struct FlowSpec {
   std::function<Status()> post_success;
 };
 
+/// A flow's freshness SLA expressed as an execution deadline — the QoX
+/// freshness objective made schedulable. The FlowService turns the
+/// relative budget into an absolute deadline at admission; a solo Run()
+/// stamps it at start. Every task of the flow (partition branches,
+/// streaming stages, redundant instances) carries the absolute deadline in
+/// its TaskTag, so the shared pool can order runnable work EDF.
+struct FlowSla {
+  /// Relative deadline budget, microseconds from admission/start. 0 = no
+  /// SLA (the seed behavior: nothing is deadline-ordered).
+  int64_t deadline_micros = 0;
+  /// Absolute NowMicros() deadline. Normally derived from deadline_micros;
+  /// a non-zero value (set by the FlowService at admission) wins.
+  int64_t absolute_deadline_micros = 0;
+};
+
 struct ExecutionConfig {
   /// Worker threads available for partitioned transform work ("CPUs").
+  /// With a private pool (worker_pool == nullptr) this sizes it; with a
+  /// shared pool the pool's own size governs and this is an accounting
+  /// echo only.
   size_t num_threads = 1;
+  /// Shared executor substrate to run on (engine/worker_pool.h). Null (the
+  /// default) = Run() creates a private pool of num_threads core workers —
+  /// the solo behavior. The FlowService points every admitted flow at one
+  /// shared pool.
+  WorkerPool* worker_pool = nullptr;
+  /// Freshness SLA / deadline of this flow (see FlowSla).
+  FlowSla sla;
   size_t batch_size = kDefaultBatchSize;
   ParallelSpec parallel;
   /// Cut positions carrying recovery points (0 = after extraction,

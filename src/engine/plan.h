@@ -94,6 +94,12 @@ struct PlanInput {
   /// configuration the executor runs under.
   bool journaled = false;
   JournalSync journal_sync = JournalSync::kAlways;
+  /// Freshness-SLA deadline budget of the flow (relative microseconds from
+  /// admission; 0 = none). Carried on the plan — not interpreted by
+  /// lowering — so plan dumps, the XML interchange format, and the
+  /// FlowService's admission control all see the SLA the executor runs
+  /// under.
+  int64_t sla_deadline_micros = 0;
 };
 
 enum class PlanNodeKind {

@@ -67,6 +67,14 @@ struct StageStats {
   int64_t busy_micros = 0;         ///< actually processing rows
   int64_t stall_micros = 0;        ///< blocked popping an empty input channel
   int64_t backpressure_micros = 0; ///< blocked pushing a full output channel
+  /// Time the stage task sat queued on the shared worker pool before a
+  /// worker picked it up (scheduling wait, charged to the owning flow and
+  /// plan node — never to the worker thread that happened to run it).
+  int64_t queue_wait_us = 0;
+  /// Slack against the owning flow's deadline when the stage finished
+  /// (deadline − finish time; negative = the stage completed late). 0 when
+  /// the flow carries no deadline.
+  int64_t deadline_slack_us = 0;
   size_t batches = 0;              ///< batches this stage emitted
   size_t rows = 0;                 ///< rows this stage emitted
   /// High-water mark of the stage's output channel (0 for sink stages).
@@ -86,6 +94,12 @@ struct RunMetrics {
   int64_t merge_micros = 0;      ///< merging partitioned branches back
   int64_t lost_work_micros = 0;  ///< work discarded due to failures
   int64_t backoff_micros = 0;    ///< waited between attempts (RetryPolicy)
+  /// Multi-flow service attribution (engine/flow_service.h): time the flow
+  /// waited in the admission queue before its driver started, and its
+  /// slack against the freshness-SLA deadline at completion (deadline −
+  /// finish; negative = missed). Both 0 for solo runs without an SLA.
+  int64_t queue_wait_micros = 0;
+  int64_t deadline_slack_micros = 0;
 
   // --- volumes -------------------------------------------------------------
   size_t rows_extracted = 0;

@@ -60,14 +60,15 @@ bool StageSet::IsPoisonEcho(const Status& status) {
          status.message().rfind(kPoisonEchoPrefix, 0) == 0;
 }
 
+StageSet::StageSet(const ExecContext& ctx)
+    : ctx_(ctx), group_(ctx.pool()) {}
+
 StageSet::~StageSet() {
   if (joined_) return;
   // Destroyed without Join (likely unwinding after an error): poison so no
-  // stage can block forever, then detach-free join.
+  // stage can block forever, then wait out the stage tasks.
   FailAll(Status::Cancelled("StageSet destroyed before Join"));
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
+  group_.Wait();
 }
 
 BatchChannelPtr StageSet::MakeChannel(size_t capacity) {
@@ -86,31 +87,42 @@ void StageSet::Spawn(std::string name, std::function<Status(StageStats*)> body) 
     outcomes_.emplace_back();
     outcomes_[slot].stats.name = std::move(name);
   }
-  threads_.emplace_back([this, slot, body = std::move(body)] {
-    StageStats local;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      local.name = outcomes_[slot].stats.name;
-    }
-    StopWatch watch;
-    Status status = body(&local);
-    const int64_t wall = watch.ElapsedMicros();
-    local.busy_micros = wall - local.stall_micros - local.backpressure_micros;
-    if (local.busy_micros < 0) local.busy_micros = 0;
-    bool primary = false;
-    if (!status.ok()) {
-      // A stage that failed on its own is primary; one that merely
-      // returned the tagged poison it popped from a channel is an echo.
-      // The explicit tag (not message comparison) keeps two independent
-      // failures with identical messages both classified as primary.
-      primary = !IsPoisonEcho(status);
-      FailAll(status);
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    outcomes_[slot].status = std::move(status);
-    outcomes_[slot].stats = std::move(local);
-    outcomes_[slot].primary = primary;
-  });
+  const int64_t posted_micros = NowMicros();
+  ctx_.Post(
+      [this, slot, posted_micros, body = std::move(body)] {
+        StageStats local;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          local.name = outcomes_[slot].stats.name;
+        }
+        // Under a shared pool a stage may sit queued behind other flows'
+        // work before an expansion worker picks it up; that wait belongs
+        // to scheduling, not to the stage's busy time.
+        local.queue_wait_us = NowMicros() - posted_micros;
+        StopWatch watch;
+        Status status = body(&local);
+        const int64_t wall = watch.ElapsedMicros();
+        local.busy_micros =
+            wall - local.stall_micros - local.backpressure_micros;
+        if (local.busy_micros < 0) local.busy_micros = 0;
+        if (ctx_.tag().deadline_micros > 0) {
+          local.deadline_slack_us = ctx_.tag().deadline_micros - NowMicros();
+        }
+        bool primary = false;
+        if (!status.ok()) {
+          // A stage that failed on its own is primary; one that merely
+          // returned the tagged poison it popped from a channel is an echo.
+          // The explicit tag (not message comparison) keeps two independent
+          // failures with identical messages both classified as primary.
+          primary = !IsPoisonEcho(status);
+          FailAll(status);
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        outcomes_[slot].status = std::move(status);
+        outcomes_[slot].stats = std::move(local);
+        outcomes_[slot].primary = primary;
+      },
+      &group_, /*blocking=*/true);
 }
 
 void StageSet::FailAll(const Status& status) {
@@ -127,9 +139,7 @@ void StageSet::FailAll(const Status& status) {
 }
 
 Status StageSet::Join(std::vector<StageStats>* stats) {
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
+  group_.Wait();
   joined_ = true;
   std::lock_guard<std::mutex> lock(mu_);
   // Pick the winning status: injected failures first (the retry machinery

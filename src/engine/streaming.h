@@ -1,11 +1,17 @@
-// StageSet: thread + channel coordination for streaming (pipelined)
+// StageSet: task + channel coordination for streaming (pipelined)
 // execution.
 //
 // A streaming dataflow is a set of stages (extract, transform pipelines,
-// partition branches, merges, recovery-point barriers, load) running on
-// dedicated threads, connected by bounded Channel<RowBatch> edges. The
-// StageSet owns both: it creates the channels, spawns the stage threads,
-// and guarantees clean unwinding when any stage fails.
+// partition branches, merges, recovery-point barriers, load) running as
+// BLOCKING tasks on the shared executor substrate (engine/worker_pool.h —
+// stage bodies park on channel edges, so they run on the pool's cached
+// expansion workers, never occupying core workers), connected by bounded
+// Channel<RowBatch> edges. The StageSet owns the wiring: it creates the
+// channels, submits the stage tasks through its ExecContext, and
+// guarantees clean unwinding when any stage fails. The context's tag
+// (flow deadline, predicted cost) rides on every stage submission, which
+// is how a whole streaming dataflow competes EDF against other flows on
+// one shared pool.
 //
 // Error protocol: a stage body returns a Status. The first non-OK outcome
 // poisons EVERY channel in the set with an explicitly tagged *echo* of the
@@ -29,12 +35,12 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/row.h"
 #include "common/status.h"
 #include "engine/channel.h"
+#include "engine/exec_context.h"
 #include "engine/run_metrics.h"
 
 namespace qox {
@@ -86,8 +92,12 @@ class PartitionFeed {
 
 class StageSet {
  public:
-  StageSet() = default;
-  /// Joins any stages still running (after poisoning, so this cannot hang).
+  /// Stages run as blocking tasks of `ctx`'s WorkerPool under its tag.
+  /// The context must carry a pool: stage bodies block on bounded channels,
+  /// so inline (pool-less) execution would deadlock the dataflow.
+  explicit StageSet(const ExecContext& ctx);
+  /// Waits out any stages still running (after poisoning, so this cannot
+  /// hang).
   ~StageSet();
 
   StageSet(const StageSet&) = delete;
@@ -98,8 +108,10 @@ class StageSet {
   /// failure unwind immediately instead of processing data nobody reads.
   BatchChannelPtr MakeChannel(size_t capacity);
 
-  /// Spawns `body` on a dedicated thread. The body fills its StageStats
-  /// (rows, batches, waits); wall and busy time are measured here. A
+  /// Submits `body` as a blocking task on the substrate. The body fills
+  /// its StageStats (rows, batches, waits); wall and busy time — plus the
+  /// time the task waited queued before a worker picked it up and the
+  /// stage's slack against the context's deadline — are measured here. A
   /// non-OK return poisons every channel in the set.
   void Spawn(std::string name, std::function<Status(StageStats*)> body);
 
@@ -127,10 +139,13 @@ class StageSet {
     bool primary = false;  ///< failed before (not because of) the poison
   };
 
+  ExecContext ctx_;
+  /// Completion guard over every spawned stage task (replaces the old
+  /// per-stage std::thread joins).
+  TaskGroup group_;
   std::mutex mu_;
   std::vector<BatchChannelPtr> channels_;
   std::vector<Outcome> outcomes_;
-  std::vector<std::thread> threads_;
   Status first_failure_ = Status::OK();
   bool joined_ = false;
 };

@@ -1,0 +1,279 @@
+#include "engine/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace qox {
+
+namespace {
+
+constexpr size_t kExternalIndex = static_cast<size_t>(-1);
+
+/// Identity of the pool task (if any) executing on the calling thread.
+/// `depth` counts nested execution — a helping wait runs tasks inside a
+/// task — so quiescence checks can exclude the caller's own in-flight
+/// frames.
+thread_local const WorkerPool* tl_pool = nullptr;
+thread_local size_t tl_worker_index = kExternalIndex;
+thread_local int tl_depth = 0;
+
+/// How long a helping wait parks between help attempts when no CPU task is
+/// runnable (the awaited tasks are executing elsewhere). Bounded polling —
+/// a completion notification also wakes the waiter early.
+constexpr std::chrono::microseconds kHelpParkSlice(200);
+
+}  // namespace
+
+// ===== TaskGroup ==========================================================
+
+void TaskGroup::Add() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_;
+}
+
+void TaskGroup::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+bool TaskGroup::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_ == 0;
+}
+
+void TaskGroup::Wait() {
+  const bool helper = pool_ != nullptr && pool_->InWorkerThread();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+      if (!helper) {
+        cv_.wait(lock, [this] { return pending_ == 0; });
+        return;
+      }
+    }
+    // Core worker: execute queued CPU tasks here instead of starving them
+    // (the awaited tasks may be sitting in this very worker's deque).
+    if (!pool_->TryHelpOne()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+      cv_.wait_for(lock, kHelpParkSlice);
+    }
+  }
+}
+
+// ===== WorkerPool =========================================================
+
+WorkerPool::WorkerPool(size_t num_workers) {
+  const size_t n = std::max<size_t>(1, num_workers);
+  local_.resize(n);
+  core_workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    core_workers_.emplace_back([this, i] { CoreWorkerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  blocking_cv_.notify_all();
+  for (std::thread& t : core_workers_) t.join();
+  for (std::thread& t : expansion_workers_) t.join();
+}
+
+bool WorkerPool::InWorkerThread() const {
+  return tl_pool == this && tl_worker_index != kExternalIndex;
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WorkerPool::Post(std::function<void()> task, const TaskTag& tag,
+                      TaskGroup* group) {
+  // The group learns about the task before it is runnable, so a group can
+  // never observe "done" between post and start.
+  if (group != nullptr) group->Add();
+  bool spawn_expansion = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task t;
+    t.fn = std::move(task);
+    t.tag = tag;
+    t.group = group;
+    t.seq = next_seq_++;
+    if (tag.blocking) {
+      blocking_queue_.push_back(std::move(t));
+      // One idle expansion worker may be claimed by a concurrent post, so
+      // spawn whenever none is parked; a mild overspawn only grows the
+      // cached set toward its steady state.
+      spawn_expansion = idle_expansion_ == 0;
+      if (spawn_expansion) {
+        ++stats_.expansion_threads;
+        expansion_workers_.emplace_back([this] { ExpansionWorkerLoop(); });
+      }
+    } else {
+      if (tl_pool == this && tl_worker_index != kExternalIndex) {
+        // Child task of a core worker: own deque, newest-first for the
+        // owner (cache affinity), oldest-first for thieves.
+        local_[tl_worker_index].push_back(std::move(t));
+      } else {
+        injection_.push(std::move(t));
+      }
+      ++queued_cpu_;
+    }
+  }
+  if (tag.blocking) {
+    blocking_cv_.notify_one();
+  } else {
+    work_cv_.notify_one();
+  }
+}
+
+bool WorkerPool::TryTakeTask(size_t worker_index, Task* out) {
+  // Caller holds mu_.
+  if (queued_cpu_ == 0) return false;
+  if (worker_index != kExternalIndex && !local_[worker_index].empty()) {
+    *out = std::move(local_[worker_index].back());
+    local_[worker_index].pop_back();
+    --queued_cpu_;
+    return true;
+  }
+  if (!injection_.empty()) {
+    // priority_queue::top is const; the pop-after-move is safe because the
+    // moved-from Task is only destroyed.
+    *out = std::move(const_cast<Task&>(injection_.top()));
+    injection_.pop();
+    --queued_cpu_;
+    return true;
+  }
+  for (size_t v = 0; v < local_.size(); ++v) {
+    if (v == worker_index || local_[v].empty()) continue;
+    *out = std::move(local_[v].front());
+    local_[v].pop_front();
+    --queued_cpu_;
+    ++stats_.steals;
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::RunTask(Task task) {
+  const WorkerPool* prev_pool = tl_pool;
+  tl_pool = this;
+  ++tl_depth;
+  task.fn();
+  --tl_depth;
+  tl_pool = prev_pool;
+  FinishTask(task);
+}
+
+void WorkerPool::FinishTask(const Task& task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    if (task.tag.blocking) --blocking_in_flight_;
+    if (queued_cpu_ == 0 && blocking_queue_.empty()) idle_cv_.notify_all();
+    if (shutdown_) {
+      // Draining workers re-check their exit condition on every completion.
+      work_cv_.notify_all();
+      blocking_cv_.notify_all();
+    }
+  }
+  if (task.group != nullptr) task.group->Finish();
+}
+
+bool WorkerPool::TryHelpOne() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t index = tl_pool == this ? tl_worker_index : kExternalIndex;
+    if (!TryTakeTask(index, &task)) return false;
+    ++running_;
+    ++stats_.tasks_helped;
+  }
+  RunTask(std::move(task));
+  return true;
+}
+
+Status WorkerPool::WaitIdle() {
+  const bool helper = InWorkerThread();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A thread inside `self` pool frames must not wait for its own
+      // completion — idle means "nothing outstanding but the caller".
+      const size_t self = tl_pool == this ? static_cast<size_t>(tl_depth) : 0;
+      if (queued_cpu_ == 0 && blocking_queue_.empty() && running_ <= self) {
+        return Status::OK();
+      }
+      if (!helper) {
+        idle_cv_.wait(lock);
+        continue;
+      }
+    }
+    if (!TryHelpOne()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      const size_t self = tl_pool == this ? static_cast<size_t>(tl_depth) : 0;
+      if (queued_cpu_ == 0 && blocking_queue_.empty() && running_ <= self) {
+        return Status::OK();
+      }
+      idle_cv_.wait_for(lock, kHelpParkSlice);
+    }
+  }
+}
+
+void WorkerPool::CoreWorkerLoop(size_t worker_index) {
+  tl_pool = this;
+  tl_worker_index = worker_index;
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || queued_cpu_ > 0; });
+      if (!TryTakeTask(worker_index, &task)) {
+        // Drained: exit only once nothing can produce more work (a running
+        // task may still post).
+        if (shutdown_ && queued_cpu_ == 0 && running_ == 0) return;
+        continue;
+      }
+      ++running_;
+      ++stats_.tasks_run;
+    }
+    RunTask(std::move(task));
+  }
+}
+
+void WorkerPool::ExpansionWorkerLoop() {
+  tl_pool = this;
+  tl_worker_index = kExternalIndex;  // expansion workers are not core
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++idle_expansion_;
+      blocking_cv_.wait(lock, [this] {
+        return shutdown_ || !blocking_queue_.empty();
+      });
+      --idle_expansion_;
+      if (blocking_queue_.empty()) {
+        if (shutdown_ && running_ == 0) return;
+        continue;
+      }
+      task = std::move(blocking_queue_.front());
+      blocking_queue_.pop_front();
+      ++running_;
+      ++blocking_in_flight_;
+      ++stats_.blocking_run;
+      stats_.expansion_peak =
+          std::max(stats_.expansion_peak, blocking_in_flight_);
+    }
+    RunTask(std::move(task));
+  }
+}
+
+}  // namespace qox

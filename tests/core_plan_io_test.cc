@@ -282,5 +282,66 @@ TEST(PlanIoTest, CommentsAndDeclarationsSkipped) {
   EXPECT_TRUE(ParseDesignXml(xml).ok());
 }
 
+TEST(PlanIoTest, SlaAndServiceKnobsRoundTrip) {
+  PhysicalDesign design = MakeDesign();
+  design.sla_deadline_s = 42.5;
+  DesignSpec original = SpecOf(design);
+  EXPECT_EQ(original.sla_deadline_s, 42.5);
+  original.has_service = true;
+  original.service_workers = 8;
+  original.service_max_concurrent = 3;
+  original.service_policy = "fifo";
+  original.service_admit_only_feasible = true;
+  const std::string xml = ExportDesignXml(original);
+  EXPECT_NE(xml.find("sla_deadline_s=\"42.5\""), std::string::npos);
+  EXPECT_NE(xml.find("<service workers=\"8\""), std::string::npos);
+  EXPECT_NE(xml.find("admit_only_feasible=\"1\""), std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value() == original);
+
+  // An unknown queue policy is a document from the future: rejected.
+  const std::string bad = [&xml] {
+    std::string s = xml;
+    const size_t at = s.find("policy=\"fifo\"");
+    return s.replace(at, std::string("policy=\"fifo\"").size(),
+                     "policy=\"lottery\"");
+  }();
+  EXPECT_FALSE(ParseDesignXml(bad).ok());
+}
+
+TEST(PlanIoTest, SlaFreeDesignsStayOutOfTheDocument) {
+  // Byte-stability: designs without an SLA or service context export the
+  // exact pre-service document — no new attributes, no <service> element.
+  const std::string xml = ExportDesignXml(SpecOf(MakeDesign()));
+  EXPECT_EQ(xml.find("sla_deadline_s"), std::string::npos);
+  EXPECT_EQ(xml.find("<service"), std::string::npos);
+}
+
+TEST(PlanIoTest, PreServiceDocumentsStillParse) {
+  // Schema evolution: a document written before the SLA/service additions
+  // (no sla_deadline_s attribute, no <service> element) loads with the
+  // defaults — no SLA, no service context.
+  const std::string xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<physical_design threads=\"2\" redundancy=\"1\">\n"
+      "  <flow id=\"old\" source=\"s\" target=\"t\">\n"
+      "    <operator name=\"op\" kind=\"filter\"/>\n"
+      "  </flow>\n"
+      "  <parallel partitions=\"2\" scheme=\"round_robin\"/>\n"
+      "</physical_design>\n";
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().sla_deadline_s, 0.0);
+  EXPECT_FALSE(parsed.value().has_service);
+  // A negative SLA is rejected outright.
+  const std::string bad =
+      "<?xml version=\"1.0\"?>\n"
+      "<physical_design sla_deadline_s=\"-1\">\n"
+      "  <flow id=\"f\" source=\"s\" target=\"t\"/>\n"
+      "</physical_design>\n";
+  EXPECT_FALSE(ParseDesignXml(bad).ok());
+}
+
 }  // namespace
 }  // namespace qox

@@ -495,7 +495,8 @@ TEST(StageSetTest, BlockedStageUnwindsWithEchoAndPrimaryWins) {
   // A consumer blocked on a channel is woken by another stage's failure;
   // Join must report the raw primary cause, not the kCancelled echo the
   // consumer returned.
-  StageSet stages;
+  WorkerPool pool(2);
+  StageSet stages(ExecContext(&pool, TaskTag{}));
   BatchChannelPtr ch = stages.MakeChannel(1);
   stages.Spawn("consumer", [ch](StageStats* stats) -> Status {
     QOX_ASSIGN_OR_RETURN(std::optional<RowBatch> item,
