@@ -81,7 +81,20 @@ WorkerPool::~WorkerPool() {
   work_cv_.notify_all();
   blocking_cv_.notify_all();
   for (std::thread& t : core_workers_) t.join();
-  for (std::thread& t : expansion_workers_) t.join();
+  // Draining blocking tasks may post more blocking work, which can grow
+  // expansion_workers_ while this destructor runs — join from snapshots
+  // under mu_ until the vector stops growing instead of iterating it raw.
+  size_t joined = 0;
+  while (true) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (joined == expansion_workers_.size()) break;
+      t = std::move(expansion_workers_[joined]);
+    }
+    t.join();
+    ++joined;
+  }
 }
 
 bool WorkerPool::InWorkerThread() const {
@@ -108,11 +121,15 @@ void WorkerPool::Post(std::function<void()> task, const TaskTag& tag,
     t.seq = next_seq_++;
     if (tag.blocking) {
       blocking_queue_.push_back(std::move(t));
-      // One idle expansion worker may be claimed by a concurrent post, so
-      // spawn whenever none is parked; a mild overspawn only grows the
-      // cached set toward its steady state.
-      spawn_expansion = idle_expansion_ == 0;
+      // Every queued blocking task must be guaranteed a thread (the
+      // liveness contract streaming stages rely on), so spawn whenever the
+      // supply of parked workers plus workers still starting up cannot
+      // cover the queue depth. Counting parked workers is safe: an idle
+      // worker never exits while a blocking task is queued.
+      spawn_expansion =
+          blocking_queue_.size() > idle_expansion_ + starting_expansion_;
       if (spawn_expansion) {
+        ++starting_expansion_;
         ++stats_.expansion_threads;
         expansion_workers_.emplace_back([this] { ExpansionWorkerLoop(); });
       }
@@ -177,11 +194,16 @@ void WorkerPool::FinishTask(const Task& task) {
     std::lock_guard<std::mutex> lock(mu_);
     --running_;
     if (task.tag.blocking) --blocking_in_flight_;
-    if (queued_cpu_ == 0 && blocking_queue_.empty()) idle_cv_.notify_all();
-    if (shutdown_) {
-      // Draining workers re-check their exit condition on every completion.
-      work_cv_.notify_all();
-      blocking_cv_.notify_all();
+    if (queued_cpu_ == 0 && blocking_queue_.empty()) {
+      idle_cv_.notify_all();
+      if (shutdown_ && running_ == 0) {
+        // Fully quiescent under shutdown: wake every parked worker so it
+        // observes its exit condition. (Workers park during the drain —
+        // their wait predicates only fire on runnable work or on this
+        // final quiescence, not on shutdown_ alone.)
+        work_cv_.notify_all();
+        blocking_cv_.notify_all();
+      }
     }
   }
   if (task.group != nullptr) task.group->Finish();
@@ -234,11 +256,21 @@ void WorkerPool::CoreWorkerLoop(size_t worker_index) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || queued_cpu_ > 0; });
+      // Wake on runnable CPU work, or once a shutdown drain has fully
+      // quiesced (waking on shutdown_ alone would busy-spin here while
+      // the last in-flight tasks finish).
+      work_cv_.wait(lock, [this] {
+        return queued_cpu_ > 0 ||
+               (shutdown_ && blocking_queue_.empty() && running_ == 0);
+      });
       if (!TryTakeTask(worker_index, &task)) {
-        // Drained: exit only once nothing can produce more work (a running
-        // task may still post).
-        if (shutdown_ && queued_cpu_ == 0 && running_ == 0) return;
+        // Drained: exit only once nothing can produce more work — a
+        // running task may still post, and a queued blocking task may
+        // post CPU work once an expansion worker runs it.
+        if (shutdown_ && queued_cpu_ == 0 && blocking_queue_.empty() &&
+            running_ == 0) {
+          return;
+        }
         continue;
       }
       ++running_;
@@ -251,17 +283,27 @@ void WorkerPool::CoreWorkerLoop(size_t worker_index) {
 void WorkerPool::ExpansionWorkerLoop() {
   tl_pool = this;
   tl_worker_index = kExternalIndex;  // expansion workers are not core
+  bool starting = true;
   while (true) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (starting) {
+        // Now visible to Post's supply count as a parked worker.
+        --starting_expansion_;
+        starting = false;
+      }
       ++idle_expansion_;
+      // Wake on queued blocking work, or once a shutdown drain has fully
+      // quiesced (not on shutdown_ alone — that would busy-spin during
+      // the drain).
       blocking_cv_.wait(lock, [this] {
-        return shutdown_ || !blocking_queue_.empty();
+        return !blocking_queue_.empty() ||
+               (shutdown_ && queued_cpu_ == 0 && running_ == 0);
       });
       --idle_expansion_;
       if (blocking_queue_.empty()) {
-        if (shutdown_ && running_ == 0) return;
+        if (shutdown_ && queued_cpu_ == 0 && running_ == 0) return;
         continue;
       }
       task = std::move(blocking_queue_.front());

@@ -193,7 +193,12 @@ class WorkerPool {
   /// counted by the queues themselves.
   size_t running_ = 0;
   size_t queued_cpu_ = 0;  ///< injection_ + all local_ deques
-  size_t idle_expansion_ = 0;
+  size_t idle_expansion_ = 0;  ///< expansion workers parked in wait
+  /// Expansion threads spawned but not yet parked for the first time.
+  /// Post counts them as supply so a burst of blocking posts spawns
+  /// exactly enough threads to cover the queue depth instead of either
+  /// stranding tasks behind an idle-worker check or stampede-spawning.
+  size_t starting_expansion_ = 0;
   size_t blocking_in_flight_ = 0;
   bool shutdown_ = false;
   Stats stats_;

@@ -102,6 +102,46 @@ TEST(WorkerPoolTest, BlockingTasksExpandBeyondCoreWorkers) {
   EXPECT_GE(pool.stats().expansion_peak, static_cast<size_t>(kBlocking));
 }
 
+TEST(WorkerPoolTest, BlockingBurstOntoIdleWorkersGetsAThreadEach) {
+  // Regression: with k expansion workers parked idle from a previous
+  // batch, a burst of m > k blocking posts must still give every task a
+  // thread. An idle-workers-exist check used to skip spawning for all m
+  // posts, stranding m - k tasks in the queue while the k running bodies
+  // parked on a barrier none of them could pass — a streaming-dataflow
+  // deadlock.
+  constexpr int kBurst = 9;
+  constexpr int kRounds = 8;  // re-race the parked-idle window repeatedly
+  WorkerPool pool(2);
+  TaskTag blocking;
+  blocking.blocking = true;
+  for (int round = 0; round < kRounds; ++round) {
+    // After the previous round (or the first, which also warms the
+    // cache), let the expansion workers re-park so the burst posts
+    // observe them idle.
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    TaskGroup group(&pool);
+    for (int i = 0; i < kBurst; ++i) {
+      pool.Post(
+          [&mu, &cv, &arrived] {
+            std::unique_lock<std::mutex> lock(mu);
+            ++arrived;
+            cv.notify_all();
+            // Only passable when all kBurst bodies hold a thread at once.
+            cv.wait(lock, [&arrived] { return arrived == kBurst; });
+          },
+          blocking, &group);
+    }
+    group.Wait();
+    EXPECT_EQ(arrived, kBurst);
+  }
+  EXPECT_GE(pool.stats().expansion_peak, static_cast<size_t>(kBurst));
+}
+
 TEST(WorkerPoolTest, ExpansionThreadsAreReused) {
   // Sequential blocking tasks recycle the cached expansion thread instead
   // of spawning one per task.
@@ -302,6 +342,41 @@ TEST(WorkerPoolTest, DestructorDrainsQueuedWork) {
     }
   }
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsBlockingTasksThatPostCpuWork) {
+  // Regression: core workers must not exit the shutdown drain while a
+  // blocking task is still queued — when an expansion worker later runs
+  // it, the CPU fan-out it posts needs live core workers or its group
+  // wait parks forever inside the destructor. Also exercises expansion
+  // threads spawned DURING the drain (blocking tasks posting more
+  // blocking work), which the destructor must join from a snapshot loop.
+  std::atomic<int> cpu_done{0};
+  std::atomic<int> blocking_done{0};
+  {
+    WorkerPool pool(2);
+    TaskTag blocking;
+    blocking.blocking = true;
+    for (int i = 0; i < 6; ++i) {
+      pool.Post(
+          [&pool, &cpu_done, &blocking_done, &blocking, i] {
+            if (i < 3) {
+              // Post more blocking work mid-drain.
+              pool.Post([&blocking_done] { ++blocking_done; }, blocking);
+            }
+            TaskGroup fanout(&pool);
+            for (int j = 0; j < 8; ++j) {
+              pool.Post([&cpu_done] { ++cpu_done; }, TaskTag(), &fanout);
+            }
+            fanout.Wait();
+            ++blocking_done;
+          },
+          blocking);
+    }
+    // Destroy immediately: some of the 6 tasks are still queued.
+  }
+  EXPECT_EQ(cpu_done.load(), 6 * 8);
+  EXPECT_EQ(blocking_done.load(), 6 + 3);
 }
 
 TEST(WorkerPoolTest, InWorkerThreadIdentifiesCoreWorkersOnly) {
