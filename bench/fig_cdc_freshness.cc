@@ -1,0 +1,292 @@
+// CDC freshness vs shard count — the sharded near-real-time mode's law.
+//
+// Runs the CdcCoordinator over one seeded update stream at increasing
+// shard counts and reports end-to-end freshness per slice:
+//
+//   freshness = slice_fill / 2 + measured slice latency
+//
+// where slice_fill = slice_events / update_rate is how long the source
+// takes to accumulate a slice (events wait half of it on average) and the
+// slice latency is the measured stage + merge + load wall time from
+// CdcReport::slice_latency_micros. Shards parallelize the stage work, so
+// latency falls toward the serial merge/load floor as shards grow — the
+// same shape CostModel::EstimateCdcFreshness predicts, printed alongside.
+//
+// A final degraded cell kills one of three shards permanently and reports
+// the per-shard lag attribution from RunMetrics::shard_stats: the dead
+// shard's backlog is bounded staleness, the healthy shards keep loading.
+//
+// Structural gates (the --quick ctest smoke relies on them): every run
+// converges to the same warehouse WAL row count (= loadable events of the
+// window, exactly once, independent of shard count), the analytic
+// prediction is strictly decreasing in shards, and the degraded run
+// attributes ALL lag to the dead shard. Results go to stdout AND
+// BENCH_cdc_freshness.json.
+//
+// Usage: fig_cdc_freshness [--quick]   (--quick: small sweep for ctest)
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/crash_point.h"
+#include "core/cost_model.h"
+#include "core/design.h"
+#include "engine/cdc_coordinator.h"
+
+namespace qox {
+namespace {
+
+/// Simulated source update rate (events/s): sets the slice fill time,
+/// the waiting half of freshness. A design parameter, not a measurement.
+constexpr double kUpdateRatePerS = 2000.0;
+
+struct SweepSpec {
+  size_t total_events;
+  size_t slice_events;
+  std::vector<size_t> shard_counts;
+};
+
+SweepSpec MakeSweep(bool quick) {
+  SweepSpec sweep;
+  sweep.total_events = quick ? 1024 : 4096;
+  sweep.slice_events = 256;
+  sweep.shard_counts = quick ? std::vector<size_t>{1, 2}
+                             : std::vector<size_t>{1, 2, 4, 8};
+  return sweep;
+}
+
+CdcStreamSpec StreamSpec(const SweepSpec& sweep) {
+  CdcStreamSpec stream;
+  stream.seed = 42;
+  stream.num_keys = 128;
+  stream.total_events = sweep.total_events;
+  return stream;
+}
+
+/// Rows the filter lets through: events with a non-null amount. Every
+/// converged run must load exactly this many WAL rows.
+size_t LoadableEvents(const CdcStreamSpec& spec) {
+  const CdcSource source(spec);
+  const size_t amount_idx = CdcSchema().FieldIndex("amount").value();
+  size_t loadable = 0;
+  for (size_t i = 0; i < spec.total_events; ++i) {
+    if (!source.EventAt(i).value(amount_idx).is_null()) ++loadable;
+  }
+  return loadable;
+}
+
+/// The analytic counterpart: a PhysicalDesign carrying the same chain
+/// shape (filter + function + sort) and the cell's CDC knobs.
+double PredictedFreshnessS(const SweepSpec& sweep, size_t shards) {
+  PhysicalDesign design;
+  design.flow = LogicalFlow(
+      "cdc_bench", nullptr,
+      {MakeFilter("flt", {Predicate::NotNull("amount")}),
+       MakeFunction("fn", {ColumnTransform::Scale("scaled", "amount", 2.0)}),
+       MakeSort("sort", {{"version", false}})},
+      nullptr);
+  design.cdc_shards = shards;
+  design.cdc_slice_events = sweep.slice_events;
+  design.cdc_update_rate_per_s = kUpdateRatePerS;
+  const CostModel model;
+  return model.EstimateCdcFreshness(design, WorkloadParams{});
+}
+
+struct Cell {
+  size_t shards = 0;
+  size_t slices = 0;
+  size_t wal_rows = 0;
+  double mean_slice_ms = 0.0;
+  double max_slice_ms = 0.0;
+  double measured_freshness_s = 0.0;
+  double predicted_freshness_s = 0.0;
+};
+
+Result<Cell> RunCell(const SweepSpec& sweep, size_t shards,
+                     const std::string& scratch_root) {
+  CdcOptions options;
+  options.scratch_dir = scratch_root + "/shards" + std::to_string(shards);
+  options.stream = StreamSpec(sweep);
+  options.topology.shards = shards;
+  options.topology.slice_events = sweep.slice_events;
+  options.streaming = true;
+  // In-process shard flows: the bench measures slice latency, not
+  // kill-tolerance (the chaos tests own that), and fork/exec noise would
+  // swamp the shard-count signal.
+  options.supervised = false;
+  QOX_ASSIGN_OR_RETURN(const CdcReport report, CdcCoordinator::Run(options));
+
+  Cell cell;
+  cell.shards = shards;
+  cell.slices = report.slices;
+  cell.wal_rows = report.wal_rows;
+  int64_t total = 0;
+  int64_t worst = 0;
+  for (const int64_t micros : report.slice_latency_micros) {
+    total += micros;
+    worst = std::max(worst, micros);
+  }
+  const double n =
+      std::max<double>(1.0, report.slice_latency_micros.size());
+  cell.mean_slice_ms = static_cast<double>(total) / n / 1000.0;
+  cell.max_slice_ms = static_cast<double>(worst) / 1000.0;
+  const double fill_s =
+      static_cast<double>(sweep.slice_events) / kUpdateRatePerS;
+  cell.measured_freshness_s = fill_s / 2.0 + cell.mean_slice_ms / 1000.0;
+  cell.predicted_freshness_s = PredictedFreshnessS(sweep, shards);
+  return cell;
+}
+
+/// The degradation cell: shard 2 of 3 is killed at child start on every
+/// incarnation until its budget is gone, then journaled dead; the
+/// coordinator converges on the surviving shards with the dead shard's
+/// backlog attributed as lag.
+Result<CdcReport> RunDegradedCell(const std::string& scratch_root) {
+  CdcOptions options;
+  options.scratch_dir = scratch_root + "/degraded";
+  options.stream.seed = 42;
+  options.stream.num_keys = 128;
+  options.stream.total_events = 512;
+  options.topology.shards = 3;
+  options.topology.slice_events = 128;
+  options.supervised = true;
+  options.max_shard_incarnations = 2;
+  options.shard_child_setup = [](size_t shard, int) {
+    ArmCrashPoints(shard == 2 ? "child.start:1" : "");
+  };
+  return CdcCoordinator::Run(options);
+}
+
+int RunBench(bool quick) {
+  const SweepSpec sweep = MakeSweep(quick);
+  const std::string scratch_root = "/tmp/qox_bench_cdc";
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_root, ec);
+
+  const size_t loadable = LoadableEvents(StreamSpec(sweep));
+  int failures = 0;
+  std::vector<Cell> cells;
+  for (const size_t shards : sweep.shard_counts) {
+    const Result<Cell> cell = RunCell(sweep, shards, scratch_root);
+    if (!cell.ok()) {
+      std::cerr << "cell shards=" << shards << " failed: " << cell.status()
+                << "\n";
+      return 1;
+    }
+    if (cell.value().wal_rows != loadable) {
+      std::cerr << "exactly-once violated at shards=" << shards << ": "
+                << cell.value().wal_rows << " WAL rows, expected "
+                << loadable << "\n";
+      ++failures;
+    }
+    cells.push_back(cell.value());
+  }
+  for (size_t i = 1; i < cells.size(); ++i) {
+    if (cells[i].predicted_freshness_s >= cells[i - 1].predicted_freshness_s) {
+      std::cerr << "predicted freshness not decreasing: shards="
+                << cells[i].shards << "\n";
+      ++failures;
+    }
+  }
+
+  const Result<CdcReport> degraded = RunDegradedCell(scratch_root);
+  if (!degraded.ok()) {
+    std::cerr << "degraded cell failed: " << degraded.status() << "\n";
+    return 1;
+  }
+  const CdcReport& deg = degraded.value();
+  if (!deg.degraded || deg.shards_dead != 1) {
+    std::cerr << "degraded cell did not degrade (dead=" << deg.shards_dead
+              << ")\n";
+    ++failures;
+  }
+  for (const ShardStats& stats : deg.metrics.shard_stats) {
+    const bool dead = stats.shard == 2;
+    if (dead && (stats.lag_events == 0 ||
+                 stats.lag_events != stats.events_routed)) {
+      std::cerr << "dead shard lag not attributed: lag=" << stats.lag_events
+                << " routed=" << stats.events_routed << "\n";
+      ++failures;
+    }
+    if (!dead && stats.lag_events != 0) {
+      std::cerr << "healthy shard " << stats.shard
+                << " reports lag=" << stats.lag_events << "\n";
+      ++failures;
+    }
+  }
+
+  bench::Table table({"shards", "slices", "wal_rows", "mean_slice_ms",
+                      "max_slice_ms", "measured_fresh_s", "predicted_fresh_s"});
+  for (const Cell& cell : cells) {
+    table.AddRow({std::to_string(cell.shards), std::to_string(cell.slices),
+                  std::to_string(cell.wal_rows),
+                  bench::Seconds(cell.mean_slice_ms, 2),
+                  bench::Seconds(cell.max_slice_ms, 2),
+                  bench::Seconds(cell.measured_freshness_s, 4),
+                  bench::Seconds(cell.predicted_freshness_s, 4)});
+  }
+  table.Print("CDC freshness vs shard count (slice fill " +
+              bench::Seconds(static_cast<double>(sweep.slice_events) /
+                                 kUpdateRatePerS,
+                             3) +
+              "s at " + bench::Seconds(kUpdateRatePerS, 0) + " updates/s)");
+
+  bench::Table lag_table(
+      {"shard", "routed", "applied", "lag_events", "state"});
+  for (const ShardStats& stats : deg.metrics.shard_stats) {
+    lag_table.AddRow({std::to_string(stats.shard),
+                      std::to_string(stats.events_routed),
+                      std::to_string(stats.events_applied),
+                      std::to_string(stats.lag_events),
+                      stats.shard == 2 ? "dead" : "healthy"});
+  }
+  lag_table.Print("Degraded cell: per-shard lag attribution (shard 2 killed)");
+
+  std::ostringstream json;
+  json << "{\"bench\":\"cdc_freshness\",\"update_rate_per_s\":"
+       << kUpdateRatePerS << ",\"slice_events\":" << sweep.slice_events
+       << ",\"total_events\":" << sweep.total_events
+       << ",\"loadable_events\":" << loadable << ",\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    json << (i == 0 ? "" : ",") << "{\"shards\":" << cell.shards
+         << ",\"slices\":" << cell.slices << ",\"wal_rows\":" << cell.wal_rows
+         << ",\"mean_slice_ms\":" << cell.mean_slice_ms
+         << ",\"max_slice_ms\":" << cell.max_slice_ms
+         << ",\"measured_freshness_s\":" << cell.measured_freshness_s
+         << ",\"predicted_freshness_s\":" << cell.predicted_freshness_s
+         << "}";
+  }
+  json << "],\"degraded\":{\"shards\":3,\"shards_dead\":" << deg.shards_dead
+       << ",\"wal_rows\":" << deg.wal_rows << ",\"shard_lag\":[";
+  for (size_t i = 0; i < deg.metrics.shard_stats.size(); ++i) {
+    const ShardStats& stats = deg.metrics.shard_stats[i];
+    json << (i == 0 ? "" : ",") << "{\"shard\":" << stats.shard
+         << ",\"routed\":" << stats.events_routed
+         << ",\"applied\":" << stats.events_applied
+         << ",\"lag\":" << stats.lag_events << "}";
+  }
+  json << "]}}";
+  std::cout << json.str() << std::endl;
+  std::ofstream out("BENCH_cdc_freshness.json");
+  out << json.str() << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qox
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  return qox::RunBench(quick);
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the repo twice via the QOX_SANITIZE CMake knob and
 # runs the tier-1 suite under AddressSanitizer, then the concurrency-heavy
-# engine_* / plan / robustness / crash / resource / service-labeled tests
+# engine_* / plan / robustness / crash / resource / service / cdc-labeled tests
 # under ThreadSanitizer (the streaming executor, channels, the work-stealing
 # WorkerPool substrate and the multi-flow FlowService on top of it, the
 # planner equivalence sweep — which drives both schedulers — the
@@ -14,7 +14,8 @@
 #
 #   --fast   skip the sanitizer trees entirely: one plain build + ctest
 #            with reduced sweeps (QOX_CHAOS_SEEDS=8 instead of the default
-#            32, QOX_CRASH_SEEDS=4 and QOX_RESOURCE_SEEDS=4 instead of 16)
+#            32, QOX_CRASH_SEEDS=4 and QOX_RESOURCE_SEEDS=4 instead of 16,
+#            QOX_CDC_SEEDS=2 instead of 8)
 #            — the quick pre-commit loop; the full gate stays the default.
 #            The unfiltered ctest pass includes the perf-labeled smoke
 #            (perf_transform --quick: columnar fast-path engagement and
@@ -56,18 +57,19 @@ case "${MODE}" in
     # suites (the supervisor forks from the single-threaded gtest runner;
     # children thread freely after exec-free fork, which TSan supports).
     run_suite address build-asan ""
-    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource|service"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource|service|cdc"
     ;;
   --asan-only)
     run_suite address build-asan ""
     ;;
   --tsan-only)
-    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource|service"
+    run_suite thread build-tsan "^engine_|plan|robustness|crash|resource|service|cdc"
     ;;
   --fast)
     QOX_CHAOS_SEEDS="${QOX_CHAOS_SEEDS:-8}" \
     QOX_CRASH_SEEDS="${QOX_CRASH_SEEDS:-4}" \
-    QOX_RESOURCE_SEEDS="${QOX_RESOURCE_SEEDS:-4}" run_suite none build ""
+    QOX_RESOURCE_SEEDS="${QOX_RESOURCE_SEEDS:-4}" \
+    QOX_CDC_SEEDS="${QOX_CDC_SEEDS:-2}" run_suite none build ""
     echo "==> fast check passed (sanitizer trees skipped)"
     exit 0
     ;;

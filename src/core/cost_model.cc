@@ -504,6 +504,36 @@ double CostModel::EstimateFreshness(const PhysicalDesign& design,
   return period_s / 2.0 + batch.total_s;
 }
 
+double CostModel::EstimateCdcFreshness(const PhysicalDesign& design,
+                                       const WorkloadParams& workload) const {
+  if (design.cdc_shards == 0) return 0.0;
+  const double rate = workload.cdc_update_rate_per_s > 0.0
+                          ? workload.cdc_update_rate_per_s
+                          : design.cdc_update_rate_per_s;
+  if (rate <= 0.0) return 0.0;
+  const double slice =
+      std::max<double>(1.0, static_cast<double>(design.cdc_slice_events));
+  // Batching delay: an event waits on average half a slice fill before the
+  // coordinator even sees its slice.
+  const double fill_s = slice / (2.0 * rate);
+  // Shard-parallel work: each worker extracts and transforms only its key
+  // share of the slice.
+  double cost_units = 0.0;
+  for (const LogicalOp& op : design.flow.ops()) cost_units += op.cost_per_row;
+  const double work_s = slice *
+                        (params_.extract_ns_per_row +
+                         cost_units * params_.transform_ns_per_unit) /
+                        1e9;
+  const double eff_shards =
+      std::max(1.0, static_cast<double>(design.cdc_shards) *
+                        params_.parallel_efficiency);
+  // Serial coordinator floor: the version merge and the warehouse append
+  // happen on one process regardless of shard count.
+  const double serial_s =
+      slice * (params_.merge_ns_per_row + params_.load_ns_per_row) / 1e9;
+  return fill_s + work_s / eff_shards + serial_s;
+}
+
 Result<double> CostModel::EstimateMaintainability(
     const PhysicalDesign& design) const {
   QOX_ASSIGN_OR_RETURN(const FlowGraph graph, design.flow.ToGraph());
@@ -543,6 +573,13 @@ Result<QoxVector> CostModel::Predict(const PhysicalDesign& design,
   const double reliability = EstimateReliability(design, phases, workload);
   v.Set(QoxMetric::kReliability, reliability);
   v.Set(QoxMetric::kFreshness, EstimateFreshness(design, workload));
+  // Sharded CDC designs are fresh at slice granularity, not load-schedule
+  // granularity — the CDC law replaces the periodic-batch one when it has
+  // a stream rate to price against.
+  if (design.cdc_shards > 0) {
+    const double cdc_freshness = EstimateCdcFreshness(design, workload);
+    if (cdc_freshness > 0.0) v.Set(QoxMetric::kFreshness, cdc_freshness);
+  }
   QOX_ASSIGN_OR_RETURN(const double maintainability,
                        EstimateMaintainability(design));
   v.Set(QoxMetric::kMaintainability, maintainability);

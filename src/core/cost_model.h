@@ -133,6 +133,9 @@ struct WorkloadParams {
   /// — so predictions degrade the way a shared WorkerPool does. 1 (the
   /// default) is the solo prediction, identical to the single-flow model.
   double concurrent_flows = 1.0;
+  /// CDC stream update rate, events/second, for sharded ingestion designs.
+  /// 0 (the default) defers to the design's own cdc_update_rate_per_s.
+  double cdc_update_rate_per_s = 0.0;
 };
 
 /// Per-phase time prediction, seconds.
@@ -211,6 +214,18 @@ class CostModel {
   /// period / 2 + execution time of one batch (day volume / loads).
   double EstimateFreshness(const PhysicalDesign& design,
                            const WorkloadParams& workload) const;
+
+  /// Mean event-to-warehouse latency of a sharded CDC design (cdc_shards
+  /// > 0): slice fill wait (slice_events / 2R at stream rate R) plus the
+  /// shard-parallel extract+transform of one slice (ideal speedup damped
+  /// by parallel_efficiency) plus the serial coordinator floor (version
+  /// merge + warehouse append are not sharded, so adding shards stops
+  /// helping once per-shard work dips below it — the freshness-vs-shard-
+  /// count law bench/fig_cdc_freshness sweeps). The workload's
+  /// cdc_update_rate_per_s overrides the design's; 0 when the design is
+  /// not CDC or neither supplies a positive rate.
+  double EstimateCdcFreshness(const PhysicalDesign& design,
+                              const WorkloadParams& workload) const;
 
   /// Expected extra wall time per run spent recovering from process
   /// crashes: E[crashes] = crash_rate * T, each costing the fixed

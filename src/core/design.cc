@@ -285,6 +285,7 @@ std::string PhysicalDesign::ConfigTag() const {
   if (!error_budget.unlimited()) oss << "+EB";
   if (memory_budget_bytes > 0) oss << "+M";
   if (columnar) oss << "+C";
+  if (cdc_shards > 0) oss << "+CDC" << cdc_shards;
   return oss.str();
 }
 
@@ -324,6 +325,11 @@ std::string PhysicalDesign::Describe() const {
   if (memory_budget_bytes > 0) {
     oss << " mem_budget=" << memory_budget_bytes
         << " resource_policy=" << ResourcePolicyName(resource_policy);
+  }
+  if (cdc_shards > 0) {
+    oss << " cdc={shards=" << cdc_shards
+        << ",slice_events=" << cdc_slice_events
+        << ",rate=" << cdc_update_rate_per_s << "/s}";
   }
   oss << " :: " << flow.Describe();
   return oss.str();

@@ -232,6 +232,18 @@ struct PhysicalDesign {
   /// the design outright when its cost-model prediction makes the SLA
   /// infeasible under current load.
   double sla_deadline_s = 0.0;
+  /// Sharded CDC ingestion (engine/cdc_coordinator.h): key-partition a
+  /// continuous update stream across this many supervised shard workers,
+  /// merging into one warehouse in slices of cdc_slice_events. 0 = not a
+  /// CDC design (the seed behaviour; the other cdc_* knobs are ignored).
+  /// Priced by the cost model's CDC freshness law (EstimateCdcFreshness).
+  size_t cdc_shards = 0;
+  /// Events per coordinator apply slice (the CDC micro-batch size; the
+  /// batching-delay half of the freshness law).
+  size_t cdc_slice_events = 64;
+  /// Expected stream update rate, events/second, the design is sized for.
+  /// A workload that sets its own rate overrides this.
+  double cdc_update_rate_per_s = 0.0;
 
   /// Converts to the engine ExecutionConfig (runtime resources supplied by
   /// the caller).

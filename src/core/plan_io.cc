@@ -56,6 +56,9 @@ bool DesignSpec::operator==(const DesignSpec& other) const {
          service_max_concurrent == other.service_max_concurrent &&
          service_policy == other.service_policy &&
          service_admit_only_feasible == other.service_admit_only_feasible &&
+         cdc_shards == other.cdc_shards &&
+         cdc_slice_events == other.cdc_slice_events &&
+         cdc_update_rate_per_s == other.cdc_update_rate_per_s &&
          plan_stages == other.plan_stages && plan_edges == other.plan_edges;
 }
 
@@ -107,6 +110,9 @@ DesignSpec SpecOf(const PhysicalDesign& design) {
   spec.resource_policy = ResourcePolicyName(design.resource_policy);
   spec.columnar = design.columnar;
   spec.sla_deadline_s = design.sla_deadline_s;
+  spec.cdc_shards = design.cdc_shards;
+  spec.cdc_slice_events = design.cdc_slice_events;
+  spec.cdc_update_rate_per_s = design.cdc_update_rate_per_s;
   // The lowered stage graph rides along as descriptive metadata. PlanFor
   // is the same lowering the executors schedule, so the exported plan is
   // exactly what would run.
@@ -437,6 +443,13 @@ std::string ExportDesignXml(const DesignSpec& spec) {
     oss << "    <cut position=\"" << cut << "\"/>\n";
   }
   oss << "  </recovery_points>\n";
+  // Optional sharded-CDC ingestion shape. Absent for non-CDC designs, so
+  // documents that predate CDC mode are unchanged.
+  if (spec.cdc_shards > 0) {
+    oss << "  <cdc shards=\"" << spec.cdc_shards << "\" slice_events=\""
+        << spec.cdc_slice_events << "\" update_rate_per_s=\""
+        << spec.cdc_update_rate_per_s << "\"/>\n";
+  }
   // Optional multi-flow service context (FlowServiceConfig). Absent for
   // solo designs, so documents that predate the service are unchanged.
   if (spec.has_service) {
@@ -578,6 +591,26 @@ Result<DesignSpec> ParseDesignXml(const std::string& xml) {
                            RequiredAttribute(child, "position"));
       QOX_ASSIGN_OR_RETURN(const size_t cut, ParseSize(position));
       spec.recovery_points.push_back(cut);
+    }
+  }
+  if (const XmlNode* cdc = root.FirstChild("cdc")) {
+    QOX_ASSIGN_OR_RETURN(const std::string shards,
+                         RequiredAttribute(*cdc, "shards"));
+    QOX_ASSIGN_OR_RETURN(spec.cdc_shards, ParseSize(shards));
+    if (spec.cdc_shards == 0) {
+      return Status::Invalid("<cdc> shards must be >= 1");
+    }
+    QOX_ASSIGN_OR_RETURN(
+        spec.cdc_slice_events,
+        ParseSize(AttributeOr(*cdc, "slice_events", "64")));
+    if (spec.cdc_slice_events == 0) {
+      return Status::Invalid("<cdc> slice_events must be >= 1");
+    }
+    QOX_ASSIGN_OR_RETURN(
+        spec.cdc_update_rate_per_s,
+        ParseDouble(AttributeOr(*cdc, "update_rate_per_s", "0")));
+    if (spec.cdc_update_rate_per_s < 0.0) {
+      return Status::Invalid("<cdc> update_rate_per_s must be >= 0");
     }
   }
   if (const XmlNode* service = root.FirstChild("service")) {

@@ -113,6 +113,13 @@ struct DesignSpec {
   size_t service_max_concurrent = 4;
   std::string service_policy = "edf";
   bool service_admit_only_feasible = false;
+  /// Sharded CDC ingestion shape (PhysicalDesign::cdc_*), exported as an
+  /// optional <cdc> element. cdc_shards == 0 (the default) omits the
+  /// element entirely, so pre-CDC documents stay byte-stable and parse
+  /// unchanged.
+  size_t cdc_shards = 0;
+  size_t cdc_slice_events = 64;
+  double cdc_update_rate_per_s = 0.0;
 
   /// The lowered ExecutionPlan (stage nodes + channel edges), exported as
   /// read-only metadata. SpecOf fills it by lowering the design; import

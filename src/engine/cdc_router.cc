@@ -1,0 +1,48 @@
+#include "engine/cdc_router.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace qox {
+
+ShardRouter::ShardRouter(CdcSourcePtr source, CdcTopology topology)
+    : source_(std::move(source)), topology_(topology) {
+  // A zero anywhere would divide the window into nonsense; clamp to the
+  // minimum sane shape instead of erroring (the validated entry points —
+  // CdcOptions, plan import — reject these before they get here).
+  if (topology_.shards == 0) topology_.shards = 1;
+  if (topology_.slice_events == 0) topology_.slice_events = 1;
+}
+
+size_t ShardRouter::num_slices() const {
+  const size_t total = source_->spec().total_events;
+  return std::max<size_t>(
+      1, (total + topology_.slice_events - 1) / topology_.slice_events);
+}
+
+std::pair<size_t, size_t> ShardRouter::SliceRange(size_t slice) const {
+  const size_t total = source_->spec().total_events;
+  const size_t begin = std::min(total, slice * topology_.slice_events);
+  const size_t end = std::min(total, begin + topology_.slice_events);
+  return {begin, end};
+}
+
+DataStorePtr ShardRouter::ShardSlice(size_t shard, size_t slice) const {
+  const auto range = SliceRange(slice);
+  return std::make_shared<CdcShardView>(source_, shard, topology_.shards,
+                                        range.first, range.second);
+}
+
+size_t ShardRouter::CountShardEvents(size_t shard, size_t begin,
+                                     size_t end) const {
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const Row row = source_->EventAt(i);
+    if (CdcShardOf(row.value(0).int64_value(), topology_.shards) == shard) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace qox

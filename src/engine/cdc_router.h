@@ -1,0 +1,66 @@
+// ShardRouter: the partitioning plan of a sharded CDC ingestion run.
+//
+// The router owns the two deterministic decompositions the coordinator and
+// its shard workers must agree on across process incarnations:
+//
+//   * TIME: the stream window is cut into fixed-size slices of
+//     `slice_events` consecutive offsets — the micro-batches the
+//     coordinator applies to the warehouse one at a time (each slice is
+//     the unit of the exactly-once watermark).
+//   * KEY: within a slice, each of `shards` workers extracts only the
+//     events whose key hashes to it (CdcShardOf), so one key's updates
+//     always flow through one worker and per-key version order survives
+//     the merge.
+//
+// Both cuts are pure functions of (stream spec, topology), so a restarted
+// coordinator re-derives the identical plan from its journaled meta record
+// — no partition state needs to be persisted.
+
+#ifndef QOX_ENGINE_CDC_ROUTER_H_
+#define QOX_ENGINE_CDC_ROUTER_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "storage/cdc_source.h"
+
+namespace qox {
+
+/// The sharding shape of one CDC run.
+struct CdcTopology {
+  /// Parallel shard workers the stream is key-partitioned across.
+  size_t shards = 2;
+  /// Events per time slice (the coordinator's apply granularity). The last
+  /// slice may be shorter.
+  size_t slice_events = 64;
+};
+
+class ShardRouter {
+ public:
+  ShardRouter(CdcSourcePtr source, CdcTopology topology);
+
+  const CdcTopology& topology() const { return topology_; }
+  const CdcSourcePtr& source() const { return source_; }
+
+  /// Slices covering the source's window (ceil division; >= 1 slice even
+  /// for an empty window so an empty stream still commits).
+  size_t num_slices() const;
+
+  /// Offset window [begin, end) of slice `slice`.
+  std::pair<size_t, size_t> SliceRange(size_t slice) const;
+
+  /// The extract source of worker `shard` for slice `slice`.
+  DataStorePtr ShardSlice(size_t shard, size_t slice) const;
+
+  /// Events of offset window [begin, end) owned by `shard` — the lag /
+  /// staleness attribution unit (how many updates a dead shard is behind).
+  size_t CountShardEvents(size_t shard, size_t begin, size_t end) const;
+
+ private:
+  const CdcSourcePtr source_;
+  CdcTopology topology_;
+};
+
+}  // namespace qox
+
+#endif  // QOX_ENGINE_CDC_ROUTER_H_

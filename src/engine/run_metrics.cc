@@ -70,6 +70,19 @@ std::string RunMetrics::Summary() const {
   if (rp_corruption_fallbacks > 0) {
     oss << " rp_corruption_fallbacks=" << rp_corruption_fallbacks;
   }
+  if (!shard_stats.empty()) {
+    size_t lag = 0;
+    size_t dead = 0;
+    size_t crashes = 0;
+    for (const ShardStats& shard : shard_stats) {
+      lag += shard.lag_events;
+      if (shard.dead) ++dead;
+      crashes += shard.crashes;
+    }
+    oss << " shards=" << shard_stats.size() << " shard_lag=" << lag
+        << " shard_crashes=" << crashes;
+    if (dead > 0) oss << " shards_dead=" << dead;
+  }
   if (streaming && !stage_stats.empty()) {
     int64_t stall = 0;
     int64_t backpressure = 0;

@@ -81,6 +81,36 @@ struct StageStats {
   size_t channel_high_water = 0;
 };
 
+/// Per-shard accounting of a sharded CDC ingestion run
+/// (engine/cdc_coordinator.h): how far each shard worker got through the
+/// stream window and what it cost to keep it there. `lag_events` is the
+/// bounded-staleness headline — updates routed to the shard that are NOT
+/// yet durable in the warehouse (0 for a healthy shard after a converged
+/// run; the shard's whole backlog when it died and the coordinator
+/// degraded around it).
+struct ShardStats {
+  size_t shard = 0;
+  /// Update events of the window owned by this shard (key-hash routing).
+  size_t events_routed = 0;
+  /// Events of slices whose shard output is durably applied.
+  size_t events_applied = 0;
+  /// events_routed - events_applied: the shard's staleness in updates.
+  size_t lag_events = 0;
+  /// Post-transform rows durably staged by the shard's workers.
+  size_t rows_staged = 0;
+  /// Staged rows merged into the warehouse WAL.
+  size_t rows_applied = 0;
+  /// Supervised worker children forked for this shard (this process).
+  size_t incarnations = 0;
+  /// Worker children that died abnormally and were restarted.
+  size_t crashes = 0;
+  /// Worker lease acquisitions that displaced a stale lease.
+  size_t lease_takeovers = 0;
+  /// The shard exhausted its incarnation budget; the coordinator stopped
+  /// scheduling it and kept loading the healthy shards.
+  bool dead = false;
+};
+
 /// Metrics of one flow run (possibly spanning several attempts when
 /// failures were injected).
 struct RunMetrics {
@@ -163,6 +193,9 @@ struct RunMetrics {
   std::vector<ParallelUnitStats> parallel_units;
   /// Streaming mode only: one entry per dataflow stage (across attempts).
   std::vector<StageStats> stage_stats;
+  /// Sharded CDC ingestion only: one entry per shard worker, in shard
+  /// order (empty for ordinary flow runs).
+  std::vector<ShardStats> shard_stats;
 
   /// Adds an operator's stats, merging by name.
   void AccumulateOp(const OpStats& stats);

@@ -188,15 +188,33 @@ Status JournalFile::Append(const std::string& type,
   return Status::OK();
 }
 
+void JournalFile::SetWriteFault(std::function<Status()> fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_fault_ = std::move(fault);
+}
+
 Status JournalFile::Rewrite(const std::vector<JournalRecord>& records) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string tmp_path = path_ + ".tmp";
+  // A rotation that fails at ANY step below must leave no trace: the old
+  // segment (and the in-memory record list mirroring it) stays the
+  // journal, and the half-written temp file is removed so a later
+  // successful rotation — or an unrelated directory sweep — never sees it.
+  const auto abort_rotation = [&tmp_path](Status status) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    return status;
+  };
   {
+    if (write_fault_) {
+      const Status injected = write_fault_();
+      if (!injected.ok()) return abort_rotation(injected);
+    }
     const int tmp_fd = ::open(tmp_path.c_str(),
                               O_WRONLY | O_TRUNC | O_CREAT | O_CLOEXEC, 0644);
     if (tmp_fd < 0) {
-      return Status::IoError("cannot create '" + tmp_path +
-                             "': " + std::strerror(errno));
+      return abort_rotation(Status::IoError("cannot create '" + tmp_path +
+                                            "': " + std::strerror(errno)));
     }
     uint64_t seq = 1;
     for (const JournalRecord& record : records) {
@@ -208,24 +226,26 @@ Status JournalFile::Rewrite(const std::vector<JournalRecord>& records) {
         if (n < 0) {
           if (errno == EINTR) continue;
           ::close(tmp_fd);
-          return Status::IoError("write to '" + tmp_path +
-                                 "': " + std::strerror(errno));
+          return abort_rotation(Status::IoError(
+              "write to '" + tmp_path + "': " + std::strerror(errno)));
         }
         written += static_cast<size_t>(n);
       }
       ++seq;
     }
-    const Status sync_status = SyncFd(tmp_fd, tmp_path);
+    Status sync_status;
+    if (write_fault_) sync_status = write_fault_();
+    if (sync_status.ok()) sync_status = SyncFd(tmp_fd, tmp_path);
     ::close(tmp_fd);
-    QOX_RETURN_IF_ERROR(sync_status);
+    if (!sync_status.ok()) return abort_rotation(sync_status);
     ++syncs_;
   }
   QOX_CRASH_POINT("journal.rotate");
   std::error_code ec;
   std::filesystem::rename(tmp_path, path_, ec);
   if (ec) {
-    return Status::IoError("cannot rotate journal '" + path_ +
-                           "': " + ec.message());
+    return abort_rotation(Status::IoError("cannot rotate journal '" + path_ +
+                                          "': " + ec.message()));
   }
   SyncParentDir(path_);
   // The append fd still points at the replaced inode; reopen on the new

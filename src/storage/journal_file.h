@@ -18,6 +18,7 @@
 #define QOX_STORAGE_JOURNAL_FILE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -70,8 +71,19 @@ class JournalFile {
 
   /// Atomically replaces the whole segment with `records` (re-sequenced
   /// from 1): write temp file, fsync, rename over the log. A crash before
-  /// the rename leaves the old segment intact; after it, the new one.
+  /// the rename leaves the old segment intact; after it, the new one. A
+  /// FAILED rotation (disk full, failed fsync, failed rename) likewise
+  /// leaves the old segment and the in-memory record list untouched,
+  /// removes its half-written temp file, and keeps the journal appendable.
   Status Rewrite(const std::vector<JournalRecord>& records);
+
+  /// Test hook: fault injected before rotation I/O (once before the temp
+  /// segment is written, once before its fsync) — the disk-pressure
+  /// analogue of FaultyStore's enospc/fsync_fail kinds for the rotation
+  /// path, which store-boundary injection cannot reach. A non-OK return
+  /// aborts the rotation as if the write/fsync itself had failed. May be
+  /// empty.
+  void SetWriteFault(std::function<Status()> fault);
 
   /// Everything currently in the segment, in order (recovered + appended).
   const std::vector<JournalRecord>& records() const { return records_; }
@@ -101,6 +113,7 @@ class JournalFile {
   std::vector<JournalRecord> records_;
   size_t truncated_bytes_ = 0;
   size_t syncs_ = 0;
+  std::function<Status()> write_fault_;
 };
 
 }  // namespace qox

@@ -1,6 +1,7 @@
 #include "storage/lease_file.h"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -21,32 +22,17 @@ bool PidAlive(pid_t pid) {
   return ::kill(pid, 0) == 0 || errno == EPERM;
 }
 
-}  // namespace
-
-Result<pid_t> LeaseFile::HolderPid(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("no lease at '" + path + "'");
-  long long pid = 0;
-  if (!(in >> pid) || pid <= 0) {
-    return Status::NotFound("lease at '" + path + "' is unreadable");
-  }
-  return static_cast<pid_t>(pid);
+/// Milliseconds since the lease file was last written; -1 when unreadable.
+int64_t LeaseAgeMs(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return -1;
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(age).count();
 }
 
-Result<std::unique_ptr<LeaseFile>> LeaseFile::Acquire(std::string path,
-                                                      std::string owner) {
-  bool took_over = false;
-  const Result<pid_t> holder = HolderPid(path);
-  if (holder.ok()) {
-    const pid_t pid = holder.value();
-    if (pid != ::getpid() && PidAlive(pid)) {
-      return Status::FailedPrecondition(
-          "lease '" + path + "' held by live process " + std::to_string(pid));
-    }
-    // Holder is this process (re-acquire) or dead (stale): take over.
-    took_over = pid != ::getpid();
-  }
-  // Publish atomically so a reader never sees a half-written lease.
+/// Atomically writes "<pid> <owner>" to `path` via tmp + rename.
+Status PublishLease(const std::string& path, const std::string& owner) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
@@ -61,8 +47,61 @@ Result<std::unique_ptr<LeaseFile>> LeaseFile::Acquire(std::string path,
     return Status::IoError("cannot publish lease '" + path +
                            "': " + ec.message());
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<pid_t> LeaseFile::HolderPid(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no lease at '" + path + "'");
+  long long pid = 0;
+  if (!(in >> pid) || pid <= 0) {
+    return Status::NotFound("lease at '" + path + "' is unreadable");
+  }
+  return static_cast<pid_t>(pid);
+}
+
+int64_t LeaseFile::TimeoutMs() {
+  const char* env = std::getenv("QOX_LEASE_TIMEOUT_MS");
+  if (env == nullptr) return 0;
+  const long long parsed = std::strtoll(env, nullptr, 10);
+  return parsed > 0 ? static_cast<int64_t>(parsed) : 0;
+}
+
+Result<std::unique_ptr<LeaseFile>> LeaseFile::Acquire(std::string path,
+                                                      std::string owner) {
+  bool took_over = false;
+  const Result<pid_t> holder = HolderPid(path);
+  if (holder.ok()) {
+    const pid_t pid = holder.value();
+    if (pid != ::getpid() && PidAlive(pid)) {
+      // A live holder still loses the lease when it stopped refreshing it
+      // for longer than the configured timeout — the hung-holder case pid
+      // liveness cannot see.
+      const int64_t timeout_ms = TimeoutMs();
+      const int64_t age_ms = timeout_ms > 0 ? LeaseAgeMs(path) : -1;
+      if (timeout_ms <= 0 || age_ms < timeout_ms) {
+        return Status::FailedPrecondition(
+            "lease '" + path + "' held by live process " +
+            std::to_string(pid));
+      }
+    }
+    // Holder is this process (re-acquire), dead, or timed out: take over.
+    took_over = pid != ::getpid();
+  }
+  // Publish atomically so a reader never sees a half-written lease.
+  QOX_RETURN_IF_ERROR(PublishLease(path, owner));
   return std::unique_ptr<LeaseFile>(
-      new LeaseFile(std::move(path), took_over));
+      new LeaseFile(std::move(path), std::move(owner), took_over));
+}
+
+Status LeaseFile::Heartbeat() {
+  if (released_) {
+    return Status::FailedPrecondition("heartbeat on released lease '" +
+                                      path_ + "'");
+  }
+  return PublishLease(path_, owner_);
 }
 
 Status LeaseFile::Release() {

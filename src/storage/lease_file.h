@@ -7,6 +7,13 @@
 // is alive and takes over silently when it is dead — the stale lease a
 // SIGKILLed supervisor necessarily leaves behind. Forked child workers do
 // not touch the lease: it is keyed to the supervising process.
+//
+// Pid liveness cannot see a HUNG holder (alive but wedged), so takeover is
+// optionally time-bounded: when QOX_LEASE_TIMEOUT_MS is set to a positive
+// value, a lease whose file has not been refreshed (written or
+// Heartbeat()ed) for that long is treated as stale even if its holder pid
+// still exists. Unset or 0 keeps the pid-only behavior. Long-running
+// holders under a timeout must Heartbeat() more often than the timeout.
 
 #ifndef QOX_STORAGE_LEASE_FILE_H_
 #define QOX_STORAGE_LEASE_FILE_H_
@@ -24,8 +31,9 @@ class LeaseFile {
  public:
   /// Acquires the lease at `path` for the calling process. Returns
   /// kFailedPrecondition naming the holder when another live process holds
-  /// it; silently takes over a stale lease (holder pid no longer exists).
-  /// `owner` is a diagnostic tag written next to the pid.
+  /// it; silently takes over a stale lease (holder pid no longer exists,
+  /// or — with QOX_LEASE_TIMEOUT_MS set — not refreshed within the
+  /// timeout). `owner` is a diagnostic tag written next to the pid.
   static Result<std::unique_ptr<LeaseFile>> Acquire(std::string path,
                                                     std::string owner);
 
@@ -38,6 +46,15 @@ class LeaseFile {
   /// Explicitly releases (removes) the lease file.
   Status Release();
 
+  /// Refreshes the lease file so a QOX_LEASE_TIMEOUT_MS-based takeover
+  /// does not steal it from a live, non-wedged holder. Rewrites the lease
+  /// in place (same atomic publish as Acquire).
+  Status Heartbeat();
+
+  /// The stale-takeover timeout read from QOX_LEASE_TIMEOUT_MS, in
+  /// milliseconds; 0 = pid-liveness only (the default).
+  static int64_t TimeoutMs();
+
   /// True when acquisition displaced a stale lease left by a dead holder.
   bool took_over() const { return took_over_; }
 
@@ -48,10 +65,12 @@ class LeaseFile {
   static Result<pid_t> HolderPid(const std::string& path);
 
  private:
-  LeaseFile(std::string path, bool took_over)
-      : path_(std::move(path)), took_over_(took_over) {}
+  LeaseFile(std::string path, std::string owner, bool took_over)
+      : path_(std::move(path)), owner_(std::move(owner)),
+        took_over_(took_over) {}
 
   const std::string path_;
+  const std::string owner_;
   const bool took_over_;
   bool released_ = false;
 };

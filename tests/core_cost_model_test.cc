@@ -265,6 +265,77 @@ TEST(CostModelTest, FreshnessSeparatesConfigsAtHighFrequency) {
             model.EstimateFreshness(lean, workload));
 }
 
+TEST(CostModelTest, CdcFreshnessImprovesWithShardsToSerialFloor) {
+  // The freshness-vs-shard-count law bench/fig_cdc_freshness sweeps:
+  // shards parallelize extract+transform, but the slice fill wait and the
+  // coordinator's serial merge+load are a floor no shard count beats.
+  const CostModel model;
+  WorkloadParams workload = BaseWorkload();
+  workload.cdc_update_rate_per_s = 200.0;
+
+  // Not a CDC design => the law is off.
+  EXPECT_EQ(model.EstimateCdcFreshness(BaseDesign(), workload), 0.0);
+
+  PhysicalDesign one = BaseDesign();
+  one.cdc_shards = 1;
+  PhysicalDesign four = BaseDesign();
+  four.cdc_shards = 4;
+  PhysicalDesign many = BaseDesign();
+  many.cdc_shards = 1024;
+  const double f1 = model.EstimateCdcFreshness(one, workload);
+  const double f4 = model.EstimateCdcFreshness(four, workload);
+  const double f_many = model.EstimateCdcFreshness(many, workload);
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LT(f4, f1);
+  EXPECT_LT(f_many, f4);
+  const double slice = static_cast<double>(many.cdc_slice_events);
+  const double floor_s =
+      slice / (2.0 * workload.cdc_update_rate_per_s) +
+      slice *
+          (model.params().merge_ns_per_row + model.params().load_ns_per_row) /
+          1e9;
+  EXPECT_GE(f_many, floor_s);
+
+  // Smaller slices trade throughput for freshness: shorter fill wait.
+  PhysicalDesign small_slices = four;
+  small_slices.cdc_slice_events = 8;
+  EXPECT_LT(model.EstimateCdcFreshness(small_slices, workload), f4);
+}
+
+TEST(CostModelTest, CdcRatePrecedenceAndPredictOverride) {
+  const CostModel model;
+  PhysicalDesign design = BaseDesign();
+  design.cdc_shards = 4;
+  design.cdc_update_rate_per_s = 20.0;
+
+  // No workload rate => the design's own rate prices the fill wait.
+  const double from_design =
+      model.EstimateCdcFreshness(design, BaseWorkload());
+  EXPECT_GT(from_design, 0.0);
+
+  // A workload rate overrides the design's (faster stream => fresher).
+  WorkloadParams fast = BaseWorkload();
+  fast.cdc_update_rate_per_s = 2000.0;
+  EXPECT_LT(model.EstimateCdcFreshness(design, fast), from_design);
+
+  // Neither supplies a rate => nothing to price against.
+  PhysicalDesign unrated = BaseDesign();
+  unrated.cdc_shards = 4;
+  EXPECT_EQ(model.EstimateCdcFreshness(unrated, BaseWorkload()), 0.0);
+
+  // Predict swaps the periodic-batch freshness for the CDC law on CDC
+  // designs (and leaves non-CDC predictions untouched).
+  const Result<QoxVector> predicted = model.Predict(design, BaseWorkload());
+  ASSERT_TRUE(predicted.ok()) << predicted.status();
+  EXPECT_DOUBLE_EQ(predicted.value().GetOr(QoxMetric::kFreshness, -1.0),
+                   from_design);
+  const Result<QoxVector> plain =
+      model.Predict(BaseDesign(), BaseWorkload());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(plain.value().GetOr(QoxMetric::kFreshness, -1.0),
+                   model.EstimateFreshness(BaseDesign(), BaseWorkload()));
+}
+
 TEST(CostModelTest, MaintainabilityPenalizesPhysicalComplexity) {
   const CostModel model;
   PhysicalDesign plain = BaseDesign();

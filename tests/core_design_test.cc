@@ -140,6 +140,9 @@ TEST(PhysicalDesignTest, ConfigTagsMatchPaperNames) {
   EXPECT_EQ(design.ConfigTag(), "1F+RP");
   design.recovery_points = {0, 1, 2};
   EXPECT_EQ(design.ConfigTag(), "1F+RP++");
+  design.recovery_points = {};
+  design.cdc_shards = 4;
+  EXPECT_EQ(design.ConfigTag(), "1F+CDC4");
 }
 
 TEST(PhysicalDesignTest, ToExecutionConfigCopiesChoices) {

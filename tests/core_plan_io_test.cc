@@ -343,5 +343,56 @@ TEST(PlanIoTest, PreServiceDocumentsStillParse) {
   EXPECT_FALSE(ParseDesignXml(bad).ok());
 }
 
+TEST(PlanIoTest, CdcKnobsRoundTrip) {
+  PhysicalDesign design = MakeDesign();
+  design.cdc_shards = 4;
+  design.cdc_slice_events = 32;
+  design.cdc_update_rate_per_s = 250.0;
+  const DesignSpec original = SpecOf(design);
+  const std::string xml = ExportDesignXml(original);
+  EXPECT_NE(xml.find("<cdc shards=\"4\" slice_events=\"32\""),
+            std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().cdc_shards, 4u);
+  EXPECT_EQ(parsed.value().cdc_slice_events, 32u);
+  EXPECT_EQ(parsed.value().cdc_update_rate_per_s, 250.0);
+  EXPECT_TRUE(parsed.value() == original);
+}
+
+TEST(PlanIoTest, NonCdcDesignsStayOutOfTheDocument) {
+  // Byte-stability: a design that never enables CDC exports without a
+  // <cdc> element, so pre-CDC documents are unchanged and still parse.
+  const std::string xml = ExportDesignXml(MakeDesign());
+  EXPECT_EQ(xml.find("<cdc"), std::string::npos);
+  const Result<DesignSpec> parsed = ParseDesignXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().cdc_shards, 0u);
+}
+
+TEST(PlanIoTest, BadCdcAttributesRejected) {
+  const std::string zero_shards =
+      "<?xml version=\"1.0\"?>\n"
+      "<physical_design>\n"
+      "  <flow id=\"f\" source=\"s\" target=\"t\"/>\n"
+      "  <cdc shards=\"0\"/>\n"
+      "</physical_design>\n";
+  EXPECT_FALSE(ParseDesignXml(zero_shards).ok());
+  const std::string zero_slice =
+      "<?xml version=\"1.0\"?>\n"
+      "<physical_design>\n"
+      "  <flow id=\"f\" source=\"s\" target=\"t\"/>\n"
+      "  <cdc shards=\"2\" slice_events=\"0\"/>\n"
+      "</physical_design>\n";
+  EXPECT_FALSE(ParseDesignXml(zero_slice).ok());
+  const std::string negative_rate =
+      "<?xml version=\"1.0\"?>\n"
+      "<physical_design>\n"
+      "  <flow id=\"f\" source=\"s\" target=\"t\"/>\n"
+      "  <cdc shards=\"2\" update_rate_per_s=\"-5\"/>\n"
+      "</physical_design>\n";
+  EXPECT_FALSE(ParseDesignXml(negative_rate).ok());
+}
+
 }  // namespace
 }  // namespace qox

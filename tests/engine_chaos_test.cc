@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 
 #include "common/rng.h"
 #include "engine/executor.h"
+#include "engine/flow_service.h"
 #include "engine/ops/filter_op.h"
 #include "engine/ops/function_op.h"
 #include "engine/ops/sort_op.h"
@@ -199,6 +201,104 @@ TEST(ChaosSweepTest, WarehouseAndLedgerSurviveRandomFaultSchedules) {
     EXPECT_EQ(streaming.ledger, clean.ledger);
     EXPECT_EQ(columnar_phased.ledger, clean.ledger);
     EXPECT_EQ(columnar_streaming.ledger, clean.ledger);
+  }
+}
+
+/// A chaos tenant held alive until its service ticket resolves: the
+/// injector and stores must outlive the flow's execution, which happens on
+/// a service worker after Submit() returns.
+struct ChaosTenant {
+  std::unique_ptr<FailureInjector> injector;
+  std::shared_ptr<MemTable> warehouse;
+  DeadLetterStorePtr dlq;
+  ChaosOutcome clean;
+  uint64_t ticket = 0;
+  std::string tag;
+};
+
+/// Builds the same chaos flow RunOnce(chaos=true) executes, but as a
+/// FlowService submission instead of a solo Executor::Run.
+ChaosTenant BuildChaosTenant(const std::vector<Row>& input,
+                             const ChaosSchedule& schedule, bool streaming,
+                             Rng rng, FlowService* service) {
+  ChaosTenant tenant;
+  tenant.injector = std::make_unique<FailureInjector>();
+  for (const PoisonSpec& spec : schedule.poison) {
+    tenant.injector->AddPoison(spec);
+  }
+  tenant.injector->ArmRandom(schedule.armed_failures, kNumOps, &rng);
+
+  DataStorePtr source = MakeSource(SimpleSchema(), input);
+  if (schedule.scan_fault) {
+    FaultPlan plan;
+    plan.scan_fail_on_call = 1;
+    source = std::make_shared<FaultyStore>(source, plan, rng.Next());
+  }
+
+  tenant.warehouse = std::make_shared<MemTable>("wh", TargetSchema());
+  DataStorePtr target = tenant.warehouse;
+  if (schedule.torn_load) {
+    FaultPlan plan;
+    plan.append_fail_on_call = schedule.append_fail_on_call;
+    plan.torn_writes = true;
+    plan.torn_fraction = -1.0;
+    target = std::make_shared<FaultyStore>(target, plan, rng.Next());
+  }
+
+  tenant.dlq = DeadLetterStore::InMemory("dlq");
+  FlowSubmission submission;
+  submission.flow = MakeFlow(source, target);
+  submission.config.streaming = streaming;
+  submission.config.batch_size = 32;
+  submission.config.injector = tenant.injector.get();
+  submission.config.error_policies = schedule.policies;
+  submission.config.dead_letter = tenant.dlq;
+  submission.config.retry.max_attempts = 8;
+  submission.config.retry.initial_backoff_micros = 50;
+  const Result<uint64_t> ticket = service->Submit(std::move(submission));
+  EXPECT_TRUE(ticket.ok()) << ticket.status();
+  tenant.ticket = ticket.ok() ? ticket.value() : 0;
+  return tenant;
+}
+
+TEST(ChaosSweepTest, FaultSchedulesSurviveFlowServiceTenancy) {
+  // The same seeded schedules, now multi-tenant: every chaos run is a
+  // FlowService submission sharing one worker pool with the other tenants,
+  // and each must still converge to its own clean reference — chaos in one
+  // tenant's flow cannot leak into another's warehouse or ledger.
+  const std::vector<Row> input = SimpleRows(kRows);
+  const size_t width = std::max<size_t>(4, SweepWidth() / 4);
+
+  FlowServiceConfig service_config;
+  service_config.num_workers = 4;
+  service_config.max_concurrent_flows = 3;
+  FlowService service(service_config);
+
+  std::vector<ChaosTenant> tenants;
+  for (size_t seed = 0; seed < width; ++seed) {
+    Rng rng(seed * 1000003 + 17);
+    const ChaosSchedule schedule = DrawSchedule(&rng);
+    const ChaosOutcome clean =
+        RunOnce(input, schedule, /*chaos=*/false, /*streaming=*/false,
+                rng.Fork());
+    for (const bool streaming : {false, true}) {
+      ChaosTenant tenant =
+          BuildChaosTenant(input, schedule, streaming, rng.Fork(), &service);
+      tenant.clean = clean;
+      tenant.tag = "seed " + std::to_string(seed) +
+                   (streaming ? " streaming" : " phased");
+      tenants.push_back(std::move(tenant));
+    }
+  }
+
+  for (ChaosTenant& tenant : tenants) {
+    SCOPED_TRACE(tenant.tag);
+    const Result<RunMetrics> metrics = service.Wait(tenant.ticket);
+    ASSERT_TRUE(metrics.ok()) << metrics.status();
+    EXPECT_EQ(tenant.warehouse->ReadAll().value().rows(),
+              tenant.clean.warehouse);
+    EXPECT_EQ(CanonicalLedger(tenant.dlq->ReadAll().value()),
+              tenant.clean.ledger);
   }
 }
 

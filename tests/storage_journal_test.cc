@@ -153,6 +153,56 @@ TEST_F(JournalTest, RewriteRotatesAtomicallyAndResequences) {
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
+TEST_F(JournalTest, FailedRotationLeavesTheOldSegmentIntact) {
+  // Regression for rotation under disk pressure: an injected ENOSPC-style
+  // write failure or a failed fsync mid-Rewrite must leave the previous
+  // segment and the in-memory record list untouched, clean up the temp
+  // file, and keep the journal appendable.
+  const std::string path = Path("faulty_rot.journal");
+  auto journal = JournalFile::Open(path, JournalSync::kAlways).value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(journal->Append("rec", {std::to_string(i)}).ok());
+  }
+  const std::string before = ReadFile(path);
+
+  JournalRecord keep;
+  keep.type = "compacted";
+
+  // First fault call fires before the temp segment is written (enospc).
+  journal->SetWriteFault(
+      [] { return Status::ResourceExhausted("injected enospc"); });
+  Status failed = journal->Rewrite({keep});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ReadFile(path), before);
+  ASSERT_EQ(journal->records().size(), 4u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Second shape: the write succeeds, the pre-fsync fault fires
+  // (fsync_fail) — same guarantees.
+  int calls = 0;
+  journal->SetWriteFault([&calls]() -> Status {
+    return ++calls < 2 ? Status::OK()
+                       : Status::IoError("injected fsync failure");
+  });
+  failed = journal->Rewrite({keep});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(ReadFile(path), before);
+  ASSERT_EQ(journal->records().size(), 4u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Still appendable after both failures, and a reopen recovers every
+  // record (the old segment was never touched).
+  journal->SetWriteFault(nullptr);
+  ASSERT_TRUE(journal->Append("after_fault", {}).ok());
+  ASSERT_TRUE(journal->Rewrite({keep}).ok());
+  auto reopened = JournalFile::Open(path, JournalSync::kAlways).value();
+  ASSERT_EQ(reopened->records().size(), 1u);
+  EXPECT_EQ(reopened->records()[0].type, "compacted");
+}
+
 TEST_F(JournalTest, ParseJournalSyncRoundTrips) {
   for (const JournalSync sync :
        {JournalSync::kNone, JournalSync::kCommit, JournalSync::kAlways}) {
