@@ -1,8 +1,10 @@
 #include "engine/cdc_coordinator.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -30,12 +32,13 @@ namespace {
 constexpr char kRecMeta[] = "cdc_meta";
 constexpr char kRecTakeover[] = "takeover";
 constexpr char kRecSliceStart[] = "slice_start";
+constexpr char kRecSliceStaged[] = "slice_staged";
 constexpr char kRecSliceApplied[] = "slice_applied";
 constexpr char kRecShardDead[] = "shard_dead";
 constexpr char kRecCommit[] = "cdc_commit";
 
-/// Per-shard applied-rows count inside a slice_applied record meaning
-/// "this shard's output was not part of the merge" (dead at apply time).
+/// Per-shard rows count inside a slice_staged / slice_applied record
+/// meaning "this shard's output is not part of the merge" (dead by then).
 constexpr char kShardExcluded[] = "-";
 
 std::string ShardDir(const CdcOptions& options, size_t shard) {
@@ -111,19 +114,48 @@ struct CoordinatorState {
   bool takeover = false;
   /// slice -> journaled wal_base of its (possibly torn) apply.
   std::map<size_t, size_t> slice_wal_base;
+  /// slice -> pinned merge membership: per-shard staged rows (SIZE_MAX =
+  /// shard excluded). Present once every member's flow converged.
+  std::map<size_t, std::vector<size_t>> staged;
   /// slice -> per-shard applied rows (SIZE_MAX = shard excluded).
   std::map<size_t, std::vector<size_t>> applied;
   std::set<size_t> dead_shards;
 };
 
 Result<size_t> ParseCount(const std::string& s) {
+  // strtoull alone is too lenient for a watermark field: it parses "" as
+  // 0, wraps "-5" to a huge unsigned value, and skips leading whitespace
+  // — a corrupted journal cell must surface, not replay as a bogus count.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::CorruptedData("bad count '" + s +
+                                 "' in coordinator journal");
+  }
+  errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
+  if (end == nullptr || *end != '\0' || errno == ERANGE ||
+      v > std::numeric_limits<size_t>::max()) {
     return Status::CorruptedData("bad count '" + s +
                                  "' in coordinator journal");
   }
   return static_cast<size_t>(v);
+}
+
+/// Parses the per-shard row-count cells of a slice_staged / slice_applied
+/// record (kShardExcluded -> SIZE_MAX).
+Result<std::vector<size_t>> ParsePerShardCells(const JournalRecord& record,
+                                               size_t first_field,
+                                               size_t shards) {
+  std::vector<size_t> per_shard(shards, 0);
+  for (size_t s = 0; s < shards; ++s) {
+    const std::string& cell = record.fields[first_field + s];
+    if (cell == kShardExcluded) {
+      per_shard[s] = static_cast<size_t>(-1);
+    } else {
+      QOX_ASSIGN_OR_RETURN(per_shard[s], ParseCount(cell));
+    }
+  }
+  return per_shard;
 }
 
 Result<CoordinatorState> ReplayCoordinatorJournal(
@@ -159,20 +191,21 @@ Result<CoordinatorState> ReplayCoordinatorJournal(
       // Re-journaled starts after a restart repeat the SAME base (the
       // first one wins — the WAL may have grown since).
       state.slice_wal_base.emplace(slice, base);
+    } else if (record.type == kRecSliceStaged) {
+      if (record.fields.size() != 1 + shards) {
+        return Status::CorruptedData("malformed slice_staged record");
+      }
+      QOX_ASSIGN_OR_RETURN(const size_t slice, ParseCount(record.fields[0]));
+      QOX_ASSIGN_OR_RETURN(std::vector<size_t> per_shard,
+                           ParsePerShardCells(record, 1, shards));
+      state.staged.emplace(slice, std::move(per_shard));
     } else if (record.type == kRecSliceApplied) {
       if (record.fields.size() != 2 + shards) {
         return Status::CorruptedData("malformed slice_applied record");
       }
       QOX_ASSIGN_OR_RETURN(const size_t slice, ParseCount(record.fields[0]));
-      std::vector<size_t> per_shard(shards, 0);
-      for (size_t s = 0; s < shards; ++s) {
-        const std::string& cell = record.fields[2 + s];
-        if (cell == kShardExcluded) {
-          per_shard[s] = static_cast<size_t>(-1);
-        } else {
-          QOX_ASSIGN_OR_RETURN(per_shard[s], ParseCount(cell));
-        }
-      }
+      QOX_ASSIGN_OR_RETURN(std::vector<size_t> per_shard,
+                           ParsePerShardCells(record, 2, shards));
       state.applied[slice] = std::move(per_shard);
     } else if (record.type == kRecShardDead) {
       if (record.fields.empty()) {
@@ -322,10 +355,13 @@ Result<CdcReport> CdcCoordinator::Run(const CdcOptions& options) {
   for (size_t s = 0; s < shards; ++s) {
     report.metrics.shard_stats[s].shard = s;
   }
-  std::vector<SupervisorReport> shard_reports;  // accumulated per shard run
-
   for (size_t slice = 0; !state.committed && slice < num_slices; ++slice) {
     const StopWatch slice_watch;
+    // Keep the lease fresh: with QOX_LEASE_TIMEOUT_MS set, a coordinator
+    // that stops refreshing for longer than the timeout becomes stealable
+    // while still alive — two coordinators appending to one WAL. A failed
+    // heartbeat means we were already displaced: stop, don't split-brain.
+    QOX_RETURN_IF_ERROR(lease->Heartbeat());
     if (state.applied.count(slice) != 0) continue;
 
     // Watermark 1: pin the WAL row count this slice's apply starts from.
@@ -343,8 +379,23 @@ Result<CdcReport> CdcCoordinator::Run(const CdcOptions& options) {
       QOX_CRASH_POINT("cdc.slice_start");
     }
 
-    // Run every live shard's worker flow for this slice to convergence.
-    for (size_t s = 0; s < shards; ++s) {
+    // Watermark 2: the slice's merge membership. Once journaled
+    // (slice_staged below), the member shards' staged files are complete
+    // on disk — the record is only written after every member's flow
+    // converged — so a resume re-merges exactly that set from disk without
+    // re-running any shard flow. A shard that dies between the pin and a
+    // torn apply's resume is therefore excluded starting from the NEXT
+    // slice, never from a merged list whose prefix may already be durable
+    // in the WAL (excluding it there would silently duplicate some rows
+    // of the durable prefix and drop others).
+    const auto staged_it = state.staged.find(slice);
+    const bool membership_pinned = staged_it != state.staged.end();
+
+    // Run every live shard's worker flow for this slice to convergence
+    // (skipped wholesale once the membership is pinned: the staging is
+    // done, and a re-run could only add shard deaths this slice must not
+    // observe).
+    for (size_t s = 0; !membership_pinned && s < shards; ++s) {
       if (state.dead_shards.count(s) != 0) continue;
       Status outcome;
       if (options.supervised) {
@@ -385,25 +436,38 @@ Result<CdcReport> CdcCoordinator::Run(const CdcOptions& options) {
       }
       if (!outcome.ok()) {
         if (!options.degrade_on_dead_shard) return outcome;
-        // Watermark 3: the shard is dead for the rest of the window. Its
-        // backlog becomes reported lag; the healthy shards keep loading.
+        // Sticky degradation: the shard is dead for the rest of the
+        // window. Its backlog becomes reported lag; the healthy shards
+        // keep loading.
         state.dead_shards.insert(s);
         report.metrics.shard_stats[s].dead = true;
         QOX_RETURN_IF_ERROR(journal->Append(
             kRecShardDead, {std::to_string(s), std::to_string(slice)},
             /*commit=*/true));
       }
+      // Shard runs dominate the slice's wall time — refresh the lease
+      // between them so a long slice cannot outlast the takeover timeout.
+      QOX_RETURN_IF_ERROR(lease->Heartbeat());
     }
 
-    // Merge the live shards' staged outputs by global version. Versions
+    // The shards this slice's merge covers: the pinned membership on a
+    // resume, the current live set on first contact.
+    std::vector<bool> excluded(shards, false);
+    for (size_t s = 0; s < shards; ++s) {
+      excluded[s] = membership_pinned
+                        ? staged_it->second[s] == static_cast<size_t>(-1)
+                        : state.dead_shards.count(s) != 0;
+    }
+
+    // Merge the member shards' staged outputs by global version. Versions
     // are unique, so the merged order — and therefore the WAL bytes — are
-    // a pure function of (stream, live shard set).
+    // a pure function of (stream, member shard set).
     std::vector<Row> merged;
     std::vector<size_t> per_shard_rows(shards, 0);
     QOX_ASSIGN_OR_RETURN(const size_t ver_idx,
                          staged_schema.FieldIndex("version"));
     for (size_t s = 0; s < shards; ++s) {
-      if (state.dead_shards.count(s) != 0) continue;
+      if (excluded[s]) continue;
       QOX_ASSIGN_OR_RETURN(
           auto staged,
           FlatFile::Open("staged", staged_schema, StagedPath(options, s,
@@ -412,13 +476,37 @@ Result<CdcReport> CdcCoordinator::Run(const CdcOptions& options) {
       per_shard_rows[s] = rows.num_rows();
       for (Row& row : rows.rows()) merged.push_back(std::move(row));
     }
+    if (membership_pinned) {
+      // The staged files must still reproduce the journaled merge — a
+      // shorter (truncated) or longer file would silently shift the
+      // durable-prefix math below.
+      for (size_t s = 0; s < shards; ++s) {
+        if (!excluded[s] && per_shard_rows[s] != staged_it->second[s]) {
+          return Status::CorruptedData(
+              "staged file of shard " + std::to_string(s) + " slice " +
+              std::to_string(slice) + " has " +
+              std::to_string(per_shard_rows[s]) +
+              " rows; the journal pinned " +
+              std::to_string(staged_it->second[s]));
+        }
+      }
+    } else {
+      std::vector<std::string> cells{std::to_string(slice)};
+      for (size_t s = 0; s < shards; ++s) {
+        cells.push_back(excluded[s] ? std::string(kShardExcluded)
+                                    : std::to_string(per_shard_rows[s]));
+      }
+      QOX_RETURN_IF_ERROR(
+          journal->Append(kRecSliceStaged, cells, /*commit=*/true));
+      QOX_CRASH_POINT("cdc.slice_staged");
+    }
     std::sort(merged.begin(), merged.end(),
               [ver_idx](const Row& a, const Row& b) {
                 return a.value(ver_idx).int64_value() <
                        b.value(ver_idx).int64_value();
               });
 
-    // Watermark 2: exactly-once apply. Rows past wal_base are the durable
+    // Watermark 3: exactly-once apply. Rows past wal_base are the durable
     // prefix a dead incarnation already landed; append only the rest.
     QOX_ASSIGN_OR_RETURN(const size_t wal_rows_now, wal->NumRows());
     if (wal_rows_now < wal_base || wal_rows_now - wal_base > merged.size()) {
@@ -448,23 +536,22 @@ Result<CdcReport> CdcCoordinator::Run(const CdcOptions& options) {
     std::vector<std::string> fields{std::to_string(slice),
                                     std::to_string(merged.size())};
     for (size_t s = 0; s < shards; ++s) {
-      fields.push_back(state.dead_shards.count(s) != 0
-                           ? std::string(kShardExcluded)
-                           : std::to_string(per_shard_rows[s]));
+      fields.push_back(excluded[s] ? std::string(kShardExcluded)
+                                   : std::to_string(per_shard_rows[s]));
     }
     QOX_RETURN_IF_ERROR(journal->Append(kRecSliceApplied, fields,
                                         /*commit=*/true));
     std::vector<size_t> applied_counts(shards, 0);
     for (size_t s = 0; s < shards; ++s) {
-      applied_counts[s] = state.dead_shards.count(s) != 0
-                              ? static_cast<size_t>(-1)
-                              : per_shard_rows[s];
+      applied_counts[s] =
+          excluded[s] ? static_cast<size_t>(-1) : per_shard_rows[s];
     }
     state.applied[slice] = std::move(applied_counts);
     report.slice_latency_micros.push_back(slice_watch.ElapsedMicros());
   }
 
   if (!state.committed) {
+    QOX_RETURN_IF_ERROR(lease->Heartbeat());
     QOX_CRASH_POINT("cdc.commit");
     QOX_RETURN_IF_ERROR(journal->Append(kRecCommit, {}, /*commit=*/true));
     state.committed = true;

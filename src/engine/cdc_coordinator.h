@@ -11,7 +11,7 @@
 // file. The coordinator then merges the staged outputs of a slice by
 // global version and appends them to the warehouse WAL.
 //
-// Exactly-once across arbitrary SIGKILLs is the sum of three watermarks:
+// Exactly-once across arbitrary SIGKILLs is the sum of four watermarks:
 //
 //   * Shard workers are supervised flows: a killed worker restarts, skips
 //     its journaled durable prefix, and a committed (shard, slice) flow is
@@ -22,8 +22,15 @@
 //     by comparing the WAL's current row count against the journaled
 //     wal_base — the rows in between are the durable prefix of the merged
 //     slice, appended by a dead incarnation, and are not re-appended.
+//   * `slice_staged(j, rows...)` pins the slice's merge MEMBERSHIP once
+//     every member shard's flow has converged (their staged files are
+//     complete on disk from then on). A torn slice re-merges exactly the
+//     pinned set from disk without re-running any shard flow, so the
+//     durable prefix always extends the same merged list: a shard death
+//     in the resume window degrades the run starting from the NEXT slice
+//     instead of silently re-partitioning a half-applied one.
 //   * Because every slice's merged output is ordered by globally unique
-//     versions, the WAL contents are a pure function of (stream, applied
+//     versions, the WAL contents are a pure function of (stream, member
 //     shards) — the basis of the chaos test's byte-identity invariant
 //     against an unkilled single-shard run.
 //
@@ -36,7 +43,10 @@
 // over the stale coordinator lease (QOX_LEASE_TIMEOUT_MS covers a hung —
 // not dead — predecessor) and resumes from the coordinator journal. A
 // displaced stale lease is journaled (`takeover`) so tests and operators
-// see it after the fact.
+// see it after the fact. A live coordinator heartbeats its lease every
+// slice and between shard runs, so a configured timeout never steals the
+// lease from a healthy long run — and a failed heartbeat (the lease now
+// names a live usurper) stops the run instead of split-braining the WAL.
 
 #ifndef QOX_ENGINE_CDC_COORDINATOR_H_
 #define QOX_ENGINE_CDC_COORDINATOR_H_

@@ -101,12 +101,27 @@ Status LeaseFile::Heartbeat() {
     return Status::FailedPrecondition("heartbeat on released lease '" +
                                       path_ + "'");
   }
+  // A timeout-based takeover rewrites the file behind our back. Blindly
+  // republishing would silently reclaim the lease from the usurper and
+  // leave two live holders, neither aware of the other — the displaced
+  // holder must stop instead.
+  const Result<pid_t> holder = HolderPid(path_);
+  if (holder.ok() && holder.value() != ::getpid() &&
+      PidAlive(holder.value())) {
+    return Status::FailedPrecondition(
+        "lease '" + path_ + "' was taken over by live process " +
+        std::to_string(holder.value()));
+  }
   return PublishLease(path_, owner_);
 }
 
 Status LeaseFile::Release() {
   if (released_) return Status::OK();
   released_ = true;
+  // Same displacement guard as Heartbeat: a displaced holder must not
+  // delete the usurper's lease on its way out.
+  const Result<pid_t> holder = HolderPid(path_);
+  if (holder.ok() && holder.value() != ::getpid()) return Status::OK();
   std::error_code ec;
   std::filesystem::remove(path_, ec);
   if (ec) {

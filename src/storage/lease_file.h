@@ -43,12 +43,17 @@ class LeaseFile {
   LeaseFile(const LeaseFile&) = delete;
   LeaseFile& operator=(const LeaseFile&) = delete;
 
-  /// Explicitly releases (removes) the lease file.
+  /// Explicitly releases (removes) the lease file. A lease the holder has
+  /// lost to a takeover is NOT removed (it belongs to the usurper now);
+  /// that is still a successful release of this handle.
   Status Release();
 
   /// Refreshes the lease file so a QOX_LEASE_TIMEOUT_MS-based takeover
   /// does not steal it from a live, non-wedged holder. Rewrites the lease
-  /// in place (same atomic publish as Acquire).
+  /// in place (same atomic publish as Acquire) — unless the file now
+  /// names a DIFFERENT live process (a takeover already happened), in
+  /// which case kFailedPrecondition tells the displaced holder to stop
+  /// rather than reclaim the lease from the usurper.
   Status Heartbeat();
 
   /// The stale-takeover timeout read from QOX_LEASE_TIMEOUT_MS, in

@@ -27,6 +27,7 @@
 #include "engine/supervisor.h"
 #include "storage/flat_file.h"
 #include "storage/journal_file.h"
+#include "storage/lease_file.h"
 #include "storage/mem_table.h"
 
 namespace qox {
@@ -53,16 +54,21 @@ CdcStreamSpec TestStream(uint64_t seed) {
   return stream;
 }
 
-/// Events of the stream that survive the NotNull(amount) filter — the
-/// exactly-once expectation for the WAL row count.
-size_t CountLoadableEvents(const CdcStreamSpec& spec) {
+/// Events of [begin, end) that survive the NotNull(amount) filter — the
+/// exactly-once expectation for the WAL rows a slice range contributes.
+size_t CountLoadableEventsInRange(const CdcStreamSpec& spec, size_t begin,
+                                  size_t end) {
   const CdcSource source(spec);
   const size_t amount_idx = CdcSchema().FieldIndex("amount").value();
   size_t loadable = 0;
-  for (size_t i = 0; i < spec.total_events; ++i) {
+  for (size_t i = begin; i < end && i < spec.total_events; ++i) {
     if (!source.EventAt(i).value(amount_idx).is_null()) ++loadable;
   }
   return loadable;
+}
+
+size_t CountLoadableEvents(const CdcStreamSpec& spec) {
+  return CountLoadableEventsInRange(spec, 0, spec.total_events);
 }
 
 /// WAL versions must be strictly increasing: slices apply in order and
@@ -195,9 +201,9 @@ TEST_F(CdcSweepTest, CoordinatorSurvivesKillsWithLeaseTakeover) {
   // killed incarnation leaves a stale coordinator lease its successor must
   // take over (the holder pid is a dead child).
   const std::vector<std::string> scenarios = {
-      "cdc.slice_start:1", "cdc.apply:1",      "cdc.apply:2",
-      "cdc.slice_applied:1", "cdc.commit:1",   "flat.append:2",
-      "journal.append:3",
+      "cdc.slice_start:1",   "cdc.slice_staged:1", "cdc.slice_staged:2",
+      "cdc.apply:1",         "cdc.apply:2",        "cdc.slice_applied:1",
+      "cdc.commit:1",        "flat.append:2",      "journal.append:3",
   };
   const CdcStreamSpec stream = TestStream(4242);
 
@@ -257,6 +263,192 @@ TEST_F(CdcSweepTest, CoordinatorSurvivesKillsWithLeaseTakeover) {
     }
     EXPECT_TRUE(saw_takeover) << "stale coordinator lease not taken over";
     EXPECT_TRUE(saw_commit);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Torn-slice resume × shard death on the SAME slice: pinned membership.
+// ---------------------------------------------------------------------------
+
+TEST_F(CdcSweepTest, TornSliceResumeSurvivesShardDeathsOnTheSameSlice) {
+  // The hardest exactly-once interleaving: incarnation A pins slice 1,
+  // stages every shard, appends PART of the merged slice to the WAL and
+  // dies; before the resume, every shard's slice-1 commit record is lost
+  // (a machine crash under a lazy sync policy) and every shard dies for
+  // good. Without the journaled slice_staged membership the successor
+  // would re-partition the half-applied slice around the now-dead shards
+  // and mis-skip the durable prefix (duplicating some rows, dropping
+  // others, or dying on the prefix guard). With it, slice 1 re-merges
+  // from the staged files on disk and the deaths only degrade slice 2.
+  const CdcStreamSpec stream = TestStream(31337);
+  CdcOptions options;
+  options.scratch_dir = root_ + "/torn";
+  options.stream = stream;
+  options.topology.shards = 3;
+  options.topology.slice_events = 64;  // slices [0,64) [64,128) [128,160)
+  options.supervised = true;
+  options.batch_size = 8;
+
+  const size_t slice0_rows = CountLoadableEventsInRange(stream, 0, 64);
+  const size_t slice1_rows = CountLoadableEventsInRange(stream, 64, 128);
+  ASSERT_GT(slice0_rows, 0u);
+  ASSERT_GT(slice1_rows, options.batch_size);  // the prefix stays partial
+  const size_t slice0_appends =
+      (slice0_rows + options.batch_size - 1) / options.batch_size;
+
+  // Phase 1: a single-incarnation coordinator dies right after the first
+  // WAL batch of slice 1 lands. Its shard workers (grandchildren) are
+  // disarmed by the default shard_child_setup, so the kill is the
+  // coordinator's own — slice 1 is torn with a nonempty durable prefix
+  // and every shard flow of slice 1 already converged.
+  SupervisorOptions sup;
+  sup.scratch_dir = root_ + "/torn_sup";
+  sup.max_incarnations = 1;
+  const std::string kill =
+      "flat.appended:" + std::to_string(slice0_appends + 1);
+  sup.child_setup = [&kill](int) { ArmCrashPoints(kill); };
+  const Result<SupervisorReport> phase1 = FlowSupervisor::Run(
+      "cdc_coord",
+      [&options](const FlowEnv& env) {
+        const Result<CdcReport> run = CdcCoordinator::Run(options);
+        if (!run.ok()) return run.status();
+        return env.journal->RecordFlowCommit();
+      },
+      sup);
+  ASSERT_TRUE(phase1.ok()) << phase1.status();
+  EXPECT_FALSE(phase1.value().success);
+  EXPECT_EQ(phase1.value().crashes, 1u);
+  const Schema schema = CdcCoordinator::StagedSchema(options).value();
+  const std::string wal_path = options.scratch_dir + "/warehouse.csv";
+  {
+    auto wal = FlatFile::Open("peek", schema, wal_path).value();
+    ASSERT_EQ(wal->NumRows().value(), slice0_rows + options.batch_size);
+  }
+
+  // Lose the shard flows' slice-1 commit records: their journals are the
+  // only thing marking those flows converged, and a lazily-synced journal
+  // does not survive a machine crash the way the staged CSVs already on
+  // disk do.
+  for (size_t s = 0; s < options.topology.shards; ++s) {
+    const std::string journal = options.scratch_dir + "/shard" +
+                                std::to_string(s) + "/s" +
+                                std::to_string(s) + "_j1.journal";
+    ASSERT_TRUE(std::filesystem::remove(journal)) << journal;
+  }
+
+  // Phase 2: resume with every shard dying on entry, forever. The torn
+  // slice must re-merge its pinned membership without re-running (and
+  // thereby killing) any shard; the deaths land on slice 2.
+  CdcOptions resume = options;
+  resume.max_shard_incarnations = 2;
+  resume.shard_child_setup = [](size_t, int) {
+    ArmCrashPoints("child.start:1");
+  };
+  const Result<CdcReport> report = CdcCoordinator::Run(resume);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().lease_takeover);
+  EXPECT_TRUE(report.value().degraded);
+  EXPECT_EQ(report.value().shards_dead, 3u);
+  EXPECT_EQ(report.value().slices_applied, report.value().slices);
+  EXPECT_EQ(report.value().wal_rows, slice0_rows + slice1_rows);
+  EXPECT_EQ(report.value().metrics.rows_loaded,
+            slice1_rows - options.batch_size);
+
+  // Byte determinism of the surviving window: slices 0–1 must equal the
+  // clean reference exactly — nothing duplicated, dropped, or reordered
+  // around the torn apply.
+  CdcOptions clean;
+  clean.scratch_dir = root_ + "/torn_ref";
+  clean.stream = stream;
+  clean.topology = options.topology;
+  clean.batch_size = options.batch_size;
+  clean.supervised = false;
+  const Result<CdcReport> clean_report = CdcCoordinator::Run(clean);
+  ASSERT_TRUE(clean_report.ok()) << clean_report.status();
+  const std::string chaos_bytes = ReadFileBytes(wal_path);
+  const std::string ref_bytes =
+      ReadFileBytes(clean_report.value().warehouse_path);
+  ASSERT_LT(chaos_bytes.size(), ref_bytes.size());
+  EXPECT_EQ(chaos_bytes, ref_bytes.substr(0, chaos_bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Lease heartbeat: a usurped coordinator stops instead of split-braining.
+// ---------------------------------------------------------------------------
+
+TEST_F(CdcSweepTest, UsurpedLeaseStopsTheCoordinatorInsteadOfSplitBrain) {
+  // Simulate a QOX_LEASE_TIMEOUT_MS takeover landing while the
+  // coordinator is busy supervising shard flows: shard 1's worker
+  // rewrites the coordinator lease to a foreign live pid (pid 1 always
+  // exists). The coordinator's next heartbeat must detect the
+  // displacement and fail the run BEFORE any further WAL append — and
+  // must not reclaim or delete the usurper's lease on the way out.
+  const CdcStreamSpec stream = TestStream(555);
+  CdcOptions options;
+  options.scratch_dir = root_ + "/usurped";
+  options.stream = stream;
+  options.topology.shards = 2;
+  options.topology.slice_events = 1000;  // one slice: no later heartbeat
+  options.supervised = true;
+  const std::string lease_path = options.scratch_dir + "/coordinator.lease";
+  options.shard_child_setup = [lease_path](size_t shard, int) {
+    ArmCrashPoints("");
+    if (shard == 1) {
+      std::ofstream out(lease_path, std::ios::trunc);
+      out << 1 << " usurper\n";
+    }
+  };
+  const Result<CdcReport> report = CdcCoordinator::Run(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(LeaseFile::HolderPid(lease_path).value(), 1);
+
+  // Nothing reached the warehouse after the displacement.
+  const Schema schema = CdcCoordinator::StagedSchema(options).value();
+  auto wal = FlatFile::Open("peek", schema,
+                            options.scratch_dir + "/warehouse.csv")
+                 .value();
+  EXPECT_EQ(wal->NumRows().value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal hygiene: corrupted watermark counts surface, never replay.
+// ---------------------------------------------------------------------------
+
+TEST_F(CdcSweepTest, CorruptedJournalCountsAreRejected) {
+  // strtoull quietly maps "" to 0 and wraps "-5" — a corrupted journal
+  // cell must fail the resume as CorruptedData instead of replaying as a
+  // bogus watermark.
+  const std::vector<std::string> bad_counts = {"", "-5", "7x", "+3"};
+  for (size_t i = 0; i < bad_counts.size(); ++i) {
+    SCOPED_TRACE("bad count '" + bad_counts[i] + "'");
+    CdcOptions options;
+    options.scratch_dir = root_ + "/corrupt" + std::to_string(i);
+    options.stream = TestStream(1);
+    options.topology.shards = 2;
+    options.topology.slice_events = 64;
+    options.supervised = false;
+    std::filesystem::create_directories(options.scratch_dir);
+    {
+      auto journal = JournalFile::Open(
+                         options.scratch_dir + "/coordinator.journal",
+                         JournalSync::kAlways)
+                         .value();
+      ASSERT_TRUE(journal
+                      ->Append("cdc_meta",
+                               {"2", "64",
+                                std::to_string(options.stream.total_events),
+                                std::to_string(options.stream.seed)},
+                               /*commit=*/true)
+                      .ok());
+      ASSERT_TRUE(journal
+                      ->Append("slice_start", {"0", bad_counts[i]},
+                               /*commit=*/true)
+                      .ok());
+    }
+    const Result<CdcReport> report = CdcCoordinator::Run(options);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kCorruptedData);
   }
 }
 

@@ -116,6 +116,36 @@ TEST_F(LeaseFileTest, FreshLeaseOfLiveHolderSurvivesTimeout) {
   EXPECT_EQ(denied.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST_F(LeaseFileTest, DisplacedHolderCannotHeartbeatOrDeleteUsurpersLease) {
+  auto lease = LeaseFile::Acquire(path_, "t").value();
+  // A timeout-based takeover rewrote the lease behind our back: it now
+  // names a different live process (pid 1 always exists). The displaced
+  // holder's heartbeat must fail — silently republishing would leave two
+  // live holders, neither aware of the other.
+  PlantLease(1);
+  const Status denied = lease->Heartbeat();
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(LeaseFile::HolderPid(path_).value(), 1);
+  // Nor may its release delete the usurper's lease on the way out.
+  ASSERT_TRUE(lease->Release().ok());
+  EXPECT_EQ(LeaseFile::HolderPid(path_).value(), 1);
+}
+
+TEST_F(LeaseFileTest, HeartbeatReclaimsALeaseUsurpedByANowDeadProcess) {
+  auto lease = LeaseFile::Acquire(path_, "t").value();
+  // The usurper died in turn: reclaiming on heartbeat mirrors Acquire's
+  // dead-holder takeover.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  PlantLease(child);
+  ASSERT_TRUE(lease->Heartbeat().ok());
+  EXPECT_EQ(LeaseFile::HolderPid(path_).value(), ::getpid());
+}
+
 TEST_F(LeaseFileTest, HeartbeatRefreshesTheLease) {
   auto lease = LeaseFile::Acquire(path_, "t").value();
   BackdateLease(std::chrono::milliseconds(60000));
